@@ -1,0 +1,69 @@
+//! Packing-policy ablation: print the ablation table once, then compare
+//! the cost of the corrected FFD packer against the paper-literal listing
+//! and the no-sort / no-steal variants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcm_workloads::WorkloadProfile;
+use std::hint::black_box;
+use tetris_experiments::ablation::{self, sample_demands};
+use tetris_write::{analyze, paper_literal::paper_literal_analyze, TetrisConfig};
+
+fn bench(c: &mut Criterion) {
+    eprintln!("{}", ablation::packing_ablation(200, 3));
+    eprintln!("{}", ablation::budget_sweep(150, 4));
+    eprintln!("{}", ablation::utilization_study(150, 6));
+
+    let p = WorkloadProfile::by_name("dedup").unwrap();
+    let demands = sample_demands(p, 64, 17);
+    let base = TetrisConfig::paper_baseline();
+    let mut no_sort = base;
+    no_sort.sort_decreasing = false;
+    let mut no_steal = base;
+    no_steal.steal_write0_slack = false;
+
+    let mut g = c.benchmark_group("ablation_pack_64_lines");
+    g.bench_with_input(
+        BenchmarkId::from_parameter("ffd_steal"),
+        &demands,
+        |b, ds| {
+            b.iter(|| {
+                for d in ds {
+                    black_box(analyze(d, &base).unwrap());
+                }
+            })
+        },
+    );
+    g.bench_with_input(BenchmarkId::from_parameter("no_sort"), &demands, |b, ds| {
+        b.iter(|| {
+            for d in ds {
+                black_box(analyze(d, &no_sort).unwrap());
+            }
+        })
+    });
+    g.bench_with_input(
+        BenchmarkId::from_parameter("no_steal"),
+        &demands,
+        |b, ds| {
+            b.iter(|| {
+                for d in ds {
+                    black_box(analyze(d, &no_steal).unwrap());
+                }
+            })
+        },
+    );
+    g.bench_with_input(
+        BenchmarkId::from_parameter("paper_literal"),
+        &demands,
+        |b, ds| {
+            b.iter(|| {
+                for d in ds {
+                    black_box(paper_literal_analyze(d, &base).unwrap());
+                }
+            })
+        },
+    );
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Fig. 10 — write units per cache-line write: print the per-scheme counts
+//! once (algorithm level), then measure per-scheme planning throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcm_schemes::{
+    DcwWrite, FlipNWrite, SchemeConfig, ThreeStageWrite, TwoStageWrite, WriteCtx, WriteScheme,
+};
+use pcm_types::LineData;
+use pcm_workloads::WorkloadProfile;
+use std::hint::black_box;
+use tetris_experiments::ablation::sample_demands;
+use tetris_write::{analyze, TetrisConfig, TetrisWrite};
+
+fn bench(c: &mut Criterion) {
+    // Regenerate the Fig. 10 row for each workload (algorithmic Tetris
+    // counts + analytic baselines).
+    let cfg = TetrisConfig::paper_baseline();
+    eprintln!("Fig. 10 (algorithm level) — avg write units per cache-line write");
+    for p in pcm_workloads::ALL_PROFILES.iter() {
+        let demands = sample_demands(p, 300, 11);
+        let avg: f64 = demands
+            .iter()
+            .map(|d| analyze(d, &cfg).unwrap().write_units_equiv())
+            .sum::<f64>()
+            / demands.len() as f64;
+        eprintln!(
+            "  {:<14} DCW 8.00  FNW 4.00  2SW 2.99  3SW 2.49  Tetris {avg:.2}",
+            p.name
+        );
+    }
+
+    // Planning throughput per scheme on a representative write.
+    let scheme_cfg = SchemeConfig::paper_baseline();
+    let old = LineData::from_units(&[0x0123_4567_89AB_CDEF; 8]);
+    let mut new = old;
+    for i in 0..8 {
+        new.xor_unit(i, 0x00FF_0000_0000_0370);
+    }
+    let ctx = WriteCtx {
+        old_stored: &old,
+        old_flips: 0,
+        new_logical: &new,
+        cfg: &scheme_cfg,
+    };
+    let schemes: Vec<(&str, Box<dyn WriteScheme>)> = vec![
+        ("dcw", Box::new(DcwWrite)),
+        ("fnw", Box::new(FlipNWrite)),
+        ("2sw", Box::new(TwoStageWrite)),
+        ("3sw", Box::new(ThreeStageWrite)),
+        ("tetris", Box::new(TetrisWrite::paper_baseline())),
+    ];
+    let mut g = c.benchmark_group("fig10_plan");
+    for (name, s) in &schemes {
+        g.bench_with_input(BenchmarkId::from_parameter(name), s, |b, s| {
+            b.iter(|| black_box(s.plan(black_box(&ctx))))
+        });
+    }
+    g.finish();
+
+    // Tetris analysis across the workload spectrum.
+    let mut g = c.benchmark_group("fig10_tetris_analyze");
+    for name in ["blackscholes", "vips"] {
+        let p = WorkloadProfile::by_name(name).unwrap();
+        let demands = sample_demands(p, 64, 13);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &demands, |b, demands| {
+            b.iter(|| {
+                for d in demands {
+                    black_box(analyze(d, &cfg).unwrap());
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Fig. 1 — pulse asymmetries: print the pulse table once, then measure the
+//! cell-programming hot path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pcm_device::{PcmCell, PulseLibrary};
+use pcm_schemes::SchemeConfig;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    eprintln!(
+        "{}",
+        tetris_experiments::figures::fig1(&SchemeConfig::paper_baseline())
+    );
+    let lib = PulseLibrary::paper_baseline();
+    c.bench_function("fig1/cell_set_reset_cycle", |b| {
+        let mut cell = PcmCell::default();
+        b.iter(|| {
+            cell.apply(black_box(lib.set));
+            cell.apply(black_box(lib.reset));
+            black_box(cell.read())
+        })
+    });
+    c.bench_function("fig1/pulse_library_build", |b| {
+        b.iter(|| black_box(PulseLibrary::paper_baseline()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Fig. 3 — per-workload bit-write statistics: print the figure once, then
+//! measure the measurement harness and the content generator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcm_memsim::WriteContent;
+use pcm_types::LineData;
+use pcm_workloads::{measure_bit_stats, ProfileContent, WorkloadProfile, ALL_PROFILES};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    eprintln!("{}", tetris_experiments::figures::fig3(400, 7));
+    let mut g = c.benchmark_group("fig3");
+    for name in ["blackscholes", "vips"] {
+        let p = WorkloadProfile::by_name(name).unwrap();
+        g.bench_with_input(BenchmarkId::new("measure_200_writes", name), p, |b, p| {
+            b.iter(|| black_box(measure_bit_stats(p, 200, 7)))
+        });
+    }
+    g.bench_function("content_generate_line", |b| {
+        let p = &ALL_PROFILES[7];
+        let mut m = ProfileContent::new(p, 3);
+        let old = LineData::from_units(&[0xAAAA_5555_0F0F_F0F0; 8]);
+        b.iter(|| black_box(m.generate(0, &old)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

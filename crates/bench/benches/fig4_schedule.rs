@@ -1,0 +1,73 @@
+//! Fig. 4 — the worked example: print the Gantt once, then measure the
+//! analysis stage and FSM execution on the example.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pcm_device::{FsmExecutor, PcmBank};
+use pcm_types::{LineData, LineDemand, PcmTimings, PowerParams, UnitDemand};
+use std::hint::black_box;
+use tetris_write::{analyze, build_jobs, read_stage, render_gantt, TetrisConfig};
+
+fn fig4_demand() -> LineDemand {
+    LineDemand::from_units(&[
+        UnitDemand::new(8, 0),
+        UnitDemand::new(7, 1),
+        UnitDemand::new(7, 1),
+        UnitDemand::new(6, 2),
+        UnitDemand::new(6, 3),
+        UnitDemand::new(6, 2),
+        UnitDemand::new(5, 2),
+        UnitDemand::new(3, 5),
+    ])
+}
+
+fn bench(c: &mut Criterion) {
+    let mut cfg = TetrisConfig::paper_baseline();
+    cfg.scheme.power = PowerParams {
+        l_ratio: 2,
+        budget_per_bank: 32,
+        chips_per_bank: 4,
+    };
+    let demand = fig4_demand();
+    let analysis = analyze(&demand, &cfg).unwrap();
+    eprintln!("Fig. 4 worked example:\n{}", render_gantt(&analysis, 8));
+
+    c.bench_function("fig4/analyze", |b| {
+        b.iter(|| black_box(analyze(black_box(&demand), &cfg).unwrap()))
+    });
+    c.bench_function("fig4/render_gantt", |b| {
+        b.iter(|| black_box(render_gantt(&analysis, 8)))
+    });
+    c.bench_function("fig4/fsm_execute", |b| {
+        // A concrete realization of the Fig. 4 demand.
+        let cfg_full = TetrisConfig::paper_baseline();
+        let old = LineData::zeroed(64);
+        let new = LineData::from_units(&[
+            0xFF,
+            0x7F | 1 << 63,
+            0x7F | 1 << 62,
+            0x3F | 0b11 << 40,
+            0x3F | 0b111 << 40,
+            0x3F | 0b11 << 50,
+            0x1F | 0b11 << 30,
+            0x7 | 0b11111 << 20,
+        ]);
+        // old has zero bits → pure SET example; use full-budget config.
+        let ctx = pcm_schemes::WriteCtx {
+            old_stored: &old,
+            old_flips: 0,
+            new_logical: &new,
+            cfg: &cfg_full.scheme,
+        };
+        let out = read_stage(&ctx);
+        let analysis = analyze(&out.demand, &cfg_full).unwrap();
+        let jobs = build_jobs(&old, 0, &out, &analysis).unwrap();
+        let exec = FsmExecutor::new(PcmTimings::paper_baseline()).unwrap();
+        b.iter(|| {
+            let mut bank = PcmBank::new(1, 8, PowerParams::paper_baseline(), true).unwrap();
+            black_box(exec.execute(&mut bank, &jobs).unwrap())
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! # pcm-bench
+//!
+//! Criterion benchmarks, one target per paper artifact plus micro
+//! benchmarks. Each figure bench *regenerates its artifact once* (printed
+//! to stderr so `cargo bench` output shows the same rows the paper
+//! reports) and then measures the cost of the computation behind it.
+//!
+//! Targets:
+//!
+//! | bench | artifact |
+//! |---|---|
+//! | `fig1_pulse_model` | Fig. 1 pulse asymmetries + cell programming |
+//! | `fig3_bit_stats` | Fig. 3 per-workload SET/RESET statistics |
+//! | `fig4_schedule` | Fig. 4 worked-example schedule + Gantt |
+//! | `fig10_write_units` | Fig. 10 write-unit counts per scheme |
+//! | `system_figures` | Figs. 11–14 full-system latency/IPC/runtime |
+//! | `tables` | Tables I–III |
+//! | `micro` | scheduler/driver/cache/zipf hot paths |
+//! | `ablation` | packing-policy variants (FFD / FF / literal) |
+
+/// Shared quick-run sizing for the system benches.
+pub fn quick_run_config() -> tetris_experiments::RunConfig {
+    tetris_experiments::RunConfig {
+        instructions_per_core: 100_000,
+        ..tetris_experiments::RunConfig::quick()
+    }
+}

@@ -1,0 +1,143 @@
+//! ASCII chip-level timing diagrams (the paper's Fig. 4).
+//!
+//! Rows are data units, columns are sub-write-unit slots (Treset-scale).
+//! A run of `1`s is a write-1 (SET) pulse spanning its write unit's `K`
+//! slots; a `0` is a write-0 (RESET) dropped into stolen slack. Write-unit
+//! boundaries are marked with `|`, appended overflow sub-units with `+`.
+
+use crate::analysis::{AnalysisResult, PulsePhase};
+use std::fmt::Write as _;
+
+/// Render an analysis result as an ASCII Gantt chart.
+///
+/// `num_units` is the number of data units in the line (rows to draw).
+pub fn render_gantt(analysis: &AnalysisResult, num_units: usize) -> String {
+    let k = analysis.k;
+    let total_slots = analysis.slot_usage.len();
+    let mut out = String::new();
+
+    // Header ruler with write-unit boundaries.
+    let _ = write!(out, "        ");
+    for s in 0..total_slots {
+        let in_overflow = s >= analysis.result as usize * k;
+        if s % k == 0 && !in_overflow {
+            out.push('|');
+        } else if in_overflow && s == analysis.result as usize * k {
+            out.push('+');
+        } else {
+            out.push(' ');
+        }
+    }
+    out.push('\n');
+
+    for unit in 0..num_units {
+        let _ = write!(out, "unit {unit:>2} ");
+        let mut row = vec![b'.'; total_slots];
+        for p in analysis.placements.iter().filter(|p| p.unit == unit) {
+            match p.phase {
+                PulsePhase::Write1 => {
+                    for cell in row.iter_mut().skip(p.start_slot).take(k) {
+                        *cell = b'1';
+                    }
+                }
+                PulsePhase::Write0 => {
+                    row[p.start_slot] = b'0';
+                }
+            }
+        }
+        out.push_str(std::str::from_utf8(&row).expect("ascii row"));
+        out.push('\n');
+    }
+
+    // Per-slot current footprint.
+    let _ = write!(out, "current ");
+    for &u in &analysis.slot_usage {
+        let c = match (u as u64 * 10).div_ceil(analysis.budget.max(1) as u64) {
+            0 => '.',
+            d @ 1..=9 => char::from_digit(d as u32, 10).expect("digit"),
+            _ => '#',
+        };
+        out.push(c);
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "result={} subresult={} write-units={:.2} peak={}/{} util={:.0}%",
+        analysis.result,
+        analysis.subresult,
+        analysis.write_units_equiv(),
+        analysis.peak_current(),
+        analysis.budget,
+        analysis.utilization() * 100.0
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use crate::config::TetrisConfig;
+    use pcm_types::{LineDemand, PowerParams, UnitDemand};
+
+    fn fig4_analysis() -> AnalysisResult {
+        let mut cfg = TetrisConfig::paper_baseline();
+        cfg.scheme.power = PowerParams {
+            l_ratio: 2,
+            budget_per_bank: 32,
+            chips_per_bank: 4,
+        };
+        let d = LineDemand::from_units(&[
+            UnitDemand::new(8, 0),
+            UnitDemand::new(7, 1),
+            UnitDemand::new(7, 1),
+            UnitDemand::new(6, 2),
+            UnitDemand::new(6, 3),
+            UnitDemand::new(6, 2),
+            UnitDemand::new(5, 2),
+            UnitDemand::new(3, 5),
+        ]);
+        analyze(&d, &cfg).unwrap()
+    }
+
+    #[test]
+    fn renders_all_rows_and_summary() {
+        let a = fig4_analysis();
+        let g = render_gantt(&a, 8);
+        assert_eq!(
+            g.lines().count(),
+            1 + 8 + 2,
+            "ruler + 8 units + footprint + summary"
+        );
+        assert!(g.contains("unit  0"));
+        assert!(g.contains("result=2 subresult=0"));
+        assert!(g.contains("write-units=2.00"));
+    }
+
+    #[test]
+    fn set_pulses_span_k_slots() {
+        let a = fig4_analysis();
+        let g = render_gantt(&a, 8);
+        let row0 = g.lines().nth(1).unwrap();
+        let ones = row0.matches('1').count();
+        assert_eq!(ones, 8, "unit 0's SET pulse spans K = 8 slots");
+    }
+
+    #[test]
+    fn write0_marks_single_slots() {
+        let a = fig4_analysis();
+        let g = render_gantt(&a, 8);
+        // Unit 7 has a write-1 (8 slots) and one write-0 (1 slot).
+        let row7 = g.lines().nth(8).unwrap();
+        assert_eq!(row7.matches('0').count(), 1);
+    }
+
+    #[test]
+    fn empty_schedule_renders() {
+        let cfg = TetrisConfig::paper_baseline();
+        let d = LineDemand::empty(8);
+        let a = analyze(&d, &cfg).unwrap();
+        let g = render_gantt(&a, 8);
+        assert!(g.contains("result=1 subresult=0"));
+    }
+}

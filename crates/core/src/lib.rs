@@ -1,0 +1,49 @@
+//! # tetris-write
+//!
+//! The paper's contribution: **Tetris Write**, a PCM write scheme that
+//! monitors the *actual* number of '1' and '0' bit-writes per data unit
+//! and schedules them like Tetris pieces — the long, low-current write-1
+//! (SET) pulses are bin-packed into write units first, then the short,
+//! high-current write-0 (RESET) pulses are dropped into the current
+//! headroom left inside those units' sub-write-unit slots.
+//!
+//! The write proceeds in the paper's three stages:
+//!
+//! 1. **Read** ([`mod@read_stage`], Algorithm 1) — read the old data + flip
+//!    tags, invert units whose Hamming distance exceeds half, and count the
+//!    per-unit SET/RESET demand (`NUM1[i]`, `NUM0[i]`).
+//! 2. **Analysis** ([`analysis`], Algorithm 2) — convert counts to currents
+//!    (`IN1 = NUM1`, `IN0 = NUM0·L`), first-fit-decreasing pack write-1s
+//!    into write units and write-0s into sub-write-unit slots, producing
+//!    `result` write units and `subresult` overflow sub-units
+//!    (Eq. 5: `T = (result + subresult/K) · Tset`).
+//! 3. **Individually write** ([`schedule`]) — emit the FSM0/FSM1 job
+//!    queues; `pcm-device`'s executor replays them against a bank, checking
+//!    the instantaneous budget every tick.
+//!
+//! [`TetrisWrite`] packages the three stages behind the common
+//! [`pcm_schemes::WriteScheme`] trait; [`gantt`] renders chip-level timing
+//! diagrams like the paper's Fig. 4; [`paper_literal`] preserves a
+//! transcription of the paper's (buggy) pseudocode for ablation studies;
+//! [`batch`] extends the packer across several queued lines (the authors'
+//! DATE'16 follow-up direction).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod batch;
+pub mod config;
+pub mod gantt;
+pub mod paper_literal;
+pub mod read_stage;
+pub mod schedule;
+pub mod scheme_impl;
+
+pub use analysis::{analyze, AnalysisResult, Placement, PulsePhase};
+pub use batch::{analyze_batch, BatchAnalysis};
+pub use config::TetrisConfig;
+pub use gantt::render_gantt;
+pub use read_stage::{read_stage, ReadStageOutput};
+pub use schedule::{build_jobs, validate_on_bank, ValidationReport};
+pub use scheme_impl::TetrisWrite;

@@ -1,0 +1,97 @@
+//! The read stage — Algorithm 1.
+//!
+//! Read the old data and flip tags (`{D', F'}`), invert any unit whose
+//! Hamming distance to the new data exceeds half the unit width, and count
+//! the '1's and '0's that remain to be written (`N1`, `N0`). In hardware
+//! the counts land in the chip's Reg1/Reg0 registers; here they come back
+//! as a [`pcm_types::LineDemand`].
+
+use pcm_schemes::WriteCtx;
+use pcm_types::{flip_units, FlippedLine, LineData, LineDemand};
+
+/// Output of the read stage.
+#[derive(Clone, Debug)]
+pub struct ReadStageOutput {
+    /// Flip-encoded line (stored bits + per-unit decisions).
+    pub flipped: FlippedLine,
+    /// Per-unit SET/RESET demand including flip cells (Reg1/Reg0 contents).
+    pub demand: LineDemand,
+}
+
+impl ReadStageOutput {
+    /// The bits that will be stored.
+    pub fn stored(&self) -> &LineData {
+        &self.flipped.stored
+    }
+
+    /// The new flip-tag bitmask.
+    pub fn flips(&self) -> u32 {
+        self.flipped.flips
+    }
+}
+
+/// Run Algorithm 1 for one cache-line write.
+pub fn read_stage(ctx: &WriteCtx<'_>) -> ReadStageOutput {
+    let flipped = flip_units(ctx.old_stored, ctx.old_flips, ctx.new_logical);
+    let demand = LineDemand::from_flipped(&flipped);
+    ReadStageOutput { flipped, demand }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcm_schemes::SchemeConfig;
+    use pcm_types::{LineData, UnitDemand};
+
+    #[test]
+    fn counts_match_paper_semantics() {
+        let cfg = SchemeConfig::paper_baseline();
+        let old = LineData::zeroed(64);
+        let mut new = LineData::zeroed(64);
+        new.set_unit(0, 0b0111); // N1 = 3, N0 = 0
+        new.set_unit(1, u64::MAX); // inverted → only the flip-bit SET
+        let ctx = WriteCtx {
+            old_stored: &old,
+            old_flips: 0,
+            new_logical: &new,
+            cfg: &cfg,
+        };
+        let out = read_stage(&ctx);
+        assert_eq!(out.demand.units()[0], UnitDemand::new(3, 0));
+        assert_eq!(out.demand.units()[1], UnitDemand::new(1, 0));
+        assert_eq!(out.flips(), 0b10);
+        assert_eq!(out.stored().unit(1), 0, "stored inverted");
+    }
+
+    #[test]
+    fn demand_is_bounded_by_half_per_unit() {
+        let cfg = SchemeConfig::paper_baseline();
+        let old = LineData::from_units(&[0x0F0F_0F0F_0F0F_0F0F; 8]);
+        let new = LineData::from_units(&[0xF0F0_F0F0_F0F0_F0F0; 8]);
+        let ctx = WriteCtx {
+            old_stored: &old,
+            old_flips: 0,
+            new_logical: &new,
+            cfg: &cfg,
+        };
+        let out = read_stage(&ctx);
+        for u in out.demand.units() {
+            assert!(u.total() <= 32 + 1, "flip bound violated: {u:?}");
+        }
+    }
+
+    #[test]
+    fn reset_demand_counted() {
+        let cfg = SchemeConfig::paper_baseline();
+        let old = LineData::from_units(&[0b1111, 0, 0, 0, 0, 0, 0, 0]);
+        let new = LineData::from_units(&[0b0011, 0, 0, 0, 0, 0, 0, 0]);
+        let ctx = WriteCtx {
+            old_stored: &old,
+            old_flips: 0,
+            new_logical: &new,
+            cfg: &cfg,
+        };
+        let out = read_stage(&ctx);
+        assert_eq!(out.demand.units()[0], UnitDemand::new(0, 2));
+    }
+}

@@ -1,0 +1,331 @@
+//! The individually-write stage: turn an [`AnalysisResult`] into the FSM0 /
+//! FSM1 job queues and (for verification) execute them on a modeled bank.
+//!
+//! Each placement becomes one [`ScheduledBitWrite`]: a SET pulse covering a
+//! unit's write-1 bits starting at its write unit's first sub-slot, or a
+//! RESET pulse in its stolen sub-slot. When the analysis stage had to chunk
+//! a demand across several pulses (budget smaller than one unit's demand),
+//! the jobs carry *progressive targets* so the write driver's XOR gating
+//! programs exactly that chunk's bits and nothing else.
+
+use crate::analysis::{AnalysisResult, PulsePhase};
+use crate::read_stage::ReadStageOutput;
+use pcm_device::{FsmExecutor, PcmBank, ScheduledBitWrite, WriteOp};
+use pcm_types::{LineData, PcmError, PcmTimings, Ps};
+
+/// Pick the lowest `n` set bits of `mask`.
+fn take_low_bits(mask: u64, n: u32) -> u64 {
+    let mut out = 0u64;
+    let mut m = mask;
+    for _ in 0..n {
+        debug_assert!(m != 0, "mask exhausted while chunking");
+        let low = m & m.wrapping_neg();
+        out |= low;
+        m &= !low;
+    }
+    out
+}
+
+/// Build the FSM job list for one cache-line write.
+///
+/// `old_stored`/`old_flips` are the array contents before the write;
+/// `read_out` is the read stage's output (final stored bits + demand);
+/// `analysis` the packing. Returns one job per placement, in per-unit time
+/// order, ready for [`FsmExecutor::execute`].
+pub fn build_jobs(
+    old_stored: &LineData,
+    old_flips: u32,
+    read_out: &ReadStageOutput,
+    analysis: &AnalysisResult,
+) -> Result<Vec<ScheduledBitWrite>, PcmError> {
+    let stored = read_out.stored();
+    let flips = read_out.flips();
+    let mut jobs = Vec::with_capacity(analysis.placements.len());
+
+    for unit in 0..stored.num_units() {
+        let old_data = old_stored.unit(unit);
+        let old_flip = old_flips & (1 << unit) != 0;
+        let final_data = stored.unit(unit);
+        let final_flip = flips & (1 << unit) != 0;
+
+        let set_mask = final_data & !old_data;
+        let reset_mask = old_data & !final_data;
+        let flip_set = !old_flip && final_flip;
+        let flip_reset = old_flip && !final_flip;
+
+        // Gather this unit's placements per phase, in time order, so the
+        // cumulative chunk targets execute in the order the FSMs fire them.
+        let mut p1: Vec<_> = analysis
+            .placements
+            .iter()
+            .filter(|p| p.unit == unit && p.phase == PulsePhase::Write1)
+            .collect();
+        p1.sort_by_key(|p| p.start_slot);
+        let mut p0: Vec<_> = analysis
+            .placements
+            .iter()
+            .filter(|p| p.unit == unit && p.phase == PulsePhase::Write0)
+            .collect();
+        p0.sort_by_key(|p| p.start_slot);
+
+        // ---- write-1 chunks ----
+        let mut remaining_sets = set_mask;
+        let mut flip_now = old_flip;
+        let mut flip_set_pending = flip_set;
+        for p in p1 {
+            let mut data_bits = p.bits;
+            if flip_set_pending {
+                flip_now = true;
+                flip_set_pending = false;
+                data_bits -= 1;
+            }
+            let chunk = take_low_bits(remaining_sets, data_bits);
+            remaining_sets &= !chunk;
+            // Target: final data minus the set bits later chunks will add.
+            // One-phase driving never resets, so reset-destined bits being
+            // 0 in the target is harmless whether or not FSM0 got there.
+            let target = final_data & !remaining_sets;
+            jobs.push(ScheduledBitWrite {
+                unit_row: unit,
+                op: WriteOp::Set,
+                start_slot: p.start_slot,
+                new_data: target,
+                // If the flip tag will be reset (by FSM0), claim it low
+                // here: a One-phase pulse can only SET, so a low target
+                // leaves the tag alone whether or not FSM0 has fired yet.
+                new_flip: if flip_reset { false } else { flip_now },
+            });
+        }
+        if remaining_sets != 0 || flip_set_pending {
+            return Err(PcmError::IncompleteSchedule(format!(
+                "unit {unit}: write-1 placements do not cover the SET mask"
+            )));
+        }
+
+        // ---- write-0 chunks ----
+        let mut remaining_resets = reset_mask;
+        let mut flip_zero = old_flip;
+        let mut flip_reset_pending = flip_reset;
+        for p in p0 {
+            let mut data_bits = p.bits;
+            if flip_reset_pending {
+                flip_zero = false;
+                flip_reset_pending = false;
+                data_bits -= 1;
+            }
+            let chunk = take_low_bits(remaining_resets, data_bits);
+            remaining_resets &= !chunk;
+            // Target: final data plus the reset bits later chunks still owe
+            // (kept at 1 so this pulse leaves them alone). Set-destined
+            // bits are 1 in the target, so Zero-phase driving never touches
+            // them regardless of whether FSM1 has run.
+            let target = final_data | remaining_resets;
+            jobs.push(ScheduledBitWrite {
+                unit_row: unit,
+                op: WriteOp::Reset,
+                start_slot: p.start_slot,
+                new_data: target,
+                // If the flip tag will be set (by FSM1), claim it high here
+                // so this RESET pulse leaves it alone.
+                new_flip: if flip_set { true } else { flip_zero },
+            });
+        }
+        if remaining_resets != 0 || flip_reset_pending {
+            return Err(PcmError::IncompleteSchedule(format!(
+                "unit {unit}: write-0 placements do not cover the RESET mask"
+            )));
+        }
+    }
+    Ok(jobs)
+}
+
+/// Report from executing a schedule on a modeled bank.
+#[derive(Clone, Debug)]
+pub struct ValidationReport {
+    /// Execution makespan.
+    pub makespan: Ps,
+    /// Peak bank current observed by the executor.
+    pub peak_current: u32,
+    /// Budget utilization over the makespan.
+    pub utilization: f64,
+    /// SET pulses delivered to cells.
+    pub cell_sets: u64,
+    /// RESET pulses delivered to cells.
+    pub cell_resets: u64,
+}
+
+/// End-to-end check of one planned write: load the old line into a fresh
+/// bank, execute the jobs through the FSM executor (budget metered every
+/// tick), and verify the array ends up holding exactly the intended bits.
+pub fn validate_on_bank(
+    bank: &mut PcmBank,
+    timings: &PcmTimings,
+    base_row: usize,
+    old_stored: &LineData,
+    old_flips: u32,
+    read_out: &ReadStageOutput,
+    analysis: &AnalysisResult,
+) -> Result<ValidationReport, PcmError> {
+    // Preload the old contents.
+    for i in 0..old_stored.num_units() {
+        bank.write_unit_immediate(base_row + i, old_stored.unit(i), old_flips & (1 << i) != 0)?;
+    }
+    let mut jobs = build_jobs(old_stored, old_flips, read_out, analysis)?;
+    for j in &mut jobs {
+        j.unit_row += base_row;
+    }
+    let exec = FsmExecutor::new(*timings)?;
+    let report = exec.execute(bank, &jobs)?;
+
+    // The array must now hold the flip-encoded new data.
+    let stored = read_out.stored();
+    for i in 0..stored.num_units() {
+        let (data, flip) = bank.read_unit(base_row + i)?;
+        if data != stored.unit(i) || flip != (read_out.flips() & (1 << i) != 0) {
+            return Err(PcmError::IncompleteSchedule(format!(
+                "unit {i}: array holds {data:#x}/{flip}, expected {:#x}/{}",
+                stored.unit(i),
+                read_out.flips() & (1 << i) != 0
+            )));
+        }
+    }
+    Ok(ValidationReport {
+        makespan: report.makespan,
+        peak_current: report.peak_current,
+        utilization: report.utilization,
+        cell_sets: report.cell_sets,
+        cell_resets: report.cell_resets,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use crate::config::TetrisConfig;
+    use crate::read_stage::read_stage;
+    use pcm_schemes::WriteCtx;
+    use pcm_types::PowerParams;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn run_case(cfg: &TetrisConfig, old_units: &[u64], old_flips: u32, new_units: &[u64]) {
+        let old = LineData::from_units(old_units);
+        let new = LineData::from_units(new_units);
+        let ctx = WriteCtx {
+            old_stored: &old,
+            old_flips,
+            new_logical: &new,
+            cfg: &cfg.scheme,
+        };
+        let out = read_stage(&ctx);
+        let analysis = analyze(&out.demand, cfg).unwrap();
+        analysis.validate(&out.demand).unwrap();
+        let mut bank = PcmBank::new(1, old_units.len(), cfg.scheme.power, true).unwrap();
+        let report = validate_on_bank(
+            &mut bank,
+            &cfg.scheme.timings,
+            0,
+            &old,
+            old_flips,
+            &out,
+            &analysis,
+        )
+        .unwrap();
+        assert!(report.peak_current <= cfg.scheme.power.budget_per_bank);
+        // Executor's pulse counts must match the demand the analysis saw.
+        assert_eq!(report.cell_sets, out.demand.total_sets() as u64);
+        assert_eq!(report.cell_resets, out.demand.total_resets() as u64);
+        // The logical contents must decode to the requested data.
+        for i in 0..new.num_units() {
+            let (data, flip) = bank.read_unit(i).unwrap();
+            let logical = if flip { !data } else { data };
+            assert_eq!(logical, new.unit(i), "unit {i} logical mismatch");
+        }
+    }
+
+    #[test]
+    fn simple_write_executes_exactly() {
+        let cfg = TetrisConfig::paper_baseline();
+        run_case(
+            &cfg,
+            &[0, 0, 0, 0, 0, 0, 0, 0],
+            0,
+            &[0b111, 0xFF00, 0, 1, 0, u64::MAX, 0, 0b1010],
+        );
+    }
+
+    #[test]
+    fn write_over_dirty_contents() {
+        let cfg = TetrisConfig::paper_baseline();
+        run_case(
+            &cfg,
+            &[0xDEAD, 0xBEEF, !0u64, 0x1234_5678, 0, 5, 9, 0xFFFF_0000],
+            0b0100_1010,
+            &[0xFEED, 0xBEEF, 3, 0x8765_4321, u64::MAX, 5, 0, 0xFFFF],
+        );
+    }
+
+    #[test]
+    fn chunked_schedule_executes_under_tiny_budget() {
+        let mut cfg = TetrisConfig::paper_baseline();
+        cfg.scheme.power = PowerParams {
+            l_ratio: 2,
+            budget_per_bank: 8,
+            chips_per_bank: 4,
+        };
+        run_case(
+            &cfg,
+            &[u64::MAX, 0, 0xFFFF_FFFF, 0, 0, 0, 0, 0],
+            0,
+            &[0, 0x0FFF_FF00, 0xFFFF, 1, 0, 0, 0b11, 0],
+        );
+    }
+
+    #[test]
+    fn incomplete_placements_detected() {
+        let cfg = TetrisConfig::paper_baseline();
+        let old = LineData::zeroed(64);
+        let new = LineData::from_units(&[7; 8]);
+        let ctx = WriteCtx {
+            old_stored: &old,
+            old_flips: 0,
+            new_logical: &new,
+            cfg: &cfg.scheme,
+        };
+        let out = read_stage(&ctx);
+        let mut analysis = analyze(&out.demand, &cfg).unwrap();
+        analysis.placements.pop();
+        assert!(build_jobs(&old, 0, &out, &analysis).is_err());
+    }
+
+    #[test]
+    fn take_low_bits_picks_lowest() {
+        assert_eq!(take_low_bits(0b1011_0100, 2), 0b0001_0100);
+        assert_eq!(take_low_bits(0b1011_0100, 4), 0b1011_0100);
+        assert_eq!(take_low_bits(u64::MAX, 0), 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// Random lines, random old contents, several budgets: the full
+        /// pipeline (read → analyze → jobs → FSM execution) always realizes
+        /// the write within budget.
+        #[test]
+        fn pipeline_end_to_end(seed: u64,
+                               budget in prop_oneof![Just(128u32), Just(32), Just(16)]) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut cfg = TetrisConfig::paper_baseline();
+            cfg.scheme.power = PowerParams { l_ratio: 2, budget_per_bank: budget, chips_per_bank: 4 };
+            let old: Vec<u64> = (0..8).map(|_| rng.gen()).collect();
+            let flips: u32 = rng.gen::<u32>() & 0xFF;
+            // Mix of sparse and dense updates.
+            let new: Vec<u64> = old
+                .iter()
+                .map(|&o| if rng.gen_bool(0.3) { rng.gen() } else { o ^ (rng.gen::<u64>() & 0xFF) })
+                .collect();
+            run_case(&cfg, &old, flips, &new);
+        }
+    }
+}

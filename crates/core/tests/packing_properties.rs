@@ -1,0 +1,139 @@
+//! Packing-quality properties of the analysis stage, checked against an
+//! exact bin-packing optimum computed by subset DP (feasible because a
+//! line has only 8 data units).
+
+use pcm_types::{LineDemand, PowerParams, UnitDemand};
+use proptest::prelude::*;
+use tetris_write::{analyze, TetrisConfig};
+
+/// Exact minimal number of bins of capacity `cap` for `items`
+/// (classic 2^n set-partition DP; n ≤ 8 here).
+fn optimal_bins(items: &[u32], cap: u32) -> u32 {
+    let n = items.len();
+    assert!(n <= 16, "DP is exponential");
+    let full = (1usize << n) - 1;
+    // feasible[mask]: all items in mask fit one bin.
+    let mut sum = vec![0u32; full + 1];
+    for mask in 1..=full {
+        let low = mask.trailing_zeros() as usize;
+        sum[mask] = sum[mask & (mask - 1)] + items[low];
+    }
+    let mut best = vec![u32::MAX; full + 1];
+    best[0] = 0;
+    for mask in 1..=full {
+        // Enumerate submasks as the "last bin".
+        let mut sub = mask;
+        while sub > 0 {
+            if sum[sub] <= cap && best[mask ^ sub] != u32::MAX {
+                best[mask] = best[mask].min(best[mask ^ sub] + 1);
+            }
+            sub = (sub - 1) & mask;
+        }
+    }
+    best[full]
+}
+
+fn demand_from(sets: &[u32]) -> LineDemand {
+    LineDemand::from_units(
+        &sets
+            .iter()
+            .map(|&s| UnitDemand::new(s, 0))
+            .collect::<Vec<_>>(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// FFD write-1 packing is within one write unit of the exact optimum
+    /// (and never below it — that would violate feasibility).
+    #[test]
+    fn ffd_within_one_of_optimal(
+        sets in proptest::collection::vec(1u32..=33, 1..=8),
+        budget in prop_oneof![Just(128u32), Just(64), Just(48)],
+    ) {
+        let mut cfg = TetrisConfig::paper_baseline();
+        cfg.scheme.power = PowerParams { l_ratio: 2, budget_per_bank: budget, chips_per_bank: 4 };
+        cfg.min_one_write_unit = false;
+        let d = demand_from(&sets);
+        let a = analyze(&d, &cfg).unwrap();
+        let opt = optimal_bins(&sets, budget);
+        prop_assert!(a.result >= opt, "result {} below optimum {}", a.result, opt);
+        prop_assert!(
+            a.result <= opt + 1,
+            "FFD used {} bins, optimum {} (items {:?}, budget {budget})",
+            a.result,
+            opt,
+            sets
+        );
+    }
+
+    /// Adding write-0s never increases `result` (they only consume slack
+    /// or overflow sub-units).
+    #[test]
+    fn write0s_never_cost_write_units(
+        sets in proptest::collection::vec(0u32..=33, 8),
+        resets in proptest::collection::vec(0u32..=33, 8),
+    ) {
+        let cfg = TetrisConfig::paper_baseline();
+        let just_sets = LineDemand::from_units(
+            &sets.iter().map(|&s| UnitDemand::new(s, 0)).collect::<Vec<_>>(),
+        );
+        let both = LineDemand::from_units(
+            &sets
+                .iter()
+                .zip(&resets)
+                .map(|(&s, &r)| UnitDemand::new(s, r))
+                .collect::<Vec<_>>(),
+        );
+        let a1 = analyze(&just_sets, &cfg).unwrap();
+        let a2 = analyze(&both, &cfg).unwrap();
+        prop_assert_eq!(a1.result, a2.result);
+    }
+
+    /// Monotonicity in budget: a bigger budget never packs worse.
+    #[test]
+    fn budget_monotonicity(
+        units in proptest::collection::vec((0u32..=33, 0u32..=33), 8),
+    ) {
+        let d = LineDemand::from_units(
+            &units.iter().map(|&(s, r)| UnitDemand::new(s, r)).collect::<Vec<_>>(),
+        );
+        let mut prev = f64::INFINITY;
+        for budget in [32u32, 64, 128, 256] {
+            let mut cfg = TetrisConfig::paper_baseline();
+            cfg.scheme.power =
+                PowerParams { l_ratio: 2, budget_per_bank: budget, chips_per_bank: 4 };
+            let a = analyze(&d, &cfg).unwrap();
+            let equiv = a.write_units_equiv();
+            prop_assert!(
+                equiv <= prev + 1e-9,
+                "budget {budget}: {equiv} worse than smaller budget's {prev}"
+            );
+            prev = equiv;
+        }
+    }
+
+    /// Utilization never exceeds 1 and the schedule always validates.
+    #[test]
+    fn utilization_and_validity(
+        units in proptest::collection::vec((0u32..=33, 0u32..=33), 1..=8),
+    ) {
+        let cfg = TetrisConfig::paper_baseline();
+        let d = LineDemand::from_units(
+            &units.iter().map(|&(s, r)| UnitDemand::new(s, r)).collect::<Vec<_>>(),
+        );
+        let a = analyze(&d, &cfg).unwrap();
+        prop_assert!(a.validate(&d).is_ok());
+        prop_assert!(a.utilization() <= 1.0 + 1e-12);
+    }
+}
+
+#[test]
+fn optimal_bins_sanity() {
+    assert_eq!(optimal_bins(&[10, 10, 10], 32), 1);
+    assert_eq!(optimal_bins(&[20, 20, 20], 32), 3);
+    assert_eq!(optimal_bins(&[16, 16, 16, 16], 32), 2);
+    // {15,9,9} and {15,9} fit two bins of 33.
+    assert_eq!(optimal_bins(&[15, 15, 9, 9, 9], 33), 2);
+}

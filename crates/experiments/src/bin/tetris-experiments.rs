@@ -1,0 +1,331 @@
+//! `tetris-experiments` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! tetris-experiments [TARGETS...] [--quick] [--instructions N] [--json FILE] [--csv DIR]
+//!
+//! TARGETS: all (default) | fig1 | fig3 | fig4 | table1 | table2 | table3 |
+//!          fig10 | fig11 | fig12 | fig13 | fig14 | energy | ablation
+//!
+//! tetris-experiments trace WORKLOAD OUT.jsonl [--instructions N]
+//! tetris-experiments replay TRACE.jsonl SCHEME
+//! ```
+
+use pcm_memsim::SystemConfig;
+/// Print to stdout, exiting quietly if the consumer closed the pipe
+/// (`tetris-experiments fig3 | head` must not panic).
+fn out(text: std::fmt::Arguments<'_>) {
+    use std::io::Write;
+    let mut stdout = std::io::stdout().lock();
+    if writeln!(stdout, "{text}").is_err() {
+        std::process::exit(0);
+    }
+}
+
+macro_rules! outln {
+    ($($arg:tt)*) => { out(format_args!($($arg)*)) };
+}
+
+use pcm_schemes::SchemeConfig;
+use pcm_types::{LineDemand, PowerParams, UnitDemand};
+use pcm_workloads::ALL_PROFILES;
+use tetris_experiments::figures::{self, MatrixView};
+use tetris_experiments::report::Table;
+use tetris_experiments::{ablation, run_matrix, RunConfig, SchemeKind};
+use tetris_write::{analyze, render_gantt, TetrisConfig};
+
+fn print_fig4_gantt() {
+    // The paper's worked example: budget 32 per chip, write-1 loads
+    // 8,7,7,6,6,6,5,3 and write-0 loads 0,1,1,2,3,2,2,5.
+    let mut cfg = TetrisConfig::paper_baseline();
+    cfg.scheme.power = PowerParams {
+        l_ratio: 2,
+        budget_per_bank: 32,
+        chips_per_bank: 4,
+    };
+    let demand = LineDemand::from_units(&[
+        UnitDemand::new(8, 0),
+        UnitDemand::new(7, 1),
+        UnitDemand::new(7, 1),
+        UnitDemand::new(6, 2),
+        UnitDemand::new(6, 3),
+        UnitDemand::new(6, 2),
+        UnitDemand::new(5, 2),
+        UnitDemand::new(3, 5),
+    ]);
+    let a = analyze(&demand, &cfg).expect("fig4 demand packs");
+    outln!("== Fig. 4 — chip-level schedule of the paper's worked example ==");
+    outln!("{}", render_gantt(&a, 8));
+}
+
+/// Print a table and, when `--csv DIR` was given, also write it as CSV.
+fn emit(t: &Table, csv_dir: &Option<String>) {
+    outln!("{t}");
+    if let Some(dir) = csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+        let path = format!("{dir}/{}.csv", t.slug());
+        std::fs::write(&path, t.to_csv()).expect("write csv");
+    }
+}
+
+/// `trace WORKLOAD OUT.jsonl`: record a synthetic trace to disk.
+fn cmd_trace(workload: &str, out: &str, instructions: u64) {
+    use pcm_workloads::generator::{GeneratorConfig, SyntheticParsec};
+    use pcm_workloads::trace::{record_trace, write_trace};
+    let p = pcm_workloads::WorkloadProfile::by_name(workload).unwrap_or_else(|| {
+        eprintln!("unknown workload {workload}");
+        std::process::exit(1);
+    });
+    let cfg = GeneratorConfig {
+        instructions_per_core: instructions,
+        ..Default::default()
+    };
+    let mut gen = SyntheticParsec::new(p, cfg);
+    let trace = record_trace(&mut gen, cfg.cores);
+    let mut file = std::io::BufWriter::new(std::fs::File::create(out).unwrap_or_else(|e| {
+        eprintln!("cannot create {out}: {e}");
+        std::process::exit(1);
+    }));
+    write_trace(&mut file, &trace).expect("write trace");
+    let ops: usize = trace.iter().map(Vec::len).sum();
+    eprintln!("wrote {ops} ops for {} cores to {out}", trace.len());
+}
+
+/// `replay TRACE.jsonl SCHEME`: run a recorded trace through the system.
+fn cmd_replay(path: &str, scheme: &str) {
+    use pcm_memsim::cpu::VecTrace;
+    use pcm_memsim::{System, SystemConfig, TraceLevel, UniformRandomContent};
+    use pcm_workloads::trace::read_trace;
+    let kind = SchemeKind::parse(scheme).unwrap_or_else(|| {
+        eprintln!("unknown scheme {scheme}; try dcw/fnw/2sw/3sw/tetris/preset");
+        std::process::exit(1);
+    });
+    let file = std::io::BufReader::new(std::fs::File::open(path).unwrap_or_else(|e| {
+        eprintln!("cannot open trace {path}: {e}");
+        std::process::exit(1);
+    }));
+    let trace = read_trace(file).unwrap_or_else(|e| {
+        eprintln!("cannot parse trace {path}: {e}");
+        std::process::exit(1);
+    });
+    if trace.is_empty() {
+        eprintln!("trace {path} contains no cores");
+        std::process::exit(1);
+    }
+    let mut cfg = SystemConfig::paper_baseline();
+    cfg.cores = trace.len();
+    let mut sys = System::new(
+        cfg,
+        kind.build(),
+        Box::new(VecTrace::new(trace)),
+        Box::new(UniformRandomContent::new(7)),
+        TraceLevel::MemoryLevel,
+    )
+    .expect("valid config");
+    sys.set_workload_name(path);
+    let r = sys.run();
+    outln!(
+        "{}: runtime {:.1} µs, IPC {:.3}, read {:.1} ns, write {:.1} ns, {} reads / {} writes",
+        kind.name(),
+        r.runtime.as_ns_f64() / 1000.0,
+        r.ipc(),
+        r.read_latency.mean_ns(),
+        r.write_latency.mean_ns(),
+        r.mem_reads,
+        r.mem_writes
+    );
+}
+
+/// Exit with a clean usage error instead of a panic backtrace.
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg} (see --help)");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Subcommands with positional arguments first.
+    match args.first().map(String::as_str) {
+        Some("trace") => {
+            let instructions = args
+                .iter()
+                .position(|a| a == "--instructions")
+                .and_then(|i| args.get(i + 1))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1_000_000);
+            cmd_trace(
+                args.get(1).unwrap_or_else(|| usage_error("trace needs a workload")),
+                args.get(2).unwrap_or_else(|| usage_error("trace needs an output path")),
+                instructions,
+            );
+            return;
+        }
+        Some("replay") => {
+            cmd_replay(
+                args.get(1).unwrap_or_else(|| usage_error("replay needs a trace path")),
+                args.get(2).unwrap_or_else(|| usage_error("replay needs a scheme")),
+            );
+            return;
+        }
+        _ => {}
+    }
+    let mut targets: Vec<String> = Vec::new();
+    let mut quick = false;
+    let mut instructions: Option<u64> = None;
+    let mut json_path: Option<String> = None;
+    let mut csv_dir: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--instructions" => {
+                i += 1;
+                instructions = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage_error("--instructions needs a number")),
+                );
+            }
+            "--json" => {
+                i += 1;
+                json_path = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| usage_error("--json needs a path"))
+                        .clone(),
+                );
+            }
+            "--csv" => {
+                i += 1;
+                csv_dir = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| usage_error("--csv needs a directory"))
+                        .clone(),
+                );
+            }
+            "--help" | "-h" => {
+                outln!(
+                    "usage: tetris-experiments [all|fig1|fig3|fig4|fig10|fig11|fig12|fig13|fig14|table1|table2|table3|energy|ablation]... [--quick] [--instructions N] [--json FILE] [--csv DIR]"
+                );
+                return;
+            }
+            t => targets.push(t.to_string()),
+        }
+        i += 1;
+    }
+    if targets.is_empty() {
+        targets.push("all".to_string());
+    }
+    const KNOWN: [&str; 15] = [
+        "all", "fig1", "fig3", "fig4", "fig10", "fig11", "fig12", "fig13", "fig14", "table1",
+        "table2", "table3", "energy", "ablation", "gantt",
+    ];
+    for t in &targets {
+        if !KNOWN.contains(&t.as_str()) {
+            usage_error(&format!("unknown target '{t}'"));
+        }
+    }
+    let all = targets.iter().any(|t| t == "all");
+    let want = |t: &str| all || targets.iter().any(|x| x == t);
+
+    let mut cfg = if quick {
+        RunConfig::quick()
+    } else {
+        RunConfig::default()
+    };
+    if let Some(n) = instructions {
+        cfg.instructions_per_core = n;
+    }
+    let scheme_cfg = SchemeConfig::paper_baseline();
+    let sample_writes = if quick { 500 } else { 3_000 };
+
+    // Static artifacts first (no simulation needed).
+    if want("fig1") {
+        emit(&figures::fig1(&scheme_cfg), &csv_dir);
+    }
+    if want("table2") {
+        emit(&figures::table2(&SystemConfig::paper_baseline()), &csv_dir);
+    }
+    if want("fig3") {
+        emit(&figures::fig3(sample_writes, 7), &csv_dir);
+    }
+    if want("fig4") {
+        print_fig4_gantt();
+    }
+
+    // System-level figures share one run matrix.
+    let needs_matrix = [
+        "fig10", "fig11", "fig12", "fig13", "fig14", "table1", "table3", "energy",
+    ]
+    .iter()
+    .any(|t| want(t));
+    if needs_matrix {
+        eprintln!(
+            "running {} simulations ({} instructions/core)…",
+            ALL_PROFILES.len() * SchemeKind::COMPARED.len(),
+            cfg.instructions_per_core
+        );
+        let results = run_matrix(&ALL_PROFILES, &SchemeKind::COMPARED, &cfg);
+        let m = MatrixView::new(&results, &ALL_PROFILES, &SchemeKind::COMPARED);
+        if want("table1") {
+            emit(&figures::table1(&m), &csv_dir);
+        }
+        if want("table3") {
+            emit(&figures::table3(Some(&m)), &csv_dir);
+        }
+        if want("fig10") {
+            emit(&figures::fig10(&m, &scheme_cfg), &csv_dir);
+        }
+        if want("fig11") {
+            emit(&figures::fig11(&m), &csv_dir);
+        }
+        if want("fig12") {
+            emit(&figures::fig12(&m), &csv_dir);
+        }
+        if want("fig13") {
+            emit(&figures::fig13(&m), &csv_dir);
+        }
+        if want("fig14") {
+            emit(&figures::fig14(&m), &csv_dir);
+        }
+        if want("energy") {
+            emit(&figures::energy_figure(&m), &csv_dir);
+            emit(&figures::tail_latency_figure(&m, "ferret"), &csv_dir);
+            emit(
+                &ablation::wear_comparison(&results, &ALL_PROFILES, &SchemeKind::COMPARED),
+                &csv_dir,
+            );
+        }
+        if let Some(path) = &json_path {
+            let json = serde_json::to_string_pretty(&results).expect("serialize results");
+            std::fs::write(path, json).expect("write results JSON");
+            eprintln!("wrote {path}");
+        }
+    }
+
+    if want("ablation") {
+        emit(
+            &ablation::packing_ablation(sample_writes as usize, 3),
+            &csv_dir,
+        );
+        emit(&ablation::write_pausing_study(&cfg), &csv_dir);
+        emit(
+            &ablation::batching_study(sample_writes as usize, 21),
+            &csv_dir,
+        );
+        emit(&ablation::system_batching_study(&cfg), &csv_dir);
+        emit(&ablation::bank_parallelism_sweep(&cfg), &csv_dir);
+        emit(&ablation::subarray_sweep(&cfg), &csv_dir);
+        emit(&ablation::budget_sweep(sample_writes as usize, 4), &csv_dir);
+        emit(
+            &ablation::line_size_sweep(sample_writes as usize / 2, 5),
+            &csv_dir,
+        );
+        emit(
+            &ablation::asymmetry_sensitivity(sample_writes as usize / 2, 8),
+            &csv_dir,
+        );
+        emit(
+            &ablation::utilization_study(sample_writes as usize, 6),
+            &csv_dir,
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! # tetris-experiments
+//!
+//! The harness that regenerates every table and figure of the paper's
+//! evaluation (§V) on the `pcm-memsim` substrate:
+//!
+//! * [`schemes`] — the compared write schemes behind one enum.
+//! * [`runner`] — full-system runs (workload × scheme), parallelized with
+//!   Rayon across the experiment matrix.
+//! * [`report`] — plain-text table rendering and normalization helpers.
+//! * [`figures`] — one generator per paper artifact: Fig. 1, Fig. 3,
+//!   Table I–III, Fig. 10–14, each annotated with the paper's reported
+//!   numbers for shape comparison.
+//! * [`ablation`] — beyond-paper studies: packing policy ablations
+//!   (sorting, slack stealing, paper-literal Algorithm 2), power-budget
+//!   sweeps (mobile X8/X4/X2), cache-line scaling (64/128/256 B), and
+//!   wear/endurance comparisons.
+//!
+//! The `tetris-experiments` binary exposes all of it on the command line.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod figures;
+pub mod paper;
+pub mod report;
+pub mod runner;
+pub mod schemes;
+
+pub use report::Table;
+pub use runner::{run_matrix, run_one, RunConfig};
+pub use schemes::SchemeKind;

@@ -1,0 +1,202 @@
+//! Plain-text table rendering and normalization helpers.
+
+use std::fmt;
+
+/// A simple aligned text table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// A table titled `title` with the given column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Append a footnote.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Cell accessor (row, col).
+    pub fn cell(&self, row: usize, col: usize) -> &str {
+        &self.rows[row][col]
+    }
+
+    /// The table's title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Render as CSV (header row + data rows; notes become `#` comments).
+    pub fn to_csv(&self) -> String {
+        fn esc(s: &str) -> String {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        for n in &self.notes {
+            out.push_str(&format!("# {n}\n"));
+        }
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// A filesystem-friendly slug of the title ("Fig. 11 — read latency"
+    /// → "fig_11_read_latency").
+    pub fn slug(&self) -> String {
+        let mut out = String::new();
+        for c in self.title.chars() {
+            if c.is_ascii_alphanumeric() {
+                out.push(c.to_ascii_lowercase());
+            } else if (c == ' ' || c == '.' || c == '-' || c == '_')
+                && !out.ends_with('_')
+                && !out.is_empty()
+            {
+                out.push('_');
+            }
+        }
+        out.trim_end_matches('_').to_string()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, c) in cells.iter().enumerate() {
+                if i == 0 {
+                    write!(f, "{:<w$}", c, w = widths[i])?;
+                } else {
+                    write!(f, "  {:>w$}", c, w = widths[i])?;
+                }
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        for n in &self.notes {
+            writeln!(f, "  * {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a float with 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format a float with 3 decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Format a normalized value as a percentage reduction vs baseline
+/// (`0.35` → `"65%"`).
+pub fn reduction_pct(normalized: f64) -> String {
+    format!("{:.0}%", (1.0 - normalized) * 100.0)
+}
+
+/// Arithmetic mean.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("Demo", &["workload", "value"]);
+        t.row(vec!["blackscholes".into(), "1.06".into()]);
+        t.row(vec!["vips".into(), "1.46".into()]);
+        t.note("lower is better");
+        let s = t.to_string();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("blackscholes"));
+        assert!(s.contains("* lower is better"));
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.cell(1, 1), "1.46");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_and_slug() {
+        let mut t = Table::new("Fig. 11 — read latency (normalized)", &["workload", "DCW"]);
+        t.row(vec!["vips, heavy".into(), "1.000".into()]);
+        t.note("lower is better");
+        let csv = t.to_csv();
+        assert!(csv.starts_with("# lower is better\n"));
+        assert!(csv.contains("workload,DCW\n"));
+        assert!(csv.contains("\"vips, heavy\",1.000"), "{csv}");
+        assert_eq!(t.slug(), "fig_11_read_latency_normalized");
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(f2(1.2345), "1.23");
+        assert_eq!(f3(0.35), "0.350");
+        assert_eq!(reduction_pct(0.35), "65%");
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Full-system experiment runs.
+
+use crate::schemes::SchemeKind;
+use pcm_memsim::{SimResult, System, SystemConfig, TraceLevel};
+use pcm_workloads::{GeneratorConfig, ProfileContent, SyntheticParsec, WorkloadProfile};
+use rayon::prelude::*;
+use tetris_write::TetrisConfig;
+
+/// Sizing/seeding for one experiment run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunConfig {
+    /// Instructions each core retires.
+    pub instructions_per_core: u64,
+    /// System configuration (cores, caches, controller, PCM).
+    pub system: SystemConfig,
+    /// RNG seed shared by trace generation and content synthesis.
+    pub seed: u64,
+    /// Tetris configuration (ignored by other schemes).
+    pub tetris: TetrisConfig,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            instructions_per_core: 8_000_000,
+            system: SystemConfig::paper_baseline(),
+            seed: 0xC0FFEE,
+            tetris: TetrisConfig::paper_baseline(),
+        }
+    }
+}
+
+impl RunConfig {
+    /// A fast configuration for tests and `--quick` runs.
+    pub fn quick() -> Self {
+        RunConfig {
+            instructions_per_core: 500_000,
+            ..Default::default()
+        }
+    }
+}
+
+/// Run one workload under one scheme.
+pub fn run_one(profile: &WorkloadProfile, scheme: SchemeKind, cfg: &RunConfig) -> SimResult {
+    let gen_cfg = GeneratorConfig {
+        instructions_per_core: cfg.instructions_per_core,
+        cores: cfg.system.cores,
+        line_bytes: cfg.system.mem.org.cache_line_bytes as u64,
+        seed: cfg.seed ^ fxhash(profile.name),
+    };
+    let trace = SyntheticParsec::new(profile, gen_cfg);
+    let content = ProfileContent::new(profile, gen_cfg.seed ^ 0x51);
+    let mut tetris = cfg.tetris;
+    tetris.scheme = cfg.system.mem;
+    let mut sys = System::new(
+        cfg.system,
+        scheme.build_with(tetris),
+        Box::new(trace),
+        Box::new(content),
+        TraceLevel::MemoryLevel,
+    )
+    .expect("valid system configuration");
+    sys.set_workload_name(profile.name);
+    sys.run()
+}
+
+/// Run the full workload × scheme matrix in parallel (Rayon).
+///
+/// Results are ordered `profiles × schemes` (workload-major), identical to
+/// the sequential order.
+pub fn run_matrix(
+    profiles: &[WorkloadProfile],
+    schemes: &[SchemeKind],
+    cfg: &RunConfig,
+) -> Vec<SimResult> {
+    let jobs: Vec<(usize, usize)> = (0..profiles.len())
+        .flat_map(|p| (0..schemes.len()).map(move |s| (p, s)))
+        .collect();
+    jobs.par_iter()
+        .map(|&(p, s)| run_one(&profiles[p], schemes[s], cfg))
+        .collect()
+}
+
+/// Tiny deterministic string hash for seed derivation.
+fn fxhash(s: &str) -> u64 {
+    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcm_workloads::ALL_PROFILES;
+
+    #[test]
+    fn single_run_produces_traffic() {
+        let p = &ALL_PROFILES[7]; // vips, heaviest
+        let cfg = RunConfig::quick();
+        let r = run_one(p, SchemeKind::Dcw, &cfg);
+        assert!(r.mem_writes > 100, "writes: {}", r.mem_writes);
+        assert!(r.mem_reads > 100);
+        assert_eq!(r.workload, "vips");
+        // Measured RPKI within 25% of Table III.
+        assert!(
+            (r.rpki() - p.rpki).abs() / p.rpki < 0.25,
+            "rpki {}",
+            r.rpki()
+        );
+    }
+
+    #[test]
+    fn matrix_order_is_workload_major() {
+        let cfg = RunConfig {
+            instructions_per_core: 100_000,
+            ..RunConfig::quick()
+        };
+        let profiles = [ALL_PROFILES[0], ALL_PROFILES[7]];
+        let schemes = [SchemeKind::Dcw, SchemeKind::Tetris];
+        let m = run_matrix(&profiles, &schemes, &cfg);
+        assert_eq!(m.len(), 4);
+        assert_eq!(m[0].workload, "blackscholes");
+        assert_eq!(m[1].workload, "blackscholes");
+        assert_eq!(m[2].workload, "vips");
+        assert_eq!(m[3].scheme, "Tetris Write");
+    }
+
+    #[test]
+    fn tetris_beats_baseline_on_write_heavy_workload() {
+        let p = &ALL_PROFILES[7]; // vips
+        let cfg = RunConfig::quick();
+        let dcw = run_one(p, SchemeKind::Dcw, &cfg);
+        let tetris = run_one(p, SchemeKind::Tetris, &cfg);
+        assert!(tetris.runtime < dcw.runtime);
+        assert!(tetris.ipc() > dcw.ipc());
+        assert!(
+            tetris.avg_write_units < 2.0,
+            "tetris units {}",
+            tetris.avg_write_units
+        );
+        assert_eq!(dcw.avg_write_units, 8.0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let p = &ALL_PROFILES[2];
+        let cfg = RunConfig {
+            instructions_per_core: 200_000,
+            ..RunConfig::quick()
+        };
+        let a = run_one(p, SchemeKind::ThreeStage, &cfg);
+        let b = run_one(p, SchemeKind::ThreeStage, &cfg);
+        assert_eq!(a.runtime, b.runtime);
+        assert_eq!(a.energy, b.energy);
+        assert_eq!(a.read_latency.sum_ps, b.read_latency.sum_ps);
+    }
+}

@@ -1,0 +1,143 @@
+//! The compared write schemes behind one constructor enum.
+
+use pcm_schemes::{
+    ConventionalWrite, DcwWrite, FlipNWrite, PreSetWrite, ThreeStageWrite, TwoStageWrite,
+    WriteScheme,
+};
+use serde::{Deserialize, Serialize};
+use tetris_write::{TetrisConfig, TetrisWrite};
+
+/// Every write scheme in the study.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchemeKind {
+    /// Conventional full write (Eq. 1).
+    Conventional,
+    /// Data-comparison write — the paper's baseline.
+    Dcw,
+    /// Flip-N-Write (Eq. 2).
+    Fnw,
+    /// 2-Stage-Write (Eq. 3).
+    TwoStage,
+    /// Three-Stage-Write (Eq. 4).
+    ThreeStage,
+    /// Tetris Write (the contribution, Eq. 5).
+    Tetris,
+    /// PreSET (ref. \[23\]) — cited comparator, not in the paper's figures.
+    PreSet,
+}
+
+impl SchemeKind {
+    /// The five schemes of Figs. 10–14 (baseline first).
+    pub const COMPARED: [SchemeKind; 5] = [
+        SchemeKind::Dcw,
+        SchemeKind::Fnw,
+        SchemeKind::TwoStage,
+        SchemeKind::ThreeStage,
+        SchemeKind::Tetris,
+    ];
+
+    /// Every scheme, including Conventional and PreSET.
+    pub const ALL: [SchemeKind; 7] = [
+        SchemeKind::Conventional,
+        SchemeKind::Dcw,
+        SchemeKind::Fnw,
+        SchemeKind::TwoStage,
+        SchemeKind::ThreeStage,
+        SchemeKind::Tetris,
+        SchemeKind::PreSet,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeKind::Conventional => "Conventional",
+            SchemeKind::Dcw => "Baseline (DCW)",
+            SchemeKind::Fnw => "Flip-N-Write",
+            SchemeKind::TwoStage => "2-Stage-Write",
+            SchemeKind::ThreeStage => "Three-Stage-Write",
+            SchemeKind::Tetris => "Tetris Write",
+            SchemeKind::PreSet => "PreSET",
+        }
+    }
+
+    /// Short column label.
+    pub fn short(self) -> &'static str {
+        match self {
+            SchemeKind::Conventional => "Conv",
+            SchemeKind::Dcw => "DCW",
+            SchemeKind::Fnw => "FNW",
+            SchemeKind::TwoStage => "2SW",
+            SchemeKind::ThreeStage => "3SW",
+            SchemeKind::Tetris => "Tetris",
+            SchemeKind::PreSet => "PreSET",
+        }
+    }
+
+    /// Instantiate the scheme.
+    pub fn build(self) -> Box<dyn WriteScheme> {
+        match self {
+            SchemeKind::Conventional => Box::new(ConventionalWrite),
+            SchemeKind::Dcw => Box::new(DcwWrite),
+            SchemeKind::Fnw => Box::new(FlipNWrite),
+            SchemeKind::TwoStage => Box::new(TwoStageWrite),
+            SchemeKind::ThreeStage => Box::new(ThreeStageWrite),
+            SchemeKind::Tetris => Box::new(TetrisWrite::paper_baseline()),
+            SchemeKind::PreSet => Box::new(PreSetWrite),
+        }
+    }
+
+    /// Instantiate Tetris with a custom configuration (ablations); other
+    /// schemes ignore the config.
+    pub fn build_with(self, tetris_cfg: TetrisConfig) -> Box<dyn WriteScheme> {
+        match self {
+            SchemeKind::Tetris => Box::new(TetrisWrite::new(tetris_cfg)),
+            other => other.build(),
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(s: &str) -> Option<SchemeKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "conventional" | "conv" => Some(SchemeKind::Conventional),
+            "dcw" | "baseline" => Some(SchemeKind::Dcw),
+            "fnw" | "flip-n-write" => Some(SchemeKind::Fnw),
+            "2sw" | "two-stage" | "2-stage-write" => Some(SchemeKind::TwoStage),
+            "3sw" | "three-stage" | "three-stage-write" => Some(SchemeKind::ThreeStage),
+            "tetris" | "tetris-write" => Some(SchemeKind::Tetris),
+            "preset" => Some(SchemeKind::PreSet),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_names_match() {
+        for k in SchemeKind::ALL {
+            let s = k.build();
+            match k {
+                SchemeKind::Dcw => assert_eq!(s.name(), "DCW (baseline)"),
+                SchemeKind::Tetris => assert_eq!(s.name(), "Tetris Write"),
+                _ => assert!(!s.name().is_empty()),
+            }
+        }
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for k in SchemeKind::ALL {
+            assert_eq!(SchemeKind::parse(k.short()), Some(k));
+        }
+        assert_eq!(SchemeKind::parse("TETRIS"), Some(SchemeKind::Tetris));
+        assert_eq!(SchemeKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn compared_starts_with_baseline() {
+        assert_eq!(SchemeKind::COMPARED[0], SchemeKind::Dcw);
+        assert_eq!(*SchemeKind::COMPARED.last().unwrap(), SchemeKind::Tetris);
+    }
+}

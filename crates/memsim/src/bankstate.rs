@@ -1,0 +1,110 @@
+//! Per-bank state: busy tracking and an open-row buffer.
+
+use crate::config::ControllerConfig;
+use pcm_types::{PcmTimings, Ps};
+
+/// One PCM bank's controller-visible state.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BankState {
+    busy_until: Ps,
+    open_row: Option<u64>,
+    /// Row-buffer hits serviced.
+    pub row_hits: u64,
+    /// Row-buffer misses serviced.
+    pub row_misses: u64,
+}
+
+impl BankState {
+    /// Is the bank free at `now`?
+    pub fn is_free(&self, now: Ps) -> bool {
+        self.busy_until <= now
+    }
+
+    /// When the bank frees up.
+    pub fn busy_until(&self) -> Ps {
+        self.busy_until
+    }
+
+    /// Currently open row.
+    pub fn open_row(&self) -> Option<u64> {
+        self.open_row
+    }
+
+    /// Would a request to `row` hit the row buffer?
+    pub fn is_row_hit(&self, row: u64) -> bool {
+        self.open_row == Some(row)
+    }
+
+    /// Service a read of `row`: row-buffer hit or array read, plus bus.
+    /// Marks the bank busy and returns the completion time.
+    pub fn begin_read(
+        &mut self,
+        now: Ps,
+        row: u64,
+        timings: &PcmTimings,
+        ctrl: &ControllerConfig,
+    ) -> Ps {
+        let service = if self.is_row_hit(row) {
+            self.row_hits += 1;
+            ctrl.t_row_hit
+        } else {
+            self.row_misses += 1;
+            timings.t_read + ctrl.t_bus
+        };
+        self.open_row = Some(row);
+        self.busy_until = now + service;
+        self.busy_until
+    }
+
+    /// Occupy the bank for a write of the given service time; the written
+    /// row becomes the open row.
+    pub fn begin_write(&mut self, now: Ps, row: u64, service: Ps) -> Ps {
+        self.open_row = Some(row);
+        self.busy_until = now + service;
+        self.busy_until
+    }
+
+    /// Abort the current operation (write pausing): the bank frees at
+    /// `now`. The caller is responsible for rescheduling the remainder.
+    pub fn interrupt(&mut self, now: Ps) {
+        self.busy_until = now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_hit_is_faster() {
+        let t = PcmTimings::paper_baseline();
+        let c = ControllerConfig::default();
+        let mut b = BankState::default();
+        let done1 = b.begin_read(Ps::ZERO, 7, &t, &c);
+        assert_eq!(done1, Ps::from_ns(60), "miss: 50 ns array + 10 ns bus");
+        assert_eq!(b.row_misses, 1);
+        let done2 = b.begin_read(done1, 7, &t, &c);
+        assert_eq!(done2 - done1, Ps::from_ns(15), "hit: 15 ns");
+        assert_eq!(b.row_hits, 1);
+    }
+
+    #[test]
+    fn busy_tracking() {
+        let mut b = BankState::default();
+        assert!(b.is_free(Ps::ZERO));
+        b.begin_write(Ps::ZERO, 3, Ps::from_ns(430));
+        assert!(!b.is_free(Ps::from_ns(100)));
+        assert!(b.is_free(Ps::from_ns(430)));
+        assert_eq!(b.open_row(), Some(3));
+    }
+
+    #[test]
+    fn write_opens_row_for_following_read() {
+        let t = PcmTimings::paper_baseline();
+        let c = ControllerConfig::default();
+        let mut b = BankState::default();
+        let done = b.begin_write(Ps::ZERO, 9, Ps::from_ns(430));
+        let done2 = b.begin_read(done, 9, &t, &c);
+        assert_eq!(done2 - done, c.t_row_hit);
+    }
+}

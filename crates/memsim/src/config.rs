@@ -1,0 +1,205 @@
+//! System configuration (Table II of the paper).
+
+use pcm_schemes::SchemeConfig;
+use pcm_types::{PcmError, Ps};
+use serde::{Deserialize, Serialize};
+
+/// One cache level's geometry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways).
+    pub assoc: u32,
+    /// Access latency in CPU cycles.
+    pub latency_cycles: u32,
+}
+
+/// Memory-controller parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ControllerConfig {
+    /// Read-queue capacity (Table II: 32 entries).
+    pub read_queue_cap: usize,
+    /// Write-queue capacity (Table II: 32 entries).
+    pub write_queue_cap: usize,
+    /// Drain stops once the write queue falls to this level.
+    pub write_low_watermark: usize,
+    /// Extra bus/transfer time added to each read's service.
+    pub t_bus: Ps,
+    /// Row-buffer-hit read service (bus + sense from the open row).
+    pub t_row_hit: Ps,
+    /// Write pausing (Qureshi et al., HPCA'10 — the paper's ref. \[24\]):
+    /// a queued read may preempt an in-flight write at iteration
+    /// boundaries; the write resumes afterwards with a re-ramp penalty.
+    /// Off by default (the paper's controller does not pause).
+    pub write_pausing: bool,
+    /// Re-ramp penalty added each time a paused write resumes.
+    pub pause_overhead: Ps,
+    /// Maximum times one write may be paused (bounds read-storm livelock).
+    pub max_pauses_per_write: u32,
+    /// Writes drained together per bank as one batched operation (Tetris
+    /// inter-line packing; 1 = the paper's per-line behaviour).
+    pub batch_writes: usize,
+    /// Coalesce queued writes to the same line (DWC, Xia et al., ICS'14 —
+    /// the paper's ref. \[18\]): a newer write-back absorbs an older queued
+    /// one; both complete when the merged write is serviced. Off by
+    /// default (the paper's controller does not consolidate).
+    pub coalesce_writes: bool,
+    /// Subarrays per bank (Yue & Zhu, DATE'13 — the paper's ref. \[15\]).
+    /// Rows stripe across subarrays; a read may proceed in one subarray
+    /// while another subarray of the same bank writes (reads draw
+    /// negligible current, §II), but the shared charge pump still allows
+    /// only one write per bank at a time. 1 = the paper's organization.
+    pub subarrays_per_bank: usize,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            read_queue_cap: 32,
+            write_queue_cap: 32,
+            write_low_watermark: 16,
+            t_bus: Ps::from_ns(10),
+            t_row_hit: Ps::from_ns(15),
+            write_pausing: false,
+            pause_overhead: Ps::from_ns(4),
+            max_pauses_per_write: 4,
+            batch_writes: 1,
+            coalesce_writes: false,
+            subarrays_per_bank: 1,
+        }
+    }
+}
+
+/// Full system configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Number of cores (Table II: 4).
+    pub cores: usize,
+    /// CPU clock in MHz (Table II: 2 GHz).
+    pub cpu_freq_mhz: u64,
+    /// L1 data cache.
+    pub l1: CacheConfig,
+    /// Private L2.
+    pub l2: CacheConfig,
+    /// Shared L3 (the paper's 32 MB DRAM cache).
+    pub l3: CacheConfig,
+    /// Memory controller.
+    pub controller: ControllerConfig,
+    /// PCM device + write-scheme geometry.
+    pub mem: SchemeConfig,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self::paper_baseline()
+    }
+}
+
+impl SystemConfig {
+    /// Table II values.
+    pub fn paper_baseline() -> Self {
+        SystemConfig {
+            cores: 4,
+            cpu_freq_mhz: 2_000,
+            l1: CacheConfig {
+                size_bytes: 32 << 10,
+                assoc: 4,
+                latency_cycles: 2,
+            },
+            l2: CacheConfig {
+                size_bytes: 2 << 20,
+                assoc: 8,
+                latency_cycles: 20,
+            },
+            l3: CacheConfig {
+                size_bytes: 32 << 20,
+                assoc: 16,
+                latency_cycles: 50,
+            },
+            controller: ControllerConfig::default(),
+            mem: SchemeConfig::paper_baseline(),
+        }
+    }
+
+    /// A scaled-down configuration for fast tests: 2 cores, small caches.
+    pub fn small_test() -> Self {
+        let mut c = Self::paper_baseline();
+        c.cores = 2;
+        c.l1 = CacheConfig {
+            size_bytes: 4 << 10,
+            assoc: 2,
+            latency_cycles: 2,
+        };
+        c.l2 = CacheConfig {
+            size_bytes: 32 << 10,
+            assoc: 4,
+            latency_cycles: 20,
+        };
+        c.l3 = CacheConfig {
+            size_bytes: 256 << 10,
+            assoc: 8,
+            latency_cycles: 50,
+        };
+        c
+    }
+
+    /// One CPU cycle.
+    pub fn cycle(&self) -> Ps {
+        Ps::from_cycles(1, self.cpu_freq_mhz)
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<(), PcmError> {
+        if self.cores == 0 {
+            return Err(PcmError::config("need at least one core"));
+        }
+        if self.controller.write_low_watermark >= self.controller.write_queue_cap {
+            return Err(PcmError::config(
+                "low watermark must be below queue capacity",
+            ));
+        }
+        if self.controller.read_queue_cap == 0 || self.controller.write_queue_cap == 0 {
+            return Err(PcmError::config("queues must be non-empty"));
+        }
+        if self.controller.batch_writes == 0 || self.controller.subarrays_per_bank == 0 {
+            return Err(PcmError::config("batch_writes and subarrays must be ≥ 1"));
+        }
+        for c in [&self.l1, &self.l2, &self.l3] {
+            let line = self.mem.org.cache_line_bytes as u64;
+            if c.size_bytes % (line * c.assoc as u64) != 0 {
+                return Err(PcmError::config("cache size must divide into sets"));
+            }
+        }
+        self.mem.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table2() {
+        let c = SystemConfig::paper_baseline();
+        assert_eq!(c.cores, 4);
+        assert_eq!(c.cycle(), Ps(500), "2 GHz → 500 ps");
+        assert_eq!(c.l1.latency_cycles, 2);
+        assert_eq!(c.l2.latency_cycles, 20);
+        assert_eq!(c.l3.latency_cycles, 50);
+        assert_eq!(c.controller.read_queue_cap, 32);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_watermark() {
+        let mut c = SystemConfig::paper_baseline();
+        c.controller.write_low_watermark = 32;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn small_test_config_valid() {
+        assert!(SystemConfig::small_test().validate().is_ok());
+    }
+}

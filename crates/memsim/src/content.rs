@@ -1,0 +1,97 @@
+//! Write-content models.
+//!
+//! Tracking every store's bytes through three cache levels would be
+//! expensive and is irrelevant to the write schemes, which only see the
+//! old-vs-new bit deltas at the memory controller. Instead, the new line
+//! contents are synthesized *at memory-write time* from the old logical
+//! contents by a [`WriteContent`] model; the `pcm-workloads` crate provides
+//! models calibrated to the paper's Fig. 3 per-workload SET/RESET
+//! statistics (see DESIGN.md §5).
+
+use pcm_types::LineData;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Synthesizes the new contents of a line being written back.
+pub trait WriteContent: Send {
+    /// Produce the new logical line given the old logical contents.
+    fn generate(&mut self, core: usize, old_logical: &LineData) -> LineData;
+}
+
+/// Replaces the line with uniform random bits (worst-case-ish content:
+/// ~50% of bits change). Useful for stress tests.
+#[derive(Debug)]
+pub struct UniformRandomContent {
+    rng: SmallRng,
+}
+
+impl UniformRandomContent {
+    /// Seeded model (deterministic).
+    pub fn new(seed: u64) -> Self {
+        UniformRandomContent {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl WriteContent for UniformRandomContent {
+    fn generate(&mut self, _core: usize, old_logical: &LineData) -> LineData {
+        let mut out = *old_logical;
+        for i in 0..out.num_units() {
+            out.set_unit(i, self.rng.gen());
+        }
+        out
+    }
+}
+
+/// Always writes a fixed payload (for API users and deterministic tests).
+#[derive(Debug, Clone)]
+pub struct ExplicitContent {
+    line: LineData,
+}
+
+impl ExplicitContent {
+    /// Model that always produces `line`.
+    pub fn new(line: LineData) -> Self {
+        ExplicitContent { line }
+    }
+}
+
+impl WriteContent for ExplicitContent {
+    fn generate(&mut self, _core: usize, _old_logical: &LineData) -> LineData {
+        self.line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcm_types::hamming;
+
+    #[test]
+    fn uniform_random_changes_about_half() {
+        let mut m = UniformRandomContent::new(42);
+        let old = LineData::zeroed(64);
+        let new = m.generate(0, &old);
+        let changed = hamming(&old, &new);
+        assert!(
+            (150..=360).contains(&changed),
+            "~50% of 512 bits: {changed}"
+        );
+    }
+
+    #[test]
+    fn uniform_random_is_deterministic() {
+        let old = LineData::zeroed(64);
+        let a = UniformRandomContent::new(7).generate(0, &old);
+        let b = UniformRandomContent::new(7).generate(0, &old);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn explicit_returns_payload() {
+        let line = LineData::from_units(&[9; 8]);
+        let mut m = ExplicitContent::new(line);
+        assert_eq!(m.generate(3, &LineData::zeroed(64)), line);
+    }
+}

@@ -1,0 +1,747 @@
+//! The FRFCFS memory controller.
+//!
+//! Separate 32-entry read and write queues (Table II). Reads have strict
+//! priority: writes are serviced **only when the write queue fills**, and a
+//! drain then runs until the low watermark — the "variable FRFCFS" policy
+//! the paper credits for the blackscholes/swaptions write-latency anomaly
+//! (§V-B3). Within a queue, scheduling is first-ready (row-buffer hits
+//! first) then first-come-first-served, per free bank.
+//!
+//! Reads that hit a queued write are served by store-to-load forwarding at
+//! bus latency, without touching the arrays.
+
+use crate::bankstate::BankState;
+use crate::config::ControllerConfig;
+use crate::content::WriteContent;
+use crate::memory::PcmMainMemory;
+use crate::request::MemRequest;
+use pcm_types::{DecodedAddr, PcmTimings, Ps};
+
+/// A queued request with its decoded coordinates.
+#[derive(Clone, Debug)]
+struct QueuedReq {
+    req: MemRequest,
+    row: u64,
+    bank: usize,
+    line: u64,
+    /// Older same-line writes absorbed by this entry (DWC coalescing);
+    /// they complete when this write is serviced.
+    absorbed: Vec<MemRequest>,
+}
+
+/// The request(s) currently occupying a bank (several when a write batch
+/// is in flight).
+#[derive(Clone, Debug)]
+struct InFlight {
+    reqs: Vec<MemRequest>,
+    epoch: u64,
+    is_write: bool,
+    row: u64,
+    pauses: u32,
+}
+
+/// A write (batch) preempted by a read (write pausing enabled).
+#[derive(Clone, Debug)]
+struct PausedWrite {
+    reqs: Vec<MemRequest>,
+    remaining: Ps,
+    row: u64,
+    pauses: u32,
+}
+
+/// How an enqueued read was handled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadEnqueue {
+    /// Queued for bank service.
+    Queued,
+    /// Forwarded from the write queue; data ready at the given time.
+    Forwarded(Ps),
+}
+
+/// A request (or write batch) issued to a bank this round.
+#[derive(Clone, Debug)]
+pub struct Issued {
+    /// Flat bank index now busy.
+    pub bank: usize,
+    /// When the bank completes.
+    pub completion: Ps,
+    /// The request being serviced (the first of a batch).
+    pub req: MemRequest,
+    /// Epoch tag: completions carry it back so stale events (from paused
+    /// writes) are ignored.
+    pub epoch: u64,
+}
+
+/// Controller statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CtrlStats {
+    /// Reads served by store-to-load forwarding.
+    pub read_forwards: u64,
+    /// Number of drain episodes entered.
+    pub drains: u64,
+    /// Writes paused to let reads through.
+    pub write_pauses: u64,
+    /// Same-line writes coalesced in the queue (DWC).
+    pub writes_coalesced: u64,
+}
+
+/// The memory controller.
+///
+/// Bank state is tracked per *lane* — one subarray of one bank — so with
+/// `subarrays_per_bank > 1` a read can be in flight in one subarray while
+/// another subarray of the same bank writes. The shared charge pump still
+/// limits each bank to one write at a time.
+pub struct MemoryController {
+    cfg: ControllerConfig,
+    timings: PcmTimings,
+    banks: Vec<BankState>,
+    read_q: Vec<QueuedReq>,
+    write_q: Vec<QueuedReq>,
+    in_flight: Vec<Option<InFlight>>,
+    paused: Vec<Option<PausedWrite>>,
+    epoch: u64,
+    drain: bool,
+    /// Statistics.
+    pub stats: CtrlStats,
+}
+
+impl MemoryController {
+    /// A controller over `num_banks` banks
+    /// (`num_banks × subarrays_per_bank` lanes).
+    pub fn new(cfg: ControllerConfig, timings: PcmTimings, num_banks: usize) -> Self {
+        let lanes = num_banks * cfg.subarrays_per_bank.max(1);
+        MemoryController {
+            cfg,
+            timings,
+            banks: vec![BankState::default(); lanes],
+            read_q: Vec::with_capacity(cfg.read_queue_cap),
+            write_q: Vec::with_capacity(cfg.write_queue_cap),
+            in_flight: vec![None; lanes],
+            paused: vec![None; lanes],
+            epoch: 0,
+            drain: false,
+            stats: CtrlStats::default(),
+        }
+    }
+
+    /// Lane for a request: subarrays stripe by row within the bank.
+    fn lane(&self, flat_bank: usize, row: u64) -> usize {
+        let s = self.cfg.subarrays_per_bank.max(1);
+        flat_bank * s + (row % s as u64) as usize
+    }
+
+    /// True if another subarray of `lane`'s bank has a write in flight or
+    /// paused (the shared pump allows one write per bank).
+    fn bank_write_busy(&self, lane: usize) -> bool {
+        let s = self.cfg.subarrays_per_bank.max(1);
+        let bank = lane / s;
+        (bank * s..(bank + 1) * s).any(|l| {
+            l != lane
+                && (self.in_flight[l].as_ref().is_some_and(|f| f.is_write)
+                    || self.paused[l].is_some())
+        })
+    }
+
+    /// Is the read queue at capacity?
+    pub fn read_queue_full(&self) -> bool {
+        self.read_q.len() >= self.cfg.read_queue_cap
+    }
+
+    /// Is the write queue at capacity?
+    pub fn write_queue_full(&self) -> bool {
+        self.write_q.len() >= self.cfg.write_queue_cap
+    }
+
+    /// Current queue depths (reads, writes).
+    pub fn queue_depths(&self) -> (usize, usize) {
+        (self.read_q.len(), self.write_q.len())
+    }
+
+    /// Anything still queued, paused, or in a bank?
+    pub fn has_pending(&self) -> bool {
+        !self.read_q.is_empty()
+            || !self.write_q.is_empty()
+            || self.in_flight.iter().any(Option::is_some)
+            || self.paused.iter().any(Option::is_some)
+    }
+
+    /// In drain mode?
+    pub fn draining(&self) -> bool {
+        self.drain
+    }
+
+    /// Force a drain (used to flush the write queue at end of run).
+    pub fn force_drain(&mut self) {
+        if !self.write_q.is_empty() {
+            self.drain = true;
+        }
+    }
+
+    /// Enqueue a read. Caller must check [`Self::read_queue_full`] first.
+    ///
+    /// # Panics
+    /// If the read queue is full.
+    pub fn enqueue_read(
+        &mut self,
+        req: MemRequest,
+        d: &DecodedAddr,
+        flat_bank: usize,
+    ) -> ReadEnqueue {
+        assert!(!self.read_queue_full(), "enqueue_read on a full queue");
+        // Store-to-load forwarding from the write queue.
+        if self.write_q.iter().any(|w| w.line == d.line) {
+            self.stats.read_forwards += 1;
+            return ReadEnqueue::Forwarded(req.arrival + self.cfg.t_bus);
+        }
+        let lane = self.lane(flat_bank, d.row);
+        self.read_q.push(QueuedReq {
+            req,
+            row: d.row,
+            bank: lane,
+            line: d.line,
+            absorbed: Vec::new(),
+        });
+        ReadEnqueue::Queued
+    }
+
+    /// Enqueue a write. Caller must check [`Self::write_queue_full`] first.
+    /// Entering capacity flips the controller into drain mode.
+    ///
+    /// # Panics
+    /// If the write queue is full.
+    pub fn enqueue_write(&mut self, req: MemRequest, d: &DecodedAddr, flat_bank: usize) {
+        assert!(!self.write_queue_full(), "enqueue_write on a full queue");
+        let lane = self.lane(flat_bank, d.row);
+        if self.cfg.coalesce_writes {
+            if let Some(existing) = self.write_q.iter_mut().find(|w| w.line == d.line) {
+                // The newer write-back supersedes the queued one; carry the
+                // old request along so its latency is recorded at service.
+                let old = std::mem::replace(&mut existing.req, req);
+                existing.absorbed.push(old);
+                self.stats.writes_coalesced += 1;
+                return;
+            }
+        }
+        self.write_q.push(QueuedReq {
+            req,
+            row: d.row,
+            bank: lane,
+            line: d.line,
+            absorbed: Vec::new(),
+        });
+        if self.write_queue_full() {
+            self.drain = true;
+            self.stats.drains += 1;
+        }
+    }
+
+    /// FRFCFS pick: index of the first row-hit request for `bank`, else the
+    /// oldest request for `bank`.
+    fn pick(&self, q: &[QueuedReq], bank: usize) -> Option<usize> {
+        let open = self.banks[bank].open_row();
+        let mut first = None;
+        for (i, r) in q.iter().enumerate() {
+            if r.bank != bank {
+                continue;
+            }
+            if open == Some(r.row) {
+                return Some(i);
+            }
+            if first.is_none() {
+                first = Some(i);
+            }
+        }
+        first
+    }
+
+    /// Issue requests to every free bank. Writes are only eligible while
+    /// draining; during a drain, a bank with no queued write may still take
+    /// a read. Returns the newly issued requests (schedule their
+    /// completions as `BankComplete` events).
+    pub fn try_issue(
+        &mut self,
+        now: Ps,
+        memory: &mut PcmMainMemory,
+        content: &mut dyn WriteContent,
+    ) -> Vec<Issued> {
+        let mut issued = Vec::new();
+        for bank in 0..self.banks.len() {
+            // Write pausing: a busy write yields to a queued read for the
+            // same bank at an iteration boundary.
+            if self.cfg.write_pausing
+                && !self.banks[bank].is_free(now)
+                && self.in_flight[bank].as_ref().is_some_and(|f| f.is_write)
+                && self.pick(&self.read_q, bank).is_some()
+            {
+                let pauses = self.in_flight[bank].as_ref().expect("checked above").pauses;
+                if pauses < self.cfg.max_pauses_per_write {
+                    let f = self.in_flight[bank].take().expect("checked above");
+                    let remaining = self.banks[bank].busy_until().saturating_sub(now);
+                    self.paused[bank] = Some(PausedWrite {
+                        reqs: f.reqs,
+                        remaining,
+                        row: f.row,
+                        pauses: f.pauses + 1,
+                    });
+                    self.banks[bank].interrupt(now);
+                    self.stats.write_pauses += 1;
+                }
+            }
+            if !self.banks[bank].is_free(now) || self.in_flight[bank].is_some() {
+                continue;
+            }
+            // Drain mode: writes first for this bank; up to `batch_writes`
+            // queued writes for the bank are serviced as one batched
+            // operation (inter-line Tetris packing). The shared pump
+            // allows one write per bank across its subarrays.
+            if self.drain && !self.bank_write_busy(bank) {
+                let mut picked = Vec::new();
+                while picked.len() < self.cfg.batch_writes.max(1) {
+                    match self.pick(&self.write_q, bank) {
+                        Some(i) => picked.push(self.write_q.remove(i)),
+                        None => break,
+                    }
+                }
+                if !picked.is_empty() {
+                    let writes: Vec<(pcm_types::PhysAddr, pcm_types::LineData)> = picked
+                        .iter()
+                        .map(|q| {
+                            let old = memory
+                                .peek_line(q.req.addr)
+                                .expect("queued write must decode");
+                            (q.req.addr, content.generate(q.req.core, &old))
+                        })
+                        .collect();
+                    let service = memory
+                        .write_lines_batch(&writes)
+                        .expect("queued writes must be writable");
+                    let row = picked[0].row;
+                    let completion = self.banks[bank].begin_write(now, row, service);
+                    self.epoch += 1;
+                    let mut reqs: Vec<MemRequest> = Vec::new();
+                    for q in &picked {
+                        reqs.push(q.req);
+                        reqs.extend(q.absorbed.iter().copied());
+                    }
+                    self.in_flight[bank] = Some(InFlight {
+                        reqs: reqs.clone(),
+                        epoch: self.epoch,
+                        is_write: true,
+                        row,
+                        pauses: 0,
+                    });
+                    issued.push(Issued {
+                        bank,
+                        completion,
+                        req: reqs[0],
+                        epoch: self.epoch,
+                    });
+                    // Drain stops at the low watermark.
+                    if self.write_q.len() <= self.cfg.write_low_watermark {
+                        self.drain = false;
+                    }
+                    continue;
+                }
+            }
+            if let Some(i) = self.pick(&self.read_q, bank) {
+                let q = self.read_q.remove(i);
+                memory
+                    .read_line(q.req.addr)
+                    .expect("queued read must decode");
+                let completion = self.banks[bank].begin_read(now, q.row, &self.timings, &self.cfg);
+                self.epoch += 1;
+                self.in_flight[bank] = Some(InFlight {
+                    reqs: vec![q.req],
+                    epoch: self.epoch,
+                    is_write: false,
+                    row: q.row,
+                    pauses: 0,
+                });
+                issued.push(Issued {
+                    bank,
+                    completion,
+                    req: q.req,
+                    epoch: self.epoch,
+                });
+                continue;
+            }
+            // Nothing else runnable: resume a paused write (re-ramp cost).
+            if let Some(p) = self.paused[bank].take() {
+                let completion =
+                    self.banks[bank].begin_write(now, p.row, p.remaining + self.cfg.pause_overhead);
+                self.epoch += 1;
+                let first = p.reqs[0];
+                self.in_flight[bank] = Some(InFlight {
+                    reqs: p.reqs,
+                    epoch: self.epoch,
+                    is_write: true,
+                    row: p.row,
+                    pauses: p.pauses,
+                });
+                issued.push(Issued {
+                    bank,
+                    completion,
+                    req: first,
+                    epoch: self.epoch,
+                });
+            }
+        }
+        issued
+    }
+
+    /// A bank finished (or a stale completion of a paused write fired);
+    /// returns the serviced request(s) — several for a write batch — or an
+    /// empty vec for stale events.
+    pub fn complete(&mut self, bank: usize, epoch: u64) -> Vec<MemRequest> {
+        match &self.in_flight[bank] {
+            Some(f) if f.epoch == epoch => self.in_flight[bank].take().expect("present").reqs,
+            _ => Vec::new(),
+        }
+    }
+
+    /// Row-buffer statistics summed over banks (hits, misses).
+    pub fn row_stats(&self) -> (u64, u64) {
+        self.banks
+            .iter()
+            .fold((0, 0), |(h, m), b| (h + b.row_hits, m + b.row_misses))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::content::UniformRandomContent;
+    use crate::request::AccessKind;
+    use pcm_schemes::{DcwWrite, SchemeConfig};
+
+    fn setup() -> (MemoryController, PcmMainMemory, UniformRandomContent) {
+        let cfg = SchemeConfig::paper_baseline();
+        let mem = PcmMainMemory::new(cfg, Box::new(DcwWrite)).unwrap();
+        let ctrl = MemoryController::new(
+            ControllerConfig::default(),
+            cfg.timings,
+            cfg.org.total_banks() as usize,
+        );
+        (ctrl, mem, UniformRandomContent::new(1))
+    }
+
+    fn read_req(id: u64, addr: u64, t: Ps) -> MemRequest {
+        MemRequest {
+            id,
+            addr,
+            kind: AccessKind::Read,
+            core: 0,
+            arrival: t,
+        }
+    }
+
+    fn write_req(id: u64, addr: u64, t: Ps) -> MemRequest {
+        MemRequest {
+            id,
+            addr,
+            kind: AccessKind::Write,
+            core: 0,
+            arrival: t,
+        }
+    }
+
+    fn decode(mem: &PcmMainMemory, addr: u64) -> (pcm_types::DecodedAddr, usize) {
+        let d = mem.addr_map().decode(addr).unwrap();
+        let fb = mem.addr_map().flat_bank(&d);
+        (d, fb)
+    }
+
+    #[test]
+    fn reads_issue_immediately_when_banks_free() {
+        let (mut ctrl, mut mem, mut content) = setup();
+        let (d, fb) = decode(&mem, 0x40);
+        assert_eq!(
+            ctrl.enqueue_read(read_req(1, 0x40, Ps::ZERO), &d, fb),
+            ReadEnqueue::Queued
+        );
+        let issued = ctrl.try_issue(Ps::ZERO, &mut mem, &mut content);
+        assert_eq!(issued.len(), 1);
+        assert_eq!(issued[0].completion, Ps::from_ns(60));
+        assert_eq!(ctrl.complete(issued[0].bank, issued[0].epoch)[0].id, 1);
+    }
+
+    #[test]
+    fn writes_wait_until_queue_fills() {
+        let (mut ctrl, mut mem, mut content) = setup();
+        // 31 writes: no drain, nothing issues.
+        for i in 0..31u64 {
+            let addr = i * 64;
+            let (d, fb) = decode(&mem, addr);
+            ctrl.enqueue_write(write_req(i, addr, Ps::ZERO), &d, fb);
+        }
+        assert!(!ctrl.draining());
+        assert!(ctrl.try_issue(Ps::ZERO, &mut mem, &mut content).is_empty());
+        // The 32nd write triggers the drain.
+        let (d, fb) = decode(&mem, 31 * 64);
+        ctrl.enqueue_write(write_req(31, 31 * 64, Ps::ZERO), &d, fb);
+        assert!(ctrl.draining());
+        let issued = ctrl.try_issue(Ps::ZERO, &mut mem, &mut content);
+        assert_eq!(issued.len(), 8, "one write per free bank");
+    }
+
+    #[test]
+    fn drain_stops_at_low_watermark() {
+        let (mut ctrl, mut mem, mut content) = setup();
+        for i in 0..32u64 {
+            let addr = i * 64;
+            let (d, fb) = decode(&mem, addr);
+            ctrl.enqueue_write(write_req(i, addr, Ps::ZERO), &d, fb);
+        }
+        let mut now = Ps::ZERO;
+        // Repeatedly complete and reissue until drain exits.
+        let mut guard = 0;
+        while ctrl.draining() {
+            let issued = ctrl.try_issue(now, &mut mem, &mut content);
+            for i in &issued {
+                now = now.max(i.completion);
+            }
+            for i in issued {
+                ctrl.complete(i.bank, i.epoch);
+            }
+            guard += 1;
+            assert!(guard < 100, "drain must terminate");
+        }
+        let (_, wq) = ctrl.queue_depths();
+        assert_eq!(wq, 16, "stopped at the low watermark");
+    }
+
+    #[test]
+    fn read_priority_over_waiting_writes() {
+        let (mut ctrl, mut mem, mut content) = setup();
+        let (dw, fbw) = decode(&mem, 0x40);
+        ctrl.enqueue_write(write_req(1, 0x40, Ps::ZERO), &dw, fbw);
+        let (dr, fbr) = decode(&mem, 0x80);
+        ctrl.enqueue_read(read_req(2, 0x80, Ps::ZERO), &dr, fbr);
+        let issued = ctrl.try_issue(Ps::ZERO, &mut mem, &mut content);
+        assert_eq!(issued.len(), 1);
+        assert_eq!(issued[0].req.id, 2, "the read went first");
+        assert_eq!(issued[0].req.kind, AccessKind::Read);
+    }
+
+    #[test]
+    fn store_to_load_forwarding() {
+        let (mut ctrl, mem, _c) = setup();
+        let (d, fb) = decode(&mem, 0x40);
+        ctrl.enqueue_write(write_req(1, 0x40, Ps::ZERO), &d, fb);
+        let r = ctrl.enqueue_read(read_req(2, 0x40, Ps::from_ns(5)), &d, fb);
+        assert_eq!(r, ReadEnqueue::Forwarded(Ps::from_ns(15)));
+        assert_eq!(ctrl.stats.read_forwards, 1);
+    }
+
+    #[test]
+    fn frfcfs_prefers_row_hits() {
+        let (mut ctrl, mut mem, mut content) = setup();
+        // Three reads to bank 0: rows 0, 1, 0 (addresses 0, 8·64·64, 8·64).
+        let a0 = 0u64;
+        let a1 = 8 * 64 * 64; // same bank, next row
+        let a2 = 8 * 64; // same bank, row 0 again
+        for (id, a) in [(1, a0), (2, a1), (3, a2)] {
+            let (d, fb) = decode(&mem, a);
+            assert_eq!(fb, 0);
+            ctrl.enqueue_read(read_req(id, a, Ps::ZERO), &d, fb);
+        }
+        // First issue: FCFS (no open row) → id 1, opens row 0.
+        let i1 = ctrl.try_issue(Ps::ZERO, &mut mem, &mut content);
+        assert_eq!(i1[0].req.id, 1);
+        let done = i1[0].completion;
+        ctrl.complete(i1[0].bank, i1[0].epoch);
+        // Second issue: row 0 open → id 3 jumps ahead of id 2.
+        let i2 = ctrl.try_issue(done, &mut mem, &mut content);
+        assert_eq!(i2[0].req.id, 3, "row hit preferred over older miss");
+    }
+
+    #[test]
+    fn write_pausing_lets_reads_preempt() {
+        let (_ctrl0, mut mem, mut content) = setup();
+        let cfg = ControllerConfig {
+            write_pausing: true,
+            ..Default::default()
+        };
+        let mut ctrl = MemoryController::new(cfg, pcm_types::PcmTimings::paper_baseline(), 8);
+
+        // Start a (long, DCW ≈ 3.44 µs) write on bank 0 via a forced drain.
+        let (d, fb) = decode(&mem, 0x0);
+        ctrl.enqueue_write(write_req(1, 0x0, Ps::ZERO), &d, fb);
+        ctrl.force_drain();
+        let w = ctrl.try_issue(Ps::ZERO, &mut mem, &mut content);
+        assert_eq!(w.len(), 1);
+        let write_completion = w[0].completion;
+        assert!(write_completion > Ps::from_ns(3000));
+
+        // A read to the same bank arrives mid-write.
+        let t1 = Ps::from_ns(500);
+        let (dr, fbr) = decode(&mem, 8 * 64); // same bank, another row
+        assert_eq!(fbr, 0);
+        ctrl.enqueue_read(read_req(2, 8 * 64, t1), &dr, fbr);
+        let issued = ctrl.try_issue(t1, &mut mem, &mut content);
+        assert_eq!(issued.len(), 1, "the read preempts the write");
+        assert_eq!(issued[0].req.id, 2);
+        assert_eq!(ctrl.stats.write_pauses, 1);
+
+        // The original write's completion event is now stale.
+        assert!(ctrl.complete(w[0].bank, w[0].epoch).is_empty());
+
+        // Finish the read, then the write resumes with its remaining time
+        // plus the re-ramp overhead.
+        let read_done = issued[0].completion;
+        assert_eq!(ctrl.complete(issued[0].bank, issued[0].epoch)[0].id, 2);
+        let resumed = ctrl.try_issue(read_done, &mut mem, &mut content);
+        assert_eq!(resumed.len(), 1);
+        assert_eq!(resumed[0].req.id, 1);
+        let expected = read_done + (write_completion - t1) + Ps::from_ns(4);
+        assert_eq!(resumed[0].completion, expected);
+        assert_eq!(ctrl.complete(resumed[0].bank, resumed[0].epoch)[0].id, 1);
+        assert!(!ctrl.has_pending());
+    }
+
+    #[test]
+    fn pause_limit_bounds_preemption() {
+        let (_c, mut mem, mut content) = setup();
+        let cfg = ControllerConfig {
+            write_pausing: true,
+            max_pauses_per_write: 1,
+            ..Default::default()
+        };
+        let mut ctrl = MemoryController::new(cfg, pcm_types::PcmTimings::paper_baseline(), 8);
+
+        let (d, fb) = decode(&mem, 0x0);
+        ctrl.enqueue_write(write_req(1, 0x0, Ps::ZERO), &d, fb);
+        ctrl.force_drain();
+        let w = ctrl.try_issue(Ps::ZERO, &mut mem, &mut content);
+
+        // First read pauses the write.
+        let (dr, fbr) = decode(&mem, 8 * 64);
+        ctrl.enqueue_read(read_req(2, 8 * 64, Ps::from_ns(100)), &dr, fbr);
+        let r1 = ctrl.try_issue(Ps::from_ns(100), &mut mem, &mut content);
+        assert_eq!(r1[0].req.id, 2);
+        assert!(!ctrl.complete(r1[0].bank, r1[0].epoch).is_empty());
+        let resumed = ctrl.try_issue(r1[0].completion, &mut mem, &mut content);
+        assert_eq!(resumed[0].req.id, 1);
+
+        // Second read must NOT pause it again (limit reached).
+        let t2 = r1[0].completion + Ps::from_ns(50);
+        ctrl.enqueue_read(read_req(3, 8 * 64, t2), &dr, fbr);
+        let r2 = ctrl.try_issue(t2, &mut mem, &mut content);
+        assert!(r2.is_empty(), "write runs to completion: {r2:?}");
+        assert_eq!(ctrl.stats.write_pauses, 1);
+        let _ = w;
+    }
+
+    #[test]
+    fn coalescing_merges_same_line_writes() {
+        let (_c, mut mem, mut content) = setup();
+        let cfg = ControllerConfig {
+            coalesce_writes: true,
+            ..Default::default()
+        };
+        let mut ctrl = MemoryController::new(cfg, pcm_types::PcmTimings::paper_baseline(), 8);
+        let (d, fb) = decode(&mem, 0x40);
+        ctrl.enqueue_write(write_req(1, 0x40, Ps::ZERO), &d, fb);
+        ctrl.enqueue_write(write_req(2, 0x40, Ps::from_ns(10)), &d, fb);
+        ctrl.enqueue_write(write_req(3, 0x40, Ps::from_ns(20)), &d, fb);
+        let (_, wq) = ctrl.queue_depths();
+        assert_eq!(wq, 1, "three same-line writes hold one slot");
+        assert_eq!(ctrl.stats.writes_coalesced, 2);
+        // Service it: all three requests complete together.
+        ctrl.force_drain();
+        let issued = ctrl.try_issue(Ps::from_ns(30), &mut mem, &mut content);
+        assert_eq!(issued.len(), 1);
+        let reqs = ctrl.complete(issued[0].bank, issued[0].epoch);
+        let mut ids: Vec<u64> = reqs.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2, 3]);
+        // Memory saw exactly one line write.
+        assert_eq!(mem.stats().writes, 1);
+    }
+
+    #[test]
+    fn coalescing_off_keeps_duplicates() {
+        let (mut ctrl, mem, _c) = setup();
+        let (d, fb) = decode(&mem, 0x40);
+        ctrl.enqueue_write(write_req(1, 0x40, Ps::ZERO), &d, fb);
+        ctrl.enqueue_write(write_req(2, 0x40, Ps::from_ns(10)), &d, fb);
+        let (_, wq) = ctrl.queue_depths();
+        assert_eq!(wq, 2, "paper-faithful default: no consolidation");
+    }
+
+    #[test]
+    fn subarrays_let_reads_overlap_writes() {
+        let (_c, mut mem, mut content) = setup();
+        let cfg = ControllerConfig {
+            subarrays_per_bank: 2,
+            ..Default::default()
+        };
+        let mut ctrl = MemoryController::new(cfg, pcm_types::PcmTimings::paper_baseline(), 8);
+
+        // A write to bank 0, row 0 (subarray 0 → lane 0) under drain.
+        let (dw, fbw) = decode(&mem, 0x0);
+        ctrl.enqueue_write(write_req(1, 0x0, Ps::ZERO), &dw, fbw);
+        ctrl.force_drain();
+        let w = ctrl.try_issue(Ps::ZERO, &mut mem, &mut content);
+        assert_eq!(w.len(), 1);
+
+        // A read to bank 0, odd row (subarray 1) proceeds mid-write…
+        let odd_row_addr = 8 * 64 * 64; // bank 0, row 1
+        let (dr, fbr) = decode(&mem, odd_row_addr);
+        assert_eq!(fbr, 0);
+        assert_eq!(dr.row % 2, 1);
+        ctrl.enqueue_read(read_req(2, odd_row_addr, Ps::from_ns(100)), &dr, fbr);
+        let r = ctrl.try_issue(Ps::from_ns(100), &mut mem, &mut content);
+        assert_eq!(r.len(), 1, "subarray 1 services the read during the write");
+        assert_eq!(r[0].req.id, 2);
+
+        // …but a read to the same subarray as the write must wait.
+        let same_sub_addr = 2 * 8 * 64 * 64; // bank 0, row 2 → subarray 0
+        let (dr2, fbr2) = decode(&mem, same_sub_addr);
+        assert_eq!(dr2.row % 2, 0);
+        ctrl.enqueue_read(read_req(3, same_sub_addr, Ps::from_ns(120)), &dr2, fbr2);
+        let r2 = ctrl.try_issue(Ps::from_ns(120), &mut mem, &mut content);
+        assert!(
+            r2.is_empty(),
+            "same-subarray read blocked by the write: {r2:?}"
+        );
+    }
+
+    #[test]
+    fn one_write_per_bank_across_subarrays() {
+        let (_c, mut mem, mut content) = setup();
+        let cfg = ControllerConfig {
+            subarrays_per_bank: 2,
+            ..Default::default()
+        };
+        let mut ctrl = MemoryController::new(cfg, pcm_types::PcmTimings::paper_baseline(), 8);
+        // Two writes to bank 0, different subarrays (rows 0 and 1).
+        let a = 0x0u64;
+        let b = 8 * 64 * 64;
+        for (id, addr) in [(1, a), (2, b)] {
+            let (d, fb) = decode(&mem, addr);
+            ctrl.enqueue_write(write_req(id, addr, Ps::ZERO), &d, fb);
+        }
+        ctrl.force_drain();
+        let issued = ctrl.try_issue(Ps::ZERO, &mut mem, &mut content);
+        assert_eq!(issued.len(), 1, "shared pump: one write per bank");
+        let done = issued[0].completion;
+        assert!(!ctrl.complete(issued[0].bank, issued[0].epoch).is_empty());
+        ctrl.force_drain();
+        let issued2 = ctrl.try_issue(done, &mut mem, &mut content);
+        assert_eq!(issued2.len(), 1, "second write follows after the first");
+    }
+
+    #[test]
+    fn force_drain_flushes_remaining() {
+        let (mut ctrl, mut mem, mut content) = setup();
+        let (d, fb) = decode(&mem, 0x40);
+        ctrl.enqueue_write(write_req(1, 0x40, Ps::ZERO), &d, fb);
+        assert!(ctrl.try_issue(Ps::ZERO, &mut mem, &mut content).is_empty());
+        ctrl.force_drain();
+        let issued = ctrl.try_issue(Ps::ZERO, &mut mem, &mut content);
+        assert_eq!(issued.len(), 1);
+        ctrl.complete(issued[0].bank, issued[0].epoch);
+        assert!(!ctrl.has_pending());
+    }
+}

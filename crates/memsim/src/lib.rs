@@ -1,0 +1,52 @@
+//! # pcm-memsim
+//!
+//! A discrete-event memory-system simulator standing in for the paper's
+//! GEM5 + NVMain stack:
+//!
+//! * [`engine`] — the event queue (picosecond timestamps, deterministic
+//!   tie-breaking).
+//! * [`cache`] / [`hierarchy`] — set-associative write-back LRU caches and
+//!   the 3-level hierarchy of Table II (32 KB L1, 2 MB L2, 32 MB shared L3).
+//! * [`cpu`] — trace-driven cores (2 GHz, blocking loads, fire-and-forget
+//!   stores with write-queue backpressure).
+//! * [`controller`] — the FRFCFS memory controller: separate 32-entry read
+//!   and write queues, read priority, and write service **only when the
+//!   write queue fills** (drain to a low watermark) — the policy behind the
+//!   paper's blackscholes/swaptions write-latency anomaly.
+//! * [`bankstate`] — per-bank busy tracking and an open-row buffer model.
+//! * [`memory`] — the 4 GB sparse PCM backing store: per-line stored bits,
+//!   flip tags and wear, with every write planned by a pluggable
+//!   [`pcm_schemes::WriteScheme`].
+//! * [`content`] — write-content models: the new-vs-old bit deltas are
+//!   synthesized at memory-write time (see DESIGN.md §5), letting workloads
+//!   reproduce the paper's Fig. 3 SET/RESET statistics exactly where the
+//!   schemes consume them.
+//! * [`system`] — wires cores + controller + memory and runs to completion,
+//!   producing the latency/IPC/runtime statistics of Figs. 11–14.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bankstate;
+pub mod cache;
+pub mod config;
+pub mod content;
+pub mod controller;
+pub mod cpu;
+pub mod engine;
+pub mod hierarchy;
+pub mod memory;
+pub mod request;
+pub mod stats;
+pub mod system;
+pub mod wear_leveling;
+
+pub use config::{ControllerConfig, SystemConfig};
+pub use content::{ExplicitContent, UniformRandomContent, WriteContent};
+pub use controller::MemoryController;
+pub use cpu::{Core, TraceOp, TraceSource};
+pub use memory::{PcmMainMemory, WriteOutcome};
+pub use request::{AccessKind, MemRequest};
+pub use stats::{LatencyStats, SimResult};
+pub use system::{System, TraceLevel};
+pub use wear_leveling::{GapMove, StartGap};

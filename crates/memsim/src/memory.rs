@@ -1,0 +1,488 @@
+//! The PCM main memory: a sparse 4 GB backing store whose every line write
+//! is planned by a pluggable [`WriteScheme`].
+//!
+//! Each touched line stores its array bits, flip-tag mask and wear counter.
+//! Untouched lines read as zero (freshly manufactured cells are amorphous).
+
+use crate::wear_leveling::StartGap;
+use pcm_schemes::{SchemeConfig, WriteCtx, WritePlan, WriteScheme};
+use pcm_types::{flip_decode, AddrMap, LineData, PcmError, PhysAddr, PicoJoules, Ps};
+use std::collections::HashMap;
+
+/// One resident line (contents only; wear lives with the physical slot).
+#[derive(Clone, Debug)]
+struct StoredLine {
+    data: LineData,
+    flips: u32,
+}
+
+/// Outcome of one serviced line write.
+#[derive(Clone, Copy, Debug)]
+pub struct WriteOutcome {
+    /// Bank service time for this write.
+    pub service_time: Ps,
+    /// Energy consumed.
+    pub energy: PicoJoules,
+    /// Write units consumed (Fig. 10 metric).
+    pub write_units_equiv: f64,
+    /// SET pulses delivered to cells.
+    pub cell_sets: u32,
+    /// RESET pulses delivered to cells.
+    pub cell_resets: u32,
+}
+
+/// Aggregate memory statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MemoryStats {
+    /// Gap moves performed by the wear leveler.
+    pub gap_moves: u64,
+    /// Serviced line writes.
+    pub writes: u64,
+    /// Serviced line reads.
+    pub reads: u64,
+    /// Sum of write-unit counts (for the Fig. 10 average).
+    pub write_units_sum: f64,
+    /// Total energy.
+    pub energy: PicoJoules,
+    /// Total SET pulses.
+    pub cell_sets: u64,
+    /// Total RESET pulses.
+    pub cell_resets: u64,
+}
+
+/// The PCM main memory.
+///
+/// ```
+/// use pcm_memsim::PcmMainMemory;
+/// use pcm_schemes::{DcwWrite, SchemeConfig};
+/// use pcm_types::LineData;
+///
+/// let mut mem = PcmMainMemory::new(
+///     SchemeConfig::paper_baseline(), Box::new(DcwWrite)).unwrap();
+/// let line = LineData::from_units(&[42; 8]);
+/// let outcome = mem.write_line(0x40, &line).unwrap();
+/// assert!(outcome.service_time > pcm_types::Ps::ZERO);
+/// assert_eq!(mem.read_line(0x40).unwrap(), line);
+/// ```
+pub struct PcmMainMemory {
+    map: AddrMap,
+    cfg: SchemeConfig,
+    scheme: Box<dyn WriteScheme>,
+    lines: HashMap<u64, StoredLine>,
+    /// Programming pulses absorbed per physical slot (cells don't move;
+    /// wear stays with the slot even as contents rotate through it).
+    wear: HashMap<u64, u64>,
+    leveler: Option<StartGap>,
+    stats: MemoryStats,
+}
+
+impl PcmMainMemory {
+    /// A memory of `cfg.org` geometry written through `scheme`.
+    pub fn new(cfg: SchemeConfig, scheme: Box<dyn WriteScheme>) -> Result<Self, PcmError> {
+        cfg.validate()?;
+        Ok(PcmMainMemory {
+            map: AddrMap::with_default_rows(cfg.org)?,
+            cfg,
+            scheme,
+            lines: HashMap::new(),
+            wear: HashMap::new(),
+            leveler: None,
+            stats: MemoryStats::default(),
+        })
+    }
+
+    /// Enable Start-Gap wear leveling (ref. \[5\]): logical lines rotate
+    /// across physical slots, one gap move per `psi` writes.
+    pub fn with_wear_leveling(
+        cfg: SchemeConfig,
+        scheme: Box<dyn WriteScheme>,
+        psi: u64,
+    ) -> Result<Self, PcmError> {
+        let mut m = Self::new(cfg, scheme)?;
+        m.leveler = Some(StartGap::new(m.cfg.org.total_lines(), psi));
+        Ok(m)
+    }
+
+    /// The wear leveler, if enabled.
+    pub fn leveler(&self) -> Option<&StartGap> {
+        self.leveler.as_ref()
+    }
+
+    /// Resolve a logical line index to its physical slot.
+    fn physical_line(&self, logical: u64) -> u64 {
+        match &self.leveler {
+            Some(sg) => sg.map(logical),
+            None => logical,
+        }
+    }
+
+    /// The address map in use.
+    pub fn addr_map(&self) -> &AddrMap {
+        &self.map
+    }
+
+    /// The scheme's display name.
+    pub fn scheme_name(&self) -> &'static str {
+        self.scheme.name()
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> &MemoryStats {
+        &self.stats
+    }
+
+    /// Line size in bytes.
+    fn line_len(&self) -> usize {
+        self.cfg.org.cache_line_bytes as usize
+    }
+
+    /// Logical contents of the line containing `addr` (without counting a
+    /// device read — used by content synthesis and tests).
+    pub fn peek_line(&self, addr: PhysAddr) -> Result<LineData, PcmError> {
+        let d = self.map.decode(addr)?;
+        let phys = self.physical_line(d.line);
+        Ok(match self.lines.get(&phys) {
+            None => LineData::zeroed(self.line_len()),
+            Some(s) => {
+                let mut out = s.data;
+                for i in 0..out.num_units() {
+                    out.set_unit(i, flip_decode(s.data.unit(i), s.flips & (1 << i) != 0));
+                }
+                out
+            }
+        })
+    }
+
+    /// Service a line read.
+    pub fn read_line(&mut self, addr: PhysAddr) -> Result<LineData, PcmError> {
+        let line = self.peek_line(addr)?;
+        self.stats.reads += 1;
+        Ok(line)
+    }
+
+    /// Service a line write with the configured scheme; returns its cost.
+    pub fn write_line(&mut self, addr: PhysAddr, new: &LineData) -> Result<WriteOutcome, PcmError> {
+        if new.len() != self.line_len() {
+            return Err(PcmError::LineSizeMismatch {
+                expected: self.line_len(),
+                actual: new.len(),
+            });
+        }
+        let d = self.map.decode(addr)?;
+        let phys = self.physical_line(d.line);
+        let (old_stored, old_flips) = match self.lines.get(&phys) {
+            None => (LineData::zeroed(self.line_len()), 0),
+            Some(s) => (s.data, s.flips),
+        };
+        let ctx = WriteCtx {
+            old_stored: &old_stored,
+            old_flips,
+            new_logical: new,
+            cfg: &self.cfg,
+        };
+        let plan: WritePlan = self.scheme.plan(&ctx);
+        debug_assert!(
+            plan.check_decodes_to(new).is_ok(),
+            "scheme broke the decode invariant"
+        );
+
+        let changed = (plan.cell_sets + plan.cell_resets) as u64;
+        self.lines.insert(
+            phys,
+            StoredLine {
+                data: plan.stored,
+                flips: plan.flips,
+            },
+        );
+        *self.wear.entry(phys).or_insert(0) += changed;
+        if let Some(sg) = &mut self.leveler {
+            if let Some(mv) = sg.on_write() {
+                // Copy the displaced line into the gap. The gap slot's
+                // stale contents (left by an earlier rotation) make the
+                // copy differential, like any other PCM write.
+                if let Some(moved) = self.lines.get(&mv.from).cloned() {
+                    let copy_pulses = match self.lines.get(&mv.to) {
+                        Some(stale) if stale.data.len() == moved.data.len() => {
+                            pcm_types::hamming(&stale.data, &moved.data) as u64
+                        }
+                        _ => moved.data.popcount() as u64,
+                    };
+                    *self.wear.entry(mv.to).or_insert(0) += copy_pulses;
+                    // The vacated slot keeps its (now stale) contents; the
+                    // mapping never points at the gap.
+                    self.lines.insert(mv.to, moved);
+                }
+                self.stats.gap_moves += 1;
+            }
+        }
+        self.stats.writes += 1;
+        self.stats.write_units_sum += plan.write_units_equiv;
+        self.stats.energy += plan.energy;
+        self.stats.cell_sets += plan.cell_sets as u64;
+        self.stats.cell_resets += plan.cell_resets as u64;
+        Ok(WriteOutcome {
+            service_time: plan.service_time,
+            energy: plan.energy,
+            write_units_equiv: plan.write_units_equiv,
+            cell_sets: plan.cell_sets,
+            cell_resets: plan.cell_resets,
+        })
+    }
+
+    /// Service several line writes as one batched operation (shared bank
+    /// occupancy). Falls back to serial service when the scheme has no
+    /// batched mode. Returns the total bank-busy time.
+    pub fn write_lines_batch(&mut self, writes: &[(PhysAddr, LineData)]) -> Result<Ps, PcmError> {
+        if writes.len() == 1 {
+            return Ok(self.write_line(writes[0].0, &writes[0].1)?.service_time);
+        }
+        // Gather the old state of every line up front (ctxs borrow it).
+        let mut phys_lines = Vec::with_capacity(writes.len());
+        let mut olds = Vec::with_capacity(writes.len());
+        for (addr, new) in writes {
+            if new.len() != self.line_len() {
+                return Err(PcmError::LineSizeMismatch {
+                    expected: self.line_len(),
+                    actual: new.len(),
+                });
+            }
+            let d = self.map.decode(*addr)?;
+            let phys = self.physical_line(d.line);
+            let (stored, flips) = match self.lines.get(&phys) {
+                None => (LineData::zeroed(self.line_len()), 0),
+                Some(s) => (s.data, s.flips),
+            };
+            phys_lines.push(phys);
+            olds.push((stored, flips));
+        }
+        let ctxs: Vec<WriteCtx<'_>> = writes
+            .iter()
+            .zip(&olds)
+            .map(|((_, new), (stored, flips))| WriteCtx {
+                old_stored: stored,
+                old_flips: *flips,
+                new_logical: new,
+                cfg: &self.cfg,
+            })
+            .collect();
+        match self.scheme.plan_batched(&ctxs) {
+            Some(batch) => {
+                for ((plan, phys), (_, new)) in batch.plans.iter().zip(&phys_lines).zip(writes) {
+                    debug_assert!(plan.check_decodes_to(new).is_ok());
+                    let changed = (plan.cell_sets + plan.cell_resets) as u64;
+                    self.lines.insert(
+                        *phys,
+                        StoredLine {
+                            data: plan.stored,
+                            flips: plan.flips,
+                        },
+                    );
+                    *self.wear.entry(*phys).or_insert(0) += changed;
+                    self.stats.writes += 1;
+                    self.stats.write_units_sum += plan.write_units_equiv;
+                    self.stats.energy += plan.energy;
+                    self.stats.cell_sets += plan.cell_sets as u64;
+                    self.stats.cell_resets += plan.cell_resets as u64;
+                }
+                Ok(batch.service_time)
+            }
+            None => {
+                // Serial fallback: sum of individual services.
+                let mut total = Ps::ZERO;
+                for (addr, new) in writes {
+                    total += self.write_line(*addr, new)?.service_time;
+                }
+                Ok(total)
+            }
+        }
+    }
+
+    /// Wear (total programming pulses) of the line containing `addr`.
+    pub fn line_wear(&self, addr: PhysAddr) -> Result<u64, PcmError> {
+        let d = self.map.decode(addr)?;
+        let phys = self.physical_line(d.line);
+        Ok(self.wear.get(&phys).copied().unwrap_or(0))
+    }
+
+    /// Highest per-slot wear across touched physical lines.
+    pub fn max_line_wear(&self) -> u64 {
+        self.wear.values().copied().max().unwrap_or(0)
+    }
+
+    /// Number of physical slots that have absorbed any wear.
+    pub fn worn_slots(&self) -> usize {
+        self.wear.len()
+    }
+
+    /// Number of lines touched so far.
+    pub fn resident_lines(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Mean write units per serviced write (Fig. 10).
+    pub fn avg_write_units(&self) -> f64 {
+        if self.stats.writes == 0 {
+            0.0
+        } else {
+            self.stats.write_units_sum / self.stats.writes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcm_schemes::{DcwWrite, FlipNWrite};
+    use tetris_write::TetrisWrite;
+
+    fn mem(scheme: Box<dyn WriteScheme>) -> PcmMainMemory {
+        PcmMainMemory::new(SchemeConfig::paper_baseline(), scheme).unwrap()
+    }
+
+    #[test]
+    fn fresh_memory_reads_zero() {
+        let mut m = mem(Box::new(DcwWrite));
+        let l = m.read_line(0x1000).unwrap();
+        assert_eq!(l.popcount(), 0);
+        assert_eq!(m.stats().reads, 1);
+    }
+
+    #[test]
+    fn write_then_read_roundtrip_dcw() {
+        let mut m = mem(Box::new(DcwWrite));
+        let line = LineData::from_units(&[0xDEAD, 0xBEEF, 1, 2, 3, 4, 5, u64::MAX]);
+        let out = m.write_line(0x40, &line).unwrap();
+        assert!(out.service_time > Ps::ZERO);
+        assert_eq!(m.read_line(0x40).unwrap(), line);
+        assert_eq!(m.resident_lines(), 1);
+    }
+
+    #[test]
+    fn write_then_read_roundtrip_with_flip_schemes() {
+        for scheme in [
+            Box::new(FlipNWrite) as Box<dyn WriteScheme>,
+            Box::new(TetrisWrite::paper_baseline()),
+        ] {
+            let mut m = mem(scheme);
+            // Dense line forces inversions.
+            let line = LineData::from_units(&[u64::MAX; 8]);
+            m.write_line(0x80, &line).unwrap();
+            assert_eq!(m.read_line(0x80).unwrap(), line);
+            // Overwrite with sparse data (forces un-flip decisions).
+            let line2 = LineData::from_units(&[1; 8]);
+            m.write_line(0x80, &line2).unwrap();
+            assert_eq!(m.read_line(0x80).unwrap(), line2);
+        }
+    }
+
+    #[test]
+    fn wear_accumulates_with_changed_bits() {
+        let mut m = mem(Box::new(DcwWrite));
+        let mut line = LineData::zeroed(64);
+        line.set_unit(0, 0b11);
+        m.write_line(0, &line).unwrap();
+        assert_eq!(m.line_wear(0).unwrap(), 2);
+        m.write_line(0, &line).unwrap();
+        assert_eq!(m.line_wear(0).unwrap(), 2, "identical rewrite adds no wear");
+    }
+
+    #[test]
+    fn stats_track_write_units() {
+        let mut m = mem(Box::new(DcwWrite));
+        let line = LineData::from_units(&[1; 8]);
+        m.write_line(0, &line).unwrap();
+        m.write_line(64, &line).unwrap();
+        assert_eq!(m.stats().writes, 2);
+        assert_eq!(m.avg_write_units(), 8.0, "DCW always costs N/M units");
+    }
+
+    #[test]
+    fn tetris_write_units_reflect_content() {
+        let mut m = mem(Box::new(TetrisWrite::paper_baseline()));
+        let mut line = LineData::zeroed(64);
+        for i in 0..8 {
+            line.set_unit(i, 0x7F); // 7 SETs per unit
+        }
+        m.write_line(0, &line).unwrap();
+        assert_eq!(
+            m.avg_write_units(),
+            1.0,
+            "56 SET-equivalents pack into one unit"
+        );
+    }
+
+    #[test]
+    fn wear_leveling_spreads_a_hot_line() {
+        // Shrink the memory so the gap rotation is visible quickly.
+        let mut cfg = SchemeConfig::paper_baseline();
+        cfg.org.capacity_bytes = 8 * 64; // 8 lines
+        let hot = 0u64;
+        let mut line = LineData::zeroed(64);
+
+        // Without leveling: all wear lands on one physical line.
+        let mut plain = PcmMainMemory::new(cfg, Box::new(DcwWrite)).unwrap();
+        for i in 0..640u64 {
+            line.xor_unit(0, 1 << (i % 60));
+            plain.write_line(hot, &line).unwrap();
+        }
+        let plain_max = plain.max_line_wear();
+        assert_eq!(plain.resident_lines(), 1);
+
+        // With Start-Gap (psi = 10): the hot line rotates through slots.
+        let mut lev = PcmMainMemory::with_wear_leveling(cfg, Box::new(DcwWrite), 10).unwrap();
+        let mut line = LineData::zeroed(64);
+        for i in 0..640u64 {
+            line.xor_unit(0, 1 << (i % 60));
+            lev.write_line(hot, &line).unwrap();
+            assert_eq!(lev.peek_line(hot).unwrap(), line, "contents follow the gap");
+        }
+        assert_eq!(lev.stats().gap_moves, 64);
+        assert!(
+            lev.max_line_wear() < plain_max / 2,
+            "leveled max wear {} vs unleveled {}",
+            lev.max_line_wear(),
+            plain_max
+        );
+        assert!(lev.worn_slots() >= 8, "wear spread across physical slots");
+    }
+
+    #[test]
+    fn wear_leveling_preserves_all_contents() {
+        let mut cfg = SchemeConfig::paper_baseline();
+        cfg.org.capacity_bytes = 16 * 64;
+        let mut mem = PcmMainMemory::with_wear_leveling(cfg, Box::new(DcwWrite), 3).unwrap();
+        // Tag every line, churn, then verify.
+        for i in 0..16u64 {
+            let tag = LineData::from_units(&[i + 1; 8]);
+            mem.write_line(i * 64, &tag).unwrap();
+        }
+        for round in 0..100u64 {
+            let i = round % 16;
+            let tag = LineData::from_units(&[i + 1; 8]);
+            mem.write_line(i * 64, &tag).unwrap();
+        }
+        for i in 0..16u64 {
+            assert_eq!(
+                mem.peek_line(i * 64).unwrap(),
+                LineData::from_units(&[i + 1; 8]),
+                "line {i} contents survived rotation"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_line_size_rejected() {
+        let mut m = mem(Box::new(DcwWrite));
+        let line = LineData::zeroed(128);
+        assert!(matches!(
+            m.write_line(0, &line),
+            Err(PcmError::LineSizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut m = mem(Box::new(DcwWrite));
+        assert!(m.read_line(u64::MAX).is_err());
+    }
+}

@@ -1,0 +1,45 @@
+//! Memory requests flowing between cores and the controller.
+
+use pcm_types::{PhysAddr, Ps};
+
+/// Read or write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A demand read (LLC miss). Blocks the issuing core.
+    Read,
+    /// A write-back. Fire-and-forget, subject to write-queue backpressure.
+    Write,
+}
+
+/// One memory request.
+#[derive(Clone, Copy, Debug)]
+pub struct MemRequest {
+    /// Unique, monotonically increasing id.
+    pub id: u64,
+    /// Line-aligned physical address.
+    pub addr: PhysAddr,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Issuing core.
+    pub core: usize,
+    /// Arrival time at the controller.
+    pub arrival: Ps,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let r = MemRequest {
+            id: 1,
+            addr: 0x40,
+            kind: AccessKind::Read,
+            core: 0,
+            arrival: Ps::from_ns(5),
+        };
+        assert_eq!(r.kind, AccessKind::Read);
+        assert_ne!(r.kind, AccessKind::Write);
+    }
+}

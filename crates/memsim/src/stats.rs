@@ -1,0 +1,276 @@
+//! Simulation statistics.
+
+use pcm_types::{PicoJoules, Ps};
+use serde::{Deserialize, Serialize};
+
+/// Histogram geometry: `SUB` sub-buckets per octave over `OCTAVES`
+/// power-of-two ranges of nanoseconds (1 ns … ~16 ms).
+const OCTAVES: usize = 24;
+/// Sub-buckets per octave.
+const SUB: usize = 4;
+/// Total histogram buckets.
+const BUCKETS: usize = OCTAVES * SUB;
+
+/// Map a latency to its log-scale bucket.
+fn bucket_of(ps: u64) -> usize {
+    let ns = (ps / 1_000).max(1);
+    let octave = (63 - ns.leading_zeros()) as usize; // floor(log2 ns)
+    let base = 1u64 << octave;
+    let sub = ((ns - base) * SUB as u64 / base) as usize;
+    (octave * SUB + sub).min(BUCKETS - 1)
+}
+
+/// Lower edge (ns) of a bucket.
+fn bucket_floor_ns(b: usize) -> u64 {
+    let octave = b / SUB;
+    let sub = b % SUB;
+    let base = 1u64 << octave;
+    base + base * sub as u64 / SUB as u64
+}
+
+/// Streaming latency statistics: count / mean / min / max plus a
+/// log-bucketed histogram for percentiles.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples (ps).
+    pub sum_ps: u64,
+    /// Smallest sample (ps); 0 when empty.
+    pub min_ps: u64,
+    /// Largest sample (ps).
+    pub max_ps: u64,
+    /// Log-scale histogram buckets (empty until the first sample).
+    #[serde(default)]
+    buckets: Vec<u64>,
+}
+
+impl LatencyStats {
+    /// Record one latency sample.
+    pub fn record(&mut self, latency: Ps) {
+        let v = latency.as_ps();
+        if self.count == 0 || v < self.min_ps {
+            self.min_ps = v;
+        }
+        if v > self.max_ps {
+            self.max_ps = v;
+        }
+        self.count += 1;
+        self.sum_ps += v;
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; BUCKETS];
+        }
+        self.buckets[bucket_of(v)] += 1;
+    }
+
+    /// Approximate percentile (`p` in [0, 1]) in nanoseconds, from the
+    /// log-scale histogram (resolution ~25% of the value; exact min/max
+    /// are tracked separately).
+    pub fn percentile_ns(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((self.count as f64) * p.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return bucket_floor_ns(b) as f64;
+            }
+        }
+        self.max_ps as f64 / 1_000.0
+    }
+
+    /// Mean latency in nanoseconds.
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ps as f64 / self.count as f64 / 1_000.0
+        }
+    }
+
+    /// Merge another stats block into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 || other.min_ps < self.min_ps {
+            self.min_ps = other.min_ps;
+        }
+        if other.max_ps > self.max_ps {
+            self.max_ps = other.max_ps;
+        }
+        self.count += other.count;
+        self.sum_ps += other.sum_ps;
+        if !other.buckets.is_empty() {
+            if self.buckets.is_empty() {
+                self.buckets = vec![0; BUCKETS];
+            }
+            for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+                *a += b;
+            }
+        }
+    }
+}
+
+/// Result of one full-system simulation run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Scheme under test.
+    pub scheme: String,
+    /// Workload name.
+    pub workload: String,
+    /// Wall-clock of the simulated run (last core retires).
+    pub runtime: Ps,
+    /// Instructions retired per core.
+    pub instructions: Vec<u64>,
+    /// Cycles each core was live.
+    pub cycles: Vec<u64>,
+    /// Memory read latency (arrival → data back).
+    pub read_latency: LatencyStats,
+    /// Memory write latency (arrival → service complete).
+    pub write_latency: LatencyStats,
+    /// Reads serviced by forwarding from the write queue.
+    pub read_forwards: u64,
+    /// Row-buffer hit reads.
+    pub row_hits: u64,
+    /// Row-buffer miss reads.
+    pub row_misses: u64,
+    /// Total line writes serviced by the PCM.
+    pub mem_writes: u64,
+    /// Total line reads serviced by the PCM arrays.
+    pub mem_reads: u64,
+    /// Mean write units per serviced line write (Fig. 10 metric).
+    pub avg_write_units: f64,
+    /// Total programming + read energy.
+    pub energy: PicoJoules,
+    /// Total SET pulses delivered.
+    pub cell_sets: u64,
+    /// Total RESET pulses delivered.
+    pub cell_resets: u64,
+    /// Time cores spent blocked on reads (sum over cores).
+    pub read_stall: Ps,
+    /// Time cores spent blocked on write-queue backpressure.
+    pub write_stall: Ps,
+}
+
+impl SimResult {
+    /// Aggregate instructions per cycle across all cores
+    /// (total instructions / cycles of the longest-running core).
+    pub fn ipc(&self) -> f64 {
+        let instr: u64 = self.instructions.iter().sum();
+        let cycles = self.cycles.iter().copied().max().unwrap_or(0);
+        if cycles == 0 {
+            0.0
+        } else {
+            instr as f64 / cycles as f64
+        }
+    }
+
+    /// Memory RPKI given the retired instruction count.
+    pub fn rpki(&self) -> f64 {
+        let instr: u64 = self.instructions.iter().sum();
+        if instr == 0 {
+            0.0
+        } else {
+            self.mem_reads as f64 * 1000.0 / instr as f64
+        }
+    }
+
+    /// Memory WPKI given the retired instruction count.
+    pub fn wpki(&self) -> f64 {
+        let instr: u64 = self.instructions.iter().sum();
+        if instr == 0 {
+            0.0
+        } else {
+            self.mem_writes as f64 * 1000.0 / instr as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_stats_stream() {
+        let mut s = LatencyStats::default();
+        s.record(Ps::from_ns(10));
+        s.record(Ps::from_ns(30));
+        s.record(Ps::from_ns(20));
+        assert_eq!(s.count, 3);
+        assert_eq!(s.mean_ns(), 20.0);
+        assert_eq!(s.min_ps, 10_000);
+        assert_eq!(s.max_ps, 30_000);
+    }
+
+    #[test]
+    fn percentiles_from_histogram() {
+        let mut s = LatencyStats::default();
+        // 90 fast samples at ~60 ns, 10 slow at ~3.5 µs.
+        for _ in 0..90 {
+            s.record(Ps::from_ns(60));
+        }
+        for _ in 0..10 {
+            s.record(Ps::from_ns(3_500));
+        }
+        let p50 = s.percentile_ns(0.50);
+        let p99 = s.percentile_ns(0.99);
+        assert!((48.0..=64.0).contains(&p50), "p50 = {p50}");
+        assert!((2_048.0..=4_096.0).contains(&p99), "p99 = {p99}");
+        assert!(p99 > p50 * 10.0);
+        assert_eq!(LatencyStats::default().percentile_ns(0.5), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_histograms() {
+        let mut a = LatencyStats::default();
+        let mut b = LatencyStats::default();
+        for _ in 0..50 {
+            a.record(Ps::from_ns(100));
+            b.record(Ps::from_ns(10_000));
+        }
+        a.merge(&b);
+        assert!(a.percentile_ns(0.25) < 200.0);
+        assert!(a.percentile_ns(0.75) > 5_000.0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = LatencyStats::default();
+        a.record(Ps::from_ns(10));
+        let mut b = LatencyStats::default();
+        b.record(Ps::from_ns(50));
+        b.record(Ps::from_ns(2));
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.min_ps, 2_000);
+        assert_eq!(a.max_ps, 50_000);
+        let empty = LatencyStats::default();
+        a.merge(&empty);
+        assert_eq!(a.count, 3);
+    }
+
+    #[test]
+    fn ipc_uses_longest_core() {
+        let r = SimResult {
+            instructions: vec![1000, 1000],
+            cycles: vec![500, 2000],
+            ..Default::default()
+        };
+        assert_eq!(r.ipc(), 1.0);
+    }
+
+    #[test]
+    fn rpki_wpki() {
+        let r = SimResult {
+            instructions: vec![500_000, 500_000],
+            mem_reads: 2_760,
+            mem_writes: 190,
+            ..Default::default()
+        };
+        assert!((r.rpki() - 2.76).abs() < 1e-9);
+        assert!((r.wpki() - 0.19).abs() < 1e-9);
+    }
+}

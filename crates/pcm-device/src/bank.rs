@@ -1,0 +1,205 @@
+//! A memory bank: four X16 chips behind one 64-bit datapath (Fig. 2).
+//!
+//! Row `r` of the bank is data unit `r`: chip `j` stores bits
+//! `[16j, 16j+16)` of the unit plus a replica of the unit's flip tag (each
+//! chip's datapath carries its own flip cell, Fig. 6).
+
+use crate::charge_pump::GlobalChargePump;
+use crate::chip::{PcmChip, SliceRead, CHIP_DATA_BITS};
+use crate::write_driver::{DriveOutputs, WriteSignal};
+use pcm_types::{PcmError, PowerParams};
+
+/// A bank of PCM chips.
+#[derive(Clone, Debug)]
+pub struct PcmBank {
+    chips: Vec<PcmChip>,
+    power: PowerParams,
+    gcp_enabled: bool,
+}
+
+/// The per-chip drive outputs of one bank-level programming tick.
+#[derive(Clone, Debug)]
+pub struct BankDrive {
+    /// One entry per chip.
+    pub per_chip: Vec<DriveOutputs>,
+}
+
+impl BankDrive {
+    /// Bank-level instantaneous current in SET-equivalents.
+    pub fn total_current(&self, l_ratio: u32) -> u32 {
+        self.per_chip.iter().map(|d| d.current(l_ratio)).sum()
+    }
+
+    /// Highest per-chip current (binding constraint without GCP).
+    pub fn max_chip_current(&self, l_ratio: u32) -> u32 {
+        self.per_chip
+            .iter()
+            .map(|d| d.current(l_ratio))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl PcmBank {
+    /// A bank of `power.chips_per_bank` chips, each with `blocks` cell
+    /// blocks of `rows_per_block` data-unit rows.
+    pub fn new(
+        blocks: usize,
+        rows_per_block: usize,
+        power: PowerParams,
+        gcp_enabled: bool,
+    ) -> Result<Self, PcmError> {
+        power.validate()?;
+        let mut chips = Vec::with_capacity(power.chips_per_bank as usize);
+        for _ in 0..power.chips_per_bank {
+            chips.push(PcmChip::new(blocks, rows_per_block)?);
+        }
+        Ok(PcmBank {
+            chips,
+            power,
+            gcp_enabled,
+        })
+    }
+
+    /// Number of data-unit rows.
+    pub fn rows(&self) -> usize {
+        self.chips[0].rows()
+    }
+
+    /// Number of chips.
+    pub fn num_chips(&self) -> usize {
+        self.chips.len()
+    }
+
+    /// The bank's power parameters.
+    pub fn power(&self) -> &PowerParams {
+        &self.power
+    }
+
+    /// Whether GCP current stealing is enabled.
+    pub fn gcp_enabled(&self) -> bool {
+        self.gcp_enabled
+    }
+
+    /// A fresh pump matching this bank's configuration.
+    pub fn make_pump(&self) -> GlobalChargePump {
+        GlobalChargePump::new(
+            self.chips.len(),
+            self.power.budget_per_chip(),
+            self.gcp_enabled,
+        )
+    }
+
+    /// Read data unit `row`: 64 assembled data bits plus the flip tag
+    /// (owned by chip 0; the other chips' 17th column is unused).
+    pub fn read_unit(&self, row: usize) -> Result<(u64, bool), PcmError> {
+        let mut data = 0u64;
+        let mut flip = false;
+        for (j, chip) in self.chips.iter().enumerate() {
+            let SliceRead { data: d, flip: f } = chip.read_slice(row)?;
+            data |= (d as u64) << (j as u32 * CHIP_DATA_BITS);
+            if j == 0 {
+                flip = f;
+            }
+        }
+        Ok((data, flip))
+    }
+
+    /// Drive one programming tick of data unit `row` toward
+    /// `(new_data, new_flip)` with polarity `signal`, across all chips.
+    /// Only chip 0 drives the flip cell.
+    pub fn drive_unit(
+        &mut self,
+        row: usize,
+        new_data: u64,
+        new_flip: bool,
+        signal: WriteSignal,
+    ) -> Result<BankDrive, PcmError> {
+        let mut per_chip = Vec::with_capacity(self.chips.len());
+        for (j, chip) in self.chips.iter_mut().enumerate() {
+            let slice = (new_data >> (j as u32 * CHIP_DATA_BITS)) as u16;
+            let flip = (j == 0).then_some(new_flip);
+            per_chip.push(chip.drive_slice(row, slice, flip, signal)?);
+        }
+        Ok(BankDrive { per_chip })
+    }
+
+    /// Immediately write a unit (both phases back to back); used to
+    /// initialize array contents in tests and examples.
+    pub fn write_unit_immediate(
+        &mut self,
+        row: usize,
+        data: u64,
+        flip: bool,
+    ) -> Result<(), PcmError> {
+        self.drive_unit(row, data, flip, WriteSignal::One)?;
+        self.drive_unit(row, data, flip, WriteSignal::Zero)?;
+        Ok(())
+    }
+
+    /// Maximum cell wear across the bank.
+    pub fn max_wear(&self) -> u32 {
+        self.chips.iter().map(|c| c.max_wear()).max().unwrap_or(0)
+    }
+
+    /// Total programming pulses absorbed by the bank.
+    pub fn total_wear(&self) -> u64 {
+        self.chips.iter().map(|c| c.total_wear()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bank() -> PcmBank {
+        PcmBank::new(1, 8, PowerParams::paper_baseline(), true).unwrap()
+    }
+
+    #[test]
+    fn unit_spans_four_chips() {
+        let mut b = bank();
+        let v = 0xDEAD_BEEF_CAFE_F00Du64;
+        b.write_unit_immediate(5, v, true).unwrap();
+        assert_eq!(b.read_unit(5).unwrap(), (v, true));
+    }
+
+    #[test]
+    fn drive_current_reflects_changed_bits_per_chip() {
+        let mut b = bank();
+        // 3 SET bits in chip 0's slice, 1 in chip 3's.
+        let v = 0b0111u64 | 1u64 << 63;
+        let d = b.drive_unit(0, v, false, WriteSignal::One).unwrap();
+        assert_eq!(d.per_chip[0].current(2), 3);
+        assert_eq!(d.per_chip[1].current(2), 0);
+        assert_eq!(d.per_chip[3].current(2), 1);
+        assert_eq!(d.total_current(2), 4);
+        assert_eq!(d.max_chip_current(2), 3);
+    }
+
+    #[test]
+    fn reset_current_weighted_by_l() {
+        let mut b = bank();
+        b.write_unit_immediate(0, u64::MAX, false).unwrap();
+        let d = b.drive_unit(0, 0, false, WriteSignal::Zero).unwrap();
+        // 64 RESETs × L=2 = 128 SET-equivalents bank-wide.
+        assert_eq!(d.total_current(2), 128);
+    }
+
+    #[test]
+    fn pump_matches_power_config() {
+        let b = bank();
+        let pump = b.make_pump();
+        assert_eq!(pump.bank_budget(), 128);
+    }
+
+    #[test]
+    fn immediate_write_is_differential() {
+        let mut b = bank();
+        b.write_unit_immediate(0, 0xF, false).unwrap();
+        let wear_after_first = b.total_wear();
+        assert_eq!(wear_after_first, 4);
+        b.write_unit_immediate(0, 0xF, false).unwrap();
+        assert_eq!(b.total_wear(), wear_after_first, "no redundant pulses");
+    }
+}

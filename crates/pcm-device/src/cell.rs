@@ -1,0 +1,173 @@
+//! A single SLC PCM cell.
+//!
+//! The cell is a slab of Ge₂Sb₂Te₅ between a heater and two electrodes.
+//! Its phase determines resistance: amorphous is ~10⁴–10⁶× more resistive
+//! than crystalline, which is what the sense amplifier discriminates. We
+//! model logical state, programming via pulses, and wear (each RESET/SET
+//! cycle degrades the GST; SLC endurance is ~10⁸ writes).
+
+use crate::pulse::{Pulse, PulseKind};
+use serde::{Deserialize, Serialize};
+
+/// Phase state of the GST material.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CellState {
+    /// Amorphous (high resistance) — logical '0'.
+    Amorphous,
+    /// Crystalline (low resistance) — logical '1'.
+    Crystalline,
+}
+
+impl CellState {
+    /// Logical bit value stored by this state.
+    pub const fn bit(self) -> bool {
+        matches!(self, CellState::Crystalline)
+    }
+
+    /// State that stores the given bit.
+    pub const fn from_bit(bit: bool) -> Self {
+        if bit {
+            CellState::Crystalline
+        } else {
+            CellState::Amorphous
+        }
+    }
+}
+
+/// Representative resistance levels (Ω) used by the sense model; the exact
+/// values only need the orders-of-magnitude contrast the paper describes.
+pub const R_AMORPHOUS_OHM: u64 = 1_000_000;
+/// Crystalline (SET) resistance level.
+pub const R_CRYSTALLINE_OHM: u64 = 10_000;
+
+/// One PCM cell: phase state plus accumulated programming wear.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PcmCell {
+    state: CellState,
+    writes: u64,
+}
+
+impl Default for PcmCell {
+    /// Cells come up amorphous ('0') after manufacture.
+    fn default() -> Self {
+        PcmCell {
+            state: CellState::Amorphous,
+            writes: 0,
+        }
+    }
+}
+
+impl PcmCell {
+    /// A cell initialized to store `bit` with zero wear.
+    pub const fn new(bit: bool) -> Self {
+        PcmCell {
+            state: CellState::from_bit(bit),
+            writes: 0,
+        }
+    }
+
+    /// Current phase state.
+    pub const fn state(&self) -> CellState {
+        self.state
+    }
+
+    /// Number of programming pulses this cell has absorbed.
+    pub const fn wear(&self) -> u64 {
+        self.writes
+    }
+
+    /// Apply a programming/read pulse.
+    ///
+    /// Returns the sensed bit for a READ pulse, `None` otherwise. A
+    /// programming pulse always increments wear, even when the cell was
+    /// already in the target state — avoiding such redundant pulses is
+    /// exactly what DCW-style differential writes are for.
+    pub fn apply(&mut self, pulse: Pulse) -> Option<bool> {
+        match pulse.kind {
+            PulseKind::Set => {
+                self.state = CellState::Crystalline;
+                self.writes += 1;
+                None
+            }
+            PulseKind::Reset => {
+                self.state = CellState::Amorphous;
+                self.writes += 1;
+                None
+            }
+            PulseKind::Read => Some(self.read()),
+        }
+    }
+
+    /// Non-destructive read: sense the resistance level and threshold it.
+    pub const fn read(&self) -> bool {
+        self.resistance_ohm() < (R_AMORPHOUS_OHM + R_CRYSTALLINE_OHM) / 2
+    }
+
+    /// Resistance presented to the sense amplifier.
+    pub const fn resistance_ohm(&self) -> u64 {
+        match self.state {
+            CellState::Amorphous => R_AMORPHOUS_OHM,
+            CellState::Crystalline => R_CRYSTALLINE_OHM,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pulse::PulseLibrary;
+
+    #[test]
+    fn fresh_cell_reads_zero() {
+        let c = PcmCell::default();
+        assert!(!c.read());
+        assert_eq!(c.wear(), 0);
+    }
+
+    #[test]
+    fn set_then_reset_roundtrip() {
+        let lib = PulseLibrary::paper_baseline();
+        let mut c = PcmCell::default();
+        c.apply(lib.set);
+        assert!(c.read(), "SET stores '1'");
+        assert_eq!(c.state(), CellState::Crystalline);
+        c.apply(lib.reset);
+        assert!(!c.read(), "RESET stores '0'");
+        assert_eq!(c.state(), CellState::Amorphous);
+        assert_eq!(c.wear(), 2);
+    }
+
+    #[test]
+    fn read_does_not_wear_or_disturb() {
+        let lib = PulseLibrary::paper_baseline();
+        let mut c = PcmCell::new(true);
+        for _ in 0..1000 {
+            assert_eq!(c.apply(lib.read), Some(true));
+        }
+        assert_eq!(c.wear(), 0);
+        assert_eq!(c.state(), CellState::Crystalline);
+    }
+
+    #[test]
+    fn redundant_program_still_wears() {
+        let lib = PulseLibrary::paper_baseline();
+        let mut c = PcmCell::new(true);
+        c.apply(lib.set);
+        assert_eq!(c.wear(), 1, "non-differential writes waste endurance");
+    }
+
+    #[test]
+    fn resistance_contrast_is_orders_of_magnitude() {
+        let zero = PcmCell::new(false);
+        let one = PcmCell::new(true);
+        assert!(zero.resistance_ohm() >= 100 * one.resistance_ohm());
+    }
+
+    #[test]
+    fn state_bit_mapping() {
+        assert!(CellState::Crystalline.bit());
+        assert!(!CellState::Amorphous.bit());
+        assert_eq!(CellState::from_bit(true), CellState::Crystalline);
+        assert_eq!(CellState::from_bit(false), CellState::Amorphous);
+    }
+}

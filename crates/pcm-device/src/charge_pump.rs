@@ -1,0 +1,306 @@
+//! Charge-pump current metering.
+//!
+//! The pump converts the supply rail into programming current; power-line
+//! noise bounds its instantaneous output, which is the physical origin of
+//! the write-unit limit. [`ChargePump`] meters one chip. With the **global
+//! charge pump** (GCP, Jiang et al., adopted in §IV), a bridge chip and
+//! dedicated wires let a chip *steal* headroom from its neighbours, making
+//! the bank budget fungible — which is what lets Tetris Write schedule in
+//! bank-level SET-equivalents. [`CurrentMeter`] tracks a whole timeline of
+//! sub-write-unit slots so schedules can be audited tick by tick.
+
+use pcm_types::PcmError;
+use serde::{Deserialize, Serialize};
+
+/// Instantaneous current meter for one chip's pump.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ChargePump {
+    budget: u32,
+    draw: u32,
+}
+
+impl ChargePump {
+    /// A pump able to source `budget` SET-equivalents at once.
+    pub const fn new(budget: u32) -> Self {
+        ChargePump { budget, draw: 0 }
+    }
+
+    /// Maximum instantaneous output.
+    pub const fn budget(&self) -> u32 {
+        self.budget
+    }
+
+    /// Current draw right now.
+    pub const fn draw(&self) -> u32 {
+        self.draw
+    }
+
+    /// Remaining headroom.
+    pub const fn headroom(&self) -> u32 {
+        self.budget - self.draw
+    }
+
+    /// Reserve `amount` SET-equivalents; fails if the pump would sag.
+    pub fn try_draw(&mut self, amount: u32) -> Result<(), PcmError> {
+        if self.draw + amount > self.budget {
+            return Err(PcmError::PowerBudgetViolation {
+                slot: 0,
+                demand: self.draw + amount,
+                budget: self.budget,
+            });
+        }
+        self.draw += amount;
+        Ok(())
+    }
+
+    /// Release previously drawn current.
+    ///
+    /// # Panics
+    /// If releasing more than is drawn (an accounting bug).
+    pub fn release(&mut self, amount: u32) {
+        assert!(amount <= self.draw, "releasing more current than drawn");
+        self.draw -= amount;
+    }
+}
+
+/// A bank's pumps: per-chip budgets plus GCP stealing.
+#[derive(Clone, Debug)]
+pub struct GlobalChargePump {
+    chips: Vec<ChargePump>,
+    gcp_enabled: bool,
+}
+
+impl GlobalChargePump {
+    /// `chips` pumps of `budget_per_chip` each; `gcp_enabled` allows
+    /// cross-chip stealing up to the summed bank budget.
+    pub fn new(chips: usize, budget_per_chip: u32, gcp_enabled: bool) -> Self {
+        GlobalChargePump {
+            chips: vec![ChargePump::new(budget_per_chip); chips],
+            gcp_enabled,
+        }
+    }
+
+    /// Total bank budget.
+    pub fn bank_budget(&self) -> u32 {
+        self.chips.iter().map(|c| c.budget()).sum()
+    }
+
+    /// Total instantaneous draw across the bank.
+    pub fn bank_draw(&self) -> u32 {
+        self.chips.iter().map(|c| c.draw()).sum()
+    }
+
+    /// Try to source `amount` for chip `chip`.
+    ///
+    /// Without GCP the chip is limited to its own pump. With GCP the draw
+    /// succeeds as long as the *bank* has headroom (the bridge chip routes
+    /// neighbours' spare current).
+    pub fn try_draw(&mut self, chip: usize, amount: u32) -> Result<(), PcmError> {
+        if self.gcp_enabled {
+            let total = self.bank_draw() + amount;
+            if total > self.bank_budget() {
+                return Err(PcmError::PowerBudgetViolation {
+                    slot: 0,
+                    demand: total,
+                    budget: self.bank_budget(),
+                });
+            }
+            // Account the draw against the requesting chip, spilling the
+            // stolen excess onto the chips with headroom.
+            let mut remaining = amount;
+            let own = self.chips[chip].headroom().min(remaining);
+            self.chips[chip].try_draw(own)?;
+            remaining -= own;
+            for (i, pump) in self.chips.iter_mut().enumerate() {
+                if remaining == 0 {
+                    break;
+                }
+                if i == chip {
+                    continue;
+                }
+                let steal = pump.headroom().min(remaining);
+                pump.try_draw(steal)?;
+                remaining -= steal;
+            }
+            debug_assert_eq!(remaining, 0);
+            Ok(())
+        } else {
+            self.chips[chip].try_draw(amount)
+        }
+    }
+
+    /// Release `amount` from the bank (inverse of a successful `try_draw`).
+    pub fn release(&mut self, amount: u32) {
+        let mut remaining = amount;
+        for pump in self.chips.iter_mut().rev() {
+            let r = pump.draw().min(remaining);
+            pump.release(r);
+            remaining -= r;
+            if remaining == 0 {
+                return;
+            }
+        }
+        assert_eq!(remaining, 0, "releasing more current than drawn");
+    }
+}
+
+/// Slot-by-slot current audit of a write schedule.
+///
+/// Slot granularity is one sub-write-unit (Treset-scale); a write unit
+/// spans `K` consecutive slots (Fig. 5).
+#[derive(Clone, Debug, Default)]
+pub struct CurrentMeter {
+    slots: Vec<u32>,
+    budget: u32,
+}
+
+impl CurrentMeter {
+    /// Meter with the given budget and no slots yet.
+    pub fn new(budget: u32) -> Self {
+        CurrentMeter {
+            slots: Vec::new(),
+            budget,
+        }
+    }
+
+    /// The budget being enforced.
+    pub fn budget(&self) -> u32 {
+        self.budget
+    }
+
+    /// Add `amount` to every slot in `[start, end)`, enforcing the budget.
+    pub fn add(&mut self, start: usize, end: usize, amount: u32) -> Result<(), PcmError> {
+        if end > self.slots.len() {
+            self.slots.resize(end, 0);
+        }
+        for slot in start..end {
+            if self.slots[slot] + amount > self.budget {
+                return Err(PcmError::PowerBudgetViolation {
+                    slot,
+                    demand: self.slots[slot] + amount,
+                    budget: self.budget,
+                });
+            }
+        }
+        for slot in start..end {
+            self.slots[slot] += amount;
+        }
+        Ok(())
+    }
+
+    /// Draw in one slot.
+    pub fn slot_draw(&self, slot: usize) -> u32 {
+        self.slots.get(slot).copied().unwrap_or(0)
+    }
+
+    /// Number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if no current was ever metered.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Peak instantaneous draw.
+    pub fn peak(&self) -> u32 {
+        self.slots.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Average budget utilization over the occupied slots, in [0, 1].
+    ///
+    /// This is the quantity the paper's Observations say existing schemes
+    /// leave at ~15–30%.
+    pub fn utilization(&self) -> f64 {
+        if self.slots.is_empty() || self.budget == 0 {
+            return 0.0;
+        }
+        let used: u64 = self.slots.iter().map(|&s| s as u64).sum();
+        used as f64 / (self.budget as u64 * self.slots.len() as u64) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pump_enforces_budget() {
+        let mut p = ChargePump::new(32);
+        assert!(p.try_draw(30).is_ok());
+        assert_eq!(p.headroom(), 2);
+        assert!(p.try_draw(3).is_err(), "would sag the pump");
+        assert!(p.try_draw(2).is_ok());
+        p.release(32);
+        assert_eq!(p.draw(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "releasing more")]
+    fn over_release_panics() {
+        let mut p = ChargePump::new(32);
+        p.release(1);
+    }
+
+    #[test]
+    fn gcp_steals_across_chips() {
+        // Uneven cache-line data: one chip needs 40 > its own 32.
+        let mut g = GlobalChargePump::new(4, 32, true);
+        assert!(g.try_draw(0, 40).is_ok(), "GCP steals 8 from neighbours");
+        assert_eq!(g.bank_draw(), 40);
+        assert!(g.try_draw(1, 88).is_ok(), "bank still has 128 − 40 = 88");
+        assert!(g.try_draw(2, 1).is_err(), "bank budget exhausted");
+        g.release(128);
+        assert_eq!(g.bank_draw(), 0);
+    }
+
+    #[test]
+    fn without_gcp_chip_budget_binds() {
+        let mut g = GlobalChargePump::new(4, 32, false);
+        assert!(g.try_draw(0, 40).is_err(), "no stealing without GCP");
+        assert!(g.try_draw(0, 32).is_ok());
+    }
+
+    #[test]
+    fn meter_detects_violation_slot() {
+        let mut m = CurrentMeter::new(128);
+        m.add(0, 8, 100).unwrap();
+        let err = m.add(4, 6, 40).unwrap_err();
+        match err {
+            PcmError::PowerBudgetViolation {
+                slot,
+                demand,
+                budget,
+            } => {
+                assert_eq!(slot, 4);
+                assert_eq!(demand, 140);
+                assert_eq!(budget, 128);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // Failed add must not partially apply.
+        assert_eq!(m.slot_draw(4), 100);
+    }
+
+    #[test]
+    fn meter_utilization() {
+        let mut m = CurrentMeter::new(100);
+        m.add(0, 2, 50).unwrap();
+        assert_eq!(m.peak(), 50);
+        assert!((m.utilization() - 0.5).abs() < 1e-9);
+        m.add(0, 1, 50).unwrap();
+        assert_eq!(m.peak(), 100);
+        assert!((m.utilization() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn meter_grows_on_demand() {
+        let mut m = CurrentMeter::new(10);
+        assert!(m.is_empty());
+        m.add(5, 7, 3).unwrap();
+        assert_eq!(m.len(), 7);
+        assert_eq!(m.slot_draw(0), 0);
+        assert_eq!(m.slot_draw(6), 3);
+    }
+}

@@ -1,0 +1,291 @@
+//! The PCM chip datapath (Fig. 6b).
+//!
+//! An X16 chip contributes a 16-bit slice (plus one flip cell) of every
+//! 64-bit data unit. The Tetris datapath extends the traditional one with:
+//!
+//! * an **X136 write buffer** (128 data bits + 8 flip bits — a full cache
+//!   line's slice for this chip),
+//! * **0/1 counters** that tally the SET/RESET demand of each data unit as
+//!   the old data streams out of the sense amps,
+//! * **Reg0 / Reg1** — two 48-bit registers holding, for each of the 8 data
+//!   units, a 3-bit label and a (≤ 6-bit) count of pending write-0s /
+//!   write-1s.
+//!
+//! Rows in this model are data-unit slots: row `r` holds this chip's 16-bit
+//! slice of data unit `r`, plus the unit's flip cell in column 16.
+
+use crate::array::CellBlock;
+use crate::write_driver::{DriveOutputs, WriteDriver, WriteSignal};
+use pcm_types::PcmError;
+
+/// Data bits per chip slice (X16).
+pub const CHIP_DATA_BITS: u32 = 16;
+/// Slice width including the flip cell.
+pub const CHIP_SLICE_BITS: u32 = CHIP_DATA_BITS + 1;
+/// Mask of the data bits within a slice word.
+pub const DATA_MASK: u64 = (1 << CHIP_DATA_BITS) - 1;
+/// Bit position of the flip cell within a slice word.
+pub const FLIP_BIT: u64 = 1 << CHIP_DATA_BITS;
+
+/// One data unit's slice as read from the array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SliceRead {
+    /// The 16 stored data bits.
+    pub data: u16,
+    /// The stored flip tag.
+    pub flip: bool,
+}
+
+/// Analysis registers: per-data-unit label and pending-write count.
+///
+/// The real hardware packs 8 × 6 bits into one 48-bit register; we keep the
+/// fields separate but assert the same width limits.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AnalysisReg {
+    labels: [u8; 8],
+    counts: [u8; 8],
+    len: usize,
+}
+
+impl AnalysisReg {
+    /// Load label/count pairs (≤ 8 entries; labels ≤ 7, counts ≤ 63 to fit
+    /// the 48-bit register budget the paper sizes).
+    pub fn load(&mut self, entries: &[(u8, u8)]) -> Result<(), PcmError> {
+        if entries.len() > 8 {
+            return Err(PcmError::config("Reg holds at most 8 data units"));
+        }
+        for &(label, count) in entries {
+            if label > 7 {
+                return Err(PcmError::config("unit label exceeds 3 bits"));
+            }
+            if count > 63 {
+                return Err(PcmError::config("count exceeds 6 bits"));
+            }
+        }
+        self.labels = [0; 8];
+        self.counts = [0; 8];
+        for (i, &(label, count)) in entries.iter().enumerate() {
+            self.labels[i] = label;
+            self.counts[i] = count;
+        }
+        self.len = entries.len();
+        Ok(())
+    }
+
+    /// Entry `i` as (label, count).
+    pub fn entry(&self, i: usize) -> Option<(u8, u8)> {
+        (i < self.len).then(|| (self.labels[i], self.counts[i]))
+    }
+
+    /// Number of loaded entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are loaded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// One PCM chip: cell blocks behind GYDEC/S/A/DOUT, the Tetris write logic
+/// registers, and the write driver.
+#[derive(Clone, Debug)]
+pub struct PcmChip {
+    blocks: Vec<CellBlock>,
+    rows_per_block: usize,
+    driver: WriteDriver,
+    /// Reg0: pending write-0 labels/counts.
+    pub reg0: AnalysisReg,
+    /// Reg1: pending write-1 labels/counts.
+    pub reg1: AnalysisReg,
+}
+
+impl PcmChip {
+    /// A chip of `blocks` cell blocks × `rows_per_block` data-unit rows.
+    pub fn new(blocks: usize, rows_per_block: usize) -> Result<Self, PcmError> {
+        if blocks == 0 {
+            return Err(PcmError::config("chip needs at least one cell block"));
+        }
+        let mut bs = Vec::with_capacity(blocks);
+        for _ in 0..blocks {
+            bs.push(CellBlock::new(rows_per_block, CHIP_SLICE_BITS as usize)?);
+        }
+        Ok(PcmChip {
+            blocks: bs,
+            rows_per_block,
+            driver: WriteDriver::new(CHIP_SLICE_BITS),
+            reg0: AnalysisReg::default(),
+            reg1: AnalysisReg::default(),
+        })
+    }
+
+    /// Total data-unit rows.
+    pub fn rows(&self) -> usize {
+        self.blocks.len() * self.rows_per_block
+    }
+
+    fn locate(&self, row: usize) -> Result<(usize, usize), PcmError> {
+        if row >= self.rows() {
+            return Err(PcmError::config(format!("chip row {row} out of range")));
+        }
+        Ok((row / self.rows_per_block, row % self.rows_per_block))
+    }
+
+    /// Read one slice through GYDEC → S/A → DOUT (synchronous burst path).
+    pub fn read_slice(&self, row: usize) -> Result<SliceRead, PcmError> {
+        let (b, r) = self.locate(row)?;
+        let word = self.blocks[b].read_row(r)?;
+        Ok(SliceRead {
+            data: (word & DATA_MASK) as u16,
+            flip: word & FLIP_BIT != 0,
+        })
+    }
+
+    /// Burst-read `count` consecutive slices (the 8-word prefetch domain).
+    pub fn burst_read(&self, start_row: usize, count: usize) -> Result<Vec<SliceRead>, PcmError> {
+        (start_row..start_row + count)
+            .map(|r| self.read_slice(r))
+            .collect()
+    }
+
+    /// The 0/1 counter component: SET/RESET demand of writing `new` over
+    /// the currently stored slice (flip cell included).
+    pub fn count_zeros_ones(
+        &self,
+        row: usize,
+        new_data: u16,
+        new_flip: bool,
+    ) -> Result<(u32, u32), PcmError> {
+        let old = self.read_slice(row)?;
+        let old_w = old.data as u64 | if old.flip { FLIP_BIT } else { 0 };
+        let new_w = new_data as u64 | if new_flip { FLIP_BIT } else { 0 };
+        let t = pcm_types::transitions(old_w, new_w);
+        Ok((t.num_sets(), t.num_resets()))
+    }
+
+    /// Drive one programming tick: the write driver compares the stored
+    /// slice with `(new_data, new_flip)` and pulses only the bits selected
+    /// by `signal`. Returns the asserted enables (for current accounting).
+    ///
+    /// `new_flip = None` leaves the flip cell untouched — used by the chips
+    /// of a bank that do not own the unit's flip tag.
+    pub fn drive_slice(
+        &mut self,
+        row: usize,
+        new_data: u16,
+        new_flip: Option<bool>,
+        signal: WriteSignal,
+    ) -> Result<DriveOutputs, PcmError> {
+        let old = self.read_slice(row)?;
+        let old_w = old.data as u64 | if old.flip { FLIP_BIT } else { 0 };
+        let new_flip = new_flip.unwrap_or(old.flip);
+        let new_w = new_data as u64 | if new_flip { FLIP_BIT } else { 0 };
+        let out = self.driver.drive(old_w, new_w, signal);
+        let (b, r) = self.locate(row)?;
+        self.blocks[b].program_row(r, out.set_enable, out.reset_enable)?;
+        Ok(out)
+    }
+
+    /// Maximum cell wear across the chip.
+    pub fn max_wear(&self) -> u32 {
+        self.blocks.iter().map(|b| b.max_wear()).max().unwrap_or(0)
+    }
+
+    /// Total programming pulses absorbed by the chip.
+    pub fn total_wear(&self) -> u64 {
+        self.blocks.iter().map(|b| b.total_wear()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chip() -> PcmChip {
+        PcmChip::new(4, 8).unwrap()
+    }
+
+    #[test]
+    fn geometry() {
+        let c = chip();
+        assert_eq!(c.rows(), 32);
+        assert!(c.read_slice(31).is_ok());
+        assert!(c.read_slice(32).is_err());
+    }
+
+    #[test]
+    fn two_phase_write_realizes_data() {
+        let mut c = chip();
+        // Phase 1 (FSM1): SETs; phase 0 (FSM0): RESETs.
+        c.drive_slice(3, 0xBEEF, Some(true), WriteSignal::One)
+            .unwrap();
+        c.drive_slice(3, 0xBEEF, Some(true), WriteSignal::Zero)
+            .unwrap();
+        let s = c.read_slice(3).unwrap();
+        assert_eq!(s.data, 0xBEEF);
+        assert!(s.flip);
+        // Overwrite with different data.
+        c.drive_slice(3, 0x1234, Some(false), WriteSignal::One)
+            .unwrap();
+        c.drive_slice(3, 0x1234, Some(false), WriteSignal::Zero)
+            .unwrap();
+        let s = c.read_slice(3).unwrap();
+        assert_eq!(s.data, 0x1234);
+        assert!(!s.flip);
+    }
+
+    #[test]
+    fn counters_match_transitions() {
+        let mut c = chip();
+        c.drive_slice(0, 0x00FF, Some(false), WriteSignal::One)
+            .unwrap();
+        let (sets, resets) = c.count_zeros_ones(0, 0x0F0F, false).unwrap();
+        // 0x00FF → 0x0F0F: bits 8–11 set (4 SETs), bits 4–7 reset (4 RESETs).
+        assert_eq!(sets, 4);
+        assert_eq!(resets, 4);
+    }
+
+    #[test]
+    fn counters_include_flip_cell() {
+        let c = chip();
+        let (sets, resets) = c.count_zeros_ones(0, 0, true).unwrap();
+        assert_eq!((sets, resets), (1, 0), "flip cell 0→1 is one SET");
+    }
+
+    #[test]
+    fn burst_read_prefetches_a_line_slice() {
+        let mut c = chip();
+        for row in 0..8 {
+            c.drive_slice(row, row as u16, Some(false), WriteSignal::One)
+                .unwrap();
+        }
+        let slices = c.burst_read(0, 8).unwrap();
+        assert_eq!(slices.len(), 8);
+        for (i, s) in slices.iter().enumerate() {
+            assert_eq!(s.data, i as u16);
+        }
+    }
+
+    #[test]
+    fn wear_accumulates_only_on_changed_bits() {
+        let mut c = chip();
+        c.drive_slice(0, 0b1, Some(false), WriteSignal::One)
+            .unwrap();
+        c.drive_slice(0, 0b1, Some(false), WriteSignal::One)
+            .unwrap(); // no-op
+        assert_eq!(c.total_wear(), 1);
+    }
+
+    #[test]
+    fn analysis_registers_enforce_widths() {
+        let mut c = chip();
+        assert!(c.reg1.load(&[(0, 8), (1, 7), (7, 63)]).is_ok());
+        assert_eq!(c.reg1.len(), 3);
+        assert_eq!(c.reg1.entry(0), Some((0, 8)));
+        assert_eq!(c.reg1.entry(3), None);
+        assert!(c.reg0.load(&[(8, 0)]).is_err(), "label exceeds 3 bits");
+        assert!(c.reg0.load(&[(0, 64)]).is_err(), "count exceeds 6 bits");
+        assert!(c.reg0.load(&[(0, 0); 9]).is_err(), "more than 8 units");
+    }
+}

@@ -1,0 +1,352 @@
+//! A clocked, state-by-state model of FSM0/FSM1 (Fig. 8), driven by the
+//! memory-bus clock.
+//!
+//! [`crate::fsm::FsmExecutor`] replays schedules at sub-slot granularity
+//! with exact picosecond timing; this module instead walks the two state
+//! machines the way the hardware does — `GetUnits → assert MUX + write
+//! signals → initialize counter → wait until the counter expires → repeat`
+//! — one clock tick at a time. Because counters count whole clock cycles,
+//! pulse windows quantize up (`Tset = 430 ns → 172 cycles` at 400 MHz, a
+//! sub-slot `Tset/8 = 53.75 ns → 22 cycles = 55 ns`), so the clocked
+//! makespan is slightly *longer* than Eq. 5 — the quantization cost of a
+//! real controller, bounded at a few percent (tested).
+
+use crate::bank::PcmBank;
+use crate::fsm::{ScheduledBitWrite, WriteOp};
+use crate::write_driver::WriteSignal;
+use pcm_types::{PcmError, PcmTimings, Ps};
+use std::collections::VecDeque;
+
+/// One queue entry: a pulse scheduled at a sub-slot index.
+#[derive(Clone, Copy, Debug)]
+struct QueueEntry {
+    start_slot: usize,
+    job: ScheduledBitWrite,
+}
+
+/// The Fig. 8 states (shared by both machines; the counter target differs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FsmState {
+    /// Pop the next unit(s) from the queue; assert MUX + write signals.
+    GetUnits,
+    /// Count down `Tset` (FSM1) / one sub-slot (FSM0) in clock cycles.
+    Wait {
+        /// Remaining cycles before the pulse window closes.
+        counter: u64,
+    },
+    /// Queue drained.
+    Idle,
+}
+
+/// Execution report of the clocked run.
+#[derive(Clone, Debug)]
+pub struct ClockedReport {
+    /// Clock ticks until both FSMs idle.
+    pub ticks: u64,
+    /// Wall-clock makespan (`ticks × Tclk`).
+    pub makespan: Ps,
+    /// Pulses issued by FSM1 (write-1 pulses, possibly chunked).
+    pub fsm1_pulses: u64,
+    /// Pulses issued by FSM0 (write-0 pulses).
+    pub fsm0_pulses: u64,
+}
+
+/// Clocked executor for a schedule's FSM queues.
+#[derive(Debug)]
+pub struct ClockedFsmPair {
+    timings: PcmTimings,
+    clk: Ps,
+    slot_cycles: u64,
+    set_cycles: u64,
+}
+
+impl ClockedFsmPair {
+    /// Executor at `clock_mhz` (the paper's memory bus runs at 400 MHz).
+    pub fn new(timings: PcmTimings, clock_mhz: u64) -> Result<Self, PcmError> {
+        timings.validate()?;
+        if clock_mhz == 0 {
+            return Err(PcmError::config("clock must be non-zero"));
+        }
+        let clk = Ps::from_cycles(1, clock_mhz);
+        // Counters quantize pulse windows up to whole cycles.
+        let slot_cycles = timings.sub_unit_duration().div_ceil_duration(clk);
+        let set_cycles = slot_cycles * timings.k_ratio();
+        Ok(ClockedFsmPair {
+            timings,
+            clk,
+            slot_cycles,
+            set_cycles,
+        })
+    }
+
+    /// Clock period.
+    pub fn clock(&self) -> Ps {
+        self.clk
+    }
+
+    /// Cycles one sub-slot occupies.
+    pub fn slot_cycles(&self) -> u64 {
+        self.slot_cycles
+    }
+
+    /// Run the schedule to completion, tick by tick.
+    ///
+    /// Jobs are split into the two queues exactly as the analysis stage
+    /// hands them over; each FSM pops entries whose slot has arrived,
+    /// drives the bank through the write driver, and waits out its counter.
+    pub fn execute(
+        &self,
+        bank: &mut PcmBank,
+        jobs: &[ScheduledBitWrite],
+    ) -> Result<ClockedReport, PcmError> {
+        let mut q1: VecDeque<QueueEntry> = jobs
+            .iter()
+            .filter(|j| j.op == WriteOp::Set)
+            .map(|&job| QueueEntry {
+                start_slot: job.start_slot,
+                job,
+            })
+            .collect();
+        let mut q0: VecDeque<QueueEntry> = jobs
+            .iter()
+            .filter(|j| j.op == WriteOp::Reset)
+            .map(|&job| QueueEntry {
+                start_slot: job.start_slot,
+                job,
+            })
+            .collect();
+        let by_slot = |a: &QueueEntry, b: &QueueEntry| a.start_slot.cmp(&b.start_slot);
+        q1.make_contiguous().sort_by(by_slot);
+        q0.make_contiguous().sort_by(by_slot);
+
+        let mut s1 = if q1.is_empty() {
+            FsmState::Idle
+        } else {
+            FsmState::GetUnits
+        };
+        let mut s0 = if q0.is_empty() {
+            FsmState::Idle
+        } else {
+            FsmState::GetUnits
+        };
+        let mut tick: u64 = 0;
+        let mut busy_until: u64 = 0; // ticks with at least one pulse window open
+        let mut fsm1_pulses = 0u64;
+        let mut fsm0_pulses = 0u64;
+        // Hard stop: every job serialized end to end, plus slack.
+        let limit = (jobs.len() as u64 + 2) * self.set_cycles + 64;
+
+        while s1 != FsmState::Idle || s0 != FsmState::Idle {
+            if tick > limit {
+                return Err(PcmError::IncompleteSchedule(
+                    "clocked FSMs failed to drain their queues".into(),
+                ));
+            }
+            // FSM1: one SET window at a time, aligned to its scheduled slot.
+            s1 = match s1 {
+                FsmState::GetUnits => match q1.front() {
+                    None => FsmState::Idle,
+                    Some(e) if (e.start_slot as u64) * self.slot_cycles <= tick => {
+                        // Pop every unit scheduled in this write unit's
+                        // window (same start slot) — they share the pulse.
+                        let slot = e.start_slot;
+                        while let Some(e) = q1.front() {
+                            if e.start_slot != slot {
+                                break;
+                            }
+                            let e = q1.pop_front().expect("checked front");
+                            bank.drive_unit(
+                                e.job.unit_row,
+                                e.job.new_data,
+                                e.job.new_flip,
+                                WriteSignal::One,
+                            )?;
+                            fsm1_pulses += 1;
+                        }
+                        busy_until = busy_until.max(tick + self.set_cycles);
+                        FsmState::Wait {
+                            counter: self.set_cycles,
+                        }
+                    }
+                    Some(_) => FsmState::GetUnits, // scheduled later; hold
+                },
+                FsmState::Wait { counter: 1 } => FsmState::GetUnits,
+                FsmState::Wait { counter } => FsmState::Wait {
+                    counter: counter - 1,
+                },
+                FsmState::Idle => FsmState::Idle,
+            };
+            // FSM0: one sub-slot window at a time.
+            s0 = match s0 {
+                FsmState::GetUnits => match q0.front() {
+                    None => FsmState::Idle,
+                    Some(e) if (e.start_slot as u64) * self.slot_cycles <= tick => {
+                        let slot = e.start_slot;
+                        while let Some(e) = q0.front() {
+                            if e.start_slot != slot {
+                                break;
+                            }
+                            let e = q0.pop_front().expect("checked front");
+                            bank.drive_unit(
+                                e.job.unit_row,
+                                e.job.new_data,
+                                e.job.new_flip,
+                                WriteSignal::Zero,
+                            )?;
+                            fsm0_pulses += 1;
+                        }
+                        busy_until = busy_until.max(tick + self.slot_cycles);
+                        FsmState::Wait {
+                            counter: self.slot_cycles,
+                        }
+                    }
+                    Some(_) => FsmState::GetUnits,
+                },
+                FsmState::Wait { counter: 1 } => FsmState::GetUnits,
+                FsmState::Wait { counter } => FsmState::Wait {
+                    counter: counter - 1,
+                },
+                FsmState::Idle => FsmState::Idle,
+            };
+            tick += 1;
+        }
+        let ticks = busy_until;
+        Ok(ClockedReport {
+            ticks,
+            makespan: self.clk * ticks,
+            fsm1_pulses,
+            fsm0_pulses,
+        })
+    }
+
+    /// The quantization stretch factor relative to exact sub-slot timing.
+    pub fn quantization_factor(&self) -> f64 {
+        (self.clk * self.slot_cycles).as_ps() as f64
+            / self.timings.sub_unit_duration().as_ps() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcm_types::PowerParams;
+
+    fn bank() -> PcmBank {
+        PcmBank::new(1, 8, PowerParams::paper_baseline(), true).unwrap()
+    }
+
+    fn pair() -> ClockedFsmPair {
+        ClockedFsmPair::new(PcmTimings::paper_baseline(), 400).unwrap()
+    }
+
+    #[test]
+    fn counters_quantize_up() {
+        let p = pair();
+        assert_eq!(p.clock(), Ps(2_500), "400 MHz");
+        // Sub-slot 53.75 ns → 22 cycles = 55 ns.
+        assert_eq!(p.slot_cycles(), 22);
+        assert!((p.quantization_factor() - 55.0 / 53.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simple_write_completes_with_bounded_stretch() {
+        let mut b = bank();
+        let jobs = [
+            ScheduledBitWrite {
+                unit_row: 0,
+                op: WriteOp::Set,
+                start_slot: 0,
+                new_data: 0xF0F0,
+                new_flip: false,
+            },
+            ScheduledBitWrite {
+                unit_row: 1,
+                op: WriteOp::Reset,
+                start_slot: 2,
+                new_data: 0,
+                new_flip: false,
+            },
+        ];
+        b.write_unit_immediate(1, 0xFF, false).unwrap();
+        let r = pair().execute(&mut b, &jobs).unwrap();
+        assert_eq!(b.read_unit(0).unwrap().0, 0xF0F0);
+        assert_eq!(b.read_unit(1).unwrap().0, 0);
+        assert_eq!(r.fsm1_pulses, 1);
+        assert_eq!(r.fsm0_pulses, 1);
+        // One SET window: 176 cycles = 440 ns; Eq. 5 would say 430 ns.
+        assert_eq!(r.ticks, 176);
+        let exact = Ps::from_ns(430);
+        let stretch = r.makespan.as_ps() as f64 / exact.as_ps() as f64;
+        assert!((1.0..1.03).contains(&stretch), "stretch {stretch}");
+    }
+
+    #[test]
+    fn matches_slot_executor_contents_on_real_schedules() {
+        use crate::fsm::FsmExecutor;
+        // Two write units of SETs + stolen RESETs, like a Tetris schedule.
+        let jobs = [
+            ScheduledBitWrite {
+                unit_row: 0,
+                op: WriteOp::Set,
+                start_slot: 0,
+                new_data: 0xFFFF,
+                new_flip: false,
+            },
+            ScheduledBitWrite {
+                unit_row: 1,
+                op: WriteOp::Set,
+                start_slot: 0,
+                new_data: 0xFF,
+                new_flip: true,
+            },
+            ScheduledBitWrite {
+                unit_row: 2,
+                op: WriteOp::Set,
+                start_slot: 8,
+                new_data: 0xF0F0_F0F0,
+                new_flip: false,
+            },
+            ScheduledBitWrite {
+                unit_row: 3,
+                op: WriteOp::Reset,
+                start_slot: 3,
+                new_data: 0,
+                new_flip: false,
+            },
+        ];
+        let mut init = bank();
+        init.write_unit_immediate(3, 0b111, false).unwrap();
+        let mut exact_bank = init.clone();
+        let mut clocked_bank = init;
+        let exact = FsmExecutor::new(PcmTimings::paper_baseline())
+            .unwrap()
+            .execute(&mut exact_bank, &jobs)
+            .unwrap();
+        let clocked = pair().execute(&mut clocked_bank, &jobs).unwrap();
+        // Same final contents…
+        for row in 0..4 {
+            assert_eq!(
+                exact_bank.read_unit(row).unwrap(),
+                clocked_bank.read_unit(row).unwrap(),
+                "row {row}"
+            );
+        }
+        // …same pulse counts, makespan within the quantization bound.
+        assert_eq!(clocked.fsm1_pulses + clocked.fsm0_pulses, 4);
+        let stretch = clocked.makespan.as_ps() as f64 / exact.makespan.as_ps() as f64;
+        assert!((1.0..1.03).contains(&stretch), "stretch {stretch}");
+    }
+
+    #[test]
+    fn empty_schedule_is_free() {
+        let mut b = bank();
+        let r = pair().execute(&mut b, &[]).unwrap();
+        assert_eq!(r.ticks, 0);
+        assert_eq!(r.makespan, Ps::ZERO);
+    }
+
+    #[test]
+    fn rejects_zero_clock() {
+        assert!(ClockedFsmPair::new(PcmTimings::paper_baseline(), 0).is_err());
+    }
+}

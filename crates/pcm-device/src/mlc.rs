@@ -1,0 +1,286 @@
+//! Multi-level-cell (MLC) PCM groundwork.
+//!
+//! The paper studies SLC "for its better write performance" (§II), but the
+//! GCP power-budgeting substrate it adopts comes from MLC work (FPB,
+//! ref. \[16\]), so an MLC cell model belongs in the device library. A
+//! 2-bit MLC cell distinguishes four resistance bands and is programmed by
+//! **program-and-verify (P&V)**: apply a partial pulse, read back, repeat
+//! until the target band is hit — which multiplies write latency and is
+//! exactly why MLC write scheduling gets even more budget-constrained than
+//! the SLC case the paper optimizes.
+
+use pcm_types::{PcmError, Ps};
+use serde::{Deserialize, Serialize};
+
+/// Resistance bands of a 2-bit MLC cell, from fully crystalline (`L3`,
+/// lowest resistance, bits `11`) to fully amorphous (`L0`, bits `00`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MlcLevel {
+    /// Fully amorphous — stores `00`.
+    L0,
+    /// Mostly amorphous — stores `01`.
+    L1,
+    /// Mostly crystalline — stores `10`.
+    L2,
+    /// Fully crystalline — stores `11`.
+    L3,
+}
+
+impl MlcLevel {
+    /// The two bits stored at this level.
+    pub const fn bits(self) -> u8 {
+        match self {
+            MlcLevel::L0 => 0b00,
+            MlcLevel::L1 => 0b01,
+            MlcLevel::L2 => 0b10,
+            MlcLevel::L3 => 0b11,
+        }
+    }
+
+    /// Level that stores the given two bits.
+    pub const fn from_bits(bits: u8) -> Self {
+        match bits & 0b11 {
+            0b00 => MlcLevel::L0,
+            0b01 => MlcLevel::L1,
+            0b10 => MlcLevel::L2,
+            _ => MlcLevel::L3,
+        }
+    }
+
+    /// Nominal resistance band midpoint (Ω). Bands are log-spaced across
+    /// the amorphous/crystalline contrast.
+    pub const fn resistance_ohm(self) -> u64 {
+        match self {
+            MlcLevel::L0 => 1_000_000,
+            MlcLevel::L1 => 200_000,
+            MlcLevel::L2 => 50_000,
+            MlcLevel::L3 => 10_000,
+        }
+    }
+
+    fn index(self) -> i8 {
+        match self {
+            MlcLevel::L0 => 0,
+            MlcLevel::L1 => 1,
+            MlcLevel::L2 => 2,
+            MlcLevel::L3 => 3,
+        }
+    }
+}
+
+/// P&V programming parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct MlcProgramParams {
+    /// Duration of one partial-SET iteration.
+    pub t_partial_set: Ps,
+    /// Duration of the verify read after each iteration.
+    pub t_verify: Ps,
+    /// Duration of the initial RESET that precedes staircase programming.
+    pub t_reset: Ps,
+    /// Iterations needed to move up one level (deterministic model).
+    pub iterations_per_level: u32,
+}
+
+impl Default for MlcProgramParams {
+    fn default() -> Self {
+        // Representative MLC PCM numbers: partial SETs are short anneals,
+        // each followed by a verify read; 2 iterations per band.
+        MlcProgramParams {
+            t_partial_set: Ps::from_ns(100),
+            t_verify: Ps::from_ns(50),
+            t_reset: Ps::from_ns(53),
+            iterations_per_level: 2,
+        }
+    }
+}
+
+/// Outcome of programming one MLC cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MlcProgramReport {
+    /// P&V iterations performed (0 when the cell already held the target).
+    pub iterations: u32,
+    /// Whether an initial RESET was required (target below current level).
+    pub reset_first: bool,
+    /// Total programming time.
+    pub time: Ps,
+}
+
+/// A 2-bit MLC cell programmed by RESET-then-staircase-SET P&V.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct MlcCell {
+    level: MlcLevel,
+    wear: u64,
+}
+
+impl Default for MlcCell {
+    fn default() -> Self {
+        MlcCell {
+            level: MlcLevel::L0,
+            wear: 0,
+        }
+    }
+}
+
+impl MlcCell {
+    /// Current level.
+    pub const fn level(&self) -> MlcLevel {
+        self.level
+    }
+
+    /// Read the stored bits (non-destructive resistance sensing).
+    pub const fn read(&self) -> u8 {
+        self.level.bits()
+    }
+
+    /// Programming pulses absorbed.
+    pub const fn wear(&self) -> u64 {
+        self.wear
+    }
+
+    /// Program the cell to `target` with P&V.
+    ///
+    /// Moving *up* (toward crystalline) uses partial SETs directly; moving
+    /// *down* requires a full RESET to `L0` first, then the staircase back
+    /// up — the MLC analogue of the SLC RESET/SET asymmetry.
+    pub fn program(&mut self, target: MlcLevel, p: &MlcProgramParams) -> MlcProgramReport {
+        if target == self.level {
+            return MlcProgramReport {
+                iterations: 0,
+                reset_first: false,
+                time: Ps::ZERO,
+            };
+        }
+        let mut time = Ps::ZERO;
+        let mut reset_first = false;
+        if target < self.level {
+            // Quench to amorphous, then climb.
+            self.level = MlcLevel::L0;
+            self.wear += 1;
+            time += p.t_reset;
+            reset_first = true;
+        }
+        let steps = (target.index() - self.level.index()) as u32;
+        let iterations = steps * p.iterations_per_level;
+        for _ in 0..iterations {
+            time += p.t_partial_set + p.t_verify;
+            self.wear += 1;
+        }
+        self.level = target;
+        MlcProgramReport {
+            iterations,
+            reset_first,
+            time,
+        }
+    }
+}
+
+/// Worst-case MLC cell-write time under the default parameters; compare
+/// with the SLC `Tset` to see why the paper sticks to SLC.
+pub fn mlc_worst_case_write(p: &MlcProgramParams) -> Ps {
+    // RESET + climb L0 → L3.
+    p.t_reset + (p.t_partial_set + p.t_verify) * (3 * p.iterations_per_level) as u64
+}
+
+/// Validate MLC parameters.
+pub fn validate_params(p: &MlcProgramParams) -> Result<(), PcmError> {
+    if p.iterations_per_level == 0 {
+        return Err(PcmError::config(
+            "P&V needs at least one iteration per level",
+        ));
+    }
+    if p.t_partial_set == Ps::ZERO || p.t_verify == Ps::ZERO {
+        return Err(PcmError::config("P&V pulse and verify must take time"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcm_types::PcmTimings;
+
+    #[test]
+    fn levels_roundtrip_bits() {
+        for bits in 0..4u8 {
+            assert_eq!(MlcLevel::from_bits(bits).bits(), bits);
+        }
+    }
+
+    #[test]
+    fn resistance_bands_are_ordered() {
+        assert!(MlcLevel::L0.resistance_ohm() > MlcLevel::L1.resistance_ohm());
+        assert!(MlcLevel::L1.resistance_ohm() > MlcLevel::L2.resistance_ohm());
+        assert!(MlcLevel::L2.resistance_ohm() > MlcLevel::L3.resistance_ohm());
+    }
+
+    #[test]
+    fn climbing_needs_no_reset() {
+        let p = MlcProgramParams::default();
+        let mut c = MlcCell::default();
+        let r = c.program(MlcLevel::L2, &p);
+        assert!(!r.reset_first);
+        assert_eq!(r.iterations, 4, "two levels × two iterations");
+        assert_eq!(c.read(), 0b10);
+        assert_eq!(r.time, Ps::from_ns(4 * 150));
+    }
+
+    #[test]
+    fn descending_resets_first() {
+        let p = MlcProgramParams::default();
+        let mut c = MlcCell::default();
+        c.program(MlcLevel::L3, &p);
+        let r = c.program(MlcLevel::L1, &p);
+        assert!(r.reset_first);
+        assert_eq!(r.iterations, 2, "climb L0 → L1");
+        assert_eq!(c.level(), MlcLevel::L1);
+    }
+
+    #[test]
+    fn idempotent_program_is_free() {
+        let p = MlcProgramParams::default();
+        let mut c = MlcCell::default();
+        c.program(MlcLevel::L1, &p);
+        let wear = c.wear();
+        let r = c.program(MlcLevel::L1, &p);
+        assert_eq!(r.iterations, 0);
+        assert_eq!(r.time, Ps::ZERO);
+        assert_eq!(c.wear(), wear);
+    }
+
+    #[test]
+    fn mlc_writes_are_slower_than_slc() {
+        let p = MlcProgramParams::default();
+        let slc = PcmTimings::paper_baseline();
+        assert!(
+            mlc_worst_case_write(&p) > slc.t_set,
+            "MLC P&V ({}) must exceed the SLC SET ({}) — the paper's reason \
+             for studying SLC",
+            mlc_worst_case_write(&p),
+            slc.t_set
+        );
+    }
+
+    #[test]
+    fn wear_counts_every_pulse() {
+        let p = MlcProgramParams::default();
+        let mut c = MlcCell::default();
+        c.program(MlcLevel::L3, &p); // 6 partial sets
+        c.program(MlcLevel::L0, &p); // 1 reset
+        assert_eq!(c.wear(), 7);
+    }
+
+    #[test]
+    fn params_validation() {
+        assert!(validate_params(&MlcProgramParams::default()).is_ok());
+        let bad = MlcProgramParams {
+            iterations_per_level: 0,
+            ..Default::default()
+        };
+        assert!(validate_params(&bad).is_err());
+        let bad = MlcProgramParams {
+            t_verify: Ps::ZERO,
+            ..Default::default()
+        };
+        assert!(validate_params(&bad).is_err());
+    }
+}

@@ -1,0 +1,151 @@
+//! Programming and read pulses (Fig. 1 of the paper).
+//!
+//! A RESET pulse is a short, tall current spike that melts the GST and
+//! quenches it amorphous; a SET pulse is a long, lower-amplitude anneal that
+//! recrystallizes it; a READ pulse is a tiny probe that senses the
+//! resistance without disturbing the state.
+
+use pcm_types::{PcmTimings, PowerParams, Ps};
+use serde::{Deserialize, Serialize};
+
+/// Which operation a pulse performs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PulseKind {
+    /// Crystallize → logical '1'. Slow, low current.
+    Set,
+    /// Amorphize → logical '0'. Fast, high current.
+    Reset,
+    /// Sense resistance. Negligible current.
+    Read,
+}
+
+/// One programming/read pulse: duration and amplitude in SET-equivalent
+/// current units (1 SET-equivalent ≈ Cset).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pulse {
+    /// Operation performed.
+    pub kind: PulseKind,
+    /// Pulse width.
+    pub duration: Ps,
+    /// Instantaneous current draw in SET-equivalents.
+    pub amplitude: u32,
+}
+
+impl Pulse {
+    /// Charge delivered, in SET-equivalent × ps (proportional to energy at
+    /// fixed voltage).
+    pub const fn charge(&self) -> u64 {
+        self.duration.as_ps() * self.amplitude as u64
+    }
+}
+
+/// The pulse set a device is programmed with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PulseLibrary {
+    /// SET pulse.
+    pub set: Pulse,
+    /// RESET pulse.
+    pub reset: Pulse,
+    /// READ pulse.
+    pub read: Pulse,
+}
+
+impl PulseLibrary {
+    /// Build the library from the timing/power parameter structs.
+    ///
+    /// Amplitudes: SET = 1 SET-equivalent, RESET = `L` (the power
+    /// asymmetry), READ = 0 (sensing current is negligible next to
+    /// programming current, per §II of the paper).
+    pub fn from_params(t: &PcmTimings, p: &PowerParams) -> Self {
+        PulseLibrary {
+            set: Pulse {
+                kind: PulseKind::Set,
+                duration: t.t_set,
+                amplitude: 1,
+            },
+            reset: Pulse {
+                kind: PulseKind::Reset,
+                duration: t.t_reset,
+                amplitude: p.l_ratio,
+            },
+            read: Pulse {
+                kind: PulseKind::Read,
+                duration: t.t_read,
+                amplitude: 0,
+            },
+        }
+    }
+
+    /// Paper-baseline library (Table II timings, L = 2).
+    pub fn paper_baseline() -> Self {
+        Self::from_params(
+            &PcmTimings::paper_baseline(),
+            &PowerParams::paper_baseline(),
+        )
+    }
+
+    /// Pulse for a given kind.
+    pub const fn get(&self, kind: PulseKind) -> Pulse {
+        match kind {
+            PulseKind::Set => self.set,
+            PulseKind::Reset => self.reset,
+            PulseKind::Read => self.read,
+        }
+    }
+
+    /// The time asymmetry `Tset / Treset` rounded down (the paper's `K`).
+    pub const fn time_asymmetry(&self) -> u64 {
+        self.set.duration.as_ps() / self.reset.duration.as_ps()
+    }
+
+    /// The power asymmetry `Creset / Cset` (the paper's `L`).
+    pub const fn power_asymmetry(&self) -> u32 {
+        self.reset.amplitude / self.set.amplitude
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_asymmetries_match_paper() {
+        let lib = PulseLibrary::paper_baseline();
+        assert_eq!(lib.time_asymmetry(), 8, "Tset ≈ 8 × Treset");
+        assert_eq!(lib.power_asymmetry(), 2, "Creset ≈ 2 × Cset");
+        assert!(
+            lib.set.duration > lib.reset.duration,
+            "time asymmetry direction"
+        );
+        assert!(
+            lib.reset.amplitude > lib.set.amplitude,
+            "power asymmetry direction"
+        );
+    }
+
+    #[test]
+    fn read_draws_negligible_current() {
+        let lib = PulseLibrary::paper_baseline();
+        assert_eq!(lib.read.amplitude, 0);
+        assert_eq!(lib.read.duration, Ps::from_ns(50));
+    }
+
+    #[test]
+    fn charge_is_duration_times_amplitude() {
+        let lib = PulseLibrary::paper_baseline();
+        // SET: 430 000 ps × 1; RESET: 53 000 ps × 2.
+        assert_eq!(lib.set.charge(), 430_000);
+        assert_eq!(lib.reset.charge(), 106_000);
+        // Energy asymmetry: a SET still costs ~4× a RESET despite lower
+        // current, because it is ~8× longer.
+        assert!(lib.set.charge() > 4 * lib.reset.charge());
+    }
+
+    #[test]
+    fn get_by_kind() {
+        let lib = PulseLibrary::paper_baseline();
+        assert_eq!(lib.get(PulseKind::Set), lib.set);
+        assert_eq!(lib.get(PulseKind::Reset), lib.reset);
+        assert_eq!(lib.get(PulseKind::Read), lib.read);
+    }
+}

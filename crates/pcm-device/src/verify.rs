@@ -1,0 +1,213 @@
+//! Program-and-verify (P&V) with failure injection.
+//!
+//! Real PCM writes are not fire-and-forget: process variation means a
+//! pulse occasionally fails to flip its cell, so chips pair the write
+//! driver with "program-and-verification circuits" (the cost-sensitive
+//! machinery §IV-D contrasts the Tetris logic against). This module wraps
+//! [`CellBlock`] programming in a verify loop with an injectable per-bit
+//! failure probability — both a realism knob and a fault-injection hook
+//! for testing: every consumer invariant must hold even when pulses
+//! misfire, because the verify loop hides the retries.
+
+use crate::array::CellBlock;
+use pcm_types::{PcmError, PcmTimings, Ps};
+use rand::Rng;
+
+/// P&V parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct VerifyParams {
+    /// Per-bit probability that a single pulse fails to flip its cell,
+    /// in parts per million. 0 = ideal cells.
+    pub failure_ppm: u32,
+    /// Maximum pulse rounds before the write is declared stuck.
+    pub max_rounds: u32,
+    /// Verify-read time appended after each round.
+    pub t_verify: Ps,
+}
+
+impl Default for VerifyParams {
+    fn default() -> Self {
+        VerifyParams {
+            failure_ppm: 0,
+            max_rounds: 8,
+            t_verify: Ps::from_ns(50),
+        }
+    }
+}
+
+/// Outcome of one verified row program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Pulse rounds performed (1 = first-shot success).
+    pub rounds: u32,
+    /// Pulses beyond the ideal single round.
+    pub retry_pulses: u32,
+    /// Total extra time spent on retries and verify reads.
+    pub overhead: Ps,
+}
+
+/// Program `set_mask`/`reset_mask` into `row` of `block` with verify
+/// retries; failed bits are re-pulsed until every target bit reads back
+/// correctly or `max_rounds` is exhausted.
+pub fn program_row_verified<R: Rng>(
+    block: &mut CellBlock,
+    row: usize,
+    set_mask: u64,
+    reset_mask: u64,
+    timings: &PcmTimings,
+    params: &VerifyParams,
+    rng: &mut R,
+) -> Result<VerifyReport, PcmError> {
+    if set_mask & reset_mask != 0 {
+        return Err(PcmError::config("SET and RESET masks overlap"));
+    }
+    let mut pending_set = set_mask;
+    let mut pending_reset = reset_mask;
+    let mut rounds = 0u32;
+    let mut retry_pulses = 0u32;
+    let mut overhead = Ps::ZERO;
+
+    while pending_set != 0 || pending_reset != 0 {
+        if rounds >= params.max_rounds {
+            return Err(PcmError::IncompleteSchedule(format!(
+                "row {row}: {} cells stuck after {} P&V rounds",
+                (pending_set | pending_reset).count_ones(),
+                rounds
+            )));
+        }
+        rounds += 1;
+        // Each pulsed bit lands independently; misfires stay pending.
+        let landed_set = filter_failures(pending_set, params.failure_ppm, rng);
+        let landed_reset = filter_failures(pending_reset, params.failure_ppm, rng);
+        block.program_row(row, landed_set, landed_reset)?;
+        if rounds > 1 {
+            retry_pulses += (landed_set | landed_reset).count_ones();
+            // Each retry round costs a full pulse window (SET-dominated
+            // whenever any SET is still pending) plus its verify read.
+            overhead += if pending_set != 0 {
+                timings.t_set
+            } else {
+                timings.t_reset
+            };
+        }
+        overhead += params.t_verify; // every round ends in a verify read
+        pending_set &= !landed_set;
+        pending_reset &= !landed_reset;
+    }
+    Ok(VerifyReport {
+        rounds,
+        retry_pulses,
+        overhead,
+    })
+}
+
+/// Drop each set bit of `mask` with probability `failure_ppm / 1e6`.
+fn filter_failures<R: Rng>(mask: u64, failure_ppm: u32, rng: &mut R) -> u64 {
+    if failure_ppm == 0 || mask == 0 {
+        return mask;
+    }
+    let mut out = mask;
+    let mut m = mask;
+    while m != 0 {
+        let low = m & m.wrapping_neg();
+        m &= !low;
+        if rng.gen_range(0..1_000_000) < failure_ppm {
+            out &= !low;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (CellBlock, PcmTimings, StdRng) {
+        (
+            CellBlock::new(4, 64).unwrap(),
+            PcmTimings::paper_baseline(),
+            StdRng::seed_from_u64(7),
+        )
+    }
+
+    #[test]
+    fn ideal_cells_need_one_round() {
+        let (mut block, t, mut rng) = setup();
+        let params = VerifyParams::default();
+        let r = program_row_verified(&mut block, 0, 0xFF, 0, &t, &params, &mut rng).unwrap();
+        assert_eq!(r.rounds, 1);
+        assert_eq!(r.retry_pulses, 0);
+        assert_eq!(r.overhead, Ps::from_ns(50), "just the verify read");
+        assert_eq!(block.read_row(0).unwrap(), 0xFF);
+    }
+
+    #[test]
+    fn failures_retry_until_correct() {
+        let (block, t, mut rng) = setup();
+        // 20% per-bit failure: several rounds, but always correct at the end.
+        let params = VerifyParams {
+            failure_ppm: 200_000,
+            max_rounds: 32,
+            ..Default::default()
+        };
+        for trial in 0..50u64 {
+            let set = 0xDEAD_BEEF_u64 ^ (trial << 32);
+            let mut block2 = CellBlock::new(1, 64).unwrap();
+            let r = program_row_verified(&mut block2, 0, set, 0, &t, &params, &mut rng).unwrap();
+            assert_eq!(block2.read_row(0).unwrap(), set, "trial {trial}");
+            assert!(r.rounds >= 1);
+        }
+        let _ = block;
+    }
+
+    #[test]
+    fn hopeless_cells_error_out() {
+        let (mut block, t, mut rng) = setup();
+        // Certain failure: every round misfires everything.
+        let params = VerifyParams {
+            failure_ppm: 1_000_000,
+            max_rounds: 4,
+            ..Default::default()
+        };
+        let err = program_row_verified(&mut block, 0, 0b1, 0, &t, &params, &mut rng).unwrap_err();
+        assert!(matches!(err, PcmError::IncompleteSchedule(_)));
+    }
+
+    #[test]
+    fn retries_cost_time_and_wear() {
+        let (_, t, mut rng) = setup();
+        let params = VerifyParams {
+            failure_ppm: 500_000,
+            max_rounds: 64,
+            ..Default::default()
+        };
+        let mut total_rounds = 0u32;
+        for _ in 0..20 {
+            let mut block = CellBlock::new(1, 64).unwrap();
+            let r = program_row_verified(&mut block, 0, u64::MAX >> 32, 0, &t, &params, &mut rng)
+                .unwrap();
+            total_rounds += r.rounds;
+            if r.rounds > 1 {
+                assert!(r.overhead > params.t_verify);
+            }
+        }
+        assert!(total_rounds > 40, "50% failure needs ~2 rounds on average");
+    }
+
+    #[test]
+    fn overlapping_masks_rejected() {
+        let (mut block, t, mut rng) = setup();
+        assert!(program_row_verified(
+            &mut block,
+            0,
+            0b11,
+            0b01,
+            &t,
+            &VerifyParams::default(),
+            &mut rng
+        )
+        .is_err());
+    }
+}

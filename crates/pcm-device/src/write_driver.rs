@@ -1,0 +1,173 @@
+//! The redesigned write driver (Fig. 9).
+//!
+//! For each 17-bit slice (X16 data + 1 flip bit) the driver receives:
+//!
+//! * `DX` — the new bits from the DMUX,
+//! * the old bits from the read buffer,
+//! * the FSM's *write signal* — whether this tick programs the Zero
+//!   (RESET) or One (SET) side of the data unit.
+//!
+//! A XOR gate derives **PROG enable** (bit differs → may program); the
+//! SET/RESET-enable logic selects bits whose target value matches the write
+//! signal; the two are AND-ed, so current only flows into bits that both
+//! *need* to change and are *scheduled* to change this tick. This is the
+//! hardware mechanism that makes actual (not worst-case) current draw
+//! visible to the scheduler.
+
+use serde::{Deserialize, Serialize};
+
+/// Which polarity the FSM is driving this tick.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WriteSignal {
+    /// FSM1 is driving write-1s (SET pulses).
+    One,
+    /// FSM0 is driving write-0s (RESET pulses).
+    Zero,
+}
+
+/// The enable signals the driver asserts toward the array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct DriveOutputs {
+    /// PROG-enable mask: bits that differ between old and new data.
+    pub prog_enable: u64,
+    /// Bits that receive a SET pulse this tick.
+    pub set_enable: u64,
+    /// Bits that receive a RESET pulse this tick.
+    pub reset_enable: u64,
+}
+
+impl DriveOutputs {
+    /// Number of cells drawing programming current this tick.
+    pub const fn active_cells(&self) -> u32 {
+        self.set_enable.count_ones() + self.reset_enable.count_ones()
+    }
+
+    /// Instantaneous current in SET-equivalents (`l_ratio` = RESET cost).
+    pub const fn current(&self, l_ratio: u32) -> u32 {
+        self.set_enable.count_ones() + self.reset_enable.count_ones() * l_ratio
+    }
+}
+
+/// The write driver for one `width`-bit slice.
+#[derive(Clone, Copy, Debug)]
+pub struct WriteDriver {
+    width_mask: u64,
+}
+
+impl WriteDriver {
+    /// Driver for `width` bits (17 for an X16 chip slice + flip bit).
+    ///
+    /// # Panics
+    /// If `width` is 0 or exceeds 64.
+    pub fn new(width: u32) -> Self {
+        assert!((1..=64).contains(&width), "driver width out of range");
+        WriteDriver {
+            width_mask: if width == 64 {
+                u64::MAX
+            } else {
+                (1u64 << width) - 1
+            },
+        }
+    }
+
+    /// Combinational drive function.
+    ///
+    /// `old` are the bits from the read buffer, `new` the bits from the
+    /// DMUX. Only bits selected by the write signal's polarity *and* the
+    /// XOR-derived PROG enable are driven.
+    pub fn drive(&self, old: u64, new: u64, signal: WriteSignal) -> DriveOutputs {
+        let old = old & self.width_mask;
+        let new = new & self.width_mask;
+        let prog_enable = old ^ new;
+        match signal {
+            WriteSignal::One => DriveOutputs {
+                prog_enable,
+                set_enable: prog_enable & new,
+                reset_enable: 0,
+            },
+            WriteSignal::Zero => DriveOutputs {
+                prog_enable,
+                set_enable: 0,
+                reset_enable: prog_enable & !new,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn only_changed_bits_draw_current() {
+        let d = WriteDriver::new(17);
+        // old 0101, new 0110: bit1 needs SET, bit0 needs RESET.
+        let one = d.drive(0b0101, 0b0110, WriteSignal::One);
+        assert_eq!(one.set_enable, 0b0010);
+        assert_eq!(one.reset_enable, 0);
+        let zero = d.drive(0b0101, 0b0110, WriteSignal::Zero);
+        assert_eq!(zero.reset_enable, 0b0001);
+        assert_eq!(zero.set_enable, 0);
+    }
+
+    #[test]
+    fn unchanged_data_is_inert() {
+        let d = WriteDriver::new(17);
+        let out = d.drive(0x1ABCD, 0x1ABCD, WriteSignal::One);
+        assert_eq!(out.active_cells(), 0);
+        assert_eq!(out.prog_enable, 0);
+    }
+
+    #[test]
+    fn paper_example_set_without_prog_enable_is_blocked() {
+        // "assume that the PROG enable signal of a certain bit is '0' …
+        //  and its SET/RESET signal is 'SET' … it won't perform SET."
+        let d = WriteDriver::new(17);
+        // Bit 3 is already '1' in both old and new → no PROG enable.
+        let out = d.drive(0b1000, 0b1000, WriteSignal::One);
+        assert_eq!(out.set_enable & 0b1000, 0);
+    }
+
+    #[test]
+    fn current_accounts_reset_asymmetry() {
+        let d = WriteDriver::new(17);
+        let out = d.drive(0b111, 0b000, WriteSignal::Zero);
+        assert_eq!(out.active_cells(), 3);
+        assert_eq!(out.current(2), 6, "3 RESETs at L = 2");
+    }
+
+    #[test]
+    fn width_masks_extraneous_bits() {
+        let d = WriteDriver::new(4);
+        // Within the 4-bit width old and new agree; all differences are in
+        // bits the driver doesn't own.
+        let out = d.drive(0x0000_000F, 0xFFFF_FFFF, WriteSignal::One);
+        assert_eq!(out.set_enable, 0, "bits above width 4 ignored");
+        assert_eq!(out.prog_enable, 0);
+    }
+
+    proptest! {
+        /// Driving both phases together produces exactly the transition masks.
+        #[test]
+        fn phases_partition_prog_enable(old: u64, new: u64) {
+            let d = WriteDriver::new(64);
+            let one = d.drive(old, new, WriteSignal::One);
+            let zero = d.drive(old, new, WriteSignal::Zero);
+            prop_assert_eq!(one.set_enable & zero.reset_enable, 0);
+            prop_assert_eq!(one.set_enable | zero.reset_enable, old ^ new);
+            prop_assert_eq!(one.set_enable, new & !old);
+            prop_assert_eq!(zero.reset_enable, old & !new);
+        }
+
+        /// Applying the drive outputs to the old bits yields the new bits.
+        #[test]
+        fn drive_outputs_realize_write(old: u64, new: u64) {
+            let d = WriteDriver::new(64);
+            let one = d.drive(old, new, WriteSignal::One);
+            let zero = d.drive(old, new, WriteSignal::Zero);
+            let result = (old | one.set_enable) & !zero.reset_enable;
+            prop_assert_eq!(result, new);
+        }
+    }
+}

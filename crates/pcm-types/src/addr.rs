@@ -1,0 +1,171 @@
+//! Physical-address decomposition.
+//!
+//! The controller interleaves consecutive cache lines across banks (line
+//! interleaving maximizes bank-level parallelism for streaming traffic),
+//! then across ranks, with the remaining bits forming the row/column within
+//! a bank.
+
+use crate::org::MemOrg;
+use serde::{Deserialize, Serialize};
+
+/// A physical byte address.
+pub type PhysAddr = u64;
+
+/// A decoded physical address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DecodedAddr {
+    /// Rank index.
+    pub rank: u32,
+    /// Bank index within the rank.
+    pub bank: u32,
+    /// Row within the bank (row-buffer granularity).
+    pub row: u64,
+    /// Cache-line column within the row.
+    pub col: u32,
+    /// Global cache-line index (address / line size).
+    pub line: u64,
+}
+
+/// Address mapping: `line = addr / line_size`, then
+/// `bank = line % banks`, `rank = (line / banks) % ranks`, and the rest
+/// splits into row/col with `lines_per_row` columns per row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddrMap {
+    org: MemOrg,
+    /// Cache lines per row buffer (row size / line size).
+    lines_per_row: u32,
+}
+
+impl AddrMap {
+    /// Create a mapping with the given number of cache lines per row
+    /// (row-buffer size = `lines_per_row × cache_line_bytes`).
+    pub fn new(org: MemOrg, lines_per_row: u32) -> Result<Self, crate::PcmError> {
+        org.validate()?;
+        if lines_per_row == 0 || !lines_per_row.is_power_of_two() {
+            return Err(crate::PcmError::config(
+                "lines_per_row must be a non-zero power of two",
+            ));
+        }
+        Ok(AddrMap { org, lines_per_row })
+    }
+
+    /// Default mapping: 4 KB rows (64 lines of 64 B).
+    pub fn with_default_rows(org: MemOrg) -> Result<Self, crate::PcmError> {
+        let lines_per_row = (4096 / org.cache_line_bytes).max(1);
+        Self::new(org, lines_per_row)
+    }
+
+    /// The organization this map was built for.
+    pub const fn org(&self) -> &MemOrg {
+        &self.org
+    }
+
+    /// Row-buffer size in bytes.
+    pub const fn row_bytes(&self) -> u32 {
+        self.lines_per_row * self.org.cache_line_bytes
+    }
+
+    /// Decode a byte address (must be within capacity).
+    pub fn decode(&self, addr: PhysAddr) -> Result<DecodedAddr, crate::PcmError> {
+        if addr >= self.org.capacity_bytes {
+            return Err(crate::PcmError::AddressOutOfRange {
+                addr,
+                capacity: self.org.capacity_bytes,
+            });
+        }
+        let line = addr / self.org.cache_line_bytes as u64;
+        let bank = (line % self.org.banks_per_rank as u64) as u32;
+        let after_bank = line / self.org.banks_per_rank as u64;
+        let rank = (after_bank % self.org.ranks as u64) as u32;
+        let after_rank = after_bank / self.org.ranks as u64;
+        let col = (after_rank % self.lines_per_row as u64) as u32;
+        let row = after_rank / self.lines_per_row as u64;
+        Ok(DecodedAddr {
+            rank,
+            bank,
+            row,
+            col,
+            line,
+        })
+    }
+
+    /// Align an address down to its cache-line base.
+    pub const fn line_base(&self, addr: PhysAddr) -> PhysAddr {
+        addr - addr % self.org.cache_line_bytes as u64
+    }
+
+    /// Flat bank identifier (rank-major) for indexing bank-state arrays.
+    pub const fn flat_bank(&self, d: &DecodedAddr) -> usize {
+        (d.rank * self.org.banks_per_rank + d.bank) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> AddrMap {
+        AddrMap::with_default_rows(MemOrg::paper_baseline()).unwrap()
+    }
+
+    #[test]
+    fn consecutive_lines_interleave_banks() {
+        let m = map();
+        for i in 0..16u64 {
+            let d = m.decode(i * 64).unwrap();
+            assert_eq!(d.bank, (i % 8) as u32);
+            assert_eq!(d.rank, 0);
+            assert_eq!(d.line, i);
+        }
+    }
+
+    #[test]
+    fn same_row_groups_lines() {
+        let m = map();
+        // Lines 0, 8, 16 … map to bank 0 with consecutive columns.
+        let d0 = m.decode(0).unwrap();
+        let d1 = m.decode(8 * 64).unwrap();
+        assert_eq!(d0.bank, d1.bank);
+        assert_eq!(d0.row, d1.row);
+        assert_eq!(d1.col, d0.col + 1);
+        // 64 columns per 4 KB row → line 8*64 jumps a row.
+        let d_far = m.decode(8 * 64 * 64).unwrap();
+        assert_eq!(d_far.bank, 0);
+        assert_eq!(d_far.row, d0.row + 1);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let m = map();
+        assert!(m.decode(4 << 30).is_err());
+        assert!(m.decode((4 << 30) - 64).is_ok());
+    }
+
+    #[test]
+    fn line_base_alignment() {
+        let m = map();
+        assert_eq!(m.line_base(0), 0);
+        assert_eq!(m.line_base(63), 0);
+        assert_eq!(m.line_base(64), 64);
+        assert_eq!(m.line_base(130), 128);
+    }
+
+    #[test]
+    fn decode_is_injective_on_a_window() {
+        let m = map();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..4096u64 {
+            let d = m.decode(i * 64).unwrap();
+            assert!(
+                seen.insert((d.rank, d.bank, d.row, d.col)),
+                "collision at line {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_lines_per_row() {
+        assert!(AddrMap::new(MemOrg::paper_baseline(), 0).is_err());
+        assert!(AddrMap::new(MemOrg::paper_baseline(), 3).is_err());
+    }
+}

@@ -1,0 +1,125 @@
+//! Per-operation programming energy.
+
+use serde::{Deserialize, Serialize};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul};
+
+/// Energy in picojoules (integral; per-bit energies are small integers).
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct PicoJoules(pub u64);
+
+impl PicoJoules {
+    /// Zero energy.
+    pub const ZERO: PicoJoules = PicoJoules(0);
+
+    /// Value in picojoules.
+    pub const fn as_pj(self) -> u64 {
+        self.0
+    }
+
+    /// Value in nanojoules.
+    pub fn as_nj_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+}
+
+impl Add for PicoJoules {
+    type Output = PicoJoules;
+    fn add(self, rhs: PicoJoules) -> PicoJoules {
+        PicoJoules(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for PicoJoules {
+    fn add_assign(&mut self, rhs: PicoJoules) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Mul<u64> for PicoJoules {
+    type Output = PicoJoules;
+    fn mul(self, rhs: u64) -> PicoJoules {
+        PicoJoules(self.0 * rhs)
+    }
+}
+
+impl Sum for PicoJoules {
+    fn sum<I: Iterator<Item = PicoJoules>>(iter: I) -> PicoJoules {
+        iter.fold(PicoJoules::ZERO, |a, b| a + b)
+    }
+}
+
+/// Per-bit / per-access energies.
+///
+/// Values are representative of published SLC PCM prototypes; what matters
+/// for the reproduction is the *ratio* structure: a RESET pulse draws ~2×
+/// the current of a SET but for ~1/8 the time, so per-bit RESET energy is
+/// roughly a quarter of SET energy; array reads are far cheaper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnergyParams {
+    /// Energy of one SET bit-write.
+    pub e_set: PicoJoules,
+    /// Energy of one RESET bit-write.
+    pub e_reset: PicoJoules,
+    /// Energy of one array read (whole data unit).
+    pub e_read_unit: PicoJoules,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        Self::paper_baseline()
+    }
+}
+
+impl EnergyParams {
+    /// Baseline: E_set ∝ Cset·Tset = 1·430, E_reset ∝ Creset·Treset = 2·53.
+    ///
+    /// Normalized to pJ-scale integers: `E_set = 430`, `E_reset = 106`,
+    /// `E_read = 25` per 64-bit unit.
+    pub const fn paper_baseline() -> Self {
+        EnergyParams {
+            e_set: PicoJoules(430),
+            e_reset: PicoJoules(106),
+            e_read_unit: PicoJoules(25),
+        }
+    }
+
+    /// Total programming energy for a bit mix.
+    pub fn write_energy(&self, sets: u64, resets: u64) -> PicoJoules {
+        self.e_set * sets + self.e_reset * resets
+    }
+
+    /// Energy for reading `units` data units.
+    pub fn read_energy(&self, units: u64) -> PicoJoules {
+        self.e_read_unit * units
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_ratio_follows_current_time_product() {
+        let e = EnergyParams::paper_baseline();
+        // E_reset / E_set = (2·53)/(1·430) ≈ 0.246.
+        let ratio = e.e_reset.as_pj() as f64 / e.e_set.as_pj() as f64;
+        assert!((ratio - 0.2465).abs() < 0.01);
+    }
+
+    #[test]
+    fn write_energy_sums() {
+        let e = EnergyParams::paper_baseline();
+        assert_eq!(e.write_energy(2, 3), PicoJoules(2 * 430 + 3 * 106));
+        assert_eq!(e.write_energy(0, 0), PicoJoules::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let total: PicoJoules = [PicoJoules(1), PicoJoules(2)].into_iter().sum();
+        assert_eq!(total, PicoJoules(3));
+        assert_eq!(PicoJoules(1_500).as_nj_f64(), 1.5);
+    }
+}

@@ -1,0 +1,95 @@
+//! Error type shared across the stack.
+
+use std::fmt;
+
+/// Errors produced by configuration validation and device/scheme operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PcmError {
+    /// Invalid configuration (message explains the constraint violated).
+    Config(String),
+    /// An address fell outside the modeled memory.
+    AddressOutOfRange {
+        /// Offending address.
+        addr: u64,
+        /// Modeled capacity in bytes.
+        capacity: u64,
+    },
+    /// A write schedule violated the instantaneous power budget.
+    PowerBudgetViolation {
+        /// Time slot (sub-write-unit index) where the violation occurred.
+        slot: usize,
+        /// Budget units demanded in that slot.
+        demand: u32,
+        /// Maximum allowed.
+        budget: u32,
+    },
+    /// A schedule did not cover every pending bit-write.
+    IncompleteSchedule(String),
+    /// Data payload length did not match the configured line size.
+    LineSizeMismatch {
+        /// Expected line size in bytes.
+        expected: usize,
+        /// Actual payload length.
+        actual: usize,
+    },
+}
+
+impl PcmError {
+    /// Convenience constructor for configuration errors.
+    pub fn config(msg: impl Into<String>) -> Self {
+        PcmError::Config(msg.into())
+    }
+}
+
+impl fmt::Display for PcmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PcmError::Config(m) => write!(f, "invalid configuration: {m}"),
+            PcmError::AddressOutOfRange { addr, capacity } => {
+                write!(
+                    f,
+                    "address {addr:#x} outside modeled capacity {capacity:#x}"
+                )
+            }
+            PcmError::PowerBudgetViolation {
+                slot,
+                demand,
+                budget,
+            } => write!(
+                f,
+                "power budget violated in sub-slot {slot}: demand {demand} > budget {budget}"
+            ),
+            PcmError::IncompleteSchedule(m) => write!(f, "incomplete schedule: {m}"),
+            PcmError::LineSizeMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "line size mismatch: expected {expected} bytes, got {actual}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PcmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = PcmError::config("bad");
+        assert_eq!(e.to_string(), "invalid configuration: bad");
+        let e = PcmError::PowerBudgetViolation {
+            slot: 3,
+            demand: 140,
+            budget: 128,
+        };
+        assert!(e.to_string().contains("sub-slot 3"));
+        let e = PcmError::AddressOutOfRange {
+            addr: 0x100,
+            capacity: 0x80,
+        };
+        assert!(e.to_string().contains("0x100"));
+    }
+}

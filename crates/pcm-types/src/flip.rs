@@ -1,0 +1,267 @@
+//! Flip-N-Write data-inversion coding (the read stage of Algorithm 1).
+//!
+//! Each data unit carries one extra *flip* cell. Before writing, the old
+//! stored bits `{D', F'}` are read; if storing the new data directly would
+//! change more than half of the `N+1` cells, the inverted data is stored
+//! with the flip bit set. This bounds the changed-bit count per unit to
+//! `≤ ⌈(N+1)/2⌉`, which is what lets Flip-N-Write (and every scheme built on
+//! it, including Tetris Write) halve worst-case current demand.
+
+use crate::bits::{hamming_unit, transitions, Transitions};
+use crate::data::{DataUnit, LineData, MAX_UNITS_PER_LINE};
+
+/// Outcome of flip-encoding one data unit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlipDecision {
+    /// The bits that will actually be stored in the array (possibly
+    /// inverted relative to the logical data).
+    pub stored: DataUnit,
+    /// New flip-tag value.
+    pub flip: bool,
+    /// Transitions of the *data* cells (stored-old → stored-new).
+    pub data_transitions: Transitions,
+    /// Whether the flip cell itself changes (one extra SET or RESET).
+    pub flip_transition: Option<FlipBitWrite>,
+}
+
+/// Which way the flip cell is written when it changes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlipBitWrite {
+    /// Flip cell goes 0 → 1 (a SET).
+    Set,
+    /// Flip cell goes 1 → 0 (a RESET).
+    Reset,
+}
+
+impl FlipDecision {
+    /// Total SET bit-writes including the flip cell.
+    pub fn num_sets(&self) -> u32 {
+        self.data_transitions.num_sets()
+            + matches!(self.flip_transition, Some(FlipBitWrite::Set)) as u32
+    }
+
+    /// Total RESET bit-writes including the flip cell.
+    pub fn num_resets(&self) -> u32 {
+        self.data_transitions.num_resets()
+            + matches!(self.flip_transition, Some(FlipBitWrite::Reset)) as u32
+    }
+
+    /// Total changed cells including the flip cell.
+    pub fn num_changed(&self) -> u32 {
+        self.num_sets() + self.num_resets()
+    }
+}
+
+/// Flip-encode one data unit (Algorithm 1, lines 1–7).
+///
+/// `old_stored`/`old_flip` are the bits currently in the array; `new` is the
+/// logical data to be written. Chooses whichever encoding changes at most
+/// half of the `N+1` cells.
+///
+/// ```
+/// use pcm_types::{flip_encode, flip_decode};
+///
+/// // Writing all-ones over all-zeros would SET 64 cells; the encoder
+/// // stores the inversion instead — a single flip-bit SET.
+/// let d = flip_encode(0, false, u64::MAX);
+/// assert!(d.flip);
+/// assert_eq!(d.num_changed(), 1);
+/// assert_eq!(flip_decode(d.stored, d.flip), u64::MAX);
+/// ```
+pub fn flip_encode(old_stored: DataUnit, old_flip: bool, new: DataUnit) -> FlipDecision {
+    let n = DataUnit::BITS;
+    // Hamming distance of candidate {D, 0} against stored {D', F'}.
+    let dist_plain = hamming_unit(old_stored, new) + old_flip as u32;
+    let (stored, flip) = if dist_plain > n / 2 {
+        (!new, true)
+    } else {
+        (new, false)
+    };
+    let data_transitions = transitions(old_stored, stored);
+    let flip_transition = match (old_flip, flip) {
+        (false, true) => Some(FlipBitWrite::Set),
+        (true, false) => Some(FlipBitWrite::Reset),
+        _ => None,
+    };
+    FlipDecision {
+        stored,
+        flip,
+        data_transitions,
+        flip_transition,
+    }
+}
+
+/// Decode a stored unit back to logical data.
+pub const fn flip_decode(stored: DataUnit, flip: bool) -> DataUnit {
+    if flip {
+        !stored
+    } else {
+        stored
+    }
+}
+
+/// Flip-encoding of a whole cache line: one decision per data unit.
+#[derive(Clone, Debug)]
+pub struct FlippedLine {
+    /// Bits to store (per unit, possibly inverted).
+    pub stored: LineData,
+    /// New flip-tag bitmask (bit `i` = flip tag of unit `i`).
+    pub flips: u32,
+    /// Per-unit decisions (fixed capacity, no allocation).
+    decisions: [FlipDecision; MAX_UNITS_PER_LINE],
+    num_units: usize,
+}
+
+impl FlippedLine {
+    /// Per-unit decisions.
+    pub fn decisions(&self) -> &[FlipDecision] {
+        &self.decisions[..self.num_units]
+    }
+
+    /// Total SET / RESET bit-writes across the line (flip cells included).
+    pub fn totals(&self) -> (u32, u32) {
+        self.decisions()
+            .iter()
+            .fold((0, 0), |(s, r), d| (s + d.num_sets(), r + d.num_resets()))
+    }
+}
+
+/// Flip-encode every data unit of a line.
+///
+/// `old_flips` is the current flip-tag bitmask.
+///
+/// # Panics
+/// If the lines differ in length.
+pub fn flip_units(old_stored: &LineData, old_flips: u32, new: &LineData) -> FlippedLine {
+    assert_eq!(old_stored.len(), new.len(), "flip_units over unequal lines");
+    let num_units = new.num_units();
+    let mut stored = *new;
+    let mut flips = 0u32;
+    let empty = FlipDecision {
+        stored: 0,
+        flip: false,
+        data_transitions: Transitions::default(),
+        flip_transition: None,
+    };
+    let mut decisions = [empty; MAX_UNITS_PER_LINE];
+    #[allow(clippy::needless_range_loop)] // indexes three structures in lockstep
+    for i in 0..num_units {
+        let old_flip = old_flips & (1 << i) != 0;
+        let d = flip_encode(old_stored.unit(i), old_flip, new.unit(i));
+        stored.set_unit(i, d.stored);
+        if d.flip {
+            flips |= 1 << i;
+        }
+        decisions[i] = d;
+    }
+    FlippedLine {
+        stored,
+        flips,
+        decisions,
+        num_units,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn no_flip_when_few_bits_change() {
+        let d = flip_encode(0, false, 0b1011);
+        assert!(!d.flip);
+        assert_eq!(d.stored, 0b1011);
+        assert_eq!(d.num_sets(), 3);
+        assert_eq!(d.num_resets(), 0);
+        assert!(d.flip_transition.is_none());
+    }
+
+    #[test]
+    fn flips_when_most_bits_change() {
+        // Old all-zeros, new all-ones: storing directly would SET 64 bits;
+        // flipping stores all-zeros (no data change) plus one flip-bit SET.
+        let d = flip_encode(0, false, u64::MAX);
+        assert!(d.flip);
+        assert_eq!(d.stored, 0);
+        assert_eq!(d.data_transitions.num_changed(), 0);
+        assert_eq!(d.flip_transition, Some(FlipBitWrite::Set));
+        assert_eq!(d.num_changed(), 1);
+    }
+
+    #[test]
+    fn exactly_half_does_not_flip() {
+        // 32 changed bits + flip'0 = 32, not > 32 → no flip.
+        let new = 0xFFFF_FFFF_0000_0000u64;
+        let d = flip_encode(0, false, new);
+        assert!(!d.flip);
+        assert_eq!(d.num_changed(), 32);
+    }
+
+    #[test]
+    fn stale_flip_tag_counts_in_distance() {
+        // 32 data bits differ and the stored flip tag is 1 → distance 33 > 32.
+        let new = 0xFFFF_FFFF_0000_0000u64;
+        let d = flip_encode(0, true, new);
+        assert!(d.flip);
+        // Stored = !new → changed data bits = 32 (the other half), flip stays 1.
+        assert_eq!(d.data_transitions.num_changed(), 32);
+        assert!(d.flip_transition.is_none());
+    }
+
+    #[test]
+    fn line_level_totals() {
+        let old = LineData::zeroed(64);
+        let mut new = LineData::zeroed(64);
+        new.set_unit(0, 0b111); // 3 sets
+        new.set_unit(1, u64::MAX); // flips → 1 flip-bit set
+        let fl = flip_units(&old, 0, &new);
+        assert_eq!(fl.flips, 0b10);
+        let (sets, resets) = fl.totals();
+        assert_eq!(sets, 4);
+        assert_eq!(resets, 0);
+    }
+
+    proptest! {
+        /// The FNW guarantee: ≤ ⌈65/2⌉ = 32 changed cells per unit…
+        /// actually `> 32` triggers the flip, so the max is 33−1 = 32 for
+        /// the plain path and 65−33 = 32 for the flipped path.
+        #[test]
+        fn changed_cells_bounded_by_half(old: u64, old_flip: bool, new: u64) {
+            let d = flip_encode(old, old_flip, new);
+            prop_assert!(d.num_changed() <= 32, "changed {} > 32", d.num_changed());
+        }
+
+        /// Decoding what we stored always returns the logical data.
+        #[test]
+        fn roundtrip(old: u64, old_flip: bool, new: u64) {
+            let d = flip_encode(old, old_flip, new);
+            prop_assert_eq!(flip_decode(d.stored, d.flip), new);
+        }
+
+        /// The encoder picks the cheaper of the two encodings.
+        #[test]
+        fn encoder_is_optimal(old: u64, old_flip: bool, new: u64) {
+            let d = flip_encode(old, old_flip, new);
+            let cost_plain = hamming_unit(old, new) + old_flip as u32;
+            let cost_flip = hamming_unit(old, !new) + !old_flip as u32;
+            prop_assert_eq!(d.num_changed(), cost_plain.min(cost_flip));
+        }
+
+        /// Line-level encoding agrees with unit-level encoding.
+        #[test]
+        fn line_matches_units(units in proptest::collection::vec(any::<u64>(), 8),
+                              olds in proptest::collection::vec(any::<u64>(), 8),
+                              old_flips in 0u32..256) {
+            let old = LineData::from_units(&olds);
+            let new = LineData::from_units(&units);
+            let fl = flip_units(&old, old_flips, &new);
+            for i in 0..8 {
+                let d = flip_encode(olds[i], old_flips & (1 << i) != 0, units[i]);
+                prop_assert_eq!(fl.decisions()[i], d);
+                prop_assert_eq!(fl.stored.unit(i), d.stored);
+                prop_assert_eq!(fl.flips & (1 << i) != 0, d.flip);
+            }
+        }
+    }
+}

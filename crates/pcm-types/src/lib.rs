@@ -1,0 +1,53 @@
+//! # pcm-types
+//!
+//! Fundamental, dependency-light types shared by every crate in the
+//! Tetris Write stack:
+//!
+//! * [`time`] — picosecond-resolution simulation time ([`Ps`]) so that event
+//!   ordering is exact (no floating-point timestamps in the simulator).
+//! * [`timing`] — PCM pulse timings ([`PcmTimings`], Table II of the paper:
+//!   READ 50 ns, RESET 53 ns, SET 430 ns) and the derived time-asymmetry
+//!   ratio `K`.
+//! * [`power`] — instantaneous-current budgeting ([`PowerParams`]): a SET
+//!   costs one budget unit, a RESET costs `L` (= 2) units, and a bank may
+//!   spend at most `PBmax` (= 128) units at any instant.
+//! * [`energy`] — per-bit programming energy ([`EnergyParams`]).
+//! * [`org`] — memory organization ([`MemOrg`]): chips per bank, write-unit
+//!   size, cache-line size, bank/rank counts.
+//! * [`addr`] — physical-address decomposition ([`AddrMap`]).
+//! * [`data`] — cache-line payloads ([`LineData`]) and 64-bit data units.
+//! * [`bits`] — SET/RESET transition counting and Hamming distances.
+//! * [`flip`] — Flip-N-Write data-inversion coding (Algorithm 1's
+//!   read-before-write comparison).
+//! * [`demand`] — the per-data-unit write demand ([`UnitDemand`],
+//!   [`LineDemand`]) that every write scheme consumes.
+//!
+//! Everything here is `#![forbid(unsafe_code)]`, allocation-free on the hot
+//! paths (fixed-capacity line buffers), and deterministic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod bits;
+pub mod data;
+pub mod demand;
+pub mod energy;
+pub mod error;
+pub mod flip;
+pub mod org;
+pub mod power;
+pub mod time;
+pub mod timing;
+
+pub use addr::{AddrMap, DecodedAddr, PhysAddr};
+pub use bits::{hamming, hamming_unit, transitions, Transitions};
+pub use data::{DataUnit, LineData, MAX_LINE_BYTES, MAX_UNITS_PER_LINE};
+pub use demand::{LineDemand, UnitDemand};
+pub use energy::{EnergyParams, PicoJoules};
+pub use error::PcmError;
+pub use flip::{flip_decode, flip_encode, flip_units, FlipBitWrite, FlipDecision, FlippedLine};
+pub use org::MemOrg;
+pub use power::PowerParams;
+pub use time::Ps;
+pub use timing::PcmTimings;

@@ -1,0 +1,144 @@
+//! Instantaneous-current budgeting.
+//!
+//! The charge pump can only source a bounded instantaneous current, which is
+//! what limits the number of concurrent bit-writes. Following the paper we
+//! account in *SET-equivalents*: one SET costs 1 budget unit and one RESET
+//! costs `L` units (the power asymmetry, `Creset ≈ 2 × Cset`, so `L = 2`).
+
+use serde::{Deserialize, Serialize};
+
+/// Current-budget parameters for one memory bank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PowerParams {
+    /// Power asymmetry `L`: the current of one RESET in units of one SET.
+    pub l_ratio: u32,
+    /// Maximum instantaneous budget per bank, in SET-equivalents (`PBmax`).
+    ///
+    /// The paper's worked example: 32 per chip × 4 chips = 128 per bank,
+    /// i.e. 128 concurrent SETs or 64 concurrent RESETs.
+    pub budget_per_bank: u32,
+    /// Number of chips sharing the bank budget (with GCP current stealing
+    /// the bank budget is fungible across chips).
+    pub chips_per_bank: u32,
+}
+
+impl Default for PowerParams {
+    fn default() -> Self {
+        Self::paper_baseline()
+    }
+}
+
+impl PowerParams {
+    /// Paper baseline: `L = 2`, 32 SET-equivalents per chip, 4 chips.
+    pub const fn paper_baseline() -> Self {
+        PowerParams {
+            l_ratio: 2,
+            budget_per_bank: 128,
+            chips_per_bank: 4,
+        }
+    }
+
+    /// Mobile/low-power configuration: the system can provide less current,
+    /// shrinking the per-chip budget (the paper's X4/X2 discussion).
+    pub const fn mobile(budget_per_chip: u32) -> Self {
+        PowerParams {
+            l_ratio: 2,
+            budget_per_bank: budget_per_chip * 4,
+            chips_per_bank: 4,
+        }
+    }
+
+    /// Budget available to a single chip without GCP stealing.
+    pub const fn budget_per_chip(&self) -> u32 {
+        self.budget_per_bank / self.chips_per_bank
+    }
+
+    /// Instantaneous cost of `n` SET bit-writes.
+    pub const fn set_cost(&self, n: u32) -> u32 {
+        n
+    }
+
+    /// Instantaneous cost of `n` RESET bit-writes.
+    pub const fn reset_cost(&self, n: u32) -> u32 {
+        n * self.l_ratio
+    }
+
+    /// Maximum number of concurrent SETs the bank can drive.
+    pub const fn max_concurrent_sets(&self) -> u32 {
+        self.budget_per_bank
+    }
+
+    /// Maximum number of concurrent RESETs the bank can drive.
+    pub const fn max_concurrent_resets(&self) -> u32 {
+        self.budget_per_bank / self.l_ratio
+    }
+
+    /// Sanity check.
+    pub fn validate(&self) -> Result<(), crate::PcmError> {
+        if self.l_ratio == 0 {
+            return Err(crate::PcmError::config("power asymmetry L must be ≥ 1"));
+        }
+        if self.budget_per_bank == 0 {
+            return Err(crate::PcmError::config("power budget must be non-zero"));
+        }
+        if self.chips_per_bank == 0 || self.budget_per_bank % self.chips_per_bank != 0 {
+            return Err(crate::PcmError::config(
+                "bank budget must divide evenly across chips",
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_budget_matches_worked_example() {
+        let p = PowerParams::paper_baseline();
+        // "32 SET and 16 RESET operations can be operated concurrently per
+        //  chip, i.e. 128 SET and 64 RESET per bank."
+        assert_eq!(p.budget_per_chip(), 32);
+        assert_eq!(p.max_concurrent_sets(), 128);
+        assert_eq!(p.max_concurrent_resets(), 64);
+    }
+
+    #[test]
+    fn costs() {
+        let p = PowerParams::paper_baseline();
+        assert_eq!(p.set_cost(10), 10);
+        assert_eq!(p.reset_cost(10), 20);
+    }
+
+    #[test]
+    fn mobile_shrinks_budget() {
+        let p = PowerParams::mobile(4);
+        assert_eq!(p.budget_per_bank, 16);
+        assert_eq!(p.max_concurrent_resets(), 8);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(PowerParams::paper_baseline().validate().is_ok());
+        assert!(PowerParams {
+            l_ratio: 0,
+            ..PowerParams::paper_baseline()
+        }
+        .validate()
+        .is_err());
+        assert!(PowerParams {
+            budget_per_bank: 0,
+            ..PowerParams::paper_baseline()
+        }
+        .validate()
+        .is_err());
+        assert!(PowerParams {
+            chips_per_bank: 3,
+            ..PowerParams::paper_baseline()
+        }
+        .validate()
+        .is_err());
+    }
+}

@@ -1,0 +1,108 @@
+//! PCM pulse timings and the SET/RESET time asymmetry.
+
+use crate::time::Ps;
+use serde::{Deserialize, Serialize};
+
+/// Programming/read pulse durations of the PCM array.
+///
+/// Defaults follow Table II of the paper (taken from the Samsung 90 nm
+/// PRAM prototype): READ 50 ns, RESET 53 ns, SET 430 ns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PcmTimings {
+    /// Array read latency (sense a row of cells).
+    pub t_read: Ps,
+    /// RESET pulse: quench GST to the amorphous (high-resistance, '0') state.
+    pub t_reset: Ps,
+    /// SET pulse: anneal GST to the crystalline (low-resistance, '1') state.
+    pub t_set: Ps,
+}
+
+impl Default for PcmTimings {
+    fn default() -> Self {
+        Self::paper_baseline()
+    }
+}
+
+impl PcmTimings {
+    /// Table II values: READ 50 ns, RESET 53 ns, SET 430 ns.
+    pub const fn paper_baseline() -> Self {
+        PcmTimings {
+            t_read: Ps::from_ns(50),
+            t_reset: Ps::from_ns(53),
+            t_set: Ps::from_ns(430),
+        }
+    }
+
+    /// The time-asymmetry ratio `K = floor(Tset / Treset)`.
+    ///
+    /// The paper quotes "Tset is about 8 times longer than Treset"; with the
+    /// Table II values `430 / 53 = 8.11… → 8`. `K` is the number of
+    /// sub-write-units a write unit is divided into for fine-grained
+    /// write-0 scheduling (Fig. 5).
+    pub const fn k_ratio(&self) -> u64 {
+        self.t_set.as_ps() / self.t_reset.as_ps()
+    }
+
+    /// Duration of one sub-write-unit slot (`Tset / K`).
+    ///
+    /// Slightly longer than `Treset` when `K` does not divide exactly, so a
+    /// RESET pulse always fits inside one slot.
+    pub const fn sub_unit_duration(&self) -> Ps {
+        Ps(self.t_set.as_ps() / self.k_ratio())
+    }
+
+    /// Sanity check: all pulses non-zero and SET is the longest.
+    pub fn validate(&self) -> Result<(), crate::PcmError> {
+        if self.t_read.as_ps() == 0 || self.t_reset.as_ps() == 0 || self.t_set.as_ps() == 0 {
+            return Err(crate::PcmError::config(
+                "all pulse timings must be non-zero",
+            ));
+        }
+        if self.t_set < self.t_reset {
+            return Err(crate::PcmError::config(
+                "SET must not be faster than RESET (PCM time asymmetry)",
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_k_is_8() {
+        let t = PcmTimings::paper_baseline();
+        assert_eq!(t.k_ratio(), 8);
+    }
+
+    #[test]
+    fn sub_unit_covers_reset() {
+        let t = PcmTimings::paper_baseline();
+        // 430/8 = 53.75 ns ≥ 53 ns, so one RESET fits in one sub-slot.
+        assert!(t.sub_unit_duration() >= t.t_reset);
+        // K sub-slots exactly tile one write unit (up to integer division).
+        assert!(t.sub_unit_duration() * t.k_ratio() <= t.t_set);
+    }
+
+    #[test]
+    fn validate_rejects_inverted_asymmetry() {
+        let bad = PcmTimings {
+            t_read: Ps::from_ns(50),
+            t_reset: Ps::from_ns(430),
+            t_set: Ps::from_ns(53),
+        };
+        assert!(bad.validate().is_err());
+        assert!(PcmTimings::paper_baseline().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_zero() {
+        let bad = PcmTimings {
+            t_read: Ps::ZERO,
+            ..PcmTimings::paper_baseline()
+        };
+        assert!(bad.validate().is_err());
+    }
+}

@@ -1,0 +1,127 @@
+//! Closed-form service-time models — Equations 1–4 of the paper.
+//!
+//! These are the theoretical worst-case times the paper tabulates; the
+//! trait implementations must agree with them (cross-checked in tests),
+//! and Fig. 10 plots them as the baselines' write-unit counts.
+
+use crate::traits::SchemeConfig;
+use pcm_types::Ps;
+
+/// Eq. 1 — conventional: `T = (N/M) · Tset`.
+pub fn t_conventional(cfg: &SchemeConfig) -> Ps {
+    cfg.timings.t_set * cfg.org.write_units_per_line() as u64
+}
+
+/// Eq. 2 — Flip-N-Write: `T = Tread + (N/2M) · Tset`.
+pub fn t_flip_n_write(cfg: &SchemeConfig) -> Ps {
+    let n_m = cfg.org.write_units_per_line() as u64;
+    cfg.timings.t_read + cfg.timings.t_set * n_m.div_ceil(2)
+}
+
+/// Eq. 3 — 2-Stage-Write: `T = (1/K + 1/2L) · (N/M) · Tset`.
+///
+/// Evaluated exactly: `(N/M)·Treset + ceil(N/M / 2L)·Tset`.
+pub fn t_two_stage(cfg: &SchemeConfig) -> Ps {
+    let n_m = cfg.org.write_units_per_line() as u64;
+    let two_l = 2 * cfg.power.l_ratio as u64;
+    cfg.timings.t_reset * n_m + cfg.timings.t_set * n_m.div_ceil(two_l)
+}
+
+/// Eq. 4 — Three-Stage-Write: `T = Tread + (1/2K + 1/2L) · (N/M) · Tset`.
+pub fn t_three_stage(cfg: &SchemeConfig) -> Ps {
+    let n_m = cfg.org.write_units_per_line() as u64;
+    let two_l = 2 * cfg.power.l_ratio as u64;
+    cfg.timings.t_read
+        + cfg.timings.t_reset * n_m.div_ceil(2)
+        + cfg.timings.t_set * n_m.div_ceil(two_l)
+}
+
+/// Eq. 5 — Tetris Write: `T = (result + subresult/K) · Tset`
+/// (plus read and analysis overheads, added by the caller).
+pub fn t_tetris_core(cfg: &SchemeConfig, result: u64, subresult: u64) -> Ps {
+    let k = cfg.timings.k_ratio();
+    cfg.timings.t_set * result + (cfg.timings.t_set / k) * subresult
+}
+
+/// The theoretical write-unit counts the paper quotes in Fig. 10 for the
+/// static schemes: conventional 8, FNW 4, 2SW ≈ 3, 3SW ≈ 2.5 (baseline
+/// geometry).
+pub fn theoretical_write_units(cfg: &SchemeConfig) -> [(&'static str, f64); 4] {
+    let tset = cfg.timings.t_set.as_ps() as f64;
+    [
+        ("Conventional", t_conventional(cfg).as_ps() as f64 / tset),
+        (
+            "Flip-N-Write",
+            (t_flip_n_write(cfg) - cfg.timings.t_read).as_ps() as f64 / tset,
+        ),
+        ("2-Stage-Write", t_two_stage(cfg).as_ps() as f64 / tset),
+        (
+            "Three-Stage-Write",
+            (t_three_stage(cfg) - cfg.timings.t_read).as_ps() as f64 / tset,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::{WriteCtx, WriteScheme};
+    use crate::{ConventionalWrite, DcwWrite, FlipNWrite, ThreeStageWrite, TwoStageWrite};
+    use pcm_types::LineData;
+
+    #[test]
+    fn paper_numbers() {
+        let cfg = SchemeConfig::paper_baseline();
+        assert_eq!(t_conventional(&cfg), Ps::from_ns(8 * 430));
+        assert_eq!(t_flip_n_write(&cfg), Ps::from_ns(50 + 4 * 430));
+        assert_eq!(t_two_stage(&cfg), Ps::from_ns(8 * 53 + 2 * 430));
+        assert_eq!(t_three_stage(&cfg), Ps::from_ns(50 + 4 * 53 + 2 * 430));
+    }
+
+    #[test]
+    fn fig10_theoretical_units() {
+        let cfg = SchemeConfig::paper_baseline();
+        let rows = theoretical_write_units(&cfg);
+        assert_eq!(rows[0].1, 8.0);
+        assert_eq!(rows[1].1, 4.0);
+        assert!((rows[2].1 - 2.99).abs() < 0.01, "2SW ≈ 3 write units");
+        assert!((rows[3].1 - 2.49).abs() < 0.01, "3SW ≈ 2.5 write units");
+    }
+
+    #[test]
+    fn trait_impls_agree_with_closed_forms() {
+        let cfg = SchemeConfig::paper_baseline();
+        let old = LineData::zeroed(64);
+        let new = LineData::from_units(&[3; 8]);
+        let ctx = WriteCtx {
+            old_stored: &old,
+            old_flips: 0,
+            new_logical: &new,
+            cfg: &cfg,
+        };
+        assert_eq!(
+            ConventionalWrite.plan(&ctx).service_time,
+            t_conventional(&cfg)
+        );
+        assert_eq!(DcwWrite.plan(&ctx).service_time, t_conventional(&cfg));
+        assert_eq!(FlipNWrite.plan(&ctx).service_time, t_flip_n_write(&cfg));
+        assert_eq!(TwoStageWrite.plan(&ctx).service_time, t_two_stage(&cfg));
+        assert_eq!(ThreeStageWrite.plan(&ctx).service_time, t_three_stage(&cfg));
+    }
+
+    #[test]
+    fn tetris_core_formula() {
+        let cfg = SchemeConfig::paper_baseline();
+        // result = 1, subresult = 2 → Tset + 2·(Tset/8).
+        let t = t_tetris_core(&cfg, 1, 2);
+        assert_eq!(t, Ps::from_ns(430) + Ps(430_000 / 8) * 2);
+    }
+
+    #[test]
+    fn ordering_matches_paper() {
+        let cfg = SchemeConfig::paper_baseline();
+        assert!(t_three_stage(&cfg) < t_two_stage(&cfg));
+        assert!(t_two_stage(&cfg) < t_flip_n_write(&cfg));
+        assert!(t_flip_n_write(&cfg) < t_conventional(&cfg));
+    }
+}

@@ -1,0 +1,114 @@
+//! The conservative conventional write (Eq. 1).
+//!
+//! Every write unit is provisioned for the worst case: all of its bits are
+//! programmed (no comparison), and each unit's slot is timed for a SET
+//! regardless of contents. A 64 B line costs `N/M = 8` serial units of
+//! `Tset` and programs all 512 bits.
+
+use crate::traits::{SchemeConfig, WriteCtx, WritePlan, WriteScheme};
+
+/// Conventional full-data write.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ConventionalWrite;
+
+impl WriteScheme for ConventionalWrite {
+    fn name(&self) -> &'static str {
+        "Conventional"
+    }
+
+    fn plan(&self, ctx: &WriteCtx<'_>) -> WritePlan {
+        let cfg: &SchemeConfig = ctx.cfg;
+        let units = cfg.org.write_units_per_line() as u64;
+        let service = cfg.timings.t_set * units;
+        // Every bit is pulsed to its target value: ones get SET, zeros RESET.
+        let ones = ctx.new_logical.popcount();
+        let bits = (ctx.new_logical.len() * 8) as u32;
+        let zeros = bits - ones;
+        // Old flip tags (if any) are cleared: tags currently '1' cost a RESET.
+        let flip_resets = ctx.old_flips.count_ones();
+        let sets = ones;
+        let resets = zeros + flip_resets;
+        WritePlan {
+            service_time: service,
+            energy: cfg.energy.write_energy(sets as u64, resets as u64),
+            write_units_equiv: units as f64,
+            stored: *ctx.new_logical,
+            flips: 0,
+            cell_sets: sets,
+            cell_resets: resets,
+            read_before_write: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcm_types::{LineData, Ps};
+
+    #[test]
+    fn eight_serial_tset_units() {
+        let cfg = SchemeConfig::paper_baseline();
+        let old = LineData::zeroed(64);
+        let new = LineData::from_units(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let plan = ConventionalWrite.plan(&WriteCtx {
+            old_stored: &old,
+            old_flips: 0,
+            new_logical: &new,
+            cfg: &cfg,
+        });
+        assert_eq!(plan.service_time, Ps::from_ns(430 * 8));
+        assert_eq!(plan.write_units_equiv, 8.0);
+        assert!(!plan.read_before_write);
+        assert!(plan.check_decodes_to(&new).is_ok());
+    }
+
+    #[test]
+    fn programs_every_bit() {
+        let cfg = SchemeConfig::paper_baseline();
+        let old = LineData::zeroed(64);
+        let new = LineData::from_units(&[u64::MAX, 0, 0, 0, 0, 0, 0, 0]);
+        let plan = ConventionalWrite.plan(&WriteCtx {
+            old_stored: &old,
+            old_flips: 0,
+            new_logical: &new,
+            cfg: &cfg,
+        });
+        assert_eq!(plan.cell_sets, 64);
+        assert_eq!(plan.cell_resets, 448, "7 all-zero units still pulsed");
+    }
+
+    #[test]
+    fn service_time_is_content_independent() {
+        let cfg = SchemeConfig::paper_baseline();
+        let old = LineData::zeroed(64);
+        let a = ConventionalWrite.plan(&WriteCtx {
+            old_stored: &old,
+            old_flips: 0,
+            new_logical: &old,
+            cfg: &cfg,
+        });
+        let full = LineData::from_units(&[u64::MAX; 8]);
+        let b = ConventionalWrite.plan(&WriteCtx {
+            old_stored: &old,
+            old_flips: 0,
+            new_logical: &full,
+            cfg: &cfg,
+        });
+        assert_eq!(a.service_time, b.service_time);
+    }
+
+    #[test]
+    fn clears_stale_flip_tags() {
+        let cfg = SchemeConfig::paper_baseline();
+        let old = LineData::zeroed(64);
+        let plan = ConventionalWrite.plan(&WriteCtx {
+            old_stored: &old,
+            old_flips: 0b101,
+            new_logical: &old,
+            cfg: &cfg,
+        });
+        assert_eq!(plan.flips, 0);
+        assert_eq!(plan.cell_resets, 512 + 2, "two flip tags reset");
+    }
+}

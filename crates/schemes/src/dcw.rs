@@ -1,0 +1,125 @@
+//! Data-Comparison Write — the paper's baseline.
+//!
+//! DCW's write circuit senses the old bits and pulses only the cells that
+//! actually change, so programming *energy* is differential. Its write-unit
+//! slots, however, remain worst-case timed: the chip still walks the line's
+//! `N/M` write units serially, reserving a full `Tset` for each (the
+//! comparison happens inside the slot). The result is the paper's baseline
+//! behaviour: Fig. 10's "Baseline" uses 8 write units, yet energy scales
+//! with changed bits.
+
+use crate::traits::{SchemeConfig, WriteCtx, WritePlan, WriteScheme};
+use pcm_types::{hamming_unit, transitions};
+
+/// Data-comparison write (differential energy, serial worst-case timing).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DcwWrite;
+
+impl WriteScheme for DcwWrite {
+    fn name(&self) -> &'static str {
+        "DCW (baseline)"
+    }
+
+    fn plan(&self, ctx: &WriteCtx<'_>) -> WritePlan {
+        let cfg: &SchemeConfig = ctx.cfg;
+        let units = cfg.org.write_units_per_line() as u64;
+        let service = cfg.timings.t_set * units;
+
+        // Differential programming against the *logical* old contents; DCW
+        // has no flip support, so any stale flip tag forces those units to
+        // be rewritten plainly (tag reset + full transition count).
+        let old_logical = ctx.old_logical();
+        let mut sets = 0u32;
+        let mut resets = ctx.old_flips.count_ones();
+        for i in 0..ctx.new_logical.num_units() {
+            let t = transitions(old_logical.unit(i), ctx.new_logical.unit(i));
+            if ctx.old_flips & (1 << i) != 0 {
+                // The stored bits are the inversion; count transitions from
+                // stored to plain-new instead.
+                let t = transitions(ctx.old_stored.unit(i), ctx.new_logical.unit(i));
+                sets += t.num_sets();
+                resets += t.num_resets();
+            } else {
+                sets += t.num_sets();
+                resets += t.num_resets();
+            }
+            debug_assert!(hamming_unit(old_logical.unit(i), ctx.new_logical.unit(i)) <= 64,);
+        }
+
+        WritePlan {
+            service_time: service,
+            energy: cfg.energy.write_energy(sets as u64, resets as u64),
+            write_units_equiv: units as f64,
+            stored: *ctx.new_logical,
+            flips: 0,
+            cell_sets: sets,
+            cell_resets: resets,
+            read_before_write: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcm_types::{LineData, Ps};
+
+    fn plan(old: &LineData, flips: u32, new: &LineData) -> WritePlan {
+        let cfg = SchemeConfig::paper_baseline();
+        DcwWrite.plan(&WriteCtx {
+            old_stored: old,
+            old_flips: flips,
+            new_logical: new,
+            cfg: &cfg,
+        })
+    }
+
+    #[test]
+    fn timing_matches_conventional_but_energy_is_differential() {
+        let old = LineData::zeroed(64);
+        let mut new = LineData::zeroed(64);
+        new.set_unit(0, 0b111);
+        let p = plan(&old, 0, &new);
+        assert_eq!(
+            p.service_time,
+            Ps::from_ns(430 * 8),
+            "slots stay worst-case"
+        );
+        assert_eq!(p.cell_sets, 3, "only changed bits pulsed");
+        assert_eq!(p.cell_resets, 0);
+        assert!(p.check_decodes_to(&new).is_ok());
+    }
+
+    #[test]
+    fn identical_data_costs_no_energy() {
+        let old = LineData::from_units(&[9; 8]);
+        let p = plan(&old, 0, &old);
+        assert_eq!(p.cell_sets + p.cell_resets, 0);
+        assert_eq!(p.energy.as_pj(), 0);
+    }
+
+    #[test]
+    fn stale_flip_tags_are_cleared_differentially() {
+        // Unit 0 stored inverted: stored = !5, flip = 1. New logical = 5.
+        let mut old = LineData::zeroed(64);
+        old.set_unit(0, !5u64);
+        let new = {
+            let mut n = LineData::zeroed(64);
+            n.set_unit(0, 5);
+            n
+        };
+        let p = plan(&old, 0b1, &new);
+        assert_eq!(p.flips, 0);
+        // Stored !5 → 5 means 62 bits flip one way + 2 the other, plus the
+        // flip-tag RESET.
+        assert_eq!(p.cell_sets + p.cell_resets, 64 + 1);
+        assert!(p.check_decodes_to(&new).is_ok());
+    }
+
+    #[test]
+    fn write_units_equiv_is_baseline_eight() {
+        let old = LineData::zeroed(64);
+        let p = plan(&old, 0, &old);
+        assert_eq!(p.write_units_equiv, 8.0);
+    }
+}

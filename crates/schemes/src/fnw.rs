@@ -1,0 +1,143 @@
+//! Flip-N-Write (Cho & Lee, MICRO'09) — Eq. 2.
+//!
+//! Reads the old data, inverts any unit whose Hamming distance exceeds half
+//! the unit, and therefore never changes more than half the cells of a
+//! unit. Under the same current budget this halves worst-case demand, so
+//! *two* data units share each write-unit slot:
+//! `T = Tread + (N / 2M) · Tset`.
+
+use crate::traits::{worst_case_reset_concurrency, SchemeConfig, WriteCtx, WritePlan, WriteScheme};
+use pcm_types::{flip_units, LineDemand};
+
+/// Flip-N-Write.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FlipNWrite;
+
+impl WriteScheme for FlipNWrite {
+    fn name(&self) -> &'static str {
+        "Flip-N-Write"
+    }
+
+    fn uses_flip_bits(&self) -> bool {
+        true
+    }
+
+    fn plan(&self, ctx: &WriteCtx<'_>) -> WritePlan {
+        let cfg: &SchemeConfig = ctx.cfg;
+        let fl = flip_units(ctx.old_stored, ctx.old_flips, ctx.new_logical);
+        let demand = LineDemand::from_flipped(&fl);
+        let (sets, resets) = fl.totals();
+
+        // Worst case after flip bounding: a unit's ≤32 changed bits could
+        // all be RESETs (2 budget units each) → 64 per unit → the 128
+        // budget carries 2 units per slot. Each slot is still timed Tset
+        // (SETs and RESETs execute together in FNW).
+        let units = cfg.org.write_units_per_line() as u64;
+        let per_slot = worst_case_reset_concurrency(cfg, true).max(1) as u64;
+        let slots = units.div_ceil(per_slot);
+        let service = cfg.timings.t_read + cfg.timings.t_set * slots;
+
+        let read_energy = cfg.energy.read_energy(cfg.org.data_units_per_line() as u64);
+        WritePlan {
+            service_time: service,
+            energy: cfg.energy.write_energy(sets as u64, resets as u64) + read_energy,
+            write_units_equiv: slots as f64,
+            stored: fl.stored,
+            flips: fl.flips,
+            cell_sets: sets,
+            cell_resets: resets,
+            read_before_write: true,
+        }
+        .tap_validate(ctx, &demand)
+    }
+}
+
+trait TapValidate {
+    fn tap_validate(self, ctx: &WriteCtx<'_>, demand: &LineDemand) -> Self;
+}
+
+impl TapValidate for WritePlan {
+    /// Debug-only consistency check: cell pulse counts must equal the
+    /// demand totals.
+    fn tap_validate(self, _ctx: &WriteCtx<'_>, demand: &LineDemand) -> Self {
+        debug_assert_eq!(self.cell_sets, demand.total_sets());
+        debug_assert_eq!(self.cell_resets, demand.total_resets());
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcm_types::{LineData, Ps};
+
+    fn plan(old: &LineData, flips: u32, new: &LineData) -> WritePlan {
+        let cfg = SchemeConfig::paper_baseline();
+        FlipNWrite.plan(&WriteCtx {
+            old_stored: old,
+            old_flips: flips,
+            new_logical: new,
+            cfg: &cfg,
+        })
+    }
+
+    #[test]
+    fn four_slots_plus_read() {
+        let old = LineData::zeroed(64);
+        let new = LineData::from_units(&[1; 8]);
+        let p = plan(&old, 0, &new);
+        assert_eq!(
+            p.service_time,
+            Ps::from_ns(50 + 4 * 430),
+            "Eq. 2 with N/M = 8"
+        );
+        assert_eq!(p.write_units_equiv, 4.0);
+        assert!(p.read_before_write);
+    }
+
+    #[test]
+    fn heavy_units_get_inverted() {
+        let old = LineData::zeroed(64);
+        let new = LineData::from_units(&[u64::MAX, 1, 0, 0, 0, 0, 0, 0]);
+        let p = plan(&old, 0, &new);
+        assert_eq!(p.flips & 1, 1, "unit 0 stored inverted");
+        // Unit 0 costs only the flip-bit SET; unit 1 one SET.
+        assert_eq!(p.cell_sets, 2);
+        assert_eq!(p.cell_resets, 0);
+        assert!(p.check_decodes_to(&new).is_ok());
+    }
+
+    #[test]
+    fn energy_includes_the_extra_read() {
+        let old = LineData::zeroed(64);
+        let p = plan(&old, 0, &old);
+        let cfg = SchemeConfig::paper_baseline();
+        assert_eq!(p.energy, cfg.energy.read_energy(8), "no writes, read only");
+    }
+
+    #[test]
+    fn changed_bits_never_exceed_half_per_unit() {
+        let old = LineData::from_units(&[0xAAAA_AAAA_AAAA_AAAA; 8]);
+        let new = LineData::from_units(&[0x5555_5555_5555_5555; 8]);
+        let p = plan(&old, 0, &new);
+        // Every unit flips entirely → stored inverted, 0 data transitions,
+        // 8 flip-bit sets.
+        assert_eq!(p.cell_sets + p.cell_resets, 8);
+        assert!(p.check_decodes_to(&new).is_ok());
+    }
+
+    #[test]
+    fn power7_line_scales_slots() {
+        let mut cfg = SchemeConfig::paper_baseline();
+        cfg.org.cache_line_bytes = 128;
+        let old = LineData::zeroed(128);
+        let new = LineData::zeroed(128);
+        let p = FlipNWrite.plan(&WriteCtx {
+            old_stored: &old,
+            old_flips: 0,
+            new_logical: &new,
+            cfg: &cfg,
+        });
+        assert_eq!(p.write_units_equiv, 8.0, "16 units / 2 per slot");
+    }
+}

@@ -1,0 +1,132 @@
+//! PreSET (Qureshi et al., ISCA'12 — the paper's ref. \[23\]).
+//!
+//! Exploits the write-time asymmetry from the opposite direction of the
+//! staged schemes: when a line sits dirty in the cache, the memory
+//! controller *proactively SETs every bit* of its PCM frame during idle
+//! time. The eventual write-back then only needs the fast RESETs
+//! (`N/M · Treset ≈ 0.99` write units — even less critical-path time than
+//! Tetris), at the price of programming energy and endurance: every
+//! preset+writeback cycle pulses nearly every cell of the line.
+//!
+//! Model: the background preset is assumed to complete between consecutive
+//! writes to a line (the controller has idle slots; contention from preset
+//! traffic is not modelled — see DESIGN.md). Its SET pulses are charged to
+//! this write's energy; the foreground service time is the RESET stage
+//! only.
+
+use crate::traits::{SchemeConfig, WriteCtx, WritePlan, WriteScheme};
+
+/// PreSET: background full-SET, foreground RESET-only write-back.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PreSetWrite;
+
+impl WriteScheme for PreSetWrite {
+    fn name(&self) -> &'static str {
+        "PreSET"
+    }
+
+    fn plan(&self, ctx: &WriteCtx<'_>) -> WritePlan {
+        let cfg: &SchemeConfig = ctx.cfg;
+        let unit_bits = cfg.org.data_unit_bits;
+        let num_units = ctx.new_logical.num_units() as u32;
+
+        // Background preset: every currently-0 cell gets a SET pulse
+        // (logical view; stale flip tags are cleared as part of the sweep).
+        let old_logical = ctx.old_logical();
+        let total_bits = unit_bits * num_units;
+        let preset_sets = total_bits - old_logical.popcount() + ctx.old_flips.count_ones();
+
+        // Foreground write-back: RESET every bit that must read 0.
+        let resets = total_bits - ctx.new_logical.popcount();
+        // Worst case 64 RESETs/unit = 128 SET-equivalents = the bank budget
+        // → strictly one unit per Treset slot.
+        let per_slot =
+            (cfg.power.budget_per_bank / cfg.power.reset_cost(unit_bits).max(1)).max(1) as u64;
+        let slots = (cfg.org.write_units_per_line() as u64).div_ceil(per_slot);
+        let service = cfg.timings.t_reset * slots;
+        let equiv = service.as_ps() as f64 / cfg.timings.t_set.as_ps() as f64;
+
+        WritePlan {
+            service_time: service,
+            energy: cfg.energy.write_energy(preset_sets as u64, resets as u64),
+            write_units_equiv: equiv,
+            stored: *ctx.new_logical,
+            flips: 0,
+            cell_sets: preset_sets,
+            cell_resets: resets,
+            read_before_write: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DcwWrite, ThreeStageWrite};
+    use pcm_types::{LineData, Ps};
+
+    fn plan(old: &LineData, flips: u32, new: &LineData) -> WritePlan {
+        let cfg = SchemeConfig::paper_baseline();
+        PreSetWrite.plan(&WriteCtx {
+            old_stored: old,
+            old_flips: flips,
+            new_logical: new,
+            cfg: &cfg,
+        })
+    }
+
+    #[test]
+    fn foreground_service_is_reset_stage_only() {
+        let old = LineData::zeroed(64);
+        let new = LineData::from_units(&[0xABCD; 8]);
+        let p = plan(&old, 0, &new);
+        assert_eq!(p.service_time, Ps::from_ns(8 * 53), "8 Treset, no read");
+        assert!(p.write_units_equiv < 1.0, "even below one Tset-equivalent");
+        assert!(!p.read_before_write);
+        assert!(p.check_decodes_to(&new).is_ok());
+    }
+
+    #[test]
+    fn fastest_foreground_but_worst_energy() {
+        let cfg = SchemeConfig::paper_baseline();
+        let old = LineData::from_units(&[0xF0F0_F0F0; 8]);
+        let mut new = old;
+        new.xor_unit(2, 0b111);
+        let ctx = WriteCtx {
+            old_stored: &old,
+            old_flips: 0,
+            new_logical: &new,
+            cfg: &cfg,
+        };
+        let preset = PreSetWrite.plan(&ctx);
+        let dcw = DcwWrite.plan(&ctx);
+        let three = ThreeStageWrite.plan(&ctx);
+        assert!(preset.service_time < three.service_time);
+        assert!(
+            preset.energy > dcw.energy * 10,
+            "preset pays for its speed in energy"
+        );
+    }
+
+    #[test]
+    fn pulse_accounting_covers_preset_and_resets() {
+        // Old: all zeros → preset SETs all 512 bits; new has 8 ones per
+        // unit → 56 zero bits per unit get RESET.
+        let old = LineData::zeroed(64);
+        let new = LineData::from_units(&[0xFF; 8]);
+        let p = plan(&old, 0, &new);
+        assert_eq!(p.cell_sets, 512);
+        assert_eq!(p.cell_resets, 8 * 56);
+    }
+
+    #[test]
+    fn stale_flip_tags_cleared_by_the_sweep() {
+        let mut old = LineData::zeroed(64);
+        old.set_unit(0, !5u64);
+        let mut new = LineData::zeroed(64);
+        new.set_unit(0, 5);
+        let p = plan(&old, 0b1, &new);
+        assert_eq!(p.flips, 0);
+        assert!(p.check_decodes_to(&new).is_ok());
+    }
+}

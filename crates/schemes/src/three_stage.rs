@@ -1,0 +1,132 @@
+//! Three-Stage-Write (Li et al., ASP-DAC'15) — Eq. 4.
+//!
+//! Combines Flip-N-Write with 2-Stage-Write: a read stage fetches the old
+//! data and inverts units whose Hamming distance exceeds half, so both the
+//! RESET stage and the SET stage carry at most half a unit's bits. Stage-0
+//! speed doubles relative to 2-Stage-Write; stage-1 stays the same:
+//! `T = Tread + (1/2K + 1/2L) · (N/M) · Tset`.
+
+use crate::traits::{
+    worst_case_reset_concurrency, worst_case_set_concurrency, SchemeConfig, WriteCtx, WritePlan,
+    WriteScheme,
+};
+use pcm_types::{flip_units, LineDemand};
+
+/// Three-Stage-Write.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ThreeStageWrite;
+
+impl WriteScheme for ThreeStageWrite {
+    fn name(&self) -> &'static str {
+        "Three-Stage-Write"
+    }
+
+    fn uses_flip_bits(&self) -> bool {
+        true
+    }
+
+    fn plan(&self, ctx: &WriteCtx<'_>) -> WritePlan {
+        let cfg: &SchemeConfig = ctx.cfg;
+        let fl = flip_units(ctx.old_stored, ctx.old_flips, ctx.new_logical);
+        let demand = LineDemand::from_flipped(&fl);
+        let (sets, resets) = fl.totals();
+
+        // Flip bound holds in both stages: ≤32 RESETs → 2 units/Treset;
+        // ≤32 SETs → 4 units/Tset.
+        let c0 = worst_case_reset_concurrency(cfg, true) as u64;
+        let c1 = worst_case_set_concurrency(cfg, true) as u64;
+        let units = cfg.org.write_units_per_line() as u64;
+        let slots0 = units.div_ceil(c0);
+        let slots1 = units.div_ceil(c1);
+        let write_time = cfg.timings.t_reset * slots0 + cfg.timings.t_set * slots1;
+        let service = cfg.timings.t_read + write_time;
+        let equiv = write_time.as_ps() as f64 / cfg.timings.t_set.as_ps() as f64;
+
+        let read_energy = cfg.energy.read_energy(cfg.org.data_units_per_line() as u64);
+        debug_assert_eq!(sets, demand.total_sets());
+        debug_assert_eq!(resets, demand.total_resets());
+
+        WritePlan {
+            service_time: service,
+            energy: cfg.energy.write_energy(sets as u64, resets as u64) + read_energy,
+            write_units_equiv: equiv,
+            stored: fl.stored,
+            flips: fl.flips,
+            cell_sets: sets,
+            cell_resets: resets,
+            read_before_write: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcm_types::{LineData, Ps};
+
+    fn plan(old: &LineData, flips: u32, new: &LineData) -> WritePlan {
+        let cfg = SchemeConfig::paper_baseline();
+        ThreeStageWrite.plan(&WriteCtx {
+            old_stored: old,
+            old_flips: flips,
+            new_logical: new,
+            cfg: &cfg,
+        })
+    }
+
+    #[test]
+    fn service_matches_eq4() {
+        let old = LineData::zeroed(64);
+        let p = plan(&old, 0, &old);
+        // Tread + 4 Treset + 2 Tset.
+        assert_eq!(p.service_time, Ps::from_ns(50 + 4 * 53 + 2 * 430));
+        // Fig. 10 quotes ~2.5 write units for 3SW.
+        let expected = (4.0 * 53.0 + 2.0 * 430.0) / 430.0;
+        assert!((p.write_units_equiv - expected).abs() < 1e-9);
+        assert!((p.write_units_equiv - 2.49).abs() < 0.01);
+        assert!(p.read_before_write);
+    }
+
+    #[test]
+    fn differential_energy_like_fnw() {
+        let old = LineData::zeroed(64);
+        let mut new = LineData::zeroed(64);
+        new.set_unit(2, 0b1_0101);
+        let p = plan(&old, 0, &new);
+        assert_eq!(p.cell_sets, 3);
+        assert_eq!(p.cell_resets, 0);
+        assert!(p.check_decodes_to(&new).is_ok());
+    }
+
+    #[test]
+    fn stage0_twice_as_fast_as_two_stage() {
+        use crate::two_stage::TwoStageWrite;
+        let cfg = SchemeConfig::paper_baseline();
+        let old = LineData::zeroed(64);
+        let ctx = WriteCtx {
+            old_stored: &old,
+            old_flips: 0,
+            new_logical: &old,
+            cfg: &cfg,
+        };
+        let two = TwoStageWrite.plan(&ctx);
+        let three = ThreeStageWrite.plan(&ctx);
+        // 3SW write time (without the read) beats 2SW by exactly 4 Treset.
+        let three_write = three.service_time - cfg.timings.t_read;
+        assert_eq!(two.service_time - three_write, Ps::from_ns(4 * 53));
+    }
+
+    #[test]
+    fn inversion_respects_stale_tags() {
+        // Stored inverted already; new data identical to logical old → no
+        // programming at all.
+        let mut old = LineData::zeroed(64);
+        old.set_unit(0, !0xABCDu64);
+        let mut new = LineData::zeroed(64);
+        new.set_unit(0, 0xABCD);
+        let p = plan(&old, 0b1, &new);
+        assert_eq!(p.cell_sets + p.cell_resets, 0);
+        assert_eq!(p.flips & 1, 1, "stays inverted");
+        assert!(p.check_decodes_to(&new).is_ok());
+    }
+}

@@ -1,0 +1,138 @@
+//! 2-Stage-Write (Yue & Zhu, HPCA'13) — Eq. 3.
+//!
+//! Splits the write into **stage-0** (all RESETs, short `Treset` slots) and
+//! **stage-1** (all SETs, whose low current lets several units share a
+//! slot). The data is inverted when more than half its bits are '1' to
+//! bound SET demand. No read-before-write: the *full* data is programmed,
+//! zeros and ones alike, so energy is not reduced (Table I).
+
+use crate::traits::{
+    worst_case_reset_concurrency, worst_case_set_concurrency, SchemeConfig, WriteCtx, WritePlan,
+    WriteScheme,
+};
+
+/// 2-Stage-Write.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TwoStageWrite;
+
+impl WriteScheme for TwoStageWrite {
+    fn name(&self) -> &'static str {
+        "2-Stage-Write"
+    }
+
+    fn uses_flip_bits(&self) -> bool {
+        true
+    }
+
+    fn plan(&self, ctx: &WriteCtx<'_>) -> WritePlan {
+        let cfg: &SchemeConfig = ctx.cfg;
+        let unit_bits = cfg.org.data_unit_bits;
+        let num_units = ctx.new_logical.num_units();
+
+        // Invert any unit with more ones than zeros (bounds stage-1 SETs to
+        // ≤ half). The decision needs no read of the old data.
+        let mut stored = *ctx.new_logical;
+        let mut flips = 0u32;
+        let mut sets = 0u32;
+        let mut resets = 0u32;
+        for i in 0..num_units {
+            let u = ctx.new_logical.unit(i);
+            let ones = u.count_ones();
+            let (word, flip) = if ones > unit_bits / 2 {
+                (!u, true)
+            } else {
+                (u, false)
+            };
+            stored.set_unit(i, word);
+            if flip {
+                flips |= 1 << i;
+            }
+            // Full-data programming: every data cell pulsed to its value,
+            // plus the flip tag pulsed to its value.
+            let word_ones = word.count_ones();
+            sets += word_ones + flip as u32;
+            resets += unit_bits - word_ones + !flip as u32;
+        }
+
+        // Stage-0: worst case a unit RESETs all bits → 1 unit per Treset.
+        let c0 = worst_case_reset_concurrency(cfg, false) as u64;
+        // Stage-1: flip bound halves SET demand → 4 units per Tset.
+        let c1 = worst_case_set_concurrency(cfg, true) as u64;
+        let units = cfg.org.write_units_per_line() as u64;
+        let slots0 = units.div_ceil(c0);
+        let slots1 = units.div_ceil(c1);
+        let service = cfg.timings.t_reset * slots0 + cfg.timings.t_set * slots1;
+        let equiv = service.as_ps() as f64 / cfg.timings.t_set.as_ps() as f64;
+
+        WritePlan {
+            service_time: service,
+            energy: cfg.energy.write_energy(sets as u64, resets as u64),
+            write_units_equiv: equiv,
+            stored,
+            flips,
+            cell_sets: sets,
+            cell_resets: resets,
+            read_before_write: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcm_types::{LineData, Ps};
+
+    fn plan(new: &LineData) -> WritePlan {
+        let cfg = SchemeConfig::paper_baseline();
+        let old = LineData::zeroed(new.len());
+        TwoStageWrite.plan(&WriteCtx {
+            old_stored: &old,
+            old_flips: 0,
+            new_logical: new,
+            cfg: &cfg,
+        })
+    }
+
+    #[test]
+    fn service_matches_eq3() {
+        let new = LineData::zeroed(64);
+        let p = plan(&new);
+        // 8 Treset + 2 Tset = 424 + 860 ns.
+        assert_eq!(p.service_time, Ps::from_ns(8 * 53 + 2 * 430));
+        assert!((p.write_units_equiv - (8.0 / (430.0 / 53.0) + 2.0)).abs() < 1e-9);
+        assert!(!p.read_before_write);
+    }
+
+    #[test]
+    fn programs_full_data_no_energy_reduction() {
+        let new = LineData::from_units(&[0b1010; 8]);
+        let p = plan(&new);
+        // Every cell pulsed: 8 units × (64 data + 1 flip) = 520 pulses.
+        assert_eq!(p.cell_sets + p.cell_resets, 8 * 65);
+        assert_eq!(p.cell_sets, (8 * 2), "2 ones per unit, no flips");
+    }
+
+    #[test]
+    fn set_heavy_units_get_inverted() {
+        let new = LineData::from_units(&[!0b1u64; 8]);
+        let p = plan(&new);
+        assert_eq!(p.flips, 0xFF, "63 ones > 32 → all inverted");
+        // Stored words have 1 one each; flip tags all SET.
+        assert_eq!(p.cell_sets, 8 * (1 + 1));
+        assert!(p.check_decodes_to(&new).is_ok());
+    }
+
+    #[test]
+    fn exactly_half_ones_not_inverted() {
+        let new = LineData::from_units(&[0xFFFF_FFFF_0000_0000u64; 8]);
+        let p = plan(&new);
+        assert_eq!(p.flips, 0);
+    }
+
+    #[test]
+    fn service_is_content_independent() {
+        let a = plan(&LineData::zeroed(64));
+        let b = plan(&LineData::from_units(&[u64::MAX; 8]));
+        assert_eq!(a.service_time, b.service_time);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests that every write scheme must satisfy, regardless of
+//! content, stale flip tags, or geometry.
+
+use pcm_schemes::{
+    analytic, ConventionalWrite, DcwWrite, FlipNWrite, PreSetWrite, SchemeConfig, ThreeStageWrite,
+    TwoStageWrite, WriteCtx, WriteScheme,
+};
+use pcm_types::{hamming, LineData, Ps};
+use proptest::prelude::*;
+
+fn schemes() -> Vec<Box<dyn WriteScheme>> {
+    vec![
+        Box::new(ConventionalWrite),
+        Box::new(DcwWrite),
+        Box::new(FlipNWrite),
+        Box::new(TwoStageWrite),
+        Box::new(ThreeStageWrite),
+        Box::new(PreSetWrite),
+    ]
+}
+
+fn line_strategy() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just(0u64),
+            Just(u64::MAX),
+            any::<u64>(),
+            any::<u64>().prop_map(|v| v & 0xFF), // sparse
+        ],
+        8,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Invariant 1: the stored bits + flip tags always decode to the
+    /// requested logical data (no scheme may corrupt memory).
+    #[test]
+    fn every_plan_decodes(old in line_strategy(), flips in 0u32..256, new in line_strategy()) {
+        let cfg = SchemeConfig::paper_baseline();
+        let old = LineData::from_units(&old);
+        let new = LineData::from_units(&new);
+        let ctx = WriteCtx { old_stored: &old, old_flips: flips, new_logical: &new, cfg: &cfg };
+        for s in schemes() {
+            let plan = s.plan(&ctx);
+            prop_assert!(plan.check_decodes_to(&new).is_ok(), "{} corrupted data", s.name());
+            // Schemes that disown flip bits must leave them cleared.
+            if !s.uses_flip_bits() {
+                prop_assert_eq!(plan.flips, 0, "{} left flip tags", s.name());
+            }
+        }
+    }
+
+    /// Invariant 2: service time is positive and never exceeds the
+    /// conventional worst case (Eq. 1) plus read overhead.
+    #[test]
+    fn service_time_bounded(old in line_strategy(), new in line_strategy()) {
+        let cfg = SchemeConfig::paper_baseline();
+        let old = LineData::from_units(&old);
+        let new = LineData::from_units(&new);
+        let ctx = WriteCtx { old_stored: &old, old_flips: 0, new_logical: &new, cfg: &cfg };
+        let ceiling = analytic::t_conventional(&cfg) + cfg.timings.t_read;
+        for s in schemes() {
+            let plan = s.plan(&ctx);
+            prop_assert!(plan.service_time > Ps::ZERO, "{}", s.name());
+            prop_assert!(
+                plan.service_time <= ceiling,
+                "{} slower than conventional: {} > {}",
+                s.name(),
+                plan.service_time,
+                ceiling
+            );
+        }
+    }
+
+    /// Invariant 3: differential schemes never pulse more cells than the
+    /// raw Hamming distance plus one flip-cell per unit.
+    #[test]
+    fn differential_pulse_bound(old in line_strategy(), new in line_strategy()) {
+        let cfg = SchemeConfig::paper_baseline();
+        let old = LineData::from_units(&old);
+        let new = LineData::from_units(&new);
+        let ctx = WriteCtx { old_stored: &old, old_flips: 0, new_logical: &new, cfg: &cfg };
+        let dist = hamming(&old, &new);
+        for s in [Box::new(DcwWrite) as Box<dyn WriteScheme>,
+                  Box::new(FlipNWrite), Box::new(ThreeStageWrite)] {
+            let plan = s.plan(&ctx);
+            prop_assert!(
+                plan.cell_sets + plan.cell_resets <= dist + 8,
+                "{} pulsed {} cells for distance {}",
+                s.name(),
+                plan.cell_sets + plan.cell_resets,
+                dist
+            );
+        }
+    }
+
+    /// Invariant 4: flip-coded schemes never pulse more than half the
+    /// cells (+ flip bits), whatever the content.
+    #[test]
+    fn flip_bound_holds(old in line_strategy(), flips in 0u32..256, new in line_strategy()) {
+        let cfg = SchemeConfig::paper_baseline();
+        let old = LineData::from_units(&old);
+        let new = LineData::from_units(&new);
+        let ctx = WriteCtx { old_stored: &old, old_flips: flips, new_logical: &new, cfg: &cfg };
+        for s in [Box::new(FlipNWrite) as Box<dyn WriteScheme>, Box::new(ThreeStageWrite)] {
+            let plan = s.plan(&ctx);
+            prop_assert!(
+                plan.cell_sets + plan.cell_resets <= 8 * 32,
+                "{}: {} pulses",
+                s.name(),
+                plan.cell_sets + plan.cell_resets
+            );
+        }
+    }
+
+    /// Invariant 5: writing identical data is free for differential
+    /// schemes (beyond the mandatory read).
+    #[test]
+    fn idempotent_writes_are_cheap(data in line_strategy()) {
+        let cfg = SchemeConfig::paper_baseline();
+        let line = LineData::from_units(&data);
+        let ctx = WriteCtx { old_stored: &line, old_flips: 0, new_logical: &line, cfg: &cfg };
+        for s in [Box::new(DcwWrite) as Box<dyn WriteScheme>,
+                  Box::new(FlipNWrite), Box::new(ThreeStageWrite)] {
+            let plan = s.plan(&ctx);
+            prop_assert_eq!(plan.cell_sets + plan.cell_resets, 0, "{}", s.name());
+        }
+    }
+
+    /// Invariant 6: scheme ordering from the paper holds for *every*
+    /// content, not just on average — the static schemes' times are
+    /// content-independent by construction.
+    #[test]
+    fn static_ordering_invariant(old in line_strategy(), new in line_strategy()) {
+        let cfg = SchemeConfig::paper_baseline();
+        let old = LineData::from_units(&old);
+        let new = LineData::from_units(&new);
+        let ctx = WriteCtx { old_stored: &old, old_flips: 0, new_logical: &new, cfg: &cfg };
+        let conv = ConventionalWrite.plan(&ctx).service_time;
+        let fnw = FlipNWrite.plan(&ctx).service_time;
+        let two = TwoStageWrite.plan(&ctx).service_time;
+        let three = ThreeStageWrite.plan(&ctx).service_time;
+        prop_assert!(three < two);
+        prop_assert!(two < fnw);
+        prop_assert!(fnw < conv);
+    }
+}

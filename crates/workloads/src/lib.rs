@@ -1,0 +1,36 @@
+//! # pcm-workloads
+//!
+//! Calibrated synthetic stand-ins for the paper's eight multi-threaded
+//! PARSEC 2.0 workloads (Table III / Fig. 3). PARSEC itself cannot run
+//! here, so each profile reproduces the *published measurements* the write
+//! schemes are sensitive to:
+//!
+//! * memory **RPKI / WPKI** (Table III) via instruction-gap statistics,
+//! * per-64-bit-unit **SET/RESET counts after flip coding** (Fig. 3:
+//!   suite average ≈ 9.6 bit-writes = 2.9 RESET + 6.7 SET; blackscholes
+//!   ≈ 2; vips ≈ 19 and fifty-fifty; most workloads SET-dominant),
+//! * data **sharing levels** (shared address regions between cores),
+//! * zipf + streaming address locality to exercise row buffers and bank
+//!   parallelism.
+//!
+//! Modules: [`profiles`] (the eight workloads), [`content`] (the
+//! Fig. 3-calibrated write-content model), [`generator`] (the
+//! [`pcm_memsim::TraceSource`] producing per-core op streams), [`zipf`]
+//! (the locality sampler), [`stats`] (the Fig. 3 measurement harness) and
+//! [`trace`] (trace (de)serialization).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod content;
+pub mod generator;
+pub mod profiles;
+pub mod stats;
+pub mod trace;
+pub mod zipf;
+
+pub use content::ProfileContent;
+pub use generator::{GeneratorConfig, SyntheticParsec};
+pub use profiles::{Sharing, WorkloadProfile, ALL_PROFILES};
+pub use stats::{measure_bit_stats, BitStats};
+pub use zipf::Zipf;

@@ -1,0 +1,247 @@
+//! The eight PARSEC 2.0 workload profiles (Table III + Fig. 3).
+//!
+//! `set_mean` / `reset_mean` are the per-64-bit-unit bit-write counts
+//! *after* flip coding, calibrated so the suite reproduces the paper's
+//! Fig. 3: average ≈ 9.6 (6.7 SET + 2.9 RESET), blackscholes ≈ 2, vips
+//! ≈ 19 with a fifty-fifty mix, ferret near fifty-fifty, the rest
+//! SET-dominant.
+
+use serde::{Deserialize, Serialize};
+
+/// Data-sharing intensity between threads (Table III).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Sharing {
+    /// Threads work on private data.
+    Low,
+    /// Moderate shared footprint.
+    Medium,
+    /// Heavy sharing/exchange.
+    High,
+}
+
+impl Sharing {
+    /// Fraction of accesses directed at the shared region.
+    pub const fn shared_fraction(self) -> f64 {
+        match self {
+            Sharing::Low => 0.05,
+            Sharing::Medium => 0.25,
+            Sharing::High => 0.50,
+        }
+    }
+}
+
+/// One workload's published characteristics.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// PARSEC program name.
+    pub name: &'static str,
+    /// Application domain (Table III).
+    pub domain: &'static str,
+    /// Data usage of sharing.
+    pub sharing: Sharing,
+    /// Data usage of exchange.
+    pub exchange: Sharing,
+    /// Memory reads per kilo-instruction (Table III).
+    pub rpki: f64,
+    /// Memory writes per kilo-instruction (Table III).
+    pub wpki: f64,
+    /// Mean SET bit-writes per 64-bit unit after flip coding (Fig. 3).
+    pub set_mean: f64,
+    /// Mean RESET bit-writes per 64-bit unit after flip coding (Fig. 3).
+    pub reset_mean: f64,
+    /// Fraction of write-backs that replace the line with fresh content
+    /// (new dedup chunks, new image tiles, …) rather than update it in
+    /// place. Fresh writes change ~24-30 bits per unit and are what pushes
+    /// Tetris Write above one write unit on the heavy workloads (Fig. 10's
+    /// 1.06-1.46 range); the content model compensates its base means so
+    /// the Fig. 3 averages are unaffected.
+    pub fresh_fraction: f64,
+}
+
+impl WorkloadProfile {
+    /// Total mean bit-writes per unit.
+    pub fn total_mean(&self) -> f64 {
+        self.set_mean + self.reset_mean
+    }
+
+    /// Memory accesses per kilo-instruction.
+    pub fn apki(&self) -> f64 {
+        self.rpki + self.wpki
+    }
+
+    /// Probability that a memory access is a write.
+    pub fn write_fraction(&self) -> f64 {
+        if self.apki() == 0.0 {
+            0.0
+        } else {
+            self.wpki / self.apki()
+        }
+    }
+
+    /// Look up a profile by name.
+    pub fn by_name(name: &str) -> Option<&'static WorkloadProfile> {
+        ALL_PROFILES.iter().find(|p| p.name == name)
+    }
+}
+
+/// The eight workloads of Table III, in the paper's order.
+pub const ALL_PROFILES: [WorkloadProfile; 8] = [
+    WorkloadProfile {
+        name: "blackscholes",
+        domain: "Financial Analysis",
+        sharing: Sharing::Low,
+        exchange: Sharing::Low,
+        rpki: 0.04,
+        wpki: 0.02,
+        set_mean: 1.4,
+        reset_mean: 0.6,
+        fresh_fraction: 0.05,
+    },
+    WorkloadProfile {
+        name: "bodytrack",
+        domain: "Computer Vision",
+        sharing: Sharing::High,
+        exchange: Sharing::Medium,
+        rpki: 0.72,
+        wpki: 0.24,
+        set_mean: 6.5,
+        reset_mean: 2.0,
+        fresh_fraction: 0.1,
+    },
+    WorkloadProfile {
+        name: "canneal",
+        domain: "Engineering",
+        sharing: Sharing::High,
+        exchange: Sharing::High,
+        rpki: 2.76,
+        wpki: 0.19,
+        set_mean: 5.0,
+        reset_mean: 1.5,
+        fresh_fraction: 0.08,
+    },
+    WorkloadProfile {
+        name: "dedup",
+        domain: "Enterprise Storage",
+        sharing: Sharing::High,
+        exchange: Sharing::High,
+        rpki: 0.82,
+        wpki: 0.49,
+        set_mean: 11.0,
+        reset_mean: 4.5,
+        fresh_fraction: 0.3,
+    },
+    WorkloadProfile {
+        name: "ferret",
+        domain: "Similarity Search",
+        sharing: Sharing::High,
+        exchange: Sharing::High,
+        rpki: 1.67,
+        wpki: 0.95,
+        set_mean: 6.5,
+        reset_mean: 5.5,
+        fresh_fraction: 0.25,
+    },
+    WorkloadProfile {
+        name: "freqmine",
+        domain: "Data Mining",
+        sharing: Sharing::High,
+        exchange: Sharing::Medium,
+        rpki: 0.62,
+        wpki: 0.25,
+        set_mean: 5.5,
+        reset_mean: 2.0,
+        fresh_fraction: 0.1,
+    },
+    WorkloadProfile {
+        name: "swaptions",
+        domain: "Financial Analysis",
+        sharing: Sharing::Low,
+        exchange: Sharing::Low,
+        rpki: 0.04,
+        wpki: 0.02,
+        set_mean: 2.5,
+        reset_mean: 1.0,
+        fresh_fraction: 0.05,
+    },
+    WorkloadProfile {
+        name: "vips",
+        domain: "Media Processing",
+        sharing: Sharing::Low,
+        exchange: Sharing::Medium,
+        rpki: 2.56,
+        wpki: 1.56,
+        set_mean: 9.8,
+        reset_mean: 9.2,
+        fresh_fraction: 0.35,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_rpki_wpki() {
+        let p = WorkloadProfile::by_name("canneal").unwrap();
+        assert_eq!(p.rpki, 2.76);
+        assert_eq!(p.wpki, 0.19);
+        let v = WorkloadProfile::by_name("vips").unwrap();
+        assert_eq!((v.rpki, v.wpki), (2.56, 1.56));
+        assert!(WorkloadProfile::by_name("nonsense").is_none());
+    }
+
+    #[test]
+    fn fig3_suite_average_near_paper() {
+        // Paper: 9.6 bit ops per unit = 6.7 SET + 2.9 RESET on average.
+        let n = ALL_PROFILES.len() as f64;
+        let avg_set: f64 = ALL_PROFILES.iter().map(|p| p.set_mean).sum::<f64>() / n;
+        let avg_reset: f64 = ALL_PROFILES.iter().map(|p| p.reset_mean).sum::<f64>() / n;
+        let avg_total = avg_set + avg_reset;
+        assert!((avg_total - 9.6).abs() < 1.0, "avg total {avg_total}");
+        assert!((avg_set - 6.7).abs() < 1.0, "avg set {avg_set}");
+        assert!((avg_reset - 2.9).abs() < 0.7, "avg reset {avg_reset}");
+    }
+
+    #[test]
+    fn fig3_extremes() {
+        let b = WorkloadProfile::by_name("blackscholes").unwrap();
+        assert!(
+            (b.total_mean() - 2.0).abs() < 0.5,
+            "blackscholes ≈ 2 bit-writes"
+        );
+        let v = WorkloadProfile::by_name("vips").unwrap();
+        assert!((v.total_mean() - 19.0).abs() < 0.5, "vips ≈ 19 bit-writes");
+        // vips and ferret are fifty-fifty; the rest SET-dominant.
+        for p in &ALL_PROFILES {
+            match p.name {
+                "vips" | "ferret" => {
+                    let ratio = p.set_mean / p.reset_mean;
+                    assert!((0.8..=1.3).contains(&ratio), "{} fifty-fifty", p.name);
+                }
+                _ => assert!(p.set_mean > 2.0 * p.reset_mean, "{} SET-dominant", p.name),
+            }
+        }
+    }
+
+    #[test]
+    fn flip_bound_respected() {
+        // Post-flip counts must stay below half a unit, or the calibration
+        // could not be realized by any data.
+        for p in &ALL_PROFILES {
+            assert!(p.total_mean() < 30.0, "{} exceeds flip bound", p.name);
+        }
+    }
+
+    #[test]
+    fn write_fraction() {
+        let v = WorkloadProfile::by_name("vips").unwrap();
+        assert!((v.write_fraction() - 1.56 / 4.12).abs() < 1e-12);
+        assert!((v.apki() - 4.12).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sharing_fractions_ordered() {
+        assert!(Sharing::Low.shared_fraction() < Sharing::Medium.shared_fraction());
+        assert!(Sharing::Medium.shared_fraction() < Sharing::High.shared_fraction());
+    }
+}

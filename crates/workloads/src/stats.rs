@@ -1,0 +1,147 @@
+//! The Fig. 3 measurement harness.
+//!
+//! Replays a profile's write stream against a model memory and counts the
+//! RESET/SET bit-writes per data unit *after* flip coding — exactly the
+//! quantity the paper's Fig. 3 plots. First-touch initialization writes are
+//! excluded (the paper profiles steady applications). Write reuse is
+//! uniform over the working set, mirroring the generator (post-LLC write
+//! traffic is reuse-filtered).
+
+use crate::content::ProfileContent;
+use crate::profiles::WorkloadProfile;
+use pcm_memsim::WriteContent;
+use pcm_types::{flip_units, LineData};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Measured per-unit bit-write statistics.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct BitStats {
+    /// Mean SET bit-writes per 64-bit unit.
+    pub avg_sets: f64,
+    /// Mean RESET bit-writes per 64-bit unit.
+    pub avg_resets: f64,
+    /// Units sampled.
+    pub samples: u64,
+}
+
+impl BitStats {
+    /// Mean total bit-writes per unit.
+    pub fn avg_total(&self) -> f64 {
+        self.avg_sets + self.avg_resets
+    }
+}
+
+/// Measure Fig. 3 statistics for `profile` over `writes` line writes.
+///
+/// Writes reuse lines uniformly over a working set sized for ~4 rewrites
+/// per line; contents come from [`ProfileContent`]; counting is done in
+/// the stored domain with flip tags, as Flip-N-Write hardware would.
+///
+/// ```
+/// use pcm_workloads::{measure_bit_stats, WorkloadProfile};
+///
+/// let p = WorkloadProfile::by_name("blackscholes").unwrap();
+/// let s = measure_bit_stats(p, 500, 7);
+/// assert!((s.avg_total() - 2.0).abs() < 0.8); // Fig. 3: ≈ 2 bits per unit
+/// ```
+pub fn measure_bit_stats(profile: &WorkloadProfile, writes: u64, seed: u64) -> BitStats {
+    let ws_lines = ((writes as f64 / 4.0).ceil() as usize).max(16);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut content = ProfileContent::new(profile, seed ^ 0xABCD);
+    // line index → (stored bits, flip mask, logical contents).
+    let mut mem: HashMap<usize, (LineData, u32)> = HashMap::new();
+
+    let mut sets = 0u64;
+    let mut resets = 0u64;
+    let mut samples = 0u64;
+    for _ in 0..writes {
+        let line_idx = rand::Rng::gen_range(&mut rng, 0..ws_lines);
+        let first_touch = !mem.contains_key(&line_idx);
+        let (stored, flips) = mem
+            .entry(line_idx)
+            .or_insert_with(|| (LineData::zeroed(64), 0));
+        // Logical old contents (decode flips).
+        let mut logical = *stored;
+        for i in 0..8 {
+            if *flips & (1 << i) != 0 {
+                logical.set_unit(i, !logical.unit(i));
+            }
+        }
+        let new_logical = content.generate(0, &logical);
+        let fl = flip_units(stored, *flips, &new_logical);
+        if !first_touch {
+            let (s, r) = fl.totals();
+            sets += s as u64;
+            resets += r as u64;
+            samples += 8;
+        }
+        *stored = fl.stored;
+        *flips = fl.flips;
+    }
+    BitStats {
+        avg_sets: sets as f64 / samples.max(1) as f64,
+        avg_resets: resets as f64 / samples.max(1) as f64,
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::ALL_PROFILES;
+
+    #[test]
+    fn fig3_reproduced_per_workload() {
+        for p in &ALL_PROFILES {
+            let s = measure_bit_stats(p, 3_000, 7);
+            assert!(s.samples > 10_000);
+            let tol = |target: f64| (target * 0.2).max(0.5);
+            assert!(
+                (s.avg_sets - p.set_mean).abs() < tol(p.set_mean),
+                "{}: sets {:.2} vs {:.2}",
+                p.name,
+                s.avg_sets,
+                p.set_mean
+            );
+            assert!(
+                (s.avg_resets - p.reset_mean).abs() < tol(p.reset_mean),
+                "{}: resets {:.2} vs {:.2}",
+                p.name,
+                s.avg_resets,
+                p.reset_mean
+            );
+        }
+    }
+
+    #[test]
+    fn fig3_suite_average_near_9_6() {
+        let mut total = 0.0;
+        let mut set_sum = 0.0;
+        let mut reset_sum = 0.0;
+        for p in &ALL_PROFILES {
+            let s = measure_bit_stats(p, 2_000, 13);
+            total += s.avg_total();
+            set_sum += s.avg_sets;
+            reset_sum += s.avg_resets;
+        }
+        let n = ALL_PROFILES.len() as f64;
+        assert!(
+            (total / n - 9.6).abs() < 1.5,
+            "suite average {:.2} bit-writes per unit",
+            total / n
+        );
+        assert!(set_sum / n > reset_sum / n, "suite is SET-dominant");
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = &ALL_PROFILES[4];
+        let a = measure_bit_stats(p, 500, 3);
+        let b = measure_bit_stats(p, 500, 3);
+        assert_eq!(a.avg_sets, b.avg_sets);
+        assert_eq!(a.avg_resets, b.avg_resets);
+    }
+}

@@ -1,0 +1,118 @@
+//! Trace recording and (de)serialization.
+//!
+//! Generated traces can be materialized to per-core op vectors and saved as
+//! JSON, so an experiment can be replayed bit-for-bit or inspected offline.
+
+use pcm_memsim::{AccessKind, TraceOp, TraceSource};
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, Write};
+
+/// Serializable form of one op.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Instruction gap.
+    pub gap: u32,
+    /// `true` for a write.
+    pub w: bool,
+    /// Byte address.
+    pub addr: u64,
+}
+
+impl From<TraceOp> for TraceRecord {
+    fn from(op: TraceOp) -> Self {
+        TraceRecord {
+            gap: op.gap,
+            w: op.kind == AccessKind::Write,
+            addr: op.addr,
+        }
+    }
+}
+
+impl From<TraceRecord> for TraceOp {
+    fn from(r: TraceRecord) -> Self {
+        TraceOp {
+            gap: r.gap,
+            kind: if r.w {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            },
+            addr: r.addr,
+        }
+    }
+}
+
+/// Materialize a [`TraceSource`] into per-core op vectors.
+pub fn record_trace(src: &mut dyn TraceSource, cores: usize) -> Vec<Vec<TraceOp>> {
+    (0..cores)
+        .map(|c| std::iter::from_fn(|| src.next(c)).collect())
+        .collect()
+}
+
+/// Write a materialized trace as JSON-lines: one line per core.
+pub fn write_trace<W: Write>(w: &mut W, trace: &[Vec<TraceOp>]) -> std::io::Result<()> {
+    for core_ops in trace {
+        let records: Vec<TraceRecord> = core_ops.iter().map(|&o| o.into()).collect();
+        serde_json::to_writer(&mut *w, &records)?;
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Read a JSON-lines trace back.
+pub fn read_trace<R: BufRead>(r: R) -> std::io::Result<Vec<Vec<TraceOp>>> {
+    let mut out = Vec::new();
+    for line in r.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let records: Vec<TraceRecord> = serde_json::from_str(&line)?;
+        out.push(records.into_iter().map(TraceOp::from).collect());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{GeneratorConfig, SyntheticParsec};
+    use crate::profiles::ALL_PROFILES;
+
+    #[test]
+    fn roundtrip_through_json() {
+        let cfg = GeneratorConfig {
+            instructions_per_core: 50_000,
+            cores: 2,
+            ..Default::default()
+        };
+        let mut gen = SyntheticParsec::new(&ALL_PROFILES[4], cfg);
+        let trace = record_trace(&mut gen, 2);
+        assert_eq!(trace.len(), 2);
+        assert!(!trace[0].is_empty());
+
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        let back = read_trace(std::io::BufReader::new(&buf[..])).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn record_conversion() {
+        let op = TraceOp {
+            gap: 5,
+            kind: AccessKind::Write,
+            addr: 0x40,
+        };
+        let r: TraceRecord = op.into();
+        assert!(r.w);
+        let op2: TraceOp = r.into();
+        assert_eq!(op, op2);
+    }
+
+    #[test]
+    fn empty_lines_skipped() {
+        let back = read_trace(std::io::BufReader::new("\n\n".as_bytes())).unwrap();
+        assert!(back.is_empty());
+    }
+}

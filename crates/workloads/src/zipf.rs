@@ -1,0 +1,112 @@
+//! A Zipf(α) sampler over `n` ranks, CDF-table based.
+//!
+//! Memory-access locality in PARSEC-class workloads is heavy-tailed: a few
+//! hot lines absorb most accesses. Zipf with α ≈ 0.8–1.0 is the standard
+//! stand-in. The sampler precomputes the CDF once and draws by binary
+//! search (O(log n) per sample, exact).
+
+use rand::Rng;
+
+/// Zipf-distributed rank sampler (ranks `0..n`, rank 0 hottest).
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Sampler over `n` ranks with exponent `alpha`.
+    ///
+    /// # Panics
+    /// If `n == 0` or `alpha < 0`.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(alpha >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always at least one rank.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draw one rank.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // First index whose CDF ≥ u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rank_zero_is_hottest() {
+        let z = Zipf::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[500]);
+        // Rank 0 of Zipf(1.0, 1000) has probability 1/H(1000) ≈ 13.4%.
+        let p0 = counts[0] as f64 / 100_000.0;
+        assert!((0.10..=0.17).contains(&p0), "p0 = {p0}");
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = vec![0u32; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "uniform-ish: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn single_rank() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(37, 0.8);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 37);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Explore the mobile power-budget regimes from the paper's introduction:
+//! "when the amount of current the system can provide decreases, the number
+//! of cells that can be written concurrently must be reduced down to 4 and
+//! 2 bits" — how do Tetris Write and the baselines degrade?
+//!
+//! ```text
+//! cargo run --release --example power_budget_explorer
+//! ```
+
+use pcm_schemes::analytic;
+use pcm_types::PowerParams;
+use pcm_workloads::WorkloadProfile;
+use tetris_experiments::ablation::sample_demands;
+use tetris_write::{analyze, TetrisConfig};
+
+fn main() {
+    let profiles = ["blackscholes", "ferret", "vips"];
+    // Per-chip SET-equivalents. 32 = the X16 baseline; 16/8/4 model the
+    // mobile division modes (X8/X4/X2).
+    let budgets = [32u32, 16, 8, 4];
+
+    println!("average write units per cache-line write (lower is better)\n");
+    println!(
+        "{:<14} {:>6} {:>8} {:>8} {:>8} {:>8}",
+        "workload", "budget", "FNW", "3SW", "Tetris", "Tetris/3SW"
+    );
+    for name in profiles {
+        let p = WorkloadProfile::by_name(name).expect("known workload");
+        let demands = sample_demands(p, 400, 99);
+        for &chip_budget in &budgets {
+            let mut cfg = TetrisConfig::paper_baseline();
+            cfg.scheme.power = PowerParams {
+                l_ratio: 2,
+                budget_per_bank: chip_budget * 4,
+                chips_per_bank: 4,
+            };
+            let tetris: f64 = demands
+                .iter()
+                .map(|d| analyze(d, &cfg).expect("packs").write_units_equiv())
+                .sum::<f64>()
+                / demands.len() as f64;
+            let theory = analytic::theoretical_write_units(&cfg.scheme);
+            // theory rows: Conv, FNW, 2SW, 3SW — but the closed forms assume
+            // the baseline budget; rescale the concurrency-derived entries.
+            // FNW: 2 units/slot needs budget ≥ 64; below that it degrades to
+            // ceil(units / max(1, budget/64·2)).
+            let fnw = fnw_units(chip_budget * 4);
+            let three = three_stage_units(chip_budget * 4);
+            println!(
+                "{:<14} {:>6} {:>8.2} {:>8.2} {:>8.2} {:>9.2}x",
+                name,
+                chip_budget,
+                fnw,
+                three,
+                tetris,
+                three / tetris,
+            );
+            let _ = theory;
+        }
+        println!();
+    }
+    println!("Tetris's advantage *grows* as the budget shrinks: the static");
+    println!("schemes provision for worst-case demand that sparse writes never");
+    println!("exhibit, while Tetris packs the actual demand into the budget.");
+}
+
+/// FNW write units at an arbitrary bank budget: worst case a unit RESETs
+/// 32 bits (64 SET-equivalents); concurrency = max(1, budget/64).
+fn fnw_units(bank_budget: u32) -> f64 {
+    let conc = (bank_budget / 64).max(1) as f64;
+    (8.0 / conc).ceil()
+}
+
+/// 3SW write units: stage-0 concurrency budget/64, stage-1 budget/32,
+/// in Tset-equivalents (stage-0 slots are Treset = Tset/8).
+fn three_stage_units(bank_budget: u32) -> f64 {
+    let c0 = (bank_budget / 64).max(1) as f64;
+    let c1 = (bank_budget / 32).max(1) as f64;
+    (8.0 / c0).ceil() / 8.0 + (8.0 / c1).ceil()
+}

@@ -1,0 +1,89 @@
+//! Quickstart: plan one cache-line write with every scheme and inspect the
+//! Tetris schedule.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use pcm_schemes::{
+    DcwWrite, FlipNWrite, SchemeConfig, ThreeStageWrite, TwoStageWrite, WriteCtx, WriteScheme,
+};
+use pcm_types::LineData;
+use tetris_write::{render_gantt, TetrisWrite};
+
+fn main() {
+    // Table II baseline: 64 B lines, 8 B write units, 430/53/50 ns pulses,
+    // 128 SET-equivalents of instantaneous current per bank.
+    let cfg = SchemeConfig::paper_baseline();
+
+    // The array currently holds `old`; the CPU writes back `new`.
+    // Typical content (paper Observation 1): a handful of bits change per
+    // 64-bit unit, mostly 0→1.
+    let old = LineData::from_units(&[
+        0x0123_4567_89AB_CDEF,
+        0x0000_0000_0000_FFFF,
+        0xAAAA_AAAA_0000_0000,
+        0x1111_2222_3333_4444,
+        0,
+        0xF0F0_F0F0_F0F0_F0F0,
+        0x8000_0000_0000_0001,
+        0x00FF_00FF_00FF_00FF,
+    ]);
+    let mut new = old;
+    new.xor_unit(0, 0b0111_0001); // 4 changed bits
+    new.xor_unit(1, 0x0000_0000_00FF_0000); // 8 SETs
+    new.xor_unit(3, 0x0000_0000_0000_000F); // mixed
+    new.xor_unit(5, 0x0F00_0000_0000_0000);
+    new.xor_unit(7, 0xFF00_0000_0000_0000);
+
+    let ctx = WriteCtx {
+        old_stored: &old,
+        old_flips: 0,
+        new_logical: &new,
+        cfg: &cfg,
+    };
+
+    println!("Planning one 64 B cache-line write under each scheme:\n");
+    println!(
+        "{:<20} {:>12} {:>12} {:>12}",
+        "scheme", "service", "energy (pJ)", "write units"
+    );
+    let schemes: Vec<Box<dyn WriteScheme>> = vec![
+        Box::new(DcwWrite),
+        Box::new(FlipNWrite),
+        Box::new(TwoStageWrite),
+        Box::new(ThreeStageWrite),
+        Box::new(TetrisWrite::paper_baseline()),
+    ];
+    for s in &schemes {
+        let plan = s.plan(&ctx);
+        plan.check_decodes_to(&new)
+            .expect("plan must realize the write");
+        println!(
+            "{:<20} {:>12} {:>12} {:>12.2}",
+            s.name(),
+            plan.service_time.to_string(),
+            plan.energy.as_pj(),
+            plan.write_units_equiv
+        );
+    }
+
+    // Look inside Tetris Write's analysis stage.
+    let tetris = TetrisWrite::paper_baseline();
+    let (_plan, analysis, read_out) = tetris.plan_detailed(&ctx);
+    println!(
+        "\nTetris analysis: result={} write units, subresult={} overflow sub-units",
+        analysis.result, analysis.subresult
+    );
+    println!(
+        "per-unit demand (SET/RESET): {:?}",
+        read_out
+            .demand
+            .units()
+            .iter()
+            .map(|u| (u.sets, u.resets))
+            .collect::<Vec<_>>()
+    );
+    println!("\nChip-level schedule (rows = data units, columns = Treset sub-slots):");
+    println!("{}", render_gantt(&analysis, 8));
+}

@@ -1,0 +1,231 @@
+//! Device-level consistency: schedules produced by the Tetris analysis
+//! stage, executed tick-by-tick on the modeled bank through FSM0/FSM1,
+//! must realize exactly the planned write within the metered power budget,
+//! and the executed makespan must equal Eq. 5.
+
+use pcm_device::{FsmExecutor, PcmBank};
+use pcm_schemes::{SchemeConfig, WriteCtx};
+use pcm_types::{LineData, PcmTimings, PowerParams, Ps};
+use pcm_workloads::{ProfileContent, ALL_PROFILES};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tetris_write::{analyze, build_jobs, read_stage, validate_on_bank, TetrisConfig};
+
+/// Eq. 5 equals the FSM-executed makespan, for workload-realistic content.
+#[test]
+fn eq5_matches_fsm_makespan() {
+    let cfg = TetrisConfig::paper_baseline();
+    let timings = PcmTimings::paper_baseline();
+    let exec = FsmExecutor::new(timings).unwrap();
+    let mut rng = StdRng::seed_from_u64(42);
+
+    for p in &ALL_PROFILES {
+        let mut content = ProfileContent::new(p, 21);
+        let mut stored = LineData::zeroed(64);
+        let mut flips = 0u32;
+        for round in 0..20 {
+            // Logical old = decode(stored, flips).
+            let mut logical = stored;
+            for i in 0..8 {
+                if flips & (1 << i) != 0 {
+                    logical.set_unit(i, !logical.unit(i));
+                }
+            }
+            let new = pcm_memsim::WriteContent::generate(&mut content, 0, &logical);
+            let ctx = WriteCtx {
+                old_stored: &stored,
+                old_flips: flips,
+                new_logical: &new,
+                cfg: &cfg.scheme,
+            };
+            let out = read_stage(&ctx);
+            let analysis = analyze(&out.demand, &cfg).unwrap();
+            analysis.validate(&out.demand).unwrap();
+
+            let mut bank = PcmBank::new(1, 8, PowerParams::paper_baseline(), true).unwrap();
+            for i in 0..8 {
+                bank.write_unit_immediate(i, stored.unit(i), flips & (1 << i) != 0)
+                    .unwrap();
+            }
+            let jobs = build_jobs(&stored, flips, &out, &analysis).unwrap();
+            let report = exec.execute(&mut bank, &jobs).unwrap();
+
+            // Eq. 5: (result + subresult/K) · Tset — exactly the executed
+            // makespan (sub-slot = Tset/K = 53.75 ns divides evenly).
+            let eq5 = analysis.write_time(timings.t_set);
+            if !jobs.is_empty() {
+                assert_eq!(
+                    report.makespan, eq5,
+                    "{} round {round}: makespan {} vs Eq.5 {}",
+                    p.name, report.makespan, eq5
+                );
+            }
+            assert!(report.peak_current <= 128);
+            assert_eq!(report.cell_sets, out.demand.total_sets() as u64);
+            assert_eq!(report.cell_resets, out.demand.total_resets() as u64);
+
+            stored = *out.stored();
+            flips = out.flips();
+            let _ = rng.gen::<u8>();
+        }
+    }
+}
+
+/// Random adversarial content (not profile-shaped) across budgets: the
+/// whole pipeline validates on the bank.
+#[test]
+fn random_content_validates_on_bank() {
+    let mut rng = StdRng::seed_from_u64(1234);
+    for budget in [128u32, 64, 32] {
+        let mut cfg = TetrisConfig::paper_baseline();
+        cfg.scheme.power = PowerParams {
+            l_ratio: 2,
+            budget_per_bank: budget,
+            chips_per_bank: 4,
+        };
+        for _ in 0..30 {
+            let old: Vec<u64> = (0..8).map(|_| rng.gen()).collect();
+            let flips = rng.gen::<u32>() & 0xFF;
+            let new: Vec<u64> = old
+                .iter()
+                .map(|&o| {
+                    if rng.gen_bool(0.5) {
+                        rng.gen()
+                    } else {
+                        o ^ (rng.gen::<u64>() & 0xFFFF)
+                    }
+                })
+                .collect();
+            let old_line = LineData::from_units(&old);
+            let new_line = LineData::from_units(&new);
+            let ctx = WriteCtx {
+                old_stored: &old_line,
+                old_flips: flips,
+                new_logical: &new_line,
+                cfg: &cfg.scheme,
+            };
+            let out = read_stage(&ctx);
+            let analysis = analyze(&out.demand, &cfg).unwrap();
+            let mut bank = PcmBank::new(1, 8, cfg.scheme.power, true).unwrap();
+            let report = validate_on_bank(
+                &mut bank,
+                &cfg.scheme.timings,
+                0,
+                &old_line,
+                flips,
+                &out,
+                &analysis,
+            )
+            .unwrap();
+            assert!(report.peak_current <= budget);
+            // Final array contents decode to the requested logical data.
+            for (i, expect) in new.iter().enumerate() {
+                let (data, flip) = bank.read_unit(i).unwrap();
+                let logical = if flip { !data } else { data };
+                assert_eq!(logical, *expect, "unit {i}");
+            }
+        }
+    }
+}
+
+/// GCP matters: a schedule valid under the fungible bank budget can exceed
+/// a single chip's pump; with GCP disabled the executor catches it.
+#[test]
+fn gcp_disabled_catches_chip_local_overload() {
+    let cfg = TetrisConfig::paper_baseline();
+    // All 20 changed bits in chip 0's slice (bits 0..16 per unit):
+    // 16 bits/unit × 2 units in chip 0 exceeds its 32-unit pump at overlap.
+    let old_line = LineData::zeroed(64);
+    let mut new_line = LineData::zeroed(64);
+    for i in 0..4 {
+        new_line.set_unit(i, 0xFFFF); // 16 SETs, all chip 0
+    }
+    let ctx = WriteCtx {
+        old_stored: &old_line,
+        old_flips: 0,
+        new_logical: &new_line,
+        cfg: &cfg.scheme,
+    };
+    let out = read_stage(&ctx);
+    let analysis = analyze(&out.demand, &cfg).unwrap();
+    // Bank-level budget is fine (4 × 16 = 64 ≤ 128)…
+    assert!(analysis.peak_current() <= 128);
+
+    // …and with GCP the execution succeeds.
+    let mut bank = PcmBank::new(1, 8, PowerParams::paper_baseline(), true).unwrap();
+    let jobs = build_jobs(&old_line, 0, &out, &analysis).unwrap();
+    let exec = FsmExecutor::new(PcmTimings::paper_baseline()).unwrap();
+    assert!(exec.execute(&mut bank, &jobs).is_ok());
+
+    // Without GCP, chip 0 alone would need 64 > 32: rejected.
+    let mut bank = PcmBank::new(1, 8, PowerParams::paper_baseline(), false).unwrap();
+    let jobs = build_jobs(&old_line, 0, &out, &analysis).unwrap();
+    assert!(exec.execute(&mut bank, &jobs).is_err());
+}
+
+/// The memory model and the device model agree on pulse counts for the
+/// same write stream.
+#[test]
+fn memory_and_device_pulse_counts_agree() {
+    let scheme_cfg = SchemeConfig::paper_baseline();
+    let tetris_cfg = TetrisConfig::paper_baseline();
+    let mut mem = pcm_memsim::PcmMainMemory::new(
+        scheme_cfg,
+        Box::new(tetris_write::TetrisWrite::paper_baseline()),
+    )
+    .unwrap();
+    let exec = FsmExecutor::new(scheme_cfg.timings).unwrap();
+    let mut bank = PcmBank::new(1, 8, PowerParams::paper_baseline(), true).unwrap();
+
+    let mut stored = LineData::zeroed(64);
+    let mut flips = 0u32;
+    let mut device_pulses = 0u64;
+    let mut rng = StdRng::seed_from_u64(9);
+    for _ in 0..25 {
+        let mut logical = stored;
+        for i in 0..8 {
+            if flips & (1 << i) != 0 {
+                logical.set_unit(i, !logical.unit(i));
+            }
+        }
+        let mut new = logical;
+        for unit in 0..8 {
+            new.xor_unit(unit, rng.gen::<u64>() & 0x3FF);
+        }
+        mem.write_line(0x40, &new).unwrap();
+
+        let ctx = WriteCtx {
+            old_stored: &stored,
+            old_flips: flips,
+            new_logical: &new,
+            cfg: &scheme_cfg,
+        };
+        let out = read_stage(&ctx);
+        let analysis = analyze(&out.demand, &tetris_cfg).unwrap();
+        for i in 0..8 {
+            bank.write_unit_immediate(i, stored.unit(i), flips & (1 << i) != 0)
+                .unwrap();
+        }
+        let jobs = build_jobs(&stored, flips, &out, &analysis).unwrap();
+        let r = exec.execute(&mut bank, &jobs).unwrap();
+        device_pulses += r.cell_sets + r.cell_resets;
+        stored = *out.stored();
+        flips = out.flips();
+    }
+    let mem_pulses = mem.stats().cell_sets + mem.stats().cell_resets;
+    assert_eq!(
+        mem_pulses, device_pulses,
+        "two independent models, same physics"
+    );
+}
+
+/// Sub-write-unit duration must cover a RESET pulse and tile a SET pulse
+/// exactly, or Eq. 5 and the FSM makespan could diverge.
+#[test]
+fn slot_geometry_is_exact() {
+    let t = PcmTimings::paper_baseline();
+    assert_eq!(t.k_ratio(), 8);
+    assert!(t.sub_unit_duration() >= t.t_reset);
+    assert_eq!(t.sub_unit_duration() * t.k_ratio(), t.t_set);
+    assert_eq!(t.sub_unit_duration(), Ps(53_750));
+}
