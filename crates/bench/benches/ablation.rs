@@ -2,7 +2,7 @@
 //! the cost of the corrected FFD packer against the paper-literal listing
 //! and the no-sort / no-steal variants.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcm_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pcm_workloads::WorkloadProfile;
 use std::hint::black_box;
 use tetris_experiments::ablation::{self, sample_demands};

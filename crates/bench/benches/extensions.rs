@@ -1,14 +1,13 @@
 //! Beyond-paper extensions: print the batching / pausing / subarray tables
 //! once, then measure the batch packer, the wear leveler, and the P&V loop.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcm_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pcm_device::verify::{program_row_verified, VerifyParams};
 use pcm_device::CellBlock;
 use pcm_memsim::StartGap;
+use pcm_types::rng::SmallRng;
 use pcm_types::PcmTimings;
 use pcm_workloads::WorkloadProfile;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use std::hint::black_box;
 use tetris_experiments::ablation::{self, sample_demands};
 use tetris_write::{analyze_batch, TetrisConfig};
@@ -53,8 +52,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut block = CellBlock::new(1, 64).unwrap();
             black_box(
-                program_row_verified(&mut block, 0, 0xFFFF_FFFF, 0, &t, &params, &mut rng)
-                    .unwrap(),
+                program_row_verified(&mut block, 0, 0xFFFF_FFFF, 0, &t, &params, &mut rng).unwrap(),
             )
         })
     });

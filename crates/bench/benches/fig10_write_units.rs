@@ -1,7 +1,7 @@
 //! Fig. 10 — write units per cache-line write: print the per-scheme counts
 //! once (algorithm level), then measure per-scheme planning throughput.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcm_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pcm_schemes::{
     DcwWrite, FlipNWrite, SchemeConfig, ThreeStageWrite, TwoStageWrite, WriteCtx, WriteScheme,
 };

@@ -1,7 +1,7 @@
 //! Fig. 1 — pulse asymmetries: print the pulse table once, then measure the
 //! cell-programming hot path.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pcm_bench::{criterion_group, criterion_main, Criterion};
 use pcm_device::{PcmCell, PulseLibrary};
 use pcm_schemes::SchemeConfig;
 use std::hint::black_box;

@@ -1,7 +1,7 @@
 //! Fig. 3 — per-workload bit-write statistics: print the figure once, then
 //! measure the measurement harness and the content generator.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcm_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pcm_memsim::WriteContent;
 use pcm_types::LineData;
 use pcm_workloads::{measure_bit_stats, ProfileContent, WorkloadProfile, ALL_PROFILES};

@@ -1,7 +1,7 @@
 //! Fig. 4 — the worked example: print the Gantt once, then measure the
 //! analysis stage and FSM execution on the example.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pcm_bench::{criterion_group, criterion_main, Criterion};
 use pcm_device::{FsmExecutor, PcmBank};
 use pcm_types::{LineData, LineDemand, PcmTimings, PowerParams, UnitDemand};
 use std::hint::black_box;

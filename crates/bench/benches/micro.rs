@@ -2,14 +2,13 @@
 //! Tetris packer vs demand size, the write driver, cache lookups, the
 //! event queue and the zipf sampler.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pcm_bench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pcm_device::{WriteDriver, WriteSignal};
 use pcm_memsim::cache::Cache;
 use pcm_memsim::engine::{Event, EventQueue};
+use pcm_types::rng::{Rng, SmallRng};
 use pcm_types::{flip_encode, hamming_unit, transitions, LineDemand, Ps, UnitDemand};
 use pcm_workloads::Zipf;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 use tetris_write::{analyze, TetrisConfig};
 

@@ -1,8 +1,8 @@
 //! Figs. 11–14 — full-system latency/IPC/runtime: print a compact version
 //! of the four figures once, then measure one simulation per scheme.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pcm_bench::quick_run_config;
+use pcm_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pcm_workloads::{WorkloadProfile, ALL_PROFILES};
 use std::hint::black_box;
 use tetris_experiments::figures::{self, MatrixView};

@@ -1,7 +1,7 @@
 //! Tables I–III: print them once, then measure their generation cost.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pcm_bench::quick_run_config;
+use pcm_bench::{criterion_group, criterion_main, Criterion};
 use pcm_memsim::SystemConfig;
 use pcm_workloads::ALL_PROFILES;
 use std::hint::black_box;

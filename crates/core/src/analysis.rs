@@ -28,10 +28,9 @@
 
 use crate::config::TetrisConfig;
 use pcm_types::{LineDemand, PcmError, Ps};
-use serde::{Deserialize, Serialize};
 
 /// Which FSM a pulse belongs to.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PulsePhase {
     /// Write-1 (SET, FSM1): spans `K` sub-slots.
     Write1,
@@ -40,7 +39,7 @@ pub enum PulsePhase {
 }
 
 /// One scheduled pulse (or chunk of one) for one data unit.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Placement {
     /// Data-unit index within the cache line.
     pub unit: usize,
@@ -318,8 +317,9 @@ pub fn analyze(demand: &LineDemand, cfg: &TetrisConfig) -> Result<AnalysisResult
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pcm_types::propcheck::{any_bool, one_of, vec_of};
+    use pcm_types::{prop_assert, prop_assert_eq, propcheck};
     use pcm_types::{PowerParams, UnitDemand};
-    use proptest::prelude::*;
 
     fn cfg_with_budget(budget: u32) -> TetrisConfig {
         let mut cfg = TetrisConfig::paper_baseline();
@@ -547,15 +547,14 @@ mod tests {
         assert!(misaligned.validate(&d).is_err(), "misalignment detected");
     }
 
-    proptest! {
+    propcheck! {
         /// Any demand with per-unit totals within the flip bound yields a
         /// valid schedule whose peak respects the budget.
-        #[test]
         fn analysis_always_valid(
-            units in proptest::collection::vec((0u32..=33, 0u32..=33), 1..=8),
-            budget in prop_oneof![Just(128u32), Just(64), Just(32), Just(16)],
-            sort in any::<bool>(),
-            steal in any::<bool>(),
+            units in vec_of((0u32..=33, 0u32..=33), 1..=8),
+            budget in one_of(&[128u32, 64, 32, 16]),
+            sort in any_bool(),
+            steal in any_bool(),
         ) {
             let mut cfg = cfg_with_budget(budget);
             cfg.sort_decreasing = sort;
@@ -573,9 +572,8 @@ mod tests {
 
         /// FFD with slack stealing never does worse than the per-unit
         /// serial lower bound and never better than physics allows.
-        #[test]
         fn write_units_bounded(
-            units in proptest::collection::vec((0u32..=33, 0u32..=33), 8),
+            units in vec_of((0u32..=33, 0u32..=33), 8),
         ) {
             let cfg = TetrisConfig::paper_baseline();
             let d = demand(&units);

@@ -2,10 +2,9 @@
 
 use pcm_schemes::SchemeConfig;
 use pcm_types::{PcmError, Ps};
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the Tetris Write scheme.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TetrisConfig {
     /// Shared device/organization configuration.
     pub scheme: SchemeConfig,

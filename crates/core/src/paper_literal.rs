@@ -121,8 +121,9 @@ pub fn paper_literal_analyze(
 mod tests {
     use super::*;
     use crate::analysis::analyze;
+    use pcm_types::propcheck::vec_of;
+    use pcm_types::{prop_assert, propcheck};
     use pcm_types::{PowerParams, UnitDemand};
-    use proptest::prelude::*;
 
     fn cfg_with_budget(budget: u32) -> TetrisConfig {
         let mut cfg = TetrisConfig::paper_baseline();
@@ -188,12 +189,11 @@ mod tests {
         );
     }
 
-    proptest! {
+    propcheck! {
         /// The corrected FFD packer never needs more write units than the
         /// literal listing (whose over-charging only wastes space).
-        #[test]
         fn corrected_is_never_worse(
-            units in proptest::collection::vec((0u32..=32, 0u32..=16), 8),
+            units in vec_of((0u32..=32, 0u32..=16), 8),
         ) {
             let cfg = TetrisConfig::paper_baseline();
             let d = demand(&units);

@@ -205,10 +205,10 @@ mod tests {
     use crate::config::TetrisConfig;
     use crate::read_stage::read_stage;
     use pcm_schemes::WriteCtx;
+    use pcm_types::propcheck;
+    use pcm_types::propcheck::{any_u64, one_of};
+    use pcm_types::rng::{Rng, StdRng};
     use pcm_types::PowerParams;
-    use proptest::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
 
     fn run_case(cfg: &TetrisConfig, old_units: &[u64], old_flips: u32, new_units: &[u64]) {
         let old = LineData::from_units(old_units);
@@ -307,25 +307,47 @@ mod tests {
         assert_eq!(take_low_bits(u64::MAX, 0), 0);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
+    fn pipeline_case(seed: u64, budget: u32) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cfg = TetrisConfig::paper_baseline();
+        cfg.scheme.power = PowerParams {
+            l_ratio: 2,
+            budget_per_bank: budget,
+            chips_per_bank: 4,
+        };
+        let old: Vec<u64> = (0..8).map(|_| rng.gen()).collect();
+        let flips: u32 = rng.gen::<u32>() & 0xFF;
+        // Mix of sparse and dense updates.
+        let new: Vec<u64> = old
+            .iter()
+            .map(|&o| {
+                if rng.gen_bool(0.3) {
+                    rng.gen()
+                } else {
+                    o ^ (rng.gen::<u64>() & 0xFF)
+                }
+            })
+            .collect();
+        run_case(&cfg, &old, flips, &new);
+    }
+
+    propcheck! {
+        cases = 64;
         /// Random lines, random old contents, several budgets: the full
         /// pipeline (read → analyze → jobs → FSM execution) always realizes
         /// the write within budget.
-        #[test]
-        fn pipeline_end_to_end(seed: u64,
-                               budget in prop_oneof![Just(128u32), Just(32), Just(16)]) {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let mut cfg = TetrisConfig::paper_baseline();
-            cfg.scheme.power = PowerParams { l_ratio: 2, budget_per_bank: budget, chips_per_bank: 4 };
-            let old: Vec<u64> = (0..8).map(|_| rng.gen()).collect();
-            let flips: u32 = rng.gen::<u32>() & 0xFF;
-            // Mix of sparse and dense updates.
-            let new: Vec<u64> = old
-                .iter()
-                .map(|&o| if rng.gen_bool(0.3) { rng.gen() } else { o ^ (rng.gen::<u64>() & 0xFF) })
-                .collect();
-            run_case(&cfg, &old, flips, &new);
+        fn pipeline_end_to_end(seed in any_u64(),
+                               budget in one_of(&[128u32, 32, 16])) {
+            pipeline_case(seed, budget);
         }
+    }
+
+    /// Regression corpus carried over from the proptest era
+    /// (`proptest-regressions/schedule.txt`): inputs that once broke the
+    /// pipeline, kept as explicit unit cases.
+    #[test]
+    fn pipeline_regression_corpus() {
+        pipeline_case(0, 128);
+        pipeline_case(971_943_382_399_915_042, 32);
     }
 }

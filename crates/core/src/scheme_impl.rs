@@ -150,9 +150,8 @@ mod tests {
     use pcm_schemes::{
         analytic, DcwWrite, FlipNWrite, SchemeConfig, ThreeStageWrite, TwoStageWrite,
     };
+    use pcm_types::rng::{Rng, StdRng};
     use pcm_types::LineData;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
 
     fn sparse_line(
         rng: &mut StdRng,

@@ -2,8 +2,9 @@
 //! exact bin-packing optimum computed by subset DP (feasible because a
 //! line has only 8 data units).
 
+use pcm_types::propcheck::{one_of, vec_of};
+use pcm_types::{prop_assert, prop_assert_eq, propcheck};
 use pcm_types::{LineDemand, PowerParams, UnitDemand};
-use proptest::prelude::*;
 use tetris_write::{analyze, TetrisConfig};
 
 /// Exact minimal number of bins of capacity `cap` for `items`
@@ -42,15 +43,14 @@ fn demand_from(sets: &[u32]) -> LineDemand {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+propcheck! {
+    cases = 256;
 
     /// FFD write-1 packing is within one write unit of the exact optimum
     /// (and never below it — that would violate feasibility).
-    #[test]
     fn ffd_within_one_of_optimal(
-        sets in proptest::collection::vec(1u32..=33, 1..=8),
-        budget in prop_oneof![Just(128u32), Just(64), Just(48)],
+        sets in vec_of(1u32..=33, 1..=8),
+        budget in one_of(&[128u32, 64, 48]),
     ) {
         let mut cfg = TetrisConfig::paper_baseline();
         cfg.scheme.power = PowerParams { l_ratio: 2, budget_per_bank: budget, chips_per_bank: 4 };
@@ -70,10 +70,9 @@ proptest! {
 
     /// Adding write-0s never increases `result` (they only consume slack
     /// or overflow sub-units).
-    #[test]
     fn write0s_never_cost_write_units(
-        sets in proptest::collection::vec(0u32..=33, 8),
-        resets in proptest::collection::vec(0u32..=33, 8),
+        sets in vec_of(0u32..=33, 8),
+        resets in vec_of(0u32..=33, 8),
     ) {
         let cfg = TetrisConfig::paper_baseline();
         let just_sets = LineDemand::from_units(
@@ -92,9 +91,8 @@ proptest! {
     }
 
     /// Monotonicity in budget: a bigger budget never packs worse.
-    #[test]
     fn budget_monotonicity(
-        units in proptest::collection::vec((0u32..=33, 0u32..=33), 8),
+        units in vec_of((0u32..=33, 0u32..=33), 8),
     ) {
         let d = LineDemand::from_units(
             &units.iter().map(|&(s, r)| UnitDemand::new(s, r)).collect::<Vec<_>>(),
@@ -115,9 +113,8 @@ proptest! {
     }
 
     /// Utilization never exceeds 1 and the schedule always validates.
-    #[test]
     fn utilization_and_validity(
-        units in proptest::collection::vec((0u32..=33, 0u32..=33), 1..=8),
+        units in vec_of((0u32..=33, 0u32..=33), 1..=8),
     ) {
         let cfg = TetrisConfig::paper_baseline();
         let d = LineDemand::from_units(

@@ -5,10 +5,9 @@ use crate::report::{f2, mean, Table};
 use crate::schemes::SchemeKind;
 use pcm_memsim::{SimResult, WriteContent};
 use pcm_schemes::analytic;
+use pcm_types::rng::{Rng, SmallRng};
 use pcm_types::{flip_units, LineData, LineDemand, PcmTimings, PowerParams, Ps};
 use pcm_workloads::{ProfileContent, WorkloadProfile, ALL_PROFILES};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use tetris_write::{analyze, analyze_batch, paper_literal::paper_literal_analyze, TetrisConfig};
 

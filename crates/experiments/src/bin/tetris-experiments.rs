@@ -153,16 +153,20 @@ fn main() {
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(1_000_000);
             cmd_trace(
-                args.get(1).unwrap_or_else(|| usage_error("trace needs a workload")),
-                args.get(2).unwrap_or_else(|| usage_error("trace needs an output path")),
+                args.get(1)
+                    .unwrap_or_else(|| usage_error("trace needs a workload")),
+                args.get(2)
+                    .unwrap_or_else(|| usage_error("trace needs an output path")),
                 instructions,
             );
             return;
         }
         Some("replay") => {
             cmd_replay(
-                args.get(1).unwrap_or_else(|| usage_error("replay needs a trace path")),
-                args.get(2).unwrap_or_else(|| usage_error("replay needs a scheme")),
+                args.get(1)
+                    .unwrap_or_else(|| usage_error("replay needs a trace path")),
+                args.get(2)
+                    .unwrap_or_else(|| usage_error("replay needs a scheme")),
             );
             return;
         }
@@ -295,7 +299,7 @@ fn main() {
             );
         }
         if let Some(path) = &json_path {
-            let json = serde_json::to_string_pretty(&results).expect("serialize results");
+            let json = tetris_experiments::report::results_to_json(&results);
             std::fs::write(path, json).expect("write results JSON");
             eprintln!("wrote {path}");
         }

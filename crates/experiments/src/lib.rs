@@ -4,8 +4,10 @@
 //! evaluation (§V) on the `pcm-memsim` substrate:
 //!
 //! * [`schemes`] — the compared write schemes behind one enum.
+//! * [`pool`] — a scoped work-stealing thread pool (stdlib-only `rayon`
+//!   replacement) with deterministic, input-ordered results.
 //! * [`runner`] — full-system runs (workload × scheme), parallelized with
-//!   Rayon across the experiment matrix.
+//!   [`pool`] across the experiment matrix.
 //! * [`report`] — plain-text table rendering and normalization helpers.
 //! * [`figures`] — one generator per paper artifact: Fig. 1, Fig. 3,
 //!   Table I–III, Fig. 10–14, each annotated with the paper's reported
@@ -23,10 +25,11 @@
 pub mod ablation;
 pub mod figures;
 pub mod paper;
+pub mod pool;
 pub mod report;
 pub mod runner;
 pub mod schemes;
 
 pub use report::Table;
-pub use runner::{run_matrix, run_one, RunConfig};
+pub use runner::{run_matrix, run_matrix_threads, run_one, RunConfig};
 pub use schemes::SchemeKind;

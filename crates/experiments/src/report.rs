@@ -1,5 +1,8 @@
-//! Plain-text table rendering and normalization helpers.
+//! Plain-text table rendering, normalization helpers, and the JSON
+//! dump/load path for `results_full.json`.
 
+use pcm_memsim::SimResult;
+use pcm_types::{Json, JsonError};
 use std::fmt;
 
 /// A simple aligned text table.
@@ -129,6 +132,24 @@ impl fmt::Display for Table {
     }
 }
 
+/// Serialize a slice of results as pretty-printed JSON (the
+/// `results_full.json` format: a top-level array of per-run objects).
+pub fn results_to_json(results: &[SimResult]) -> String {
+    Json::Arr(results.iter().map(SimResult::to_json).collect()).to_string_pretty()
+}
+
+/// Parse a `results_full.json` document back into results.
+pub fn results_from_json(text: &str) -> Result<Vec<SimResult>, JsonError> {
+    let doc = Json::parse(text)?;
+    match doc {
+        Json::Arr(items) => Ok(items.iter().map(SimResult::from_json).collect()),
+        _ => Err(JsonError {
+            offset: 0,
+            msg: "expected a top-level array of results".into(),
+        }),
+    }
+}
+
 /// Format a float with 2 decimals.
 pub fn f2(v: f64) -> String {
     format!("{v:.2}")
@@ -189,6 +210,78 @@ mod tests {
         assert!(csv.contains("workload,DCW\n"));
         assert!(csv.contains("\"vips, heavy\",1.000"), "{csv}");
         assert_eq!(t.slug(), "fig_11_read_latency_normalized");
+    }
+
+    fn golden_result() -> SimResult {
+        use pcm_types::Ps;
+        let mut r = SimResult {
+            scheme: "Tetris Write".into(),
+            workload: "x264".into(),
+            runtime: Ps(1_234_567_890_123),
+            instructions: vec![8_000_000; 8],
+            cycles: vec![9_500_000; 8],
+            read_forwards: 321,
+            row_hits: 1000,
+            row_misses: 1760,
+            mem_writes: 1520,
+            mem_reads: 22_080,
+            avg_write_units: 1.29,
+            energy: pcm_types::PicoJoules(55_000_000),
+            cell_sets: 123_456,
+            cell_resets: 654_321,
+            read_stall: Ps::from_ns(42),
+            write_stall: Ps::from_ns(7),
+            ..Default::default()
+        };
+        for ns in [60, 60, 110, 3_500] {
+            r.read_latency.record(Ps::from_ns(ns));
+        }
+        r.write_latency.record(Ps::from_ns(430));
+        r
+    }
+
+    #[test]
+    fn results_json_roundtrip_golden() {
+        let results = vec![golden_result(), SimResult::default()];
+        let text = results_to_json(&results);
+        let back = results_from_json(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        let (a, b) = (&results[0], &back[0]);
+        assert_eq!(a.scheme, b.scheme);
+        assert_eq!(a.workload, b.workload);
+        assert_eq!(a.runtime, b.runtime);
+        assert_eq!(a.instructions, b.instructions);
+        assert_eq!(a.avg_write_units, b.avg_write_units);
+        assert_eq!(a.energy, b.energy);
+        assert_eq!(a.read_latency.count, b.read_latency.count);
+        assert_eq!(
+            a.read_latency.percentile_ns(0.95),
+            b.read_latency.percentile_ns(0.95)
+        );
+        // Second round trip is byte-stable.
+        assert_eq!(text, results_to_json(&back));
+    }
+
+    #[test]
+    fn results_json_escaping_and_nan() {
+        let mut r = golden_result();
+        r.workload = "we\"ird\\name\nwith\tctrl\u{1}and™".into();
+        r.avg_write_units = f64::NAN;
+        let text = results_to_json(&[r]);
+        assert!(!text.contains('\u{1}'), "control chars must be escaped");
+        assert!(text.contains("\\\"ird\\\\name\\n"), "{text}");
+        let back = results_from_json(&text).unwrap();
+        assert_eq!(back[0].workload, "we\"ird\\name\nwith\tctrl\u{1}and™");
+        // NaN serializes as null (serde_json behaviour); null reads back
+        // as NaN, so the not-a-number-ness survives the round trip.
+        assert!(text.contains("\"avg_write_units\": null"), "{text}");
+        assert!(back[0].avg_write_units.is_nan());
+    }
+
+    #[test]
+    fn results_json_rejects_non_array() {
+        assert!(results_from_json("{\"oops\": 1}").is_err());
+        assert!(results_from_json("[1, 2").is_err());
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! Full-system experiment runs.
 
+use crate::pool;
 use crate::schemes::SchemeKind;
 use pcm_memsim::{SimResult, System, SystemConfig, TraceLevel};
 use pcm_workloads::{GeneratorConfig, ProfileContent, SyntheticParsec, WorkloadProfile};
-use rayon::prelude::*;
 use tetris_write::TetrisConfig;
 
 /// Sizing/seeding for one experiment run.
@@ -64,21 +64,34 @@ pub fn run_one(profile: &WorkloadProfile, scheme: SchemeKind, cfg: &RunConfig) -
     sys.run()
 }
 
-/// Run the full workload × scheme matrix in parallel (Rayon).
+/// Run the full workload × scheme matrix in parallel on the in-repo
+/// work-stealing pool ([`crate::pool`]), one worker per core.
 ///
 /// Results are ordered `profiles × schemes` (workload-major), identical to
-/// the sequential order.
+/// the sequential order — each run is independently seeded, so the output
+/// is byte-identical whatever the thread count.
 pub fn run_matrix(
     profiles: &[WorkloadProfile],
     schemes: &[SchemeKind],
     cfg: &RunConfig,
 ) -> Vec<SimResult> {
+    run_matrix_threads(profiles, schemes, cfg, pool::default_threads())
+}
+
+/// [`run_matrix`] with an explicit worker count (`1` = fully sequential,
+/// no threads spawned).
+pub fn run_matrix_threads(
+    profiles: &[WorkloadProfile],
+    schemes: &[SchemeKind],
+    cfg: &RunConfig,
+    threads: usize,
+) -> Vec<SimResult> {
     let jobs: Vec<(usize, usize)> = (0..profiles.len())
         .flat_map(|p| (0..schemes.len()).map(move |s| (p, s)))
         .collect();
-    jobs.par_iter()
-        .map(|&(p, s)| run_one(&profiles[p], schemes[s], cfg))
-        .collect()
+    pool::parallel_map(&jobs, threads, |&(p, s)| {
+        run_one(&profiles[p], schemes[s], cfg)
+    })
 }
 
 /// Tiny deterministic string hash for seed derivation.
@@ -139,6 +152,65 @@ mod tests {
             tetris.avg_write_units
         );
         assert_eq!(dcw.avg_write_units, 8.0);
+    }
+
+    #[test]
+    fn parallel_matrix_matches_sequential_bit_for_bit() {
+        let cfg = RunConfig {
+            instructions_per_core: 100_000,
+            ..RunConfig::quick()
+        };
+        let profiles = [ALL_PROFILES[0], ALL_PROFILES[2]];
+        let schemes = [SchemeKind::Dcw, SchemeKind::Tetris];
+        let seq = run_matrix_threads(&profiles, &schemes, &cfg, 1);
+        let par = run_matrix_threads(&profiles, &schemes, &cfg, 4);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.workload, b.workload);
+            assert_eq!(a.scheme, b.scheme);
+            assert_eq!(a.runtime, b.runtime);
+            assert_eq!(a.energy, b.energy);
+            assert_eq!(a.instructions, b.instructions);
+            assert_eq!(a.cycles, b.cycles);
+            assert_eq!(a.read_latency.sum_ps, b.read_latency.sum_ps);
+            assert_eq!(a.write_latency.sum_ps, b.write_latency.sum_ps);
+            assert_eq!(a.cell_sets, b.cell_sets);
+            assert_eq!(a.cell_resets, b.cell_resets);
+        }
+    }
+
+    /// Wall-clock acceptance check: the pooled matrix must beat the
+    /// sequential path on a multicore host. Timing-sensitive, so ignored
+    /// by default — run with `cargo test --release -- --ignored`.
+    #[test]
+    #[ignore = "timing-sensitive; run explicitly in release mode"]
+    fn parallel_matrix_is_faster_on_multicore() {
+        if pool::default_threads() < 4 {
+            return; // too few cores for a meaningful comparison
+        }
+        let cfg = RunConfig {
+            instructions_per_core: 200_000,
+            ..RunConfig::quick()
+        };
+        let profiles = [
+            ALL_PROFILES[0],
+            ALL_PROFILES[2],
+            ALL_PROFILES[4],
+            ALL_PROFILES[7],
+        ];
+        let schemes = [SchemeKind::Dcw, SchemeKind::Tetris];
+        let t0 = std::time::Instant::now();
+        let seq = run_matrix_threads(&profiles, &schemes, &cfg, 1);
+        let t_seq = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        let par = run_matrix_threads(&profiles, &schemes, &cfg, 4);
+        let t_par = t1.elapsed();
+        assert_eq!(seq.len(), par.len());
+        eprintln!("sequential {t_seq:?} vs 4 threads {t_par:?}");
+        assert!(
+            t_par < t_seq,
+            "4-thread matrix ({t_par:?}) not faster than sequential ({t_seq:?})"
+        );
     }
 
     #[test]

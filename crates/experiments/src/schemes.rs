@@ -4,11 +4,10 @@ use pcm_schemes::{
     ConventionalWrite, DcwWrite, FlipNWrite, PreSetWrite, ThreeStageWrite, TwoStageWrite,
     WriteScheme,
 };
-use serde::{Deserialize, Serialize};
 use tetris_write::{TetrisConfig, TetrisWrite};
 
 /// Every write scheme in the study.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum SchemeKind {
     /// Conventional full write (Eq. 1).
     Conventional,

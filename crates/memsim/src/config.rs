@@ -2,10 +2,9 @@
 
 use pcm_schemes::SchemeConfig;
 use pcm_types::{PcmError, Ps};
-use serde::{Deserialize, Serialize};
 
 /// One cache level's geometry.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Capacity in bytes.
     pub size_bytes: u64,
@@ -16,7 +15,7 @@ pub struct CacheConfig {
 }
 
 /// Memory-controller parameters.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ControllerConfig {
     /// Read-queue capacity (Table II: 32 entries).
     pub read_queue_cap: usize,
@@ -72,7 +71,7 @@ impl Default for ControllerConfig {
 }
 
 /// Full system configuration.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SystemConfig {
     /// Number of cores (Table II: 4).
     pub cores: usize,

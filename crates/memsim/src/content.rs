@@ -8,9 +8,8 @@
 //! models calibrated to the paper's Fig. 3 per-workload SET/RESET
 //! statistics (see DESIGN.md §5).
 
+use pcm_types::rng::{Rng, SmallRng};
 use pcm_types::LineData;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Synthesizes the new contents of a line being written back.
 pub trait WriteContent: Send {

@@ -1,7 +1,6 @@
 //! Simulation statistics.
 
-use pcm_types::{PicoJoules, Ps};
-use serde::{Deserialize, Serialize};
+use pcm_types::{Json, PicoJoules, Ps};
 
 /// Histogram geometry: `SUB` sub-buckets per octave over `OCTAVES`
 /// power-of-two ranges of nanoseconds (1 ns … ~16 ms).
@@ -30,7 +29,7 @@ fn bucket_floor_ns(b: usize) -> u64 {
 
 /// Streaming latency statistics: count / mean / min / max plus a
 /// log-bucketed histogram for percentiles.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct LatencyStats {
     /// Number of samples.
     pub count: u64,
@@ -41,7 +40,6 @@ pub struct LatencyStats {
     /// Largest sample (ps).
     pub max_ps: u64,
     /// Log-scale histogram buckets (empty until the first sample).
-    #[serde(default)]
     buckets: Vec<u64>,
 }
 
@@ -90,6 +88,36 @@ impl LatencyStats {
         }
     }
 
+    /// Serialize to a JSON object (histogram included, so percentiles
+    /// survive a round trip through `results_full.json`).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("count", Json::UInt(self.count)),
+            ("sum_ps", Json::UInt(self.sum_ps)),
+            ("min_ps", Json::UInt(self.min_ps)),
+            ("max_ps", Json::UInt(self.max_ps)),
+            ("buckets", Json::u64_array(&self.buckets)),
+        ])
+    }
+
+    /// Rebuild from the object written by [`LatencyStats::to_json`].
+    /// Missing fields default to zero/empty (forward compatibility).
+    pub fn from_json(j: &Json) -> LatencyStats {
+        let u = |k: &str| j.get(k).and_then(Json::as_u64).unwrap_or(0);
+        let buckets = j
+            .get("buckets")
+            .and_then(Json::as_array)
+            .map(|a| a.iter().filter_map(Json::as_u64).collect())
+            .unwrap_or_default();
+        LatencyStats {
+            count: u("count"),
+            sum_ps: u("sum_ps"),
+            min_ps: u("min_ps"),
+            max_ps: u("max_ps"),
+            buckets,
+        }
+    }
+
     /// Merge another stats block into this one.
     pub fn merge(&mut self, other: &LatencyStats) {
         if other.count == 0 {
@@ -115,7 +143,7 @@ impl LatencyStats {
 }
 
 /// Result of one full-system simulation run.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct SimResult {
     /// Scheme under test.
     pub scheme: String,
@@ -185,6 +213,73 @@ impl SimResult {
             0.0
         } else {
             self.mem_writes as f64 * 1000.0 / instr as f64
+        }
+    }
+
+    /// Serialize to a JSON object with one key per field (the
+    /// `results_full.json` record shape).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("scheme", Json::str(&self.scheme)),
+            ("workload", Json::str(&self.workload)),
+            ("runtime_ps", Json::UInt(self.runtime.0)),
+            ("instructions", Json::u64_array(&self.instructions)),
+            ("cycles", Json::u64_array(&self.cycles)),
+            ("read_latency", self.read_latency.to_json()),
+            ("write_latency", self.write_latency.to_json()),
+            ("read_forwards", Json::UInt(self.read_forwards)),
+            ("row_hits", Json::UInt(self.row_hits)),
+            ("row_misses", Json::UInt(self.row_misses)),
+            ("mem_writes", Json::UInt(self.mem_writes)),
+            ("mem_reads", Json::UInt(self.mem_reads)),
+            ("avg_write_units", Json::Num(self.avg_write_units)),
+            ("energy_pj", Json::UInt(self.energy.0)),
+            ("cell_sets", Json::UInt(self.cell_sets)),
+            ("cell_resets", Json::UInt(self.cell_resets)),
+            ("read_stall_ps", Json::UInt(self.read_stall.0)),
+            ("write_stall_ps", Json::UInt(self.write_stall.0)),
+        ])
+    }
+
+    /// Rebuild from the object written by [`SimResult::to_json`].
+    /// Missing fields default to zero/empty (forward compatibility).
+    pub fn from_json(j: &Json) -> SimResult {
+        let u = |k: &str| j.get(k).and_then(Json::as_u64).unwrap_or(0);
+        let s = |k: &str| {
+            j.get(k)
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string()
+        };
+        let vu = |k: &str| {
+            j.get(k)
+                .and_then(Json::as_array)
+                .map(|a| a.iter().filter_map(Json::as_u64).collect::<Vec<u64>>())
+                .unwrap_or_default()
+        };
+        let stats = |k: &str| j.get(k).map(LatencyStats::from_json).unwrap_or_default();
+        SimResult {
+            scheme: s("scheme"),
+            workload: s("workload"),
+            runtime: Ps(u("runtime_ps")),
+            instructions: vu("instructions"),
+            cycles: vu("cycles"),
+            read_latency: stats("read_latency"),
+            write_latency: stats("write_latency"),
+            read_forwards: u("read_forwards"),
+            row_hits: u("row_hits"),
+            row_misses: u("row_misses"),
+            mem_writes: u("mem_writes"),
+            mem_reads: u("mem_reads"),
+            avg_write_units: j
+                .get("avg_write_units")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
+            energy: PicoJoules(u("energy_pj")),
+            cell_sets: u("cell_sets"),
+            cell_resets: u("cell_resets"),
+            read_stall: Ps(u("read_stall_ps")),
+            write_stall: Ps(u("write_stall_ps")),
         }
     }
 }
@@ -260,6 +355,58 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(r.ipc(), 1.0);
+    }
+
+    #[test]
+    fn sim_result_json_roundtrip() {
+        let mut r = SimResult {
+            scheme: "tetris".into(),
+            workload: "gups \"quoted\"".into(),
+            runtime: Ps::from_ns(123_456),
+            instructions: vec![1000, 2000],
+            cycles: vec![500, 2500],
+            read_forwards: 7,
+            row_hits: 40,
+            row_misses: 60,
+            mem_writes: 190,
+            mem_reads: 2760,
+            avg_write_units: 1.625,
+            energy: PicoJoules(987_654_321),
+            cell_sets: 11,
+            cell_resets: 22,
+            read_stall: Ps::from_ns(9),
+            write_stall: Ps::from_ns(8),
+            ..Default::default()
+        };
+        r.read_latency.record(Ps::from_ns(60));
+        r.read_latency.record(Ps::from_ns(3_500));
+        r.write_latency.record(Ps::from_ns(430));
+
+        let text = r.to_json().to_string_pretty();
+        let back = SimResult::from_json(&Json::parse(&text).unwrap());
+        assert_eq!(back.scheme, r.scheme);
+        assert_eq!(back.workload, r.workload);
+        assert_eq!(back.runtime, r.runtime);
+        assert_eq!(back.instructions, r.instructions);
+        assert_eq!(back.cycles, r.cycles);
+        assert_eq!(back.read_latency.count, 2);
+        assert_eq!(back.read_latency.buckets, r.read_latency.buckets);
+        assert_eq!(back.write_latency.max_ps, 430_000);
+        assert_eq!(back.energy, r.energy);
+        assert_eq!(back.avg_write_units, r.avg_write_units);
+        // Percentiles survive because the histogram does.
+        assert_eq!(
+            back.read_latency.percentile_ns(0.99),
+            r.read_latency.percentile_ns(0.99)
+        );
+    }
+
+    #[test]
+    fn sim_result_from_empty_object() {
+        let r = SimResult::from_json(&Json::parse("{}").unwrap());
+        assert_eq!(r.scheme, "");
+        assert_eq!(r.ipc(), 0.0);
+        assert_eq!(r.read_latency.count, 0);
     }
 
     #[test]

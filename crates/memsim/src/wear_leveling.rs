@@ -12,8 +12,6 @@
 //!
 //! Overhead: one extra line move per ψ writes (ψ = 100 ⇒ 1%).
 
-use serde::{Deserialize, Serialize};
-
 /// A gap-move order: copy physical line `from` into physical line `to`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct GapMove {
@@ -24,7 +22,7 @@ pub struct GapMove {
 }
 
 /// Start-Gap remapper over `n` logical lines (`n + 1` physical).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct StartGap {
     n: u64,
     start: u64,

@@ -148,7 +148,8 @@ impl CellBlock {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use pcm_types::propcheck::any_u64;
+    use pcm_types::{prop_assert_eq, propcheck};
 
     #[test]
     fn program_and_read() {
@@ -197,9 +198,8 @@ mod tests {
         assert_eq!(b.read_row(0).unwrap(), u64::MAX);
     }
 
-    proptest! {
-        #[test]
-        fn program_is_masked_update(init: u64, set: u64, reset: u64) {
+    propcheck! {
+        fn program_is_masked_update(init in any_u64(), set in any_u64(), reset in any_u64()) {
             let set = set & !reset;
             let mut b = CellBlock::new(1, 64).unwrap();
             b.program_row(0, init, !init).unwrap();
@@ -207,8 +207,7 @@ mod tests {
             prop_assert_eq!(b.read_row(0).unwrap(), (init | set) & !reset);
         }
 
-        #[test]
-        fn wear_equals_popcounts(set: u64, reset: u64) {
+        fn wear_equals_popcounts(set in any_u64(), reset in any_u64()) {
             let set = set & !reset;
             let mut b = CellBlock::new(1, 64).unwrap();
             b.program_row(0, set, reset).unwrap();

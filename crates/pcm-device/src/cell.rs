@@ -7,10 +7,9 @@
 //! cycle degrades the GST; SLC endurance is ~10⁸ writes).
 
 use crate::pulse::{Pulse, PulseKind};
-use serde::{Deserialize, Serialize};
 
 /// Phase state of the GST material.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CellState {
     /// Amorphous (high resistance) — logical '0'.
     Amorphous,
@@ -41,7 +40,7 @@ pub const R_AMORPHOUS_OHM: u64 = 1_000_000;
 pub const R_CRYSTALLINE_OHM: u64 = 10_000;
 
 /// One PCM cell: phase state plus accumulated programming wear.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PcmCell {
     state: CellState,
     writes: u64,

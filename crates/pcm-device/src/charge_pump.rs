@@ -10,10 +10,9 @@
 //! sub-write-unit slots so schedules can be audited tick by tick.
 
 use pcm_types::PcmError;
-use serde::{Deserialize, Serialize};
 
 /// Instantaneous current meter for one chip's pump.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct ChargePump {
     budget: u32,
     draw: u32,

@@ -10,11 +10,10 @@
 //! the SLC case the paper optimizes.
 
 use pcm_types::{PcmError, Ps};
-use serde::{Deserialize, Serialize};
 
 /// Resistance bands of a 2-bit MLC cell, from fully crystalline (`L3`,
 /// lowest resistance, bits `11`) to fully amorphous (`L0`, bits `00`).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum MlcLevel {
     /// Fully amorphous — stores `00`.
     L0,
@@ -69,7 +68,7 @@ impl MlcLevel {
 }
 
 /// P&V programming parameters.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct MlcProgramParams {
     /// Duration of one partial-SET iteration.
     pub t_partial_set: Ps,
@@ -106,7 +105,7 @@ pub struct MlcProgramReport {
 }
 
 /// A 2-bit MLC cell programmed by RESET-then-staircase-SET P&V.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct MlcCell {
     level: MlcLevel,
     wear: u64,

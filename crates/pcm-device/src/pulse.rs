@@ -6,10 +6,9 @@
 //! resistance without disturbing the state.
 
 use pcm_types::{PcmTimings, PowerParams, Ps};
-use serde::{Deserialize, Serialize};
 
 /// Which operation a pulse performs.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum PulseKind {
     /// Crystallize → logical '1'. Slow, low current.
     Set,
@@ -21,7 +20,7 @@ pub enum PulseKind {
 
 /// One programming/read pulse: duration and amplitude in SET-equivalent
 /// current units (1 SET-equivalent ≈ Cset).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Pulse {
     /// Operation performed.
     pub kind: PulseKind,
@@ -40,7 +39,7 @@ impl Pulse {
 }
 
 /// The pulse set a device is programmed with.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PulseLibrary {
     /// SET pulse.
     pub set: Pulse,

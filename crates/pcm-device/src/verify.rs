@@ -10,8 +10,8 @@
 //! misfire, because the verify loop hides the retries.
 
 use crate::array::CellBlock;
+use pcm_types::rng::Rng;
 use pcm_types::{PcmError, PcmTimings, Ps};
-use rand::Rng;
 
 /// P&V parameters.
 #[derive(Clone, Copy, Debug)]
@@ -121,8 +121,7 @@ fn filter_failures<R: Rng>(mask: u64, failure_ppm: u32, rng: &mut R) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pcm_types::rng::StdRng;
 
     fn setup() -> (CellBlock, PcmTimings, StdRng) {
         (

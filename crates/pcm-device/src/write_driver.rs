@@ -14,10 +14,8 @@
 //! hardware mechanism that makes actual (not worst-case) current draw
 //! visible to the scheduler.
 
-use serde::{Deserialize, Serialize};
-
 /// Which polarity the FSM is driving this tick.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum WriteSignal {
     /// FSM1 is driving write-1s (SET pulses).
     One,
@@ -97,7 +95,8 @@ impl WriteDriver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use pcm_types::propcheck::any_u64;
+    use pcm_types::{prop_assert_eq, propcheck};
 
     #[test]
     fn only_changed_bits_draw_current() {
@@ -147,10 +146,9 @@ mod tests {
         assert_eq!(out.prog_enable, 0);
     }
 
-    proptest! {
+    propcheck! {
         /// Driving both phases together produces exactly the transition masks.
-        #[test]
-        fn phases_partition_prog_enable(old: u64, new: u64) {
+        fn phases_partition_prog_enable(old in any_u64(), new in any_u64()) {
             let d = WriteDriver::new(64);
             let one = d.drive(old, new, WriteSignal::One);
             let zero = d.drive(old, new, WriteSignal::Zero);
@@ -161,8 +159,7 @@ mod tests {
         }
 
         /// Applying the drive outputs to the old bits yields the new bits.
-        #[test]
-        fn drive_outputs_realize_write(old: u64, new: u64) {
+        fn drive_outputs_realize_write(old in any_u64(), new in any_u64()) {
             let d = WriteDriver::new(64);
             let one = d.drive(old, new, WriteSignal::One);
             let zero = d.drive(old, new, WriteSignal::Zero);

@@ -6,13 +6,12 @@
 //! a bank.
 
 use crate::org::MemOrg;
-use serde::{Deserialize, Serialize};
 
 /// A physical byte address.
 pub type PhysAddr = u64;
 
 /// A decoded physical address.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct DecodedAddr {
     /// Rank index.
     pub rank: u32,
@@ -29,7 +28,7 @@ pub struct DecodedAddr {
 /// Address mapping: `line = addr / line_size`, then
 /// `bank = line % banks`, `rank = (line / banks) % ranks`, and the rest
 /// splits into row/col with `lines_per_row` columns per row.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct AddrMap {
     org: MemOrg,
     /// Cache lines per row buffer (row size / line size).

@@ -88,7 +88,8 @@ pub fn line_transitions(old: &LineData, new: &LineData) -> Vec<Transitions> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::propcheck::any_u64;
+    use crate::{prop_assert_eq, propcheck};
 
     #[test]
     fn simple_transitions() {
@@ -113,24 +114,21 @@ mod tests {
         assert_eq!(hamming(&a, &b), 1 + 2 + 3);
     }
 
-    proptest! {
-        #[test]
-        fn masks_are_disjoint_and_cover_xor(old: u64, new: u64) {
+    propcheck! {
+        fn masks_are_disjoint_and_cover_xor(old in any_u64(), new in any_u64()) {
             let t = transitions(old, new);
             prop_assert_eq!(t.set_mask & t.reset_mask, 0);
             prop_assert_eq!(t.set_mask | t.reset_mask, old ^ new);
             prop_assert_eq!(t.num_changed(), hamming_unit(old, new));
         }
 
-        #[test]
-        fn applying_transitions_yields_new(old: u64, new: u64) {
+        fn applying_transitions_yields_new(old in any_u64(), new in any_u64()) {
             let t = transitions(old, new);
             let result = (old | t.set_mask) & !t.reset_mask;
             prop_assert_eq!(result, new);
         }
 
-        #[test]
-        fn transitions_reverse_swaps_roles(old: u64, new: u64) {
+        fn transitions_reverse_swaps_roles(old in any_u64(), new in any_u64()) {
             let fwd = transitions(old, new);
             let rev = transitions(new, old);
             prop_assert_eq!(fwd.set_mask, rev.reset_mask);

@@ -4,7 +4,6 @@
 //! simulator's hot write path never allocates. Lines up to 256 B (IBM
 //! zEnterprise) are supported.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Maximum supported cache-line size in bytes.
@@ -136,22 +135,6 @@ impl fmt::Debug for LineData {
             write!(f, " …")?;
         }
         write!(f, "]")
-    }
-}
-
-impl Serialize for LineData {
-    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        serde::Serialize::serialize(self.as_bytes(), s)
-    }
-}
-
-impl<'de> Deserialize<'de> for LineData {
-    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-        let v: Vec<u8> = serde::Deserialize::deserialize(d)?;
-        if v.len() > MAX_LINE_BYTES || v.len() % 8 != 0 {
-            return Err(serde::de::Error::custom("invalid line length"));
-        }
-        Ok(LineData::from_bytes(&v))
     }
 }
 

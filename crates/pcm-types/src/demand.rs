@@ -3,10 +3,9 @@
 
 use crate::data::MAX_UNITS_PER_LINE;
 use crate::flip::FlippedLine;
-use serde::{Deserialize, Serialize};
 
 /// SET/RESET bit-write counts for one data unit.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct UnitDemand {
     /// Number of '1' bit-writes (`NUM1[i]`, slow low-current SETs).
     pub sets: u32,

@@ -1,13 +1,10 @@
 //! Per-operation programming energy.
 
-use serde::{Deserialize, Serialize};
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Mul};
 
 /// Energy in picojoules (integral; per-bit energies are small integers).
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct PicoJoules(pub u64);
 
 impl PicoJoules {
@@ -57,7 +54,7 @@ impl Sum for PicoJoules {
 /// for the reproduction is the *ratio* structure: a RESET pulse draws ~2×
 /// the current of a SET but for ~1/8 the time, so per-bit RESET energy is
 /// roughly a quarter of SET energy; array reads are far cheaper.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct EnergyParams {
     /// Energy of one SET bit-write.
     pub e_set: PicoJoules,

@@ -165,7 +165,8 @@ pub fn flip_units(old_stored: &LineData, old_flips: u32, new: &LineData) -> Flip
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::propcheck::{any_bool, any_u64, vec_of};
+    use crate::{prop_assert, prop_assert_eq, propcheck};
 
     #[test]
     fn no_flip_when_few_bits_change() {
@@ -222,26 +223,23 @@ mod tests {
         assert_eq!(resets, 0);
     }
 
-    proptest! {
+    propcheck! {
         /// The FNW guarantee: ≤ ⌈65/2⌉ = 32 changed cells per unit…
         /// actually `> 32` triggers the flip, so the max is 33−1 = 32 for
         /// the plain path and 65−33 = 32 for the flipped path.
-        #[test]
-        fn changed_cells_bounded_by_half(old: u64, old_flip: bool, new: u64) {
+        fn changed_cells_bounded_by_half(old in any_u64(), old_flip in any_bool(), new in any_u64()) {
             let d = flip_encode(old, old_flip, new);
             prop_assert!(d.num_changed() <= 32, "changed {} > 32", d.num_changed());
         }
 
         /// Decoding what we stored always returns the logical data.
-        #[test]
-        fn roundtrip(old: u64, old_flip: bool, new: u64) {
+        fn roundtrip(old in any_u64(), old_flip in any_bool(), new in any_u64()) {
             let d = flip_encode(old, old_flip, new);
             prop_assert_eq!(flip_decode(d.stored, d.flip), new);
         }
 
         /// The encoder picks the cheaper of the two encodings.
-        #[test]
-        fn encoder_is_optimal(old: u64, old_flip: bool, new: u64) {
+        fn encoder_is_optimal(old in any_u64(), old_flip in any_bool(), new in any_u64()) {
             let d = flip_encode(old, old_flip, new);
             let cost_plain = hamming_unit(old, new) + old_flip as u32;
             let cost_flip = hamming_unit(old, !new) + !old_flip as u32;
@@ -249,9 +247,8 @@ mod tests {
         }
 
         /// Line-level encoding agrees with unit-level encoding.
-        #[test]
-        fn line_matches_units(units in proptest::collection::vec(any::<u64>(), 8),
-                              olds in proptest::collection::vec(any::<u64>(), 8),
+        fn line_matches_units(units in vec_of(any_u64(), 8),
+                              olds in vec_of(any_u64(), 8),
                               old_flips in 0u32..256) {
             let old = LineData::from_units(&olds);
             let new = LineData::from_units(&units);

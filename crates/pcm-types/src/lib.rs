@@ -22,6 +22,16 @@
 //! * [`demand`] — the per-data-unit write demand ([`UnitDemand`],
 //!   [`LineDemand`]) that every write scheme consumes.
 //!
+//! Plus the stdlib-only infrastructure that keeps the workspace free of
+//! external crates (the whole tree builds with `cargo build --offline`):
+//!
+//! * [`rng`] — deterministic pseudo-random generation (splitmix64 and
+//!   xoshiro256**) behind a `rand`-compatible [`rng::Rng`] trait.
+//! * [`json`] — a minimal JSON value model, writer, and parser for
+//!   experiment results and trace files.
+//! * [`mod@propcheck`] — a seeded property-testing harness with shrinking
+//!   (the [`propcheck!`] macro replaces `proptest!` blocks).
+//!
 //! Everything here is `#![forbid(unsafe_code)]`, allocation-free on the hot
 //! paths (fixed-capacity line buffers), and deterministic.
 
@@ -35,8 +45,11 @@ pub mod demand;
 pub mod energy;
 pub mod error;
 pub mod flip;
+pub mod json;
 pub mod org;
 pub mod power;
+pub mod propcheck;
+pub mod rng;
 pub mod time;
 pub mod timing;
 
@@ -47,6 +60,7 @@ pub use demand::{LineDemand, UnitDemand};
 pub use energy::{EnergyParams, PicoJoules};
 pub use error::PcmError;
 pub use flip::{flip_decode, flip_encode, flip_units, FlipBitWrite, FlipDecision, FlippedLine};
+pub use json::{Json, JsonError};
 pub use org::MemOrg;
 pub use power::PowerParams;
 pub use time::Ps;

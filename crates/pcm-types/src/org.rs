@@ -1,13 +1,11 @@
 //! Memory organization: how cache lines decompose into write units and
 //! data units, and how banks/ranks are laid out (Fig. 2 of the paper).
 
-use serde::{Deserialize, Serialize};
-
 /// Organization of the PCM main memory.
 ///
 /// Defaults follow Table II: 4 GB single-rank SLC PCM, 8 banks, 4 × X16
 /// chips per bank (8 B write unit per bank), 64 B cache lines.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MemOrg {
     /// Total capacity in bytes.
     pub capacity_bytes: u64,

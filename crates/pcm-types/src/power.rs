@@ -5,10 +5,8 @@
 //! account in *SET-equivalents*: one SET costs 1 budget unit and one RESET
 //! costs `L` units (the power asymmetry, `Creset ≈ 2 × Cset`, so `L = 2`).
 
-use serde::{Deserialize, Serialize};
-
 /// Current-budget parameters for one memory bank.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PowerParams {
     /// Power asymmetry `L`: the current of one RESET in units of one SET.
     pub l_ratio: u32,

@@ -1,0 +1,638 @@
+//! A tiny in-repo property-testing harness (replaces `proptest`).
+//!
+//! Seeded case generation plus greedy shrinking on failure:
+//!
+//! * A [`Strategy`] generates random values and proposes *shrink
+//!   candidates* — simpler values from the same domain — for any value it
+//!   produced. Integer ranges shrink toward their lower bound, vectors
+//!   drop elements and shrink elements in place, tuples shrink one
+//!   component at a time.
+//! * [`check`] runs the property over `cases` generated inputs. On the
+//!   first failure it descends through shrink candidates until no
+//!   candidate fails, then panics with the minimal counterexample, the
+//!   seed, and the failure message.
+//!
+//! Seeds are derived from the property name, so runs are reproducible by
+//! default; set `PROPCHECK_SEED` to explore a different stream and
+//! `PROPCHECK_CASES` to scale the case count (both read at run time).
+//!
+//! The [`propcheck!`][crate::propcheck!] macro gives property tests the
+//! shape the old `proptest!` blocks had; `prop_assert!` /
+//! `prop_assert_eq!` report failures without unwinding, but plain panics
+//! (e.g. `unwrap`) inside a property are caught and shrunk too.
+
+use crate::rng::SplitMix64;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Outcome of one property evaluation.
+pub type PropResult = Result<(), String>;
+
+/// A generator of random values that knows how to simplify them.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Clone + Debug;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut SplitMix64) -> Self::Value;
+
+    /// Candidate simplifications of `v`, simplest first. Every candidate
+    /// must itself be a value this strategy could have produced.
+    fn shrink(&self, _v: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+// --------------------------------------------------------------------------
+// Integer range strategies
+// --------------------------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SplitMix64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                debug_assert!(lo <= hi);
+                let span = (hi - lo) as u64;
+                lo + (crate::rng::Rng::gen_range(rng, 0u64..=span)) as $t
+            }
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                let lo = *self.start();
+                let mut out = Vec::new();
+                if *v > lo {
+                    out.push(lo);
+                    let half = lo + (*v - lo) / 2;
+                    if half != lo && half != *v {
+                        out.push(half);
+                    }
+                    out.push(*v - 1);
+                }
+                out.dedup();
+                out
+            }
+        }
+
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SplitMix64) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                (self.start..=self.end - 1).generate(rng)
+            }
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                (self.start..=self.end - 1).shrink(v)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+// --------------------------------------------------------------------------
+// Leaf strategies
+// --------------------------------------------------------------------------
+
+/// Strategy that always yields one value (no shrinking).
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+/// Always produce `v`.
+pub fn just<T: Clone + Debug>(v: T) -> Just<T> {
+    Just(v)
+}
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut SplitMix64) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform `u64` restricted to the bits of `mask`.
+#[derive(Clone, Debug)]
+pub struct MaskedU64(pub u64);
+
+/// Any `u64` (all bits random).
+pub fn any_u64() -> MaskedU64 {
+    MaskedU64(u64::MAX)
+}
+
+/// Uniform `u64` with only `mask` bits allowed to be set.
+pub fn masked_u64(mask: u64) -> MaskedU64 {
+    MaskedU64(mask)
+}
+
+impl Strategy for MaskedU64 {
+    type Value = u64;
+    fn generate(&self, rng: &mut SplitMix64) -> u64 {
+        rng.next_u64() & self.0
+    }
+    fn shrink(&self, v: &u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        if *v != 0 {
+            out.push(0);
+            let fewer = (v >> 1) & self.0;
+            if fewer != 0 && fewer != *v {
+                out.push(fewer);
+            }
+            // Clear the highest set bit — often isolates the culprit bit.
+            let top = *v & !(1u64 << (63 - v.leading_zeros()));
+            if top != *v && !out.contains(&top) {
+                out.push(top);
+            }
+        }
+        out
+    }
+}
+
+/// Uniform `bool`.
+#[derive(Clone, Debug)]
+pub struct AnyBool;
+
+/// Either boolean; shrinks toward `false`.
+pub fn any_bool() -> AnyBool {
+    AnyBool
+}
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn generate(&self, rng: &mut SplitMix64) -> bool {
+        rng.next_u64() >> 63 == 1
+    }
+    fn shrink(&self, v: &bool) -> Vec<bool> {
+        if *v {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Uniform choice among a fixed set of values (replaces
+/// `prop_oneof![Just(a), Just(b), …]`). Shrinks toward earlier entries.
+#[derive(Clone, Debug)]
+pub struct OneOf<T>(Vec<T>);
+
+/// Uniformly pick one of `values`.
+pub fn one_of<T: Clone + Debug>(values: &[T]) -> OneOf<T> {
+    assert!(!values.is_empty(), "one_of needs at least one value");
+    OneOf(values.to_vec())
+}
+
+impl<T: Clone + Debug + PartialEq> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SplitMix64) -> T {
+        let i = crate::rng::Rng::gen_range(rng, 0..self.0.len());
+        self.0[i].clone()
+    }
+    fn shrink(&self, v: &T) -> Vec<T> {
+        // Earlier alternatives count as simpler.
+        self.0.iter().take_while(|x| *x != v).cloned().collect()
+    }
+}
+
+/// Uniform choice among boxed sub-strategies sharing a value type
+/// (replaces heterogeneous `prop_oneof!`).
+pub struct Union<T>(Vec<Box<dyn Strategy<Value = T>>>);
+
+/// Pick one of `branches` per case, uniformly.
+pub fn union<T: Clone + Debug>(branches: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+    assert!(!branches.is_empty(), "union needs at least one branch");
+    Union(branches)
+}
+
+impl<T: Clone + Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SplitMix64) -> T {
+        let i = crate::rng::Rng::gen_range(rng, 0..self.0.len());
+        self.0[i].generate(rng)
+    }
+    fn shrink(&self, v: &T) -> Vec<T> {
+        // Each branch only proposes candidates valid in its own domain,
+        // so the union of proposals is valid for the union strategy.
+        self.0.iter().flat_map(|b| b.shrink(v)).collect()
+    }
+}
+
+// --------------------------------------------------------------------------
+// Composite strategies
+// --------------------------------------------------------------------------
+
+/// Vector of values from an element strategy, with a length range.
+pub struct VecOf<S> {
+    elem: S,
+    min_len: usize,
+    max_len: usize,
+}
+
+/// Lengths accepted by [`vec_of`]: a fixed `usize` or `min..=max`.
+pub trait IntoLenRange {
+    /// Convert to `(min, max)` inclusive bounds.
+    fn bounds(self) -> (usize, usize);
+}
+
+impl IntoLenRange for usize {
+    fn bounds(self) -> (usize, usize) {
+        (self, self)
+    }
+}
+
+impl IntoLenRange for RangeInclusive<usize> {
+    fn bounds(self) -> (usize, usize) {
+        self.into_inner()
+    }
+}
+
+/// `Vec` of values drawn from `elem`, length within `len`.
+pub fn vec_of<S: Strategy>(elem: S, len: impl IntoLenRange) -> VecOf<S> {
+    let (min_len, max_len) = len.bounds();
+    assert!(min_len <= max_len);
+    VecOf {
+        elem,
+        min_len,
+        max_len,
+    }
+}
+
+impl<S: Strategy> Strategy for VecOf<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut SplitMix64) -> Vec<S::Value> {
+        let len = crate::rng::Rng::gen_range(rng, self.min_len..=self.max_len);
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, v: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        // Structural shrinks first: drop elements while above min length.
+        if v.len() > self.min_len {
+            for i in (0..v.len()).rev() {
+                let mut smaller = v.clone();
+                smaller.remove(i);
+                out.push(smaller);
+            }
+        }
+        // Then element-wise shrinks, one position at a time.
+        for (i, item) in v.iter().enumerate() {
+            for cand in self.elem.shrink(item) {
+                let mut copy = v.clone();
+                copy[i] = cand;
+                out.push(copy);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($S:ident / $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut SplitMix64) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&v.$idx) {
+                        let mut copy = v.clone();
+                        copy.$idx = cand;
+                        out.push(copy);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A / 0),
+    (A / 0, B / 1),
+    (A / 0, B / 1, C / 2),
+    (A / 0, B / 1, C / 2, D / 3),
+);
+
+// --------------------------------------------------------------------------
+// Runner
+// --------------------------------------------------------------------------
+
+/// Default number of cases when the `propcheck!` block doesn't override it.
+pub const DEFAULT_CASES: u32 = 256;
+/// Hard ceiling on shrink iterations (each iteration tries all candidates
+/// of the current counterexample).
+const MAX_SHRINK_ITERS: u32 = 4_096;
+
+fn fxhash(s: &str) -> u64 {
+    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+    })
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+fn run_prop<V, F>(prop: &F, v: &V) -> PropResult
+where
+    F: Fn(&V) -> PropResult,
+{
+    let outcome = catch_unwind(AssertUnwindSafe(|| prop(v)));
+    match outcome {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic with non-string payload".to_string());
+            Err(format!("panic: {msg}"))
+        }
+    }
+}
+
+/// Run `prop` over `cases` values generated by `strat`; shrink and panic
+/// on failure. `name` seeds the generator (reproducible across runs) and
+/// labels the report.
+pub fn check<S, F>(name: &str, cases: u32, strat: S, prop: F)
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> PropResult,
+{
+    let seed = env_u64("PROPCHECK_SEED").unwrap_or_else(|| fxhash(name) ^ 0x7e72_15c0_ffee);
+    let cases = env_u64("PROPCHECK_CASES")
+        .map(|c| c as u32)
+        .unwrap_or(cases);
+    let mut rng = SplitMix64::new(seed);
+    for case in 0..cases {
+        let v = strat.generate(&mut rng);
+        if let Err(msg) = run_prop(&prop, &v) {
+            let (min_v, min_msg, shrinks) = shrink_failure(&strat, &prop, v, msg);
+            panic!(
+                "[propcheck] property '{name}' falsified at case {case}/{cases} \
+                 (seed {seed:#x}, {shrinks} shrink steps)\n\
+                 minimal input: {min_v:?}\n{min_msg}"
+            );
+        }
+    }
+}
+
+fn shrink_failure<S, F>(
+    strat: &S,
+    prop: &F,
+    mut cur: S::Value,
+    mut msg: String,
+) -> (S::Value, String, u32)
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> PropResult,
+{
+    let mut steps = 0u32;
+    'outer: while steps < MAX_SHRINK_ITERS {
+        for cand in strat.shrink(&cur) {
+            steps += 1;
+            if steps >= MAX_SHRINK_ITERS {
+                break 'outer;
+            }
+            if let Err(m) = run_prop(prop, &cand) {
+                cur = cand;
+                msg = m;
+                continue 'outer; // restart from the simpler failure
+            }
+        }
+        break; // no candidate fails: `cur` is locally minimal
+    }
+    (cur, msg, steps)
+}
+
+/// Fail the surrounding property with a message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fail the surrounding property unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?} ({}:{})",
+                stringify!($a),
+                stringify!($b),
+                a,
+                b,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            return Err(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                a,
+                b
+            ));
+        }
+    }};
+}
+
+/// Declare property tests: each `fn` becomes a `#[test]` whose arguments
+/// are drawn from the given strategies. An optional leading `cases = N;`
+/// applies to every property in the block.
+///
+/// ```
+/// use pcm_types::{propcheck, prop_assert, prop_assert_eq};
+/// use pcm_types::propcheck::{any_u64, vec_of};
+///
+/// propcheck! {
+///     /// XOR is self-inverse.
+///     fn xor_roundtrip(a in any_u64(), b in any_u64()) {
+///         prop_assert_eq!(a ^ b ^ b, a);
+///     }
+///
+///     fn sum_fits(v in vec_of(0u32..=33, 1..=8)) {
+///         prop_assert!(v.iter().sum::<u32>() <= 33 * 8);
+///     }
+/// }
+/// # fn main() {}
+/// ```
+#[macro_export]
+macro_rules! propcheck {
+    (cases = $cases:expr; $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                $crate::propcheck::check(
+                    stringify!($name),
+                    $cases,
+                    ($($strat,)+),
+                    |__case| {
+                        let ($($arg,)+) = __case.clone();
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    },
+                );
+            }
+        )+
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $crate::propcheck! { cases = $crate::propcheck::DEFAULT_CASES; $($(#[$meta])* fn $name($($arg in $strat),+) $body)+ }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let counter = std::cell::Cell::new(0u32);
+        check("always_true", 100, any_u64(), |_| {
+            counter.set(counter.get() + 1);
+            Ok(())
+        });
+        assert_eq!(counter.get(), 100);
+    }
+
+    #[test]
+    fn failing_property_panics_with_minimal_case() {
+        let result = catch_unwind(|| {
+            check("gt_hundred", 200, 0u32..=1_000, |&v| {
+                if v > 100 {
+                    Err(format!("{v} too big"))
+                } else {
+                    Ok(())
+                }
+            });
+        });
+        let msg = match result {
+            Err(p) => p
+                .downcast_ref::<String>()
+                .cloned()
+                .expect("panic payload is String"),
+            Ok(()) => panic!("property should have failed"),
+        };
+        // The minimal failing value for `v > 100` is exactly 101.
+        assert!(msg.contains("minimal input: 101"), "{msg}");
+        assert!(msg.contains("falsified"), "{msg}");
+    }
+
+    #[test]
+    fn shrinks_vectors_to_minimal_length() {
+        let result = catch_unwind(|| {
+            check(
+                "has_big_elem",
+                500,
+                vec_of(0u32..=50, 0..=8),
+                |v: &Vec<u32>| {
+                    if v.iter().any(|&x| x >= 40) {
+                        Err("contains big element".into())
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        });
+        let msg = match result {
+            Err(p) => p.downcast_ref::<String>().cloned().unwrap(),
+            Ok(()) => panic!("property should have failed"),
+        };
+        // Minimal counterexample: a single-element vector [40].
+        assert!(msg.contains("minimal input: [40]"), "{msg}");
+    }
+
+    #[test]
+    fn panics_inside_property_are_caught_and_shrunk() {
+        let result = catch_unwind(|| {
+            check("panicky", 100, 0u64..=1_000, |&v| {
+                assert!(v < 500, "boom at {v}");
+                Ok(())
+            });
+        });
+        let msg = match result {
+            Err(p) => p.downcast_ref::<String>().cloned().unwrap(),
+            Ok(()) => panic!("property should have failed"),
+        };
+        assert!(msg.contains("minimal input: 500"), "{msg}");
+        assert!(msg.contains("panic: boom at 500"), "{msg}");
+    }
+
+    #[test]
+    fn union_and_one_of_stay_in_domain() {
+        let strat = union(vec![
+            Box::new(just(0u64)) as Box<dyn Strategy<Value = u64>>,
+            Box::new(just(u64::MAX)),
+            Box::new(masked_u64(0xFF)),
+        ]);
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!(v == 0 || v == u64::MAX || v <= 0xFF);
+        }
+        let choice = one_of(&[128u32, 64, 48]);
+        for _ in 0..50 {
+            assert!([128, 64, 48].contains(&choice.generate(&mut rng)));
+        }
+        assert_eq!(choice.shrink(&48), vec![128, 64]);
+    }
+
+    #[test]
+    fn range_shrink_stays_in_bounds() {
+        let strat = 5u32..=100;
+        for cand in strat.shrink(&73) {
+            assert!((5..=100).contains(&cand));
+        }
+        assert!(strat.shrink(&5).is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let collect = |name: &str| {
+            let mut rng = SplitMix64::new(fxhash(name) ^ 0x7e72_15c0_ffee);
+            (0..4)
+                .map(|_| any_u64().generate(&mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(collect("alpha"), collect("alpha"));
+        assert_ne!(collect("alpha"), collect("beta"));
+    }
+
+    // The macro itself, exercised end to end.
+    crate::propcheck! {
+        cases = 64;
+        /// Masked generation never escapes the mask.
+        fn masked_stays_masked(v in masked_u64(0xF0F0)) {
+            prop_assert_eq!(v & !0xF0F0, 0);
+        }
+
+        fn tuple_destructuring(a in 1u32..=8, b in any_bool(), v in vec_of(0u32..=3, 2)) {
+            prop_assert!((1..=8).contains(&a));
+            prop_assert!(v.len() == 2);
+            let _ = b;
+        }
+    }
+}

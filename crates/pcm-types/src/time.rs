@@ -6,7 +6,6 @@
 //! as `u64` represent every quantity exactly while still covering ~213 days
 //! of simulated time.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
@@ -23,7 +22,7 @@ use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
 /// assert_eq!(t_set.div_duration(t_reset), 8); // the paper's K
 /// assert_eq!(Ps::from_cycles(41, 400), Ps(102_500)); // 41 cycles @ 400 MHz
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Ps(pub u64);
 
 impl Ps {

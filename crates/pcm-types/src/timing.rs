@@ -1,13 +1,12 @@
 //! PCM pulse timings and the SET/RESET time asymmetry.
 
 use crate::time::Ps;
-use serde::{Deserialize, Serialize};
 
 /// Programming/read pulse durations of the PCM array.
 ///
 /// Defaults follow Table II of the paper (taken from the Samsung 90 nm
 /// PRAM prototype): READ 50 ns, RESET 53 ns, SET 430 ns.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PcmTimings {
     /// Array read latency (sense a row of cells).
     pub t_read: Ps,

@@ -3,10 +3,9 @@
 use pcm_types::{
     flip_decode, EnergyParams, LineData, MemOrg, PcmError, PcmTimings, PicoJoules, PowerParams, Ps,
 };
-use serde::{Deserialize, Serialize};
 
 /// Static configuration a scheme plans against.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SchemeConfig {
     /// Pulse timings (Table II).
     pub timings: PcmTimings,

@@ -5,8 +5,9 @@ use pcm_schemes::{
     analytic, ConventionalWrite, DcwWrite, FlipNWrite, PreSetWrite, SchemeConfig, ThreeStageWrite,
     TwoStageWrite, WriteCtx, WriteScheme,
 };
+use pcm_types::propcheck::{any_u64, just, masked_u64, union, vec_of, Strategy};
 use pcm_types::{hamming, LineData, Ps};
-use proptest::prelude::*;
+use pcm_types::{prop_assert, prop_assert_eq, propcheck};
 
 fn schemes() -> Vec<Box<dyn WriteScheme>> {
     vec![
@@ -20,23 +21,22 @@ fn schemes() -> Vec<Box<dyn WriteScheme>> {
 }
 
 fn line_strategy() -> impl Strategy<Value = Vec<u64>> {
-    proptest::collection::vec(
-        prop_oneof![
-            Just(0u64),
-            Just(u64::MAX),
-            any::<u64>(),
-            any::<u64>().prop_map(|v| v & 0xFF), // sparse
-        ],
+    vec_of(
+        union(vec![
+            Box::new(just(0u64)),
+            Box::new(just(u64::MAX)),
+            Box::new(any_u64()),
+            Box::new(masked_u64(0xFF)), // sparse
+        ]),
         8,
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+propcheck! {
+    cases = 128;
 
     /// Invariant 1: the stored bits + flip tags always decode to the
     /// requested logical data (no scheme may corrupt memory).
-    #[test]
     fn every_plan_decodes(old in line_strategy(), flips in 0u32..256, new in line_strategy()) {
         let cfg = SchemeConfig::paper_baseline();
         let old = LineData::from_units(&old);
@@ -54,7 +54,6 @@ proptest! {
 
     /// Invariant 2: service time is positive and never exceeds the
     /// conventional worst case (Eq. 1) plus read overhead.
-    #[test]
     fn service_time_bounded(old in line_strategy(), new in line_strategy()) {
         let cfg = SchemeConfig::paper_baseline();
         let old = LineData::from_units(&old);
@@ -76,7 +75,6 @@ proptest! {
 
     /// Invariant 3: differential schemes never pulse more cells than the
     /// raw Hamming distance plus one flip-cell per unit.
-    #[test]
     fn differential_pulse_bound(old in line_strategy(), new in line_strategy()) {
         let cfg = SchemeConfig::paper_baseline();
         let old = LineData::from_units(&old);
@@ -98,7 +96,6 @@ proptest! {
 
     /// Invariant 4: flip-coded schemes never pulse more than half the
     /// cells (+ flip bits), whatever the content.
-    #[test]
     fn flip_bound_holds(old in line_strategy(), flips in 0u32..256, new in line_strategy()) {
         let cfg = SchemeConfig::paper_baseline();
         let old = LineData::from_units(&old);
@@ -117,7 +114,6 @@ proptest! {
 
     /// Invariant 5: writing identical data is free for differential
     /// schemes (beyond the mandatory read).
-    #[test]
     fn idempotent_writes_are_cheap(data in line_strategy()) {
         let cfg = SchemeConfig::paper_baseline();
         let line = LineData::from_units(&data);
@@ -132,7 +128,6 @@ proptest! {
     /// Invariant 6: scheme ordering from the paper holds for *every*
     /// content, not just on average — the static schemes' times are
     /// content-independent by construction.
-    #[test]
     fn static_ordering_invariant(old in line_strategy(), new in line_strategy()) {
         let cfg = SchemeConfig::paper_baseline();
         let old = LineData::from_units(&old);

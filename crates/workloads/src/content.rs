@@ -20,9 +20,8 @@
 
 use crate::profiles::WorkloadProfile;
 use pcm_memsim::WriteContent;
+use pcm_types::rng::{Rng, SmallRng};
 use pcm_types::LineData;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Density (ones per 64) above which the drift direction is reversed.
 const DENSITY_GUARD: u32 = 48;
@@ -210,8 +209,8 @@ impl WriteContent for ProfileContent {
 mod tests {
     use super::*;
     use crate::profiles::ALL_PROFILES;
+    use pcm_types::rng::StdRng;
     use pcm_types::transitions;
-    use rand::rngs::StdRng;
 
     #[test]
     fn poisson_mean_tracks() {

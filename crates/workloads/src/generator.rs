@@ -18,9 +18,8 @@
 use crate::profiles::WorkloadProfile;
 use crate::zipf::Zipf;
 use pcm_memsim::{AccessKind, TraceOp, TraceSource};
+use pcm_types::rng::{Rng, SmallRng};
 use pcm_types::PhysAddr;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Base address of the region shared between cores.
 const SHARED_BASE: PhysAddr = 0x1000_0000;

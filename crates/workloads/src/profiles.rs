@@ -6,10 +6,8 @@
 //! ≈ 19 with a fifty-fifty mix, ferret near fifty-fifty, the rest
 //! SET-dominant.
 
-use serde::{Deserialize, Serialize};
-
 /// Data-sharing intensity between threads (Table III).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Sharing {
     /// Threads work on private data.
     Low,
@@ -31,7 +29,7 @@ impl Sharing {
 }
 
 /// One workload's published characteristics.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct WorkloadProfile {
     /// PARSEC program name.
     pub name: &'static str,

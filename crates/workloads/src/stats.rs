@@ -10,14 +10,12 @@
 use crate::content::ProfileContent;
 use crate::profiles::WorkloadProfile;
 use pcm_memsim::WriteContent;
+use pcm_types::rng::SmallRng;
 use pcm_types::{flip_units, LineData};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Measured per-unit bit-write statistics.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct BitStats {
     /// Mean SET bit-writes per 64-bit unit.
     pub avg_sets: f64,
@@ -58,7 +56,7 @@ pub fn measure_bit_stats(profile: &WorkloadProfile, writes: u64, seed: u64) -> B
     let mut resets = 0u64;
     let mut samples = 0u64;
     for _ in 0..writes {
-        let line_idx = rand::Rng::gen_range(&mut rng, 0..ws_lines);
+        let line_idx = pcm_types::rng::Rng::gen_range(&mut rng, 0..ws_lines);
         let first_touch = !mem.contains_key(&line_idx);
         let (stored, flips) = mem
             .entry(line_idx)

@@ -4,11 +4,11 @@
 //! JSON, so an experiment can be replayed bit-for-bit or inspected offline.
 
 use pcm_memsim::{AccessKind, TraceOp, TraceSource};
-use serde::{Deserialize, Serialize};
+use pcm_types::Json;
 use std::io::{BufRead, Write};
 
 /// Serializable form of one op.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TraceRecord {
     /// Instruction gap.
     pub gap: u32,
@@ -49,11 +49,24 @@ pub fn record_trace(src: &mut dyn TraceSource, cores: usize) -> Vec<Vec<TraceOp>
         .collect()
 }
 
-/// Write a materialized trace as JSON-lines: one line per core.
+/// Write a materialized trace as JSON-lines: one line per core, each an
+/// array of `{"gap": .., "w": .., "addr": ..}` objects.
 pub fn write_trace<W: Write>(w: &mut W, trace: &[Vec<TraceOp>]) -> std::io::Result<()> {
     for core_ops in trace {
-        let records: Vec<TraceRecord> = core_ops.iter().map(|&o| o.into()).collect();
-        serde_json::to_writer(&mut *w, &records)?;
+        let records = Json::Arr(
+            core_ops
+                .iter()
+                .map(|&o| {
+                    let r = TraceRecord::from(o);
+                    Json::obj(vec![
+                        ("gap", Json::UInt(r.gap as u64)),
+                        ("w", Json::Bool(r.w)),
+                        ("addr", Json::UInt(r.addr)),
+                    ])
+                })
+                .collect(),
+        );
+        w.write_all(records.to_string_compact().as_bytes())?;
         writeln!(w)?;
     }
     Ok(())
@@ -67,8 +80,33 @@ pub fn read_trace<R: BufRead>(r: R) -> std::io::Result<Vec<Vec<TraceOp>>> {
         if line.trim().is_empty() {
             continue;
         }
-        let records: Vec<TraceRecord> = serde_json::from_str(&line)?;
-        out.push(records.into_iter().map(TraceOp::from).collect());
+        let parsed = Json::parse(&line).map_err(std::io::Error::from)?;
+        let records = parsed.as_array().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "trace line is not an array",
+            )
+        })?;
+        let ops = records
+            .iter()
+            .map(|rec| {
+                let gap = rec.get("gap").and_then(Json::as_u64);
+                let w = rec.get("w").and_then(Json::as_bool);
+                let addr = rec.get("addr").and_then(Json::as_u64);
+                match (gap, w, addr) {
+                    (Some(gap), Some(w), Some(addr)) => Ok(TraceOp::from(TraceRecord {
+                        gap: gap as u32,
+                        w,
+                        addr,
+                    })),
+                    _ => Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "trace record missing gap/w/addr",
+                    )),
+                }
+            })
+            .collect::<std::io::Result<Vec<TraceOp>>>()?;
+        out.push(ops);
     }
     Ok(out)
 }
@@ -114,5 +152,12 @@ mod tests {
     fn empty_lines_skipped() {
         let back = read_trace(std::io::BufReader::new("\n\n".as_bytes())).unwrap();
         assert!(back.is_empty());
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        assert!(read_trace(std::io::BufReader::new("{\"not\":\"array\"}\n".as_bytes())).is_err());
+        assert!(read_trace(std::io::BufReader::new("[{\"gap\":1}]\n".as_bytes())).is_err());
+        assert!(read_trace(std::io::BufReader::new("not json\n".as_bytes())).is_err());
     }
 }

@@ -5,7 +5,7 @@
 //! stand-in. The sampler precomputes the CDF once and draws by binary
 //! search (O(log n) per sample, exact).
 
-use rand::Rng;
+use pcm_types::rng::Rng;
 
 /// Zipf-distributed rank sampler (ranks `0..n`, rank 0 hottest).
 #[derive(Clone, Debug)]
@@ -55,8 +55,7 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pcm_types::rng::StdRng;
 
     #[test]
     fn rank_zero_is_hottest() {

@@ -22,8 +22,14 @@ fn main() {
     let single_a = analyze(a, &cfg).unwrap();
     let single_b = analyze(b, &cfg).unwrap();
     let batch = analyze_batch(&[*a, *b], &cfg).unwrap();
-    println!("line A alone : {:.2} write units", single_a.write_units_equiv());
-    println!("line B alone : {:.2} write units", single_b.write_units_equiv());
+    println!(
+        "line A alone : {:.2} write units",
+        single_a.write_units_equiv()
+    );
+    println!(
+        "line B alone : {:.2} write units",
+        single_b.write_units_equiv()
+    );
     println!(
         "A + B batched: {:.2} write units total = {:.2} per line\n",
         batch.analysis.write_units_equiv(),

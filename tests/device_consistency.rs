@@ -5,10 +5,9 @@
 
 use pcm_device::{FsmExecutor, PcmBank};
 use pcm_schemes::{SchemeConfig, WriteCtx};
+use pcm_types::rng::{Rng, StdRng};
 use pcm_types::{LineData, PcmTimings, PowerParams, Ps};
 use pcm_workloads::{ProfileContent, ALL_PROFILES};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use tetris_write::{analyze, build_jobs, read_stage, validate_on_bank, TetrisConfig};
 
 /// Eq. 5 equals the FSM-executed makespan, for workload-realistic content.

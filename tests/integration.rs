@@ -8,14 +8,13 @@ use pcm_memsim::{
 use pcm_schemes::{
     DcwWrite, FlipNWrite, SchemeConfig, ThreeStageWrite, TwoStageWrite, WriteScheme,
 };
+use pcm_types::rng::{Rng, StdRng};
 use pcm_types::LineData;
 use pcm_workloads::{
     generator::{GeneratorConfig, SyntheticParsec},
     trace::{read_trace, record_trace, write_trace},
     ProfileContent, WorkloadProfile, ALL_PROFILES,
 };
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use tetris_write::TetrisWrite;
 
 fn all_schemes() -> Vec<Box<dyn WriteScheme>> {
