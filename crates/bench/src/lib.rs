@@ -37,10 +37,10 @@ use std::time::{Duration, Instant};
 
 /// Shared quick-run sizing for the system benches.
 pub fn quick_run_config() -> tetris_experiments::RunConfig {
-    tetris_experiments::RunConfig {
-        instructions_per_core: 100_000,
-        ..tetris_experiments::RunConfig::quick()
-    }
+    tetris_experiments::RunConfig::builder()
+        .instructions_per_core(100_000)
+        .build()
+        .expect("quick bench configuration is valid")
 }
 
 /// Default samples per benchmark (a group can override via

@@ -98,6 +98,28 @@ impl AnalysisResult {
         used as f64 / (self.budget as u64 * self.slot_usage.len() as u64) as f64
     }
 
+    /// Write0 (RESET) placements dropped into the write-1 region's slack
+    /// — sub-slots `< result·K` — rather than into overflow
+    /// sub-write-units. These are the "short Tetris pieces" the scheme
+    /// exists to hide; a schedule with zero stolen jobs degenerates to
+    /// Three-Stage-Write behaviour.
+    pub fn stolen_write0_jobs(&self) -> u32 {
+        let boundary = self.result as usize * self.k;
+        self.write0_queue()
+            .filter(|p| p.start_slot < boundary)
+            .count() as u32
+    }
+
+    /// Packing quality in the shape the memory controller's telemetry
+    /// consumes.
+    pub fn pack_stats(&self) -> pcm_schemes::PackStats {
+        pcm_schemes::PackStats {
+            stolen_write0s: self.stolen_write0_jobs(),
+            utilization: self.utilization(),
+            write_units_equiv: self.write_units_equiv(),
+        }
+    }
+
     /// The write-1 queue (FSM1's input), in placement order.
     pub fn write1_queue(&self) -> impl Iterator<Item = &Placement> {
         self.placements
@@ -364,6 +386,44 @@ mod tests {
         assert!(a.peak_current() <= 32);
         // First write unit packs 8+7+7+6+3 = 31 (units 0,1,2,3 + the 3-SET unit).
         assert_eq!(a.slot_usage[0..8].iter().max(), Some(&31));
+    }
+
+    #[test]
+    fn pack_stats_count_stolen_write0s() {
+        // Fig. 4 shape: every write-0 hides inside the two write-1 units,
+        // so each write-0 placement counts as stolen.
+        let cfg = cfg_with_budget(32);
+        let d = demand(&[
+            (8, 0),
+            (7, 1),
+            (7, 1),
+            (6, 2),
+            (6, 3),
+            (6, 2),
+            (5, 2),
+            (3, 5),
+        ]);
+        let a = analyze(&d, &cfg).unwrap();
+        let stolen = a.stolen_write0_jobs();
+        assert_eq!(
+            stolen,
+            a.write0_queue().count() as u32,
+            "no overflow slots → every write-0 was stolen into slack"
+        );
+        assert!(stolen >= 7, "seven units carry write-0 demand");
+        let ps = a.pack_stats();
+        assert_eq!(ps.stolen_write0s, stolen);
+        assert_eq!(ps.write_units_equiv, 2.0);
+        assert!(ps.utilization > 0.0 && ps.utilization <= 1.0);
+
+        // Ablation: with slack stealing off, write-0s land in overflow
+        // sub-units past the write-1 region — none count as stolen.
+        let mut no_steal = cfg;
+        no_steal.steal_write0_slack = false;
+        let b = analyze(&d, &no_steal).unwrap();
+        assert_eq!(b.stolen_write0_jobs(), 0);
+        assert!(b.subresult > 0, "write-0s forced into overflow slots");
+        assert!(b.pack_stats().write_units_equiv > a.pack_stats().write_units_equiv);
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub use analysis::{analyze, AnalysisResult, Placement, PulsePhase};
 pub use batch::{analyze_batch, BatchAnalysis};
 pub use config::TetrisConfig;
 pub use gantt::render_gantt;
+pub use pcm_schemes::{SchemeConfig, WriteCtx, WriteScheme};
 pub use read_stage::{read_stage, ReadStageOutput};
 pub use schedule::{build_jobs, validate_on_bank, ValidationReport};
 pub use scheme_impl::TetrisWrite;

@@ -140,6 +140,7 @@ impl WriteScheme for TetrisWrite {
         Some(BatchPlan {
             service_time: total,
             plans,
+            pack: Some(batch.analysis.pack_stats()),
         })
     }
 }
@@ -297,6 +298,9 @@ mod tests {
         assert_eq!(batch.plans.len(), 2);
         // 88 SET-equivalents fit one shared write unit: 0.5 units/line.
         assert_eq!(batch.plans[0].write_units_equiv, 0.5);
+        let pack = batch.pack.expect("tetris reports packing stats");
+        assert_eq!(pack.write_units_equiv, 1.0, "one shared write unit");
+        assert!(pack.utilization > 0.0);
         for (plan, new) in batch.plans.iter().zip([&a, &b]) {
             assert_eq!(plan.service_time, batch.service_time);
             assert!(plan.check_decodes_to(new).is_ok());

@@ -2,13 +2,19 @@
 //!
 //! ```text
 //! tetris-experiments [TARGETS...] [--quick] [--instructions N] [--json FILE] [--csv DIR]
+//!                    [--trace OUT.jsonl] [--trace-level coarse|fine]
 //!
 //! TARGETS: all (default) | fig1 | fig3 | fig4 | table1 | table2 | table3 |
 //!          fig10 | fig11 | fig12 | fig13 | fig14 | energy | ablation
 //!
 //! tetris-experiments trace WORKLOAD OUT.jsonl [--instructions N]
 //! tetris-experiments replay TRACE.jsonl SCHEME
+//! tetris-experiments report TRACE.jsonl [--csv DIR]
 //! ```
+//!
+//! `--trace` records a telemetry trace of one run (vips × Tetris, the
+//! paper's write-heaviest pairing) to a JSONL file; `report` renders such
+//! a file into per-bank utilization and queue-depth percentile tables.
 
 use pcm_memsim::SystemConfig;
 /// Print to stdout, exiting quietly if the consumer closed the pipe
@@ -135,6 +141,53 @@ fn cmd_replay(path: &str, scheme: &str) {
     );
 }
 
+/// `report TRACE.jsonl`: summarize a recorded telemetry trace.
+fn cmd_report(path: &str, csv_dir: &Option<String>) {
+    use pcm_telemetry::{read_events, TraceSummary};
+    let file = std::io::BufReader::new(std::fs::File::open(path).unwrap_or_else(|e| {
+        eprintln!("cannot open trace {path}: {e}");
+        std::process::exit(1);
+    }));
+    let events = read_events(file).unwrap_or_else(|e| {
+        eprintln!("cannot parse trace {path}: {e}");
+        std::process::exit(1);
+    });
+    if events.is_empty() {
+        eprintln!("trace {path} contains no events");
+        std::process::exit(1);
+    }
+    let summary = TraceSummary::from_events(&events);
+    emit(
+        &tetris_experiments::report::trace_bank_table(&summary),
+        csv_dir,
+    );
+    emit(
+        &tetris_experiments::report::trace_queue_table(&summary),
+        csv_dir,
+    );
+}
+
+/// `--trace OUT.jsonl`: run vips × Tetris once with a JSONL telemetry sink.
+fn run_traced(out: &str, level: pcm_telemetry::TraceDetail, cfg: &RunConfig) {
+    use pcm_telemetry::JsonlSink;
+    let sink = JsonlSink::create(std::path::Path::new(out), level).unwrap_or_else(|e| {
+        eprintln!("cannot create trace {out}: {e}");
+        std::process::exit(1);
+    });
+    let vips = pcm_workloads::WorkloadProfile::by_name("vips").expect("vips profile exists");
+    eprintln!(
+        "tracing vips × Tetris ({} instructions/core, {:?} detail) to {out}…",
+        cfg.instructions_per_core, level
+    );
+    let r = tetris_experiments::run_one_traced(vips, SchemeKind::Tetris, cfg, Box::new(sink));
+    eprintln!(
+        "traced run done: runtime {:.1} µs, {} reads / {} writes — render with `tetris-experiments report {out}`",
+        r.runtime.as_ns_f64() / 1000.0,
+        r.mem_reads,
+        r.mem_writes
+    );
+}
+
 /// Exit with a clean usage error instead of a panic backtrace.
 fn usage_error(msg: &str) -> ! {
     eprintln!("error: {msg} (see --help)");
@@ -170,6 +223,19 @@ fn main() {
             );
             return;
         }
+        Some("report") => {
+            let csv_dir = args
+                .iter()
+                .position(|a| a == "--csv")
+                .and_then(|i| args.get(i + 1))
+                .cloned();
+            cmd_report(
+                args.get(1)
+                    .unwrap_or_else(|| usage_error("report needs a trace path")),
+                &csv_dir,
+            );
+            return;
+        }
         _ => {}
     }
     let mut targets: Vec<String> = Vec::new();
@@ -177,6 +243,8 @@ fn main() {
     let mut instructions: Option<u64> = None;
     let mut json_path: Option<String> = None;
     let mut csv_dir: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut trace_level = pcm_telemetry::TraceDetail::Fine;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -205,16 +273,35 @@ fn main() {
                         .clone(),
                 );
             }
+            "--trace" => {
+                i += 1;
+                trace_path = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| usage_error("--trace needs a path"))
+                        .clone(),
+                );
+            }
+            "--trace-level" => {
+                i += 1;
+                trace_level = args
+                    .get(i)
+                    .and_then(|v| pcm_telemetry::TraceDetail::parse(v))
+                    .unwrap_or_else(|| usage_error("--trace-level needs 'coarse' or 'fine'"));
+            }
             "--help" | "-h" => {
                 outln!(
-                    "usage: tetris-experiments [all|fig1|fig3|fig4|fig10|fig11|fig12|fig13|fig14|table1|table2|table3|energy|ablation]... [--quick] [--instructions N] [--json FILE] [--csv DIR]"
+                    "usage: tetris-experiments [all|fig1|fig3|fig4|fig10|fig11|fig12|fig13|fig14|table1|table2|table3|energy|ablation]... [--quick] [--instructions N] [--json FILE] [--csv DIR] [--trace OUT.jsonl] [--trace-level coarse|fine]"
                 );
+                outln!("       tetris-experiments trace WORKLOAD OUT.jsonl [--instructions N]");
+                outln!("       tetris-experiments replay TRACE.jsonl SCHEME");
+                outln!("       tetris-experiments report TRACE.jsonl [--csv DIR]");
                 return;
             }
             t => targets.push(t.to_string()),
         }
         i += 1;
     }
+    let explicit_targets = !targets.is_empty();
     if targets.is_empty() {
         targets.push("all".to_string());
     }
@@ -230,13 +317,24 @@ fn main() {
     let all = targets.iter().any(|t| t == "all");
     let want = |t: &str| all || targets.iter().any(|x| x == t);
 
-    let mut cfg = if quick {
-        RunConfig::quick()
-    } else {
-        RunConfig::default()
-    };
+    let mut builder = RunConfig::builder();
+    if quick {
+        builder = builder.quick();
+    }
     if let Some(n) = instructions {
-        cfg.instructions_per_core = n;
+        builder = builder.instructions_per_core(n);
+    }
+    let cfg = builder
+        .build()
+        .expect("baseline run configuration is valid");
+
+    // A traced run is its own artifact: record it first, and unless the
+    // user also asked for figures/tables explicitly, stop there.
+    if let Some(out) = &trace_path {
+        run_traced(out, trace_level, &cfg);
+        if !explicit_targets {
+            return;
+        }
     }
     let scheme_cfg = SchemeConfig::paper_baseline();
     let sample_writes = if quick { 500 } else { 3_000 };

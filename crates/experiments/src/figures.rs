@@ -466,10 +466,10 @@ mod tests {
     fn small_matrix() -> (Vec<SimResult>, Vec<WorkloadProfile>, Vec<SchemeKind>) {
         let profiles = vec![ALL_PROFILES[0], ALL_PROFILES[7]];
         let schemes = vec![SchemeKind::Dcw, SchemeKind::Tetris];
-        let cfg = RunConfig {
-            instructions_per_core: 200_000,
-            ..RunConfig::quick()
-        };
+        let cfg = RunConfig::builder()
+            .instructions_per_core(200_000)
+            .build()
+            .unwrap();
         let results = run_matrix(&profiles, &schemes, &cfg);
         (results, profiles, schemes)
     }

@@ -30,6 +30,10 @@ pub mod report;
 pub mod runner;
 pub mod schemes;
 
+pub use pcm_memsim::{SimResult, SystemConfig};
+pub use pcm_workloads::{WorkloadProfile, ALL_PROFILES};
 pub use report::Table;
-pub use runner::{run_matrix, run_matrix_threads, run_one, RunConfig};
+pub use runner::{
+    run_matrix, run_matrix_threads, run_one, run_one_traced, RunConfig, RunConfigBuilder,
+};
 pub use schemes::SchemeKind;

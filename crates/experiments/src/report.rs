@@ -2,7 +2,8 @@
 //! dump/load path for `results_full.json`.
 
 use pcm_memsim::SimResult;
-use pcm_types::{Json, JsonError};
+use pcm_telemetry::{percentile, TraceSummary};
+use pcm_types::{Json, JsonCodec, JsonError};
 use std::fmt;
 
 /// A simple aligned text table.
@@ -142,7 +143,7 @@ pub fn results_to_json(results: &[SimResult]) -> String {
 pub fn results_from_json(text: &str) -> Result<Vec<SimResult>, JsonError> {
     let doc = Json::parse(text)?;
     match doc {
-        Json::Arr(items) => Ok(items.iter().map(SimResult::from_json).collect()),
+        Json::Arr(items) => items.iter().map(SimResult::from_json).collect(),
         _ => Err(JsonError {
             offset: 0,
             msg: "expected a top-level array of results".into(),
@@ -173,6 +174,70 @@ pub fn mean(values: &[f64]) -> f64 {
     } else {
         values.iter().sum::<f64>() / values.len() as f64
     }
+}
+
+/// Per-bank busy time and utilization from a summarized telemetry trace
+/// (the first table of the `report` subcommand).
+pub fn trace_bank_table(s: &TraceSummary) -> Table {
+    let title = if s.workload.is_empty() {
+        "Trace — per-bank utilization".to_string()
+    } else {
+        format!(
+            "Trace — per-bank utilization ({}, {})",
+            s.workload, s.scheme
+        )
+    };
+    let mut t = Table::new(
+        title,
+        &["bank", "busy (µs)", "reads", "writes", "lines", "util %"],
+    );
+    for (i, b) in s.banks.iter().enumerate() {
+        t.row(vec![
+            i.to_string(),
+            format!("{:.1}", b.busy.as_ns_f64() / 1000.0),
+            b.reads.to_string(),
+            b.writes.to_string(),
+            b.lines.to_string(),
+            format!("{:.1}", s.utilization(i) * 100.0),
+        ]);
+    }
+    t.note(format!(
+        "span {:.1} µs, mean utilization {:.1} %",
+        s.span.as_ns_f64() / 1000.0,
+        s.mean_utilization() * 100.0
+    ));
+    t
+}
+
+/// Read-/write-queue depth percentiles from a summarized telemetry trace
+/// (the second table of the `report` subcommand). Percentiles are exact
+/// nearest-rank over every recorded sample.
+pub fn trace_queue_table(s: &TraceSummary) -> Table {
+    let mut t = Table::new(
+        "Trace — queue-depth percentiles",
+        &["queue", "samples", "p50", "p95", "p99", "max"],
+    );
+    for (name, d) in [("read", &s.read_depths), ("write", &s.write_depths)] {
+        t.row(vec![
+            name.to_string(),
+            d.len().to_string(),
+            percentile(d, 0.50).to_string(),
+            percentile(d, 0.95).to_string(),
+            percentile(d, 0.99).to_string(),
+            d.last().copied().unwrap_or(0).to_string(),
+        ]);
+    }
+    t.note(format!(
+        "{} drains, {} pauses / {} resumes",
+        s.drains, s.pauses, s.resumes
+    ));
+    if s.batches > 0 {
+        t.note(format!(
+            "{} write batches: {} stolen write0s, mean budget utilization {:.2}",
+            s.batches, s.stolen_write0s, s.mean_batch_utilization
+        ));
+    }
+    t
 }
 
 #[cfg(test)]
@@ -210,6 +275,66 @@ mod tests {
         assert!(csv.contains("workload,DCW\n"));
         assert!(csv.contains("\"vips, heavy\",1.000"), "{csv}");
         assert_eq!(t.slug(), "fig_11_read_latency_normalized");
+    }
+
+    /// Golden fixture for the `report` subcommand: a hand-written JSONL
+    /// trace (one pause/resume, one batch, three queue samples) must render
+    /// into exactly these per-bank utilization and queue-percentile tables.
+    #[test]
+    fn trace_report_tables_match_golden_fixture() {
+        let jsonl = concat!(
+            r#"{"ev":"run_meta","workload":"vips","scheme":"Tetris Write","banks":2}"#,
+            "\n",
+            r#"{"ev":"queue_depth","at":1000,"reads":2,"writes":5}"#,
+            "\n",
+            r#"{"ev":"drain_start","at":2000,"writes":32}"#,
+            "\n",
+            r#"{"ev":"bank_busy","at":2000,"bank":0,"kind":"write","until":1002000,"lines":4}"#,
+            "\n",
+            r#"{"ev":"batch_pack","at":2000,"bank":0,"lines":4,"write_units":1.5,"stolen_write0s":6,"utilization":0.75}"#,
+            "\n",
+            r#"{"ev":"bank_busy","at":100000,"bank":1,"kind":"read","until":160000,"lines":1}"#,
+            "\n",
+            r#"{"ev":"write_pause","at":502000,"bank":0,"pauses":1}"#,
+            "\n",
+            r#"{"ev":"bank_busy","at":502000,"bank":0,"kind":"read","until":562000,"lines":1}"#,
+            "\n",
+            r#"{"ev":"bank_idle","at":562000,"bank":0}"#,
+            "\n",
+            r#"{"ev":"write_resume","at":562000,"bank":0,"until":1066000}"#,
+            "\n",
+            r#"{"ev":"queue_depth","at":600000,"reads":7,"writes":16}"#,
+            "\n",
+            r#"{"ev":"queue_depth","at":650000,"reads":3,"writes":10}"#,
+            "\n",
+            r#"{"ev":"drain_stop","at":700000,"writes":16}"#,
+            "\n",
+        );
+        let events = pcm_telemetry::read_events_str(jsonl).unwrap();
+        let s = TraceSummary::from_events(&events);
+
+        let banks = trace_bank_table(&s);
+        assert_eq!(
+            banks.title(),
+            "Trace — per-bank utilization (vips, Tetris Write)"
+        );
+        assert_eq!(
+            banks.to_csv(),
+            "# span 1.1 µs, mean utilization 52.7 %\n\
+             bank,busy (µs),reads,writes,lines,util %\n\
+             0,1.1,1,1,5,99.8\n\
+             1,0.1,1,0,1,5.6\n"
+        );
+
+        let queues = trace_queue_table(&s);
+        assert_eq!(
+            queues.to_csv(),
+            "# 1 drains, 1 pauses / 1 resumes\n\
+             # 1 write batches: 6 stolen write0s, mean budget utilization 0.75\n\
+             queue,samples,p50,p95,p99,max\n\
+             read,3,3,7,7,7\n\
+             write,3,10,16,16,16\n"
+        );
     }
 
     fn golden_result() -> SimResult {

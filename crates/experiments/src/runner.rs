@@ -3,6 +3,8 @@
 use crate::pool;
 use crate::schemes::SchemeKind;
 use pcm_memsim::{SimResult, System, SystemConfig, TraceLevel};
+use pcm_telemetry::{NullSink, Telemetry};
+use pcm_types::PcmError;
 use pcm_workloads::{GeneratorConfig, ProfileContent, SyntheticParsec, WorkloadProfile};
 use tetris_write::TetrisConfig;
 
@@ -31,17 +33,101 @@ impl Default for RunConfig {
 }
 
 impl RunConfig {
-    /// A fast configuration for tests and `--quick` runs.
-    pub fn quick() -> Self {
-        RunConfig {
-            instructions_per_core: 500_000,
-            ..Default::default()
+    /// Start a fluent builder from the full-length defaults.
+    pub fn builder() -> RunConfigBuilder {
+        RunConfigBuilder {
+            cfg: Self::default(),
         }
+    }
+
+    /// A fast configuration for tests and `--quick` runs.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use RunConfig::builder().quick().build() instead"
+    )]
+    pub fn quick() -> Self {
+        Self::builder()
+            .quick()
+            .build()
+            .expect("quick preset is valid")
+    }
+}
+
+/// Fluent construction of a [`RunConfig`];
+/// [`RunConfigBuilder::build`] validates the system and Tetris
+/// configurations, so an invalid combination never escapes.
+///
+/// ```
+/// use tetris_experiments::RunConfig;
+/// let cfg = RunConfig::builder()
+///     .quick()
+///     .instructions_per_core(100_000)
+///     .seed(42)
+///     .build()
+///     .unwrap();
+/// assert_eq!(cfg.instructions_per_core, 100_000);
+/// ```
+#[derive(Clone, Copy, Debug)]
+#[must_use = "call .build() to obtain the validated RunConfig"]
+pub struct RunConfigBuilder {
+    cfg: RunConfig,
+}
+
+impl RunConfigBuilder {
+    /// Instructions each core retires.
+    pub fn instructions_per_core(mut self, n: u64) -> Self {
+        self.cfg.instructions_per_core = n;
+        self
+    }
+
+    /// System configuration (cores, caches, controller, PCM).
+    pub fn system(mut self, s: SystemConfig) -> Self {
+        self.cfg.system = s;
+        self
+    }
+
+    /// RNG seed shared by trace generation and content synthesis.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.cfg.seed = s;
+        self
+    }
+
+    /// Tetris configuration (ignored by other schemes).
+    pub fn tetris(mut self, t: TetrisConfig) -> Self {
+        self.cfg.tetris = t;
+        self
+    }
+
+    /// Fast preset for tests and `--quick` runs (500 k instructions/core).
+    pub fn quick(mut self) -> Self {
+        self.cfg.instructions_per_core = 500_000;
+        self
+    }
+
+    /// Validate and return the finished configuration.
+    pub fn build(self) -> Result<RunConfig, PcmError> {
+        self.cfg.system.validate()?;
+        self.cfg.tetris.validate()?;
+        Ok(self.cfg)
     }
 }
 
 /// Run one workload under one scheme.
 pub fn run_one(profile: &WorkloadProfile, scheme: SchemeKind, cfg: &RunConfig) -> SimResult {
+    run_one_traced(profile, scheme, cfg, Box::new(NullSink))
+}
+
+/// [`run_one`] with a telemetry sink observing the memory hierarchy —
+/// pass a [`pcm_telemetry::JsonlSink`] to record the run to disk, or a
+/// [`pcm_telemetry::MemorySink`] to inspect events in-process. Telemetry
+/// adds nothing to the result; the sink sees bank occupancy, queue depths,
+/// drain episodes, pause/resume decisions and batch-packing outcomes.
+pub fn run_one_traced(
+    profile: &WorkloadProfile,
+    scheme: SchemeKind,
+    cfg: &RunConfig,
+    tel: Box<dyn Telemetry>,
+) -> SimResult {
     let gen_cfg = GeneratorConfig {
         instructions_per_core: cfg.instructions_per_core,
         cores: cfg.system.cores,
@@ -61,6 +147,7 @@ pub fn run_one(profile: &WorkloadProfile, scheme: SchemeKind, cfg: &RunConfig) -
     )
     .expect("valid system configuration");
     sys.set_workload_name(profile.name);
+    sys.set_telemetry(tel);
     sys.run()
 }
 
@@ -107,9 +194,19 @@ mod tests {
     use pcm_workloads::ALL_PROFILES;
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_quick_matches_builder() {
+        let old = RunConfig::quick();
+        let new = RunConfig::builder().quick().build().unwrap();
+        assert_eq!(old.instructions_per_core, new.instructions_per_core);
+        assert_eq!(old.seed, new.seed);
+        assert_eq!(old.system, new.system);
+    }
+
+    #[test]
     fn single_run_produces_traffic() {
         let p = &ALL_PROFILES[7]; // vips, heaviest
-        let cfg = RunConfig::quick();
+        let cfg = RunConfig::builder().quick().build().unwrap();
         let r = run_one(p, SchemeKind::Dcw, &cfg);
         assert!(r.mem_writes > 100, "writes: {}", r.mem_writes);
         assert!(r.mem_reads > 100);
@@ -124,10 +221,10 @@ mod tests {
 
     #[test]
     fn matrix_order_is_workload_major() {
-        let cfg = RunConfig {
-            instructions_per_core: 100_000,
-            ..RunConfig::quick()
-        };
+        let cfg = RunConfig::builder()
+            .instructions_per_core(100_000)
+            .build()
+            .unwrap();
         let profiles = [ALL_PROFILES[0], ALL_PROFILES[7]];
         let schemes = [SchemeKind::Dcw, SchemeKind::Tetris];
         let m = run_matrix(&profiles, &schemes, &cfg);
@@ -141,7 +238,7 @@ mod tests {
     #[test]
     fn tetris_beats_baseline_on_write_heavy_workload() {
         let p = &ALL_PROFILES[7]; // vips
-        let cfg = RunConfig::quick();
+        let cfg = RunConfig::builder().quick().build().unwrap();
         let dcw = run_one(p, SchemeKind::Dcw, &cfg);
         let tetris = run_one(p, SchemeKind::Tetris, &cfg);
         assert!(tetris.runtime < dcw.runtime);
@@ -156,10 +253,10 @@ mod tests {
 
     #[test]
     fn parallel_matrix_matches_sequential_bit_for_bit() {
-        let cfg = RunConfig {
-            instructions_per_core: 100_000,
-            ..RunConfig::quick()
-        };
+        let cfg = RunConfig::builder()
+            .instructions_per_core(100_000)
+            .build()
+            .unwrap();
         let profiles = [ALL_PROFILES[0], ALL_PROFILES[2]];
         let schemes = [SchemeKind::Dcw, SchemeKind::Tetris];
         let seq = run_matrix_threads(&profiles, &schemes, &cfg, 1);
@@ -188,10 +285,10 @@ mod tests {
         if pool::default_threads() < 4 {
             return; // too few cores for a meaningful comparison
         }
-        let cfg = RunConfig {
-            instructions_per_core: 200_000,
-            ..RunConfig::quick()
-        };
+        let cfg = RunConfig::builder()
+            .instructions_per_core(200_000)
+            .build()
+            .unwrap();
         let profiles = [
             ALL_PROFILES[0],
             ALL_PROFILES[2],
@@ -216,10 +313,10 @@ mod tests {
     #[test]
     fn deterministic_across_runs() {
         let p = &ALL_PROFILES[2];
-        let cfg = RunConfig {
-            instructions_per_core: 200_000,
-            ..RunConfig::quick()
-        };
+        let cfg = RunConfig::builder()
+            .instructions_per_core(200_000)
+            .build()
+            .unwrap();
         let a = run_one(p, SchemeKind::ThreeStage, &cfg);
         let b = run_one(p, SchemeKind::ThreeStage, &cfg);
         assert_eq!(a.runtime, b.runtime);

@@ -8,6 +8,7 @@ use pcm_types::{PcmTimings, Ps};
 pub struct BankState {
     busy_until: Ps,
     open_row: Option<u64>,
+    busy_total: Ps,
     /// Row-buffer hits serviced.
     pub row_hits: u64,
     /// Row-buffer misses serviced.
@@ -23,6 +24,13 @@ impl BankState {
     /// When the bank frees up.
     pub fn busy_until(&self) -> Ps {
         self.busy_until
+    }
+
+    /// Cumulative time spent (or scheduled) busy; interrupting an
+    /// operation retracts its unrun tail, so after a run this is exactly
+    /// the time the bank's array was occupied.
+    pub fn busy_total(&self) -> Ps {
+        self.busy_total
     }
 
     /// Currently open row.
@@ -53,6 +61,7 @@ impl BankState {
         };
         self.open_row = Some(row);
         self.busy_until = now + service;
+        self.busy_total += service;
         self.busy_until
     }
 
@@ -61,12 +70,16 @@ impl BankState {
     pub fn begin_write(&mut self, now: Ps, row: u64, service: Ps) -> Ps {
         self.open_row = Some(row);
         self.busy_until = now + service;
+        self.busy_total += service;
         self.busy_until
     }
 
     /// Abort the current operation (write pausing): the bank frees at
     /// `now`. The caller is responsible for rescheduling the remainder.
     pub fn interrupt(&mut self, now: Ps) {
+        self.busy_total = self
+            .busy_total
+            .saturating_sub(self.busy_until.saturating_sub(now));
         self.busy_until = now;
     }
 }
@@ -96,6 +109,19 @@ mod tests {
         assert!(!b.is_free(Ps::from_ns(100)));
         assert!(b.is_free(Ps::from_ns(430)));
         assert_eq!(b.open_row(), Some(3));
+    }
+
+    #[test]
+    fn busy_total_retracts_interrupted_tail() {
+        let mut b = BankState::default();
+        b.begin_write(Ps::ZERO, 1, Ps::from_ns(430));
+        assert_eq!(b.busy_total(), Ps::from_ns(430));
+        // Pause at 100 ns: the 330 ns unrun tail is retracted.
+        b.interrupt(Ps::from_ns(100));
+        assert_eq!(b.busy_total(), Ps::from_ns(100));
+        // Resume for the remainder.
+        b.begin_write(Ps::from_ns(160), 1, Ps::from_ns(330));
+        assert_eq!(b.busy_total(), Ps::from_ns(430));
     }
 
     #[test]

@@ -95,7 +95,149 @@ impl Default for SystemConfig {
     }
 }
 
+/// Fluent construction of a [`SystemConfig`], starting from the Table II
+/// baseline; [`SystemConfigBuilder::build`] folds in
+/// [`SystemConfig::validate`], so an invalid combination never escapes.
+///
+/// ```
+/// use pcm_memsim::SystemConfig;
+/// let cfg = SystemConfig::builder()
+///     .cores(2)
+///     .write_queue(64)
+///     .batch_writes(4)
+///     .build()
+///     .unwrap();
+/// assert_eq!(cfg.cores, 2);
+/// assert_eq!(cfg.controller.write_queue_cap, 64);
+/// ```
+#[derive(Clone, Copy, Debug)]
+#[must_use = "call .build() to obtain the validated SystemConfig"]
+pub struct SystemConfigBuilder {
+    cfg: SystemConfig,
+}
+
+impl SystemConfigBuilder {
+    /// Number of cores.
+    pub fn cores(mut self, n: usize) -> Self {
+        self.cfg.cores = n;
+        self
+    }
+
+    /// CPU clock in MHz.
+    pub fn cpu_freq_mhz(mut self, mhz: u64) -> Self {
+        self.cfg.cpu_freq_mhz = mhz;
+        self
+    }
+
+    /// L1 data-cache geometry.
+    pub fn l1(mut self, c: CacheConfig) -> Self {
+        self.cfg.l1 = c;
+        self
+    }
+
+    /// Private L2 geometry.
+    pub fn l2(mut self, c: CacheConfig) -> Self {
+        self.cfg.l2 = c;
+        self
+    }
+
+    /// Shared L3 geometry.
+    pub fn l3(mut self, c: CacheConfig) -> Self {
+        self.cfg.l3 = c;
+        self
+    }
+
+    /// Replace the whole controller configuration.
+    pub fn controller(mut self, c: ControllerConfig) -> Self {
+        self.cfg.controller = c;
+        self
+    }
+
+    /// PCM device + write-scheme geometry.
+    pub fn mem(mut self, m: SchemeConfig) -> Self {
+        self.cfg.mem = m;
+        self
+    }
+
+    /// Read-queue capacity.
+    pub fn read_queue(mut self, cap: usize) -> Self {
+        self.cfg.controller.read_queue_cap = cap;
+        self
+    }
+
+    /// Write-queue capacity.
+    pub fn write_queue(mut self, cap: usize) -> Self {
+        self.cfg.controller.write_queue_cap = cap;
+        self
+    }
+
+    /// Drain-exit watermark.
+    pub fn write_low_watermark(mut self, n: usize) -> Self {
+        self.cfg.controller.write_low_watermark = n;
+        self
+    }
+
+    /// Writes drained together per bank as one batched operation.
+    pub fn batch_writes(mut self, n: usize) -> Self {
+        self.cfg.controller.batch_writes = n;
+        self
+    }
+
+    /// Subarrays per bank.
+    pub fn subarrays_per_bank(mut self, n: usize) -> Self {
+        self.cfg.controller.subarrays_per_bank = n;
+        self
+    }
+
+    /// Enable or disable write pausing.
+    pub fn write_pausing(mut self, on: bool) -> Self {
+        self.cfg.controller.write_pausing = on;
+        self
+    }
+
+    /// Enable or disable same-line write coalescing (DWC).
+    pub fn coalesce_writes(mut self, on: bool) -> Self {
+        self.cfg.controller.coalesce_writes = on;
+        self
+    }
+
+    /// Scaled-down preset for fast tests: 2 cores, 4 KB L1 / 32 KB L2 /
+    /// 256 KB L3 (the old `small_test()` shape).
+    pub fn small_caches(mut self) -> Self {
+        self.cfg.cores = 2;
+        self.cfg.l1 = CacheConfig {
+            size_bytes: 4 << 10,
+            assoc: 2,
+            latency_cycles: 2,
+        };
+        self.cfg.l2 = CacheConfig {
+            size_bytes: 32 << 10,
+            assoc: 4,
+            latency_cycles: 20,
+        };
+        self.cfg.l3 = CacheConfig {
+            size_bytes: 256 << 10,
+            assoc: 8,
+            latency_cycles: 50,
+        };
+        self
+    }
+
+    /// Validate and return the finished configuration.
+    pub fn build(self) -> Result<SystemConfig, PcmError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
 impl SystemConfig {
+    /// Start a fluent builder from the Table II baseline.
+    pub fn builder() -> SystemConfigBuilder {
+        SystemConfigBuilder {
+            cfg: Self::paper_baseline(),
+        }
+    }
+
     /// Table II values.
     pub fn paper_baseline() -> Self {
         SystemConfig {
@@ -122,25 +264,15 @@ impl SystemConfig {
     }
 
     /// A scaled-down configuration for fast tests: 2 cores, small caches.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use SystemConfig::builder().small_caches().build() instead"
+    )]
     pub fn small_test() -> Self {
-        let mut c = Self::paper_baseline();
-        c.cores = 2;
-        c.l1 = CacheConfig {
-            size_bytes: 4 << 10,
-            assoc: 2,
-            latency_cycles: 2,
-        };
-        c.l2 = CacheConfig {
-            size_bytes: 32 << 10,
-            assoc: 4,
-            latency_cycles: 20,
-        };
-        c.l3 = CacheConfig {
-            size_bytes: 256 << 10,
-            assoc: 8,
-            latency_cycles: 50,
-        };
-        c
+        Self::builder()
+            .small_caches()
+            .build()
+            .expect("small-test preset is valid")
     }
 
     /// One CPU cycle.
@@ -199,6 +331,48 @@ mod tests {
 
     #[test]
     fn small_test_config_valid() {
-        assert!(SystemConfig::small_test().validate().is_ok());
+        assert!(SystemConfig::builder()
+            .small_caches()
+            .build()
+            .unwrap()
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn builder_overrides_and_validates() {
+        let cfg = SystemConfig::builder()
+            .cores(8)
+            .cpu_freq_mhz(1_000)
+            .write_queue(64)
+            .write_low_watermark(8)
+            .batch_writes(4)
+            .subarrays_per_bank(2)
+            .write_pausing(true)
+            .coalesce_writes(true)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.cores, 8);
+        assert_eq!(cfg.cycle(), Ps(1_000));
+        assert_eq!(cfg.controller.write_queue_cap, 64);
+        assert_eq!(cfg.controller.batch_writes, 4);
+        assert!(cfg.controller.write_pausing);
+
+        // validate() is folded into build(): a bad watermark never escapes.
+        assert!(SystemConfig::builder()
+            .write_queue(16)
+            .write_low_watermark(16)
+            .build()
+            .is_err());
+        assert!(SystemConfig::builder().cores(0).build().is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_small_test_matches_builder() {
+        assert_eq!(
+            SystemConfig::small_test(),
+            SystemConfig::builder().small_caches().build().unwrap()
+        );
     }
 }

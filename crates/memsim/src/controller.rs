@@ -15,6 +15,7 @@ use crate::config::ControllerConfig;
 use crate::content::WriteContent;
 use crate::memory::PcmMainMemory;
 use crate::request::MemRequest;
+use pcm_telemetry::{OpKind, Telemetry, TelemetryEvent, TraceDetail};
 use pcm_types::{DecodedAddr, PcmTimings, Ps};
 
 /// A queued request with its decoded coordinates.
@@ -205,11 +206,18 @@ impl MemoryController {
     }
 
     /// Enqueue a write. Caller must check [`Self::write_queue_full`] first.
-    /// Entering capacity flips the controller into drain mode.
+    /// Entering capacity flips the controller into drain mode (recorded as
+    /// a [`TelemetryEvent::DrainStart`]).
     ///
     /// # Panics
     /// If the write queue is full.
-    pub fn enqueue_write(&mut self, req: MemRequest, d: &DecodedAddr, flat_bank: usize) {
+    pub fn enqueue_write(
+        &mut self,
+        req: MemRequest,
+        d: &DecodedAddr,
+        flat_bank: usize,
+        tel: &mut dyn Telemetry,
+    ) {
         assert!(!self.write_queue_full(), "enqueue_write on a full queue");
         let lane = self.lane(flat_bank, d.row);
         if self.cfg.coalesce_writes {
@@ -232,6 +240,12 @@ impl MemoryController {
         if self.write_queue_full() {
             self.drain = true;
             self.stats.drains += 1;
+            if tel.wants(TraceDetail::Coarse) {
+                tel.record(&TelemetryEvent::DrainStart {
+                    at: req.arrival,
+                    writes: self.write_q.len() as u32,
+                });
+            }
         }
     }
 
@@ -257,12 +271,15 @@ impl MemoryController {
     /// Issue requests to every free bank. Writes are only eligible while
     /// draining; during a drain, a bank with no queued write may still take
     /// a read. Returns the newly issued requests (schedule their
-    /// completions as `BankComplete` events).
+    /// completions as `BankComplete` events). Bank-occupancy transitions,
+    /// pause/resume decisions and batch-packing outcomes are reported to
+    /// `tel` (pass [`pcm_telemetry::NullSink`] to disable).
     pub fn try_issue(
         &mut self,
         now: Ps,
         memory: &mut PcmMainMemory,
         content: &mut dyn WriteContent,
+        tel: &mut dyn Telemetry,
     ) -> Vec<Issued> {
         let mut issued = Vec::new();
         for bank in 0..self.banks.len() {
@@ -285,6 +302,13 @@ impl MemoryController {
                     });
                     self.banks[bank].interrupt(now);
                     self.stats.write_pauses += 1;
+                    if tel.wants(TraceDetail::Coarse) {
+                        tel.record(&TelemetryEvent::WritePause {
+                            at: now,
+                            bank: bank as u32,
+                            pauses: pauses + 1,
+                        });
+                    }
                 }
             }
             if !self.banks[bank].is_free(now) || self.in_flight[bank].is_some() {
@@ -312,12 +336,33 @@ impl MemoryController {
                             (q.req.addr, content.generate(q.req.core, &old))
                         })
                         .collect();
-                    let service = memory
+                    let outcome = memory
                         .write_lines_batch(&writes)
                         .expect("queued writes must be writable");
                     let row = picked[0].row;
-                    let completion = self.banks[bank].begin_write(now, row, service);
+                    let completion = self.banks[bank].begin_write(now, row, outcome.service_time);
                     self.epoch += 1;
+                    if tel.wants(TraceDetail::Fine) {
+                        tel.record(&TelemetryEvent::BankBusy {
+                            at: now,
+                            bank: bank as u32,
+                            kind: OpKind::Write,
+                            until: completion,
+                            lines: picked.len() as u32,
+                        });
+                    }
+                    if let Some(pack) = outcome.pack {
+                        if tel.wants(TraceDetail::Coarse) {
+                            tel.record(&TelemetryEvent::BatchPack {
+                                at: now,
+                                bank: bank as u32,
+                                lines: picked.len() as u32,
+                                write_units: pack.write_units_equiv,
+                                stolen_write0s: pack.stolen_write0s,
+                                utilization: pack.utilization,
+                            });
+                        }
+                    }
                     let mut reqs: Vec<MemRequest> = Vec::new();
                     for q in &picked {
                         reqs.push(q.req);
@@ -337,8 +382,14 @@ impl MemoryController {
                         epoch: self.epoch,
                     });
                     // Drain stops at the low watermark.
-                    if self.write_q.len() <= self.cfg.write_low_watermark {
+                    if self.drain && self.write_q.len() <= self.cfg.write_low_watermark {
                         self.drain = false;
+                        if tel.wants(TraceDetail::Coarse) {
+                            tel.record(&TelemetryEvent::DrainStop {
+                                at: now,
+                                writes: self.write_q.len() as u32,
+                            });
+                        }
                     }
                     continue;
                 }
@@ -350,6 +401,15 @@ impl MemoryController {
                     .expect("queued read must decode");
                 let completion = self.banks[bank].begin_read(now, q.row, &self.timings, &self.cfg);
                 self.epoch += 1;
+                if tel.wants(TraceDetail::Fine) {
+                    tel.record(&TelemetryEvent::BankBusy {
+                        at: now,
+                        bank: bank as u32,
+                        kind: OpKind::Read,
+                        until: completion,
+                        lines: 1,
+                    });
+                }
                 self.in_flight[bank] = Some(InFlight {
                     reqs: vec![q.req],
                     epoch: self.epoch,
@@ -370,6 +430,13 @@ impl MemoryController {
                 let completion =
                     self.banks[bank].begin_write(now, p.row, p.remaining + self.cfg.pause_overhead);
                 self.epoch += 1;
+                if tel.wants(TraceDetail::Coarse) {
+                    tel.record(&TelemetryEvent::WriteResume {
+                        at: now,
+                        bank: bank as u32,
+                        until: completion,
+                    });
+                }
                 let first = p.reqs[0];
                 self.in_flight[bank] = Some(InFlight {
                     reqs: p.reqs,
@@ -405,6 +472,12 @@ impl MemoryController {
             .iter()
             .fold((0, 0), |(h, m), b| (h + b.row_hits, m + b.row_misses))
     }
+
+    /// Cumulative busy time per lane — the ground truth a recorded trace's
+    /// per-bank utilization should reproduce.
+    pub fn bank_busy_totals(&self) -> Vec<Ps> {
+        self.banks.iter().map(BankState::busy_total).collect()
+    }
 }
 
 #[cfg(test)]
@@ -413,6 +486,7 @@ mod tests {
     use crate::content::UniformRandomContent;
     use crate::request::AccessKind;
     use pcm_schemes::{DcwWrite, SchemeConfig};
+    use pcm_telemetry::{MemorySink, NullSink};
 
     fn setup() -> (MemoryController, PcmMainMemory, UniformRandomContent) {
         let cfg = SchemeConfig::paper_baseline();
@@ -459,7 +533,7 @@ mod tests {
             ctrl.enqueue_read(read_req(1, 0x40, Ps::ZERO), &d, fb),
             ReadEnqueue::Queued
         );
-        let issued = ctrl.try_issue(Ps::ZERO, &mut mem, &mut content);
+        let issued = ctrl.try_issue(Ps::ZERO, &mut mem, &mut content, &mut NullSink);
         assert_eq!(issued.len(), 1);
         assert_eq!(issued[0].completion, Ps::from_ns(60));
         assert_eq!(ctrl.complete(issued[0].bank, issued[0].epoch)[0].id, 1);
@@ -472,15 +546,17 @@ mod tests {
         for i in 0..31u64 {
             let addr = i * 64;
             let (d, fb) = decode(&mem, addr);
-            ctrl.enqueue_write(write_req(i, addr, Ps::ZERO), &d, fb);
+            ctrl.enqueue_write(write_req(i, addr, Ps::ZERO), &d, fb, &mut NullSink);
         }
         assert!(!ctrl.draining());
-        assert!(ctrl.try_issue(Ps::ZERO, &mut mem, &mut content).is_empty());
+        assert!(ctrl
+            .try_issue(Ps::ZERO, &mut mem, &mut content, &mut NullSink)
+            .is_empty());
         // The 32nd write triggers the drain.
         let (d, fb) = decode(&mem, 31 * 64);
-        ctrl.enqueue_write(write_req(31, 31 * 64, Ps::ZERO), &d, fb);
+        ctrl.enqueue_write(write_req(31, 31 * 64, Ps::ZERO), &d, fb, &mut NullSink);
         assert!(ctrl.draining());
-        let issued = ctrl.try_issue(Ps::ZERO, &mut mem, &mut content);
+        let issued = ctrl.try_issue(Ps::ZERO, &mut mem, &mut content, &mut NullSink);
         assert_eq!(issued.len(), 8, "one write per free bank");
     }
 
@@ -490,13 +566,13 @@ mod tests {
         for i in 0..32u64 {
             let addr = i * 64;
             let (d, fb) = decode(&mem, addr);
-            ctrl.enqueue_write(write_req(i, addr, Ps::ZERO), &d, fb);
+            ctrl.enqueue_write(write_req(i, addr, Ps::ZERO), &d, fb, &mut NullSink);
         }
         let mut now = Ps::ZERO;
         // Repeatedly complete and reissue until drain exits.
         let mut guard = 0;
         while ctrl.draining() {
-            let issued = ctrl.try_issue(now, &mut mem, &mut content);
+            let issued = ctrl.try_issue(now, &mut mem, &mut content, &mut NullSink);
             for i in &issued {
                 now = now.max(i.completion);
             }
@@ -514,10 +590,10 @@ mod tests {
     fn read_priority_over_waiting_writes() {
         let (mut ctrl, mut mem, mut content) = setup();
         let (dw, fbw) = decode(&mem, 0x40);
-        ctrl.enqueue_write(write_req(1, 0x40, Ps::ZERO), &dw, fbw);
+        ctrl.enqueue_write(write_req(1, 0x40, Ps::ZERO), &dw, fbw, &mut NullSink);
         let (dr, fbr) = decode(&mem, 0x80);
         ctrl.enqueue_read(read_req(2, 0x80, Ps::ZERO), &dr, fbr);
-        let issued = ctrl.try_issue(Ps::ZERO, &mut mem, &mut content);
+        let issued = ctrl.try_issue(Ps::ZERO, &mut mem, &mut content, &mut NullSink);
         assert_eq!(issued.len(), 1);
         assert_eq!(issued[0].req.id, 2, "the read went first");
         assert_eq!(issued[0].req.kind, AccessKind::Read);
@@ -527,7 +603,7 @@ mod tests {
     fn store_to_load_forwarding() {
         let (mut ctrl, mem, _c) = setup();
         let (d, fb) = decode(&mem, 0x40);
-        ctrl.enqueue_write(write_req(1, 0x40, Ps::ZERO), &d, fb);
+        ctrl.enqueue_write(write_req(1, 0x40, Ps::ZERO), &d, fb, &mut NullSink);
         let r = ctrl.enqueue_read(read_req(2, 0x40, Ps::from_ns(5)), &d, fb);
         assert_eq!(r, ReadEnqueue::Forwarded(Ps::from_ns(15)));
         assert_eq!(ctrl.stats.read_forwards, 1);
@@ -546,12 +622,12 @@ mod tests {
             ctrl.enqueue_read(read_req(id, a, Ps::ZERO), &d, fb);
         }
         // First issue: FCFS (no open row) → id 1, opens row 0.
-        let i1 = ctrl.try_issue(Ps::ZERO, &mut mem, &mut content);
+        let i1 = ctrl.try_issue(Ps::ZERO, &mut mem, &mut content, &mut NullSink);
         assert_eq!(i1[0].req.id, 1);
         let done = i1[0].completion;
         ctrl.complete(i1[0].bank, i1[0].epoch);
         // Second issue: row 0 open → id 3 jumps ahead of id 2.
-        let i2 = ctrl.try_issue(done, &mut mem, &mut content);
+        let i2 = ctrl.try_issue(done, &mut mem, &mut content, &mut NullSink);
         assert_eq!(i2[0].req.id, 3, "row hit preferred over older miss");
     }
 
@@ -566,9 +642,9 @@ mod tests {
 
         // Start a (long, DCW ≈ 3.44 µs) write on bank 0 via a forced drain.
         let (d, fb) = decode(&mem, 0x0);
-        ctrl.enqueue_write(write_req(1, 0x0, Ps::ZERO), &d, fb);
+        ctrl.enqueue_write(write_req(1, 0x0, Ps::ZERO), &d, fb, &mut NullSink);
         ctrl.force_drain();
-        let w = ctrl.try_issue(Ps::ZERO, &mut mem, &mut content);
+        let w = ctrl.try_issue(Ps::ZERO, &mut mem, &mut content, &mut NullSink);
         assert_eq!(w.len(), 1);
         let write_completion = w[0].completion;
         assert!(write_completion > Ps::from_ns(3000));
@@ -578,7 +654,7 @@ mod tests {
         let (dr, fbr) = decode(&mem, 8 * 64); // same bank, another row
         assert_eq!(fbr, 0);
         ctrl.enqueue_read(read_req(2, 8 * 64, t1), &dr, fbr);
-        let issued = ctrl.try_issue(t1, &mut mem, &mut content);
+        let issued = ctrl.try_issue(t1, &mut mem, &mut content, &mut NullSink);
         assert_eq!(issued.len(), 1, "the read preempts the write");
         assert_eq!(issued[0].req.id, 2);
         assert_eq!(ctrl.stats.write_pauses, 1);
@@ -590,12 +666,98 @@ mod tests {
         // plus the re-ramp overhead.
         let read_done = issued[0].completion;
         assert_eq!(ctrl.complete(issued[0].bank, issued[0].epoch)[0].id, 2);
-        let resumed = ctrl.try_issue(read_done, &mut mem, &mut content);
+        let resumed = ctrl.try_issue(read_done, &mut mem, &mut content, &mut NullSink);
         assert_eq!(resumed.len(), 1);
         assert_eq!(resumed[0].req.id, 1);
         let expected = read_done + (write_completion - t1) + Ps::from_ns(4);
         assert_eq!(resumed[0].completion, expected);
         assert_eq!(ctrl.complete(resumed[0].bank, resumed[0].epoch)[0].id, 1);
+        assert!(!ctrl.has_pending());
+    }
+
+    #[test]
+    fn repeated_pause_resume_keeps_only_latest_epoch_live() {
+        let (_c, mut mem, mut content) = setup();
+        let cfg = ControllerConfig {
+            write_pausing: true,
+            max_pauses_per_write: 4,
+            ..Default::default()
+        };
+        let mut ctrl = MemoryController::new(cfg, pcm_types::PcmTimings::paper_baseline(), 8);
+
+        let (d, fb) = decode(&mem, 0x0);
+        ctrl.enqueue_write(write_req(1, 0x0, Ps::ZERO), &d, fb, &mut NullSink);
+        ctrl.force_drain();
+        let w0 = ctrl.try_issue(Ps::ZERO, &mut mem, &mut content, &mut NullSink);
+
+        // Two pause/resume cycles, each obsoleting the previous epoch.
+        let mut stale = vec![(w0[0].bank, w0[0].epoch)];
+        let mut now = Ps::from_ns(200);
+        let mut last = w0[0].clone();
+        for (pass, id) in [(1u64, 2u64), (2, 3)] {
+            let addr = 8 * 64 * pass; // same bank, fresh row
+            let (dr, fbr) = decode(&mem, addr);
+            assert_eq!(fbr, 0);
+            ctrl.enqueue_read(read_req(id, addr, now), &dr, fbr);
+            let r = ctrl.try_issue(now, &mut mem, &mut content, &mut NullSink);
+            assert_eq!(r[0].req.id, id, "read preempts on pass {pass}");
+            // Every superseded epoch is a no-op, however often it fires.
+            for &(b, e) in &stale {
+                assert!(ctrl.complete(b, e).is_empty(), "epoch {e} must be stale");
+            }
+            assert_eq!(ctrl.complete(r[0].bank, r[0].epoch)[0].id, id);
+            let resumed = ctrl.try_issue(r[0].completion, &mut mem, &mut content, &mut NullSink);
+            assert_eq!(resumed[0].req.id, 1, "the write resumes");
+            stale.push((last.bank, last.epoch));
+            last = resumed[0].clone();
+            now = r[0].completion + Ps::from_ns(100);
+        }
+        assert_eq!(ctrl.stats.write_pauses, 2);
+
+        // Only the final epoch retires the write — exactly once.
+        assert_eq!(ctrl.complete(last.bank, last.epoch)[0].id, 1);
+        assert!(ctrl.complete(last.bank, last.epoch).is_empty());
+        for &(b, e) in &stale {
+            assert!(ctrl.complete(b, e).is_empty());
+        }
+        assert!(!ctrl.has_pending());
+    }
+
+    #[test]
+    fn read_arriving_at_exact_completion_does_not_pause() {
+        // Tie-break: a read that lands on the write's exact completion
+        // instant must wait for the completion event, not pause a write
+        // with zero time remaining (which would strand it as paused).
+        let (_c, mut mem, mut content) = setup();
+        let cfg = ControllerConfig {
+            write_pausing: true,
+            ..Default::default()
+        };
+        let mut ctrl = MemoryController::new(cfg, pcm_types::PcmTimings::paper_baseline(), 8);
+
+        let (d, fb) = decode(&mem, 0x0);
+        ctrl.enqueue_write(write_req(1, 0x0, Ps::ZERO), &d, fb, &mut NullSink);
+        ctrl.force_drain();
+        let w = ctrl.try_issue(Ps::ZERO, &mut mem, &mut content, &mut NullSink);
+        let t = w[0].completion;
+
+        let (dr, fbr) = decode(&mem, 8 * 64);
+        ctrl.enqueue_read(read_req(2, 8 * 64, t), &dr, fbr);
+        // Until the completion is consumed the bank stays claimed: no pause,
+        // no issue.
+        assert!(ctrl
+            .try_issue(t, &mut mem, &mut content, &mut NullSink)
+            .is_empty());
+        assert_eq!(
+            ctrl.stats.write_pauses, 0,
+            "zero-remaining write never pauses"
+        );
+        // The write's epoch is still the live one.
+        assert_eq!(ctrl.complete(w[0].bank, w[0].epoch)[0].id, 1);
+        // Now the read goes, at the same timestamp.
+        let r = ctrl.try_issue(t, &mut mem, &mut content, &mut NullSink);
+        assert_eq!(r[0].req.id, 2);
+        assert_eq!(ctrl.complete(r[0].bank, r[0].epoch)[0].id, 2);
         assert!(!ctrl.has_pending());
     }
 
@@ -610,23 +772,23 @@ mod tests {
         let mut ctrl = MemoryController::new(cfg, pcm_types::PcmTimings::paper_baseline(), 8);
 
         let (d, fb) = decode(&mem, 0x0);
-        ctrl.enqueue_write(write_req(1, 0x0, Ps::ZERO), &d, fb);
+        ctrl.enqueue_write(write_req(1, 0x0, Ps::ZERO), &d, fb, &mut NullSink);
         ctrl.force_drain();
-        let w = ctrl.try_issue(Ps::ZERO, &mut mem, &mut content);
+        let w = ctrl.try_issue(Ps::ZERO, &mut mem, &mut content, &mut NullSink);
 
         // First read pauses the write.
         let (dr, fbr) = decode(&mem, 8 * 64);
         ctrl.enqueue_read(read_req(2, 8 * 64, Ps::from_ns(100)), &dr, fbr);
-        let r1 = ctrl.try_issue(Ps::from_ns(100), &mut mem, &mut content);
+        let r1 = ctrl.try_issue(Ps::from_ns(100), &mut mem, &mut content, &mut NullSink);
         assert_eq!(r1[0].req.id, 2);
         assert!(!ctrl.complete(r1[0].bank, r1[0].epoch).is_empty());
-        let resumed = ctrl.try_issue(r1[0].completion, &mut mem, &mut content);
+        let resumed = ctrl.try_issue(r1[0].completion, &mut mem, &mut content, &mut NullSink);
         assert_eq!(resumed[0].req.id, 1);
 
         // Second read must NOT pause it again (limit reached).
         let t2 = r1[0].completion + Ps::from_ns(50);
         ctrl.enqueue_read(read_req(3, 8 * 64, t2), &dr, fbr);
-        let r2 = ctrl.try_issue(t2, &mut mem, &mut content);
+        let r2 = ctrl.try_issue(t2, &mut mem, &mut content, &mut NullSink);
         assert!(r2.is_empty(), "write runs to completion: {r2:?}");
         assert_eq!(ctrl.stats.write_pauses, 1);
         let _ = w;
@@ -641,15 +803,15 @@ mod tests {
         };
         let mut ctrl = MemoryController::new(cfg, pcm_types::PcmTimings::paper_baseline(), 8);
         let (d, fb) = decode(&mem, 0x40);
-        ctrl.enqueue_write(write_req(1, 0x40, Ps::ZERO), &d, fb);
-        ctrl.enqueue_write(write_req(2, 0x40, Ps::from_ns(10)), &d, fb);
-        ctrl.enqueue_write(write_req(3, 0x40, Ps::from_ns(20)), &d, fb);
+        ctrl.enqueue_write(write_req(1, 0x40, Ps::ZERO), &d, fb, &mut NullSink);
+        ctrl.enqueue_write(write_req(2, 0x40, Ps::from_ns(10)), &d, fb, &mut NullSink);
+        ctrl.enqueue_write(write_req(3, 0x40, Ps::from_ns(20)), &d, fb, &mut NullSink);
         let (_, wq) = ctrl.queue_depths();
         assert_eq!(wq, 1, "three same-line writes hold one slot");
         assert_eq!(ctrl.stats.writes_coalesced, 2);
         // Service it: all three requests complete together.
         ctrl.force_drain();
-        let issued = ctrl.try_issue(Ps::from_ns(30), &mut mem, &mut content);
+        let issued = ctrl.try_issue(Ps::from_ns(30), &mut mem, &mut content, &mut NullSink);
         assert_eq!(issued.len(), 1);
         let reqs = ctrl.complete(issued[0].bank, issued[0].epoch);
         let mut ids: Vec<u64> = reqs.iter().map(|r| r.id).collect();
@@ -663,8 +825,8 @@ mod tests {
     fn coalescing_off_keeps_duplicates() {
         let (mut ctrl, mem, _c) = setup();
         let (d, fb) = decode(&mem, 0x40);
-        ctrl.enqueue_write(write_req(1, 0x40, Ps::ZERO), &d, fb);
-        ctrl.enqueue_write(write_req(2, 0x40, Ps::from_ns(10)), &d, fb);
+        ctrl.enqueue_write(write_req(1, 0x40, Ps::ZERO), &d, fb, &mut NullSink);
+        ctrl.enqueue_write(write_req(2, 0x40, Ps::from_ns(10)), &d, fb, &mut NullSink);
         let (_, wq) = ctrl.queue_depths();
         assert_eq!(wq, 2, "paper-faithful default: no consolidation");
     }
@@ -680,9 +842,9 @@ mod tests {
 
         // A write to bank 0, row 0 (subarray 0 → lane 0) under drain.
         let (dw, fbw) = decode(&mem, 0x0);
-        ctrl.enqueue_write(write_req(1, 0x0, Ps::ZERO), &dw, fbw);
+        ctrl.enqueue_write(write_req(1, 0x0, Ps::ZERO), &dw, fbw, &mut NullSink);
         ctrl.force_drain();
-        let w = ctrl.try_issue(Ps::ZERO, &mut mem, &mut content);
+        let w = ctrl.try_issue(Ps::ZERO, &mut mem, &mut content, &mut NullSink);
         assert_eq!(w.len(), 1);
 
         // A read to bank 0, odd row (subarray 1) proceeds mid-write…
@@ -691,7 +853,7 @@ mod tests {
         assert_eq!(fbr, 0);
         assert_eq!(dr.row % 2, 1);
         ctrl.enqueue_read(read_req(2, odd_row_addr, Ps::from_ns(100)), &dr, fbr);
-        let r = ctrl.try_issue(Ps::from_ns(100), &mut mem, &mut content);
+        let r = ctrl.try_issue(Ps::from_ns(100), &mut mem, &mut content, &mut NullSink);
         assert_eq!(r.len(), 1, "subarray 1 services the read during the write");
         assert_eq!(r[0].req.id, 2);
 
@@ -700,7 +862,7 @@ mod tests {
         let (dr2, fbr2) = decode(&mem, same_sub_addr);
         assert_eq!(dr2.row % 2, 0);
         ctrl.enqueue_read(read_req(3, same_sub_addr, Ps::from_ns(120)), &dr2, fbr2);
-        let r2 = ctrl.try_issue(Ps::from_ns(120), &mut mem, &mut content);
+        let r2 = ctrl.try_issue(Ps::from_ns(120), &mut mem, &mut content, &mut NullSink);
         assert!(
             r2.is_empty(),
             "same-subarray read blocked by the write: {r2:?}"
@@ -720,26 +882,130 @@ mod tests {
         let b = 8 * 64 * 64;
         for (id, addr) in [(1, a), (2, b)] {
             let (d, fb) = decode(&mem, addr);
-            ctrl.enqueue_write(write_req(id, addr, Ps::ZERO), &d, fb);
+            ctrl.enqueue_write(write_req(id, addr, Ps::ZERO), &d, fb, &mut NullSink);
         }
         ctrl.force_drain();
-        let issued = ctrl.try_issue(Ps::ZERO, &mut mem, &mut content);
+        let issued = ctrl.try_issue(Ps::ZERO, &mut mem, &mut content, &mut NullSink);
         assert_eq!(issued.len(), 1, "shared pump: one write per bank");
         let done = issued[0].completion;
         assert!(!ctrl.complete(issued[0].bank, issued[0].epoch).is_empty());
         ctrl.force_drain();
-        let issued2 = ctrl.try_issue(done, &mut mem, &mut content);
+        let issued2 = ctrl.try_issue(done, &mut mem, &mut content, &mut NullSink);
         assert_eq!(issued2.len(), 1, "second write follows after the first");
+    }
+
+    #[test]
+    fn telemetry_records_drain_and_bank_occupancy() {
+        let (mut ctrl, mut mem, mut content) = setup();
+        let mut tel = MemorySink::new();
+
+        // Fill the write queue: the last enqueue flips drain on.
+        for i in 0..32u64 {
+            let addr = i * 64;
+            let (d, fb) = decode(&mem, addr);
+            ctrl.enqueue_write(write_req(i, addr, Ps::ZERO), &d, fb, &mut tel);
+        }
+        assert!(matches!(
+            tel.events.last(),
+            Some(TelemetryEvent::DrainStart { writes: 32, .. })
+        ));
+
+        // Issue: every busy bank reports a BankBusy write occupancy.
+        let issued = ctrl.try_issue(Ps::ZERO, &mut mem, &mut content, &mut tel);
+        let busy: Vec<_> = tel
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    TelemetryEvent::BankBusy {
+                        kind: OpKind::Write,
+                        ..
+                    }
+                )
+            })
+            .collect();
+        assert_eq!(busy.len(), issued.len());
+    }
+
+    #[test]
+    fn telemetry_records_pause_and_resume() {
+        let (_c, mut mem, mut content) = setup();
+        let cfg = ControllerConfig {
+            write_pausing: true,
+            ..Default::default()
+        };
+        let mut ctrl = MemoryController::new(cfg, pcm_types::PcmTimings::paper_baseline(), 8);
+        let mut tel = MemorySink::new();
+
+        // One long write on bank 0, then a read to the same bank mid-write.
+        let (d, fb) = decode(&mem, 0x0);
+        ctrl.enqueue_write(write_req(1, 0x0, Ps::ZERO), &d, fb, &mut tel);
+        ctrl.force_drain();
+        ctrl.try_issue(Ps::ZERO, &mut mem, &mut content, &mut tel);
+        let (dr, fbr) = decode(&mem, 8 * 64);
+        ctrl.enqueue_read(read_req(2, 8 * 64, Ps::from_ns(500)), &dr, fbr);
+        let r = ctrl.try_issue(Ps::from_ns(500), &mut mem, &mut content, &mut tel);
+        assert_eq!(r[0].req.id, 2);
+        assert!(tel.events.iter().any(|e| matches!(
+            e,
+            TelemetryEvent::WritePause {
+                bank: 0,
+                pauses: 1,
+                ..
+            }
+        )));
+
+        // The resume event carries the new completion time.
+        ctrl.complete(r[0].bank, r[0].epoch);
+        let resumed = ctrl.try_issue(r[0].completion, &mut mem, &mut content, &mut tel);
+        assert!(tel.events.iter().any(|e| matches!(
+            e,
+            TelemetryEvent::WriteResume { bank: 0, until, .. } if *until == resumed[0].completion
+        )));
+    }
+
+    #[test]
+    fn telemetry_reports_drain_stop_at_watermark() {
+        let (mut ctrl, mut mem, mut content) = setup();
+        let mut tel = MemorySink::new();
+        for i in 0..32u64 {
+            let addr = i * 64;
+            let (d, fb) = decode(&mem, addr);
+            ctrl.enqueue_write(write_req(i, addr, Ps::ZERO), &d, fb, &mut tel);
+        }
+        let mut now = Ps::ZERO;
+        while ctrl.draining() {
+            let issued = ctrl.try_issue(now, &mut mem, &mut content, &mut tel);
+            for i in &issued {
+                now = now.max(i.completion);
+            }
+            for i in issued {
+                ctrl.complete(i.bank, i.epoch);
+            }
+        }
+        let stops: Vec<_> = tel
+            .events
+            .iter()
+            .filter(|e| matches!(e, TelemetryEvent::DrainStop { .. }))
+            .collect();
+        assert_eq!(stops.len(), 1, "one drain episode, one stop");
+        assert!(
+            matches!(stops[0], TelemetryEvent::DrainStop { writes, .. } if *writes == 16),
+            "stopped at the low watermark"
+        );
     }
 
     #[test]
     fn force_drain_flushes_remaining() {
         let (mut ctrl, mut mem, mut content) = setup();
         let (d, fb) = decode(&mem, 0x40);
-        ctrl.enqueue_write(write_req(1, 0x40, Ps::ZERO), &d, fb);
-        assert!(ctrl.try_issue(Ps::ZERO, &mut mem, &mut content).is_empty());
+        ctrl.enqueue_write(write_req(1, 0x40, Ps::ZERO), &d, fb, &mut NullSink);
+        assert!(ctrl
+            .try_issue(Ps::ZERO, &mut mem, &mut content, &mut NullSink)
+            .is_empty());
         ctrl.force_drain();
-        let issued = ctrl.try_issue(Ps::ZERO, &mut mem, &mut content);
+        let issued = ctrl.try_issue(Ps::ZERO, &mut mem, &mut content, &mut NullSink);
         assert_eq!(issued.len(), 1);
         ctrl.complete(issued[0].bank, issued[0].epoch);
         assert!(!ctrl.has_pending());

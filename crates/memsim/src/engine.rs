@@ -118,6 +118,29 @@ mod tests {
     }
 
     #[test]
+    fn stale_and_fresh_completions_at_same_time_pop_in_insertion_order() {
+        // After a pause/resume, a stale completion (old epoch) and the
+        // resumed write's completion (new epoch) can land on the same
+        // timestamp; the consumer must see them in insertion order so the
+        // stale one is discarded before the fresh one retires the write.
+        let mut q = EventQueue::new();
+        let t = Ps::from_ns(100);
+        q.push(t, Event::BankComplete { bank: 0, epoch: 1 });
+        q.push(t, Event::BankComplete { bank: 0, epoch: 2 });
+        q.push(t, Event::CoreStep { core: 0 });
+        assert_eq!(
+            q.pop().unwrap(),
+            (t, Event::BankComplete { bank: 0, epoch: 1 })
+        );
+        assert_eq!(
+            q.pop().unwrap(),
+            (t, Event::BankComplete { bank: 0, epoch: 2 })
+        );
+        assert_eq!(q.pop().unwrap(), (t, Event::CoreStep { core: 0 }));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
     fn peek_and_len() {
         let mut q = EventQueue::new();
         assert!(q.is_empty());

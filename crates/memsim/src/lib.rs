@@ -36,16 +36,18 @@ pub mod cpu;
 pub mod engine;
 pub mod hierarchy;
 pub mod memory;
+pub mod prelude;
 pub mod request;
 pub mod stats;
 pub mod system;
 pub mod wear_leveling;
 
-pub use config::{ControllerConfig, SystemConfig};
+pub use config::{CacheConfig, ControllerConfig, SystemConfig, SystemConfigBuilder};
 pub use content::{ExplicitContent, UniformRandomContent, WriteContent};
 pub use controller::MemoryController;
 pub use cpu::{Core, TraceOp, TraceSource};
-pub use memory::{PcmMainMemory, WriteOutcome};
+pub use memory::{BatchOutcome, PcmMainMemory, WriteOutcome};
+pub use pcm_schemes::{SchemeConfig, WriteCtx, WriteScheme};
 pub use request::{AccessKind, MemRequest};
 pub use stats::{LatencyStats, SimResult};
 pub use system::{System, TraceLevel};

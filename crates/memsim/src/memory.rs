@@ -5,7 +5,7 @@
 //! Untouched lines read as zero (freshly manufactured cells are amorphous).
 
 use crate::wear_leveling::StartGap;
-use pcm_schemes::{SchemeConfig, WriteCtx, WritePlan, WriteScheme};
+use pcm_schemes::{PackStats, SchemeConfig, WriteCtx, WritePlan, WriteScheme};
 use pcm_types::{flip_decode, AddrMap, LineData, PcmError, PhysAddr, PicoJoules, Ps};
 use std::collections::HashMap;
 
@@ -29,6 +29,15 @@ pub struct WriteOutcome {
     pub cell_sets: u32,
     /// RESET pulses delivered to cells.
     pub cell_resets: u32,
+}
+
+/// Outcome of one batched write service.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchOutcome {
+    /// Total bank-busy time for the whole batch.
+    pub service_time: Ps,
+    /// Packing quality, when the scheme reports it (batched Tetris plans).
+    pub pack: Option<PackStats>,
 }
 
 /// Aggregate memory statistics.
@@ -231,10 +240,17 @@ impl PcmMainMemory {
 
     /// Service several line writes as one batched operation (shared bank
     /// occupancy). Falls back to serial service when the scheme has no
-    /// batched mode. Returns the total bank-busy time.
-    pub fn write_lines_batch(&mut self, writes: &[(PhysAddr, LineData)]) -> Result<Ps, PcmError> {
+    /// batched mode. Returns the total bank-busy time and, for schemes
+    /// that report it, the batch's packing quality.
+    pub fn write_lines_batch(
+        &mut self,
+        writes: &[(PhysAddr, LineData)],
+    ) -> Result<BatchOutcome, PcmError> {
         if writes.len() == 1 {
-            return Ok(self.write_line(writes[0].0, &writes[0].1)?.service_time);
+            return Ok(BatchOutcome {
+                service_time: self.write_line(writes[0].0, &writes[0].1)?.service_time,
+                pack: None,
+            });
         }
         // Gather the old state of every line up front (ctxs borrow it).
         let mut phys_lines = Vec::with_capacity(writes.len());
@@ -284,7 +300,10 @@ impl PcmMainMemory {
                     self.stats.cell_sets += plan.cell_sets as u64;
                     self.stats.cell_resets += plan.cell_resets as u64;
                 }
-                Ok(batch.service_time)
+                Ok(BatchOutcome {
+                    service_time: batch.service_time,
+                    pack: batch.pack,
+                })
             }
             None => {
                 // Serial fallback: sum of individual services.
@@ -292,7 +311,10 @@ impl PcmMainMemory {
                 for (addr, new) in writes {
                     total += self.write_line(*addr, new)?.service_time;
                 }
-                Ok(total)
+                Ok(BatchOutcome {
+                    service_time: total,
+                    pack: None,
+                })
             }
         }
     }

@@ -1,6 +1,6 @@
 //! Simulation statistics.
 
-use pcm_types::{Json, PicoJoules, Ps};
+use pcm_types::{Json, JsonCodec, JsonError, PicoJoules, Ps};
 
 /// Histogram geometry: `SUB` sub-buckets per octave over `OCTAVES`
 /// power-of-two ranges of nanoseconds (1 ns … ~16 ms).
@@ -88,36 +88,6 @@ impl LatencyStats {
         }
     }
 
-    /// Serialize to a JSON object (histogram included, so percentiles
-    /// survive a round trip through `results_full.json`).
-    pub fn to_json(&self) -> Json {
-        Json::obj(vec![
-            ("count", Json::UInt(self.count)),
-            ("sum_ps", Json::UInt(self.sum_ps)),
-            ("min_ps", Json::UInt(self.min_ps)),
-            ("max_ps", Json::UInt(self.max_ps)),
-            ("buckets", Json::u64_array(&self.buckets)),
-        ])
-    }
-
-    /// Rebuild from the object written by [`LatencyStats::to_json`].
-    /// Missing fields default to zero/empty (forward compatibility).
-    pub fn from_json(j: &Json) -> LatencyStats {
-        let u = |k: &str| j.get(k).and_then(Json::as_u64).unwrap_or(0);
-        let buckets = j
-            .get("buckets")
-            .and_then(Json::as_array)
-            .map(|a| a.iter().filter_map(Json::as_u64).collect())
-            .unwrap_or_default();
-        LatencyStats {
-            count: u("count"),
-            sum_ps: u("sum_ps"),
-            min_ps: u("min_ps"),
-            max_ps: u("max_ps"),
-            buckets,
-        }
-    }
-
     /// Merge another stats block into this one.
     pub fn merge(&mut self, other: &LatencyStats) {
         if other.count == 0 {
@@ -139,6 +109,38 @@ impl LatencyStats {
                 *a += b;
             }
         }
+    }
+}
+
+impl JsonCodec for LatencyStats {
+    /// The histogram is included, so percentiles survive a round trip
+    /// through `results_full.json`.
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("count", Json::UInt(self.count)),
+            ("sum_ps", Json::UInt(self.sum_ps)),
+            ("min_ps", Json::UInt(self.min_ps)),
+            ("max_ps", Json::UInt(self.max_ps)),
+            ("buckets", Json::u64_array(&self.buckets)),
+        ])
+    }
+
+    /// Missing fields default to zero/empty (forward compatibility), so
+    /// this never fails on object input.
+    fn from_json(j: &Json) -> Result<LatencyStats, JsonError> {
+        let u = |k: &str| j.get(k).and_then(Json::as_u64).unwrap_or(0);
+        let buckets = j
+            .get("buckets")
+            .and_then(Json::as_array)
+            .map(|a| a.iter().filter_map(Json::as_u64).collect())
+            .unwrap_or_default();
+        Ok(LatencyStats {
+            count: u("count"),
+            sum_ps: u("sum_ps"),
+            min_ps: u("min_ps"),
+            max_ps: u("max_ps"),
+            buckets,
+        })
     }
 }
 
@@ -215,10 +217,11 @@ impl SimResult {
             self.mem_writes as f64 * 1000.0 / instr as f64
         }
     }
+}
 
-    /// Serialize to a JSON object with one key per field (the
-    /// `results_full.json` record shape).
-    pub fn to_json(&self) -> Json {
+impl JsonCodec for SimResult {
+    /// One key per field (the `results_full.json` record shape).
+    fn to_json(&self) -> Json {
         Json::obj(vec![
             ("scheme", Json::str(&self.scheme)),
             ("workload", Json::str(&self.workload)),
@@ -241,9 +244,9 @@ impl SimResult {
         ])
     }
 
-    /// Rebuild from the object written by [`SimResult::to_json`].
-    /// Missing fields default to zero/empty (forward compatibility).
-    pub fn from_json(j: &Json) -> SimResult {
+    /// Missing fields default to zero/empty (forward compatibility), so
+    /// this never fails on object input.
+    fn from_json(j: &Json) -> Result<SimResult, JsonError> {
         let u = |k: &str| j.get(k).and_then(Json::as_u64).unwrap_or(0);
         let s = |k: &str| {
             j.get(k)
@@ -257,8 +260,12 @@ impl SimResult {
                 .map(|a| a.iter().filter_map(Json::as_u64).collect::<Vec<u64>>())
                 .unwrap_or_default()
         };
-        let stats = |k: &str| j.get(k).map(LatencyStats::from_json).unwrap_or_default();
-        SimResult {
+        let stats = |k: &str| {
+            j.get(k)
+                .and_then(|v| LatencyStats::from_json(v).ok())
+                .unwrap_or_default()
+        };
+        Ok(SimResult {
             scheme: s("scheme"),
             workload: s("workload"),
             runtime: Ps(u("runtime_ps")),
@@ -280,13 +287,15 @@ impl SimResult {
             cell_resets: u("cell_resets"),
             read_stall: Ps(u("read_stall_ps")),
             write_stall: Ps(u("write_stall_ps")),
-        }
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pcm_types::propcheck::vec_of;
+    use pcm_types::{prop_assert_eq, propcheck};
 
     #[test]
     fn latency_stats_stream() {
@@ -383,7 +392,7 @@ mod tests {
         r.write_latency.record(Ps::from_ns(430));
 
         let text = r.to_json().to_string_pretty();
-        let back = SimResult::from_json(&Json::parse(&text).unwrap());
+        let back = SimResult::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back.scheme, r.scheme);
         assert_eq!(back.workload, r.workload);
         assert_eq!(back.runtime, r.runtime);
@@ -403,10 +412,47 @@ mod tests {
 
     #[test]
     fn sim_result_from_empty_object() {
-        let r = SimResult::from_json(&Json::parse("{}").unwrap());
+        let r = SimResult::from_json(&Json::parse("{}").unwrap()).unwrap();
         assert_eq!(r.scheme, "");
         assert_eq!(r.ipc(), 0.0);
         assert_eq!(r.read_latency.count, 0);
+    }
+
+    propcheck! {
+        /// `JsonCodec` round-trip: any stream of samples re-parses to the
+        /// identical histogram (count, bounds, every bucket).
+        fn latency_stats_json_roundtrip(samples in vec_of(0u64..=1 << 40, 0..=48)) {
+            let mut s = LatencyStats::default();
+            for &ps in &samples {
+                s.record(Ps(ps));
+            }
+            let back = LatencyStats::from_json_str(&s.to_json_string()).unwrap();
+            prop_assert_eq!(back.count, s.count);
+            prop_assert_eq!(back.sum_ps, s.sum_ps);
+            prop_assert_eq!(back.min_ps, s.min_ps);
+            prop_assert_eq!(back.max_ps, s.max_ps);
+            prop_assert_eq!(back.buckets, s.buckets);
+        }
+
+        /// `JsonCodec` round-trip for whole results, through compact text.
+        fn sim_result_json_roundtrip_prop(
+            writes in 0u64..=1 << 40,
+            reads in 0u64..=1 << 40,
+            units in 0u64..=64,
+        ) {
+            let r = SimResult {
+                scheme: "s".into(),
+                workload: "w".into(),
+                mem_writes: writes,
+                mem_reads: reads,
+                avg_write_units: units as f64 / 8.0,
+                ..Default::default()
+            };
+            let back = SimResult::from_json_str(&r.to_json_string()).unwrap();
+            prop_assert_eq!(back.mem_writes, r.mem_writes);
+            prop_assert_eq!(back.mem_reads, r.mem_reads);
+            prop_assert_eq!(back.avg_write_units, r.avg_write_units);
+        }
     }
 
     #[test]

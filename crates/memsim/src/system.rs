@@ -19,6 +19,7 @@ use crate::memory::PcmMainMemory;
 use crate::request::{AccessKind, MemRequest};
 use crate::stats::{LatencyStats, SimResult};
 use pcm_schemes::{SchemeConfig, WriteScheme};
+use pcm_telemetry::{NullSink, Telemetry, TelemetryEvent, TraceDetail};
 use pcm_types::{PcmError, PhysAddr, Ps};
 use std::collections::{HashMap, VecDeque};
 
@@ -54,6 +55,7 @@ pub struct System {
     read_lat: LatencyStats,
     write_lat: LatencyStats,
     workload_name: String,
+    tel: Box<dyn Telemetry>,
 }
 
 impl System {
@@ -98,12 +100,20 @@ impl System {
             read_lat: LatencyStats::default(),
             write_lat: LatencyStats::default(),
             workload_name: String::new(),
+            tel: Box::new(NullSink),
         })
     }
 
     /// Label the run's workload in the result.
     pub fn set_workload_name(&mut self, name: impl Into<String>) {
         self.workload_name = name.into();
+    }
+
+    /// Install a telemetry sink; every subsequent [`System::run`] records
+    /// its events there. The default is the zero-cost
+    /// [`pcm_telemetry::NullSink`].
+    pub fn set_telemetry(&mut self, tel: Box<dyn Telemetry>) {
+        self.tel = tel;
     }
 
     /// Access the memory model (stats, contents).
@@ -114,6 +124,12 @@ impl System {
     /// Access the cache hierarchy (CPU-level runs).
     pub fn hierarchy(&self) -> Option<&CacheHierarchy> {
         self.hierarchy.as_ref()
+    }
+
+    /// Cumulative busy time per bank lane — the ground truth a recorded
+    /// trace's per-bank utilization should reproduce.
+    pub fn bank_busy_totals(&self) -> Vec<Ps> {
+        self.controller.bank_busy_totals()
     }
 
     fn cycle(&self) -> Ps {
@@ -135,9 +151,12 @@ impl System {
     /// Issue whatever the banks can take, schedule completions, and wake
     /// cores stalled on queue space.
     fn issue_and_wake(&mut self) {
-        let issued = self
-            .controller
-            .try_issue(self.now, &mut self.memory, self.content.as_mut());
+        let issued = self.controller.try_issue(
+            self.now,
+            &mut self.memory,
+            self.content.as_mut(),
+            self.tel.as_mut(),
+        );
         for i in &issued {
             self.queue.push(
                 i.completion,
@@ -186,11 +205,25 @@ impl System {
             .decode(addr)
             .expect("trace address in range");
         let fb = self.memory.addr_map().flat_bank(&d);
-        self.controller.enqueue_write(req, &d, fb);
+        self.controller
+            .enqueue_write(req, &d, fb, self.tel.as_mut());
+        self.sample_queue_depths();
         if self.controller.draining() {
             self.issue_and_wake();
         }
         true
+    }
+
+    /// Record the instantaneous queue depths (fine-detail traces only).
+    fn sample_queue_depths(&mut self) {
+        if self.tel.wants(TraceDetail::Fine) {
+            let (r, w) = self.controller.queue_depths();
+            self.tel.record(&TelemetryEvent::QueueDepth {
+                at: self.now,
+                reads: r as u32,
+                writes: w as u32,
+            });
+        }
     }
 
     /// Issue a blocking memory read; returns false (and stalls) if the read
@@ -221,6 +254,7 @@ impl System {
                     req_id: req.id,
                     since: self.now,
                 };
+                self.sample_queue_depths();
                 self.issue_and_wake();
             }
         }
@@ -329,6 +363,12 @@ impl System {
         // An empty vec is a stale completion of a paused write; the resumed
         // instance will deliver its own event. Either way, completing (or
         // skipping) is a scheduling opportunity.
+        if !reqs.is_empty() && self.tel.wants(TraceDetail::Fine) {
+            self.tel.record(&TelemetryEvent::BankIdle {
+                at: self.now,
+                bank: bank as u32,
+            });
+        }
         for req in reqs {
             let latency = self.now - req.arrival;
             match req.kind {
@@ -351,8 +391,18 @@ impl System {
         self.issue_and_wake();
     }
 
-    /// Run the simulation to completion and return the statistics.
+    /// Run the simulation to completion and return the statistics. Any
+    /// installed telemetry sink receives the run's events and is flushed
+    /// before returning.
     pub fn run(&mut self) -> SimResult {
+        if self.tel.wants(TraceDetail::Coarse) {
+            self.tel.record(&TelemetryEvent::RunMeta {
+                workload: self.workload_name.clone(),
+                scheme: self.memory.scheme_name().to_string(),
+                banks: self.cfg.mem.org.total_banks()
+                    * self.cfg.controller.subarrays_per_bank.max(1) as u32,
+            });
+        }
         for core in 0..self.cores.len() {
             self.queue.push(Ps::ZERO, Event::CoreStep { core });
         }
@@ -397,7 +447,8 @@ impl System {
                             .decode(addr)
                             .expect("flush address in range");
                         let fb = self.memory.addr_map().flat_bank(&d);
-                        self.controller.enqueue_write(req, &d, fb);
+                        self.controller
+                            .enqueue_write(req, &d, fb, self.tel.as_mut());
                     }
                     continue;
                 }
@@ -413,6 +464,9 @@ impl System {
             }
         }
 
+        if let Err(e) = self.tel.flush() {
+            eprintln!("warning: telemetry flush failed: {e}");
+        }
         let (row_hits, row_misses) = self.controller.row_stats();
         let mem = self.memory.stats();
         SimResult {
@@ -575,8 +629,11 @@ mod tests {
 
     #[test]
     fn cpu_level_filters_through_caches() {
-        let mut cfg = SystemConfig::small_test();
-        cfg.cores = 1;
+        let cfg = SystemConfig::builder()
+            .small_caches()
+            .cores(1)
+            .build()
+            .unwrap();
         // Two passes over a small footprint: second pass hits in cache.
         let mut ops = Vec::new();
         for _pass in 0..2 {
@@ -604,8 +661,11 @@ mod tests {
 
     #[test]
     fn cpu_level_writebacks_reach_memory() {
-        let mut cfg = SystemConfig::small_test();
-        cfg.cores = 1;
+        let cfg = SystemConfig::builder()
+            .small_caches()
+            .cores(1)
+            .build()
+            .unwrap();
         // Dirty a footprint larger than L3 to force write-backs, then the
         // final flush catches the rest.
         let lines = (cfg.l3.size_bytes / 64) * 2;
@@ -663,6 +723,80 @@ mod tests {
         // Dense random content saturates the budget, so per-line units are
         // equal; the win comes from amortizing the read+analysis overhead.
         assert!(batched.avg_write_units <= single.avg_write_units + 1e-9);
+    }
+
+    #[test]
+    fn telemetry_trace_reproduces_bank_busy_times() {
+        use pcm_telemetry::{read_events, JsonlSink, TraceSummary};
+        let path =
+            std::env::temp_dir().join(format!("pcm_memsim_tel_{}.jsonl", std::process::id()));
+        let mut cfg = SystemConfig::paper_baseline();
+        cfg.cores = 1;
+        cfg.controller.write_pausing = true;
+        let mut sys = System::new(
+            cfg,
+            Box::new(TetrisWrite::paper_baseline()),
+            Box::new(VecTrace::new(vec![mem_trace_ops(400, 2, 2, 64)])),
+            Box::new(UniformRandomContent::new(3)),
+            TraceLevel::MemoryLevel,
+        )
+        .unwrap();
+        sys.set_workload_name("unit");
+        sys.set_telemetry(Box::new(
+            JsonlSink::create(&path, TraceDetail::Fine).unwrap(),
+        ));
+        let r = sys.run();
+        let events =
+            read_events(std::io::BufReader::new(std::fs::File::open(&path).unwrap())).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert!(
+            matches!(events.first(), Some(TelemetryEvent::RunMeta { .. })),
+            "trace opens with run metadata"
+        );
+        let s = TraceSummary::from_events(&events);
+        assert_eq!(s.workload, "unit");
+        assert_eq!(s.scheme, r.scheme);
+        // The pause-corrected busy accounting rebuilt from the trace must
+        // equal the controller's ground truth, lane for lane.
+        let truth = sys.bank_busy_totals();
+        assert_eq!(s.banks.len(), truth.len());
+        for (i, t) in truth.iter().enumerate() {
+            assert_eq!(s.banks[i].busy, *t, "bank {i} busy time from trace");
+        }
+        assert!(s.banks.iter().map(|b| b.writes).sum::<u64>() > 0);
+        assert!(s.drains > 0, "write storm must have triggered drains");
+        assert!(!s.write_depths.is_empty(), "queue depths were sampled");
+    }
+
+    #[test]
+    fn coarse_telemetry_drops_fine_events() {
+        use pcm_telemetry::{read_events, JsonlSink, TraceSummary};
+        let path = std::env::temp_dir().join(format!(
+            "pcm_memsim_tel_coarse_{}.jsonl",
+            std::process::id()
+        ));
+        let mut cfg = SystemConfig::paper_baseline();
+        cfg.cores = 1;
+        let mut sys = System::new(
+            cfg,
+            Box::new(DcwWrite),
+            Box::new(VecTrace::new(vec![mem_trace_ops(100, 2, 2, 64)])),
+            Box::new(UniformRandomContent::new(3)),
+            TraceLevel::MemoryLevel,
+        )
+        .unwrap();
+        sys.set_telemetry(Box::new(
+            JsonlSink::create(&path, TraceDetail::Coarse).unwrap(),
+        ));
+        sys.run();
+        let events =
+            read_events(std::io::BufReader::new(std::fs::File::open(&path).unwrap())).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(events.iter().all(|e| e.detail() == TraceDetail::Coarse));
+        let s = TraceSummary::from_events(&events);
+        assert!(s.drains > 0, "coarse trace still records drain episodes");
+        assert!(s.write_depths.is_empty(), "no fine-grained samples");
     }
 
     #[test]

@@ -62,6 +62,44 @@ impl From<JsonError> for std::io::Error {
     }
 }
 
+/// Structured ⇄ [`Json`] conversion for every record the workspace persists
+/// (experiment results, latency histograms, workload traces, telemetry
+/// events).
+///
+/// One trait replaces the copy-pasted inherent `to_json`/`from_json` pairs
+/// that used to live on each type. Implementations must round-trip:
+/// `T::from_json(&t.to_json()) == Ok(t)` for every representable value —
+/// the workspace's `propcheck!` suites assert this per type.
+pub trait JsonCodec: Sized {
+    /// Encode `self` as a JSON value.
+    fn to_json(&self) -> Json;
+
+    /// Decode from a JSON value produced by [`JsonCodec::to_json`].
+    ///
+    /// Unknown fields are ignored (forward compatibility); missing or
+    /// ill-typed required fields yield a [`JsonError`] naming the field.
+    fn from_json(v: &Json) -> Result<Self, JsonError>;
+
+    /// Encode straight to a compact one-line string (JSONL-friendly).
+    fn to_json_string(&self) -> String {
+        self.to_json().to_string_compact()
+    }
+
+    /// Parse a string and decode in one step.
+    fn from_json_str(s: &str) -> Result<Self, JsonError> {
+        Self::from_json(&Json::parse(s)?)
+    }
+}
+
+/// Build the [`JsonError`] used by [`JsonCodec`] decoders for a missing or
+/// ill-typed field.
+pub fn field_error(field: &str) -> JsonError {
+    JsonError {
+        offset: 0,
+        msg: format!("missing or invalid field `{field}`"),
+    }
+}
+
 impl Json {
     // ----- constructors ---------------------------------------------------
 

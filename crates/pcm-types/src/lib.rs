@@ -60,7 +60,7 @@ pub use demand::{LineDemand, UnitDemand};
 pub use energy::{EnergyParams, PicoJoules};
 pub use error::PcmError;
 pub use flip::{flip_decode, flip_encode, flip_units, FlipBitWrite, FlipDecision, FlippedLine};
-pub use json::{Json, JsonError};
+pub use json::{Json, JsonCodec, JsonError};
 pub use org::MemOrg;
 pub use power::PowerParams;
 pub use time::Ps;

@@ -45,5 +45,7 @@ pub use dcw::DcwWrite;
 pub use fnw::FlipNWrite;
 pub use preset::PreSetWrite;
 pub use three_stage::ThreeStageWrite;
-pub use traits::{BatchPlan, SchemeConfig, WriteCtx, WritePlan, WriteScheme};
+pub use traits::{
+    BatchPlan, PackStats, SchemeConfig, SchemeConfigBuilder, WriteCtx, WritePlan, WriteScheme,
+};
 pub use two_stage::TwoStageWrite;

@@ -41,6 +41,66 @@ impl SchemeConfig {
         self.org.validate()?;
         Ok(())
     }
+
+    /// Start a fluent builder from the Table II baseline.
+    pub fn builder() -> SchemeConfigBuilder {
+        SchemeConfigBuilder {
+            cfg: Self::paper_baseline(),
+        }
+    }
+}
+
+/// Fluent construction of a [`SchemeConfig`];
+/// [`SchemeConfigBuilder::build`] folds in [`SchemeConfig::validate`].
+///
+/// ```
+/// use pcm_schemes::SchemeConfig;
+/// let cfg = SchemeConfig::builder().capacity_bytes(1 << 20).build().unwrap();
+/// assert_eq!(cfg.org.capacity_bytes, 1 << 20);
+/// ```
+#[derive(Clone, Copy, Debug)]
+#[must_use = "call .build() to obtain the validated SchemeConfig"]
+pub struct SchemeConfigBuilder {
+    cfg: SchemeConfig,
+}
+
+impl SchemeConfigBuilder {
+    /// Pulse timings.
+    pub fn timings(mut self, t: PcmTimings) -> Self {
+        self.cfg.timings = t;
+        self
+    }
+
+    /// Current budget and asymmetry.
+    pub fn power(mut self, p: PowerParams) -> Self {
+        self.cfg.power = p;
+        self
+    }
+
+    /// Memory organization.
+    pub fn org(mut self, o: MemOrg) -> Self {
+        self.cfg.org = o;
+        self
+    }
+
+    /// Per-bit energies.
+    pub fn energy(mut self, e: EnergyParams) -> Self {
+        self.cfg.energy = e;
+        self
+    }
+
+    /// Total device capacity in bytes (shorthand for shrinking the
+    /// organization in tests).
+    pub fn capacity_bytes(mut self, bytes: u64) -> Self {
+        self.cfg.org.capacity_bytes = bytes;
+        self
+    }
+
+    /// Validate and return the finished configuration.
+    pub fn build(self) -> Result<SchemeConfig, PcmError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
 }
 
 /// One cache-line write to plan: the array's current bits and the new
@@ -114,6 +174,25 @@ impl WritePlan {
     }
 }
 
+/// How well a packing scheme filled the write units it scheduled.
+///
+/// Produced by schemes that pack pulses under a shared current budget
+/// (Tetris Write); the memory controller forwards it to telemetry so a
+/// trace can show *why* a batch was cheap or expensive.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PackStats {
+    /// Write0 (RESET) jobs placed inside the write-1 region's slack —
+    /// the paper's "dropping short Tetris pieces into the gaps" — rather
+    /// than in overflow sub-write-units.
+    pub stolen_write0s: u32,
+    /// Mean fraction of the instantaneous current budget used across the
+    /// schedule's occupied sub-slots, in [0, 1].
+    pub utilization: f64,
+    /// Serial cost of the whole schedule in `Tset` write units
+    /// (`result + subresult / K`).
+    pub write_units_equiv: f64,
+}
+
 /// A batch of line writes planned together (shared bank occupancy).
 #[derive(Clone, Debug)]
 pub struct BatchPlan {
@@ -123,6 +202,8 @@ pub struct BatchPlan {
     /// Per-line plans (stored bits, flips, energy, pulse counts). Their
     /// individual `service_time` fields equal the shared total.
     pub plans: Vec<WritePlan>,
+    /// Packing quality, for schemes that report it (`None` otherwise).
+    pub pack: Option<PackStats>,
 }
 
 /// A PCM cache-line write scheme.
@@ -215,6 +296,18 @@ mod tests {
         assert!(plan.check_decodes_to(&new).is_ok());
         let other = LineData::zeroed(64);
         assert!(plan.check_decodes_to(&other).is_err());
+    }
+
+    #[test]
+    fn scheme_builder_validates() {
+        let cfg = SchemeConfig::builder()
+            .capacity_bytes(8 * 64)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.org.capacity_bytes, 8 * 64);
+        assert_eq!(cfg.timings, SchemeConfig::paper_baseline().timings);
+        // Capacity that is not a whole number of lines never escapes.
+        assert!(SchemeConfig::builder().capacity_bytes(1).build().is_err());
     }
 
     #[test]

@@ -1,0 +1,478 @@
+//! Time-stamped simulator events and their JSONL encoding.
+
+use pcm_types::json::field_error;
+use pcm_types::{Json, JsonCodec, JsonError, Ps};
+
+/// How much of the event stream a sink wants.
+///
+/// `Coarse` keeps only the rare, high-signal events (drains, pauses,
+/// batch-pack outcomes, run metadata); `Fine` adds the per-operation
+/// bank busy/idle transitions and queue-depth samples that per-bank
+/// utilization and queue-residency percentiles are computed from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceDetail {
+    /// Rare events only: run metadata, drain start/stop, write
+    /// pause/resume, batch-pack outcomes.
+    Coarse,
+    /// Everything, including per-operation bank transitions and
+    /// queue-depth samples.
+    Fine,
+}
+
+impl Default for TraceDetail {
+    /// `Fine` — per-bank utilization and queue-depth percentiles need the
+    /// per-operation events.
+    fn default() -> Self {
+        TraceDetail::Fine
+    }
+}
+
+impl TraceDetail {
+    /// Parse a CLI-style level name (`"coarse"` / `"fine"`).
+    pub fn parse(s: &str) -> Option<TraceDetail> {
+        match s {
+            "coarse" => Some(TraceDetail::Coarse),
+            "fine" => Some(TraceDetail::Fine),
+            _ => None,
+        }
+    }
+}
+
+/// What kind of operation occupies a bank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// An array read.
+    Read,
+    /// A write (single line or batch).
+    Write,
+}
+
+impl OpKind {
+    fn tag(self) -> &'static str {
+        match self {
+            OpKind::Read => "read",
+            OpKind::Write => "write",
+        }
+    }
+
+    fn from_tag(s: &str) -> Option<OpKind> {
+        match s {
+            "read" => Some(OpKind::Read),
+            "write" => Some(OpKind::Write),
+            _ => None,
+        }
+    }
+}
+
+/// One time-stamped observation from the memory hierarchy.
+///
+/// All timestamps are absolute simulation time in picoseconds ([`Ps`]).
+/// Bank indices are flat (`rank * banks_per_rank + bank`), matching the
+/// controller's internal numbering.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TelemetryEvent {
+    /// Emitted once at the start of a run: what is being simulated.
+    RunMeta {
+        /// Workload name (e.g. `"vips"`).
+        workload: String,
+        /// Write-scheme name (e.g. `"Tetris Write"`).
+        scheme: String,
+        /// Total flat bank count.
+        banks: u32,
+    },
+    /// A bank began servicing an operation and is busy until `until`.
+    BankBusy {
+        /// When the operation was issued.
+        at: Ps,
+        /// Flat bank index.
+        bank: u32,
+        /// Read or write.
+        kind: OpKind,
+        /// Scheduled completion time (a later pause may cut this short).
+        until: Ps,
+        /// Cache lines serviced (>1 for a batched Tetris write).
+        lines: u32,
+    },
+    /// A bank's operation completed and the bank went idle.
+    BankIdle {
+        /// Completion time.
+        at: Ps,
+        /// Flat bank index.
+        bank: u32,
+    },
+    /// Controller queue occupancy, sampled after each enqueue.
+    QueueDepth {
+        /// Sample time.
+        at: Ps,
+        /// Read-queue depth.
+        reads: u32,
+        /// Write-queue depth.
+        writes: u32,
+    },
+    /// The write queue filled and the controller entered drain mode.
+    DrainStart {
+        /// When the drain began.
+        at: Ps,
+        /// Write-queue depth at drain start.
+        writes: u32,
+    },
+    /// Drain reached the low watermark and normal scheduling resumed.
+    DrainStop {
+        /// When the drain ended.
+        at: Ps,
+        /// Write-queue depth at drain stop.
+        writes: u32,
+    },
+    /// An in-flight write was paused to let a read through.
+    WritePause {
+        /// When the write was interrupted.
+        at: Ps,
+        /// Flat bank index.
+        bank: u32,
+        /// How many times this write has now been paused.
+        pauses: u32,
+    },
+    /// A previously paused write resumed.
+    WriteResume {
+        /// When service resumed (after the pause overhead).
+        at: Ps,
+        /// Flat bank index.
+        bank: u32,
+        /// New scheduled completion time.
+        until: Ps,
+    },
+    /// Outcome of packing a batch of writes into one bank service slot
+    /// (Tetris inter-line packing).
+    BatchPack {
+        /// Issue time.
+        at: Ps,
+        /// Flat bank index.
+        bank: u32,
+        /// Cache lines packed into the batch.
+        lines: u32,
+        /// SET-equivalent write units the batch consumed.
+        write_units: f64,
+        /// Write0 (RESET) jobs stolen into sub-write-unit slack.
+        stolen_write0s: u32,
+        /// Fraction of the instantaneous current budget used over the
+        /// batch's occupied slots.
+        utilization: f64,
+    },
+}
+
+impl TelemetryEvent {
+    /// The minimum [`TraceDetail`] at which a sink should keep this event.
+    pub fn detail(&self) -> TraceDetail {
+        match self {
+            TelemetryEvent::BankBusy { .. }
+            | TelemetryEvent::BankIdle { .. }
+            | TelemetryEvent::QueueDepth { .. } => TraceDetail::Fine,
+            _ => TraceDetail::Coarse,
+        }
+    }
+
+    /// The event's timestamp, if it has one (`RunMeta` does not).
+    pub fn at(&self) -> Option<Ps> {
+        match *self {
+            TelemetryEvent::RunMeta { .. } => None,
+            TelemetryEvent::BankBusy { at, .. }
+            | TelemetryEvent::BankIdle { at, .. }
+            | TelemetryEvent::QueueDepth { at, .. }
+            | TelemetryEvent::DrainStart { at, .. }
+            | TelemetryEvent::DrainStop { at, .. }
+            | TelemetryEvent::WritePause { at, .. }
+            | TelemetryEvent::WriteResume { at, .. }
+            | TelemetryEvent::BatchPack { at, .. } => Some(at),
+        }
+    }
+}
+
+fn get_u64(v: &Json, field: &str) -> Result<u64, JsonError> {
+    v.get(field)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| field_error(field))
+}
+
+fn get_u32(v: &Json, field: &str) -> Result<u32, JsonError> {
+    u32::try_from(get_u64(v, field)?).map_err(|_| field_error(field))
+}
+
+fn get_ps(v: &Json, field: &str) -> Result<Ps, JsonError> {
+    Ok(Ps(get_u64(v, field)?))
+}
+
+fn get_f64(v: &Json, field: &str) -> Result<f64, JsonError> {
+    v.get(field)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| field_error(field))
+}
+
+fn get_str(v: &Json, field: &str) -> Result<String, JsonError> {
+    v.get(field)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| field_error(field))
+}
+
+impl JsonCodec for TelemetryEvent {
+    fn to_json(&self) -> Json {
+        match self {
+            TelemetryEvent::RunMeta {
+                workload,
+                scheme,
+                banks,
+            } => Json::obj(vec![
+                ("ev", Json::str("run_meta")),
+                ("workload", Json::str(workload.clone())),
+                ("scheme", Json::str(scheme.clone())),
+                ("banks", Json::UInt(u64::from(*banks))),
+            ]),
+            TelemetryEvent::BankBusy {
+                at,
+                bank,
+                kind,
+                until,
+                lines,
+            } => Json::obj(vec![
+                ("ev", Json::str("bank_busy")),
+                ("at", Json::UInt(at.0)),
+                ("bank", Json::UInt(u64::from(*bank))),
+                ("kind", Json::str(kind.tag())),
+                ("until", Json::UInt(until.0)),
+                ("lines", Json::UInt(u64::from(*lines))),
+            ]),
+            TelemetryEvent::BankIdle { at, bank } => Json::obj(vec![
+                ("ev", Json::str("bank_idle")),
+                ("at", Json::UInt(at.0)),
+                ("bank", Json::UInt(u64::from(*bank))),
+            ]),
+            TelemetryEvent::QueueDepth { at, reads, writes } => Json::obj(vec![
+                ("ev", Json::str("queue_depth")),
+                ("at", Json::UInt(at.0)),
+                ("reads", Json::UInt(u64::from(*reads))),
+                ("writes", Json::UInt(u64::from(*writes))),
+            ]),
+            TelemetryEvent::DrainStart { at, writes } => Json::obj(vec![
+                ("ev", Json::str("drain_start")),
+                ("at", Json::UInt(at.0)),
+                ("writes", Json::UInt(u64::from(*writes))),
+            ]),
+            TelemetryEvent::DrainStop { at, writes } => Json::obj(vec![
+                ("ev", Json::str("drain_stop")),
+                ("at", Json::UInt(at.0)),
+                ("writes", Json::UInt(u64::from(*writes))),
+            ]),
+            TelemetryEvent::WritePause { at, bank, pauses } => Json::obj(vec![
+                ("ev", Json::str("write_pause")),
+                ("at", Json::UInt(at.0)),
+                ("bank", Json::UInt(u64::from(*bank))),
+                ("pauses", Json::UInt(u64::from(*pauses))),
+            ]),
+            TelemetryEvent::WriteResume { at, bank, until } => Json::obj(vec![
+                ("ev", Json::str("write_resume")),
+                ("at", Json::UInt(at.0)),
+                ("bank", Json::UInt(u64::from(*bank))),
+                ("until", Json::UInt(until.0)),
+            ]),
+            TelemetryEvent::BatchPack {
+                at,
+                bank,
+                lines,
+                write_units,
+                stolen_write0s,
+                utilization,
+            } => Json::obj(vec![
+                ("ev", Json::str("batch_pack")),
+                ("at", Json::UInt(at.0)),
+                ("bank", Json::UInt(u64::from(*bank))),
+                ("lines", Json::UInt(u64::from(*lines))),
+                ("write_units", Json::Num(*write_units)),
+                ("stolen_write0s", Json::UInt(u64::from(*stolen_write0s))),
+                ("utilization", Json::Num(*utilization)),
+            ]),
+        }
+    }
+
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let tag = get_str(v, "ev")?;
+        match tag.as_str() {
+            "run_meta" => Ok(TelemetryEvent::RunMeta {
+                workload: get_str(v, "workload")?,
+                scheme: get_str(v, "scheme")?,
+                banks: get_u32(v, "banks")?,
+            }),
+            "bank_busy" => Ok(TelemetryEvent::BankBusy {
+                at: get_ps(v, "at")?,
+                bank: get_u32(v, "bank")?,
+                kind: get_str(v, "kind")
+                    .ok()
+                    .as_deref()
+                    .and_then(OpKind::from_tag)
+                    .ok_or_else(|| field_error("kind"))?,
+                until: get_ps(v, "until")?,
+                lines: get_u32(v, "lines")?,
+            }),
+            "bank_idle" => Ok(TelemetryEvent::BankIdle {
+                at: get_ps(v, "at")?,
+                bank: get_u32(v, "bank")?,
+            }),
+            "queue_depth" => Ok(TelemetryEvent::QueueDepth {
+                at: get_ps(v, "at")?,
+                reads: get_u32(v, "reads")?,
+                writes: get_u32(v, "writes")?,
+            }),
+            "drain_start" => Ok(TelemetryEvent::DrainStart {
+                at: get_ps(v, "at")?,
+                writes: get_u32(v, "writes")?,
+            }),
+            "drain_stop" => Ok(TelemetryEvent::DrainStop {
+                at: get_ps(v, "at")?,
+                writes: get_u32(v, "writes")?,
+            }),
+            "write_pause" => Ok(TelemetryEvent::WritePause {
+                at: get_ps(v, "at")?,
+                bank: get_u32(v, "bank")?,
+                pauses: get_u32(v, "pauses")?,
+            }),
+            "write_resume" => Ok(TelemetryEvent::WriteResume {
+                at: get_ps(v, "at")?,
+                bank: get_u32(v, "bank")?,
+                until: get_ps(v, "until")?,
+            }),
+            "batch_pack" => Ok(TelemetryEvent::BatchPack {
+                at: get_ps(v, "at")?,
+                bank: get_u32(v, "bank")?,
+                lines: get_u32(v, "lines")?,
+                write_units: get_f64(v, "write_units")?,
+                stolen_write0s: get_u32(v, "stolen_write0s")?,
+                utilization: get_f64(v, "utilization")?,
+            }),
+            other => Err(JsonError {
+                offset: 0,
+                msg: format!("unknown telemetry event tag `{other}`"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcm_types::{prop_assert_eq, propcheck};
+
+    fn sample_events() -> Vec<TelemetryEvent> {
+        vec![
+            TelemetryEvent::RunMeta {
+                workload: "vips".into(),
+                scheme: "Tetris Write".into(),
+                banks: 32,
+            },
+            TelemetryEvent::BankBusy {
+                at: Ps(1_000),
+                bank: 3,
+                kind: OpKind::Write,
+                until: Ps(431_000),
+                lines: 4,
+            },
+            TelemetryEvent::BankIdle {
+                at: Ps(431_000),
+                bank: 3,
+            },
+            TelemetryEvent::QueueDepth {
+                at: Ps(2_000),
+                reads: 5,
+                writes: 17,
+            },
+            TelemetryEvent::DrainStart {
+                at: Ps(3_000),
+                writes: 32,
+            },
+            TelemetryEvent::DrainStop {
+                at: Ps(900_000),
+                writes: 16,
+            },
+            TelemetryEvent::WritePause {
+                at: Ps(5_000),
+                bank: 7,
+                pauses: 2,
+            },
+            TelemetryEvent::WriteResume {
+                at: Ps(9_000),
+                bank: 7,
+                until: Ps(300_000),
+            },
+            TelemetryEvent::BatchPack {
+                at: Ps(10_000),
+                bank: 1,
+                lines: 4,
+                write_units: 1.25,
+                stolen_write0s: 9,
+                utilization: 0.875,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_json() {
+        for ev in sample_events() {
+            let back = TelemetryEvent::from_json(&ev.to_json()).unwrap();
+            assert_eq!(ev, back);
+        }
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_jsonl_text() {
+        for ev in sample_events() {
+            let line = ev.to_json_string();
+            assert!(!line.contains('\n'), "JSONL line must be one line");
+            let back = TelemetryEvent::from_json_str(&line).unwrap();
+            assert_eq!(ev, back);
+        }
+    }
+
+    #[test]
+    fn detail_classification() {
+        use TraceDetail::*;
+        for ev in sample_events() {
+            let want = match ev {
+                TelemetryEvent::BankBusy { .. }
+                | TelemetryEvent::BankIdle { .. }
+                | TelemetryEvent::QueueDepth { .. } => Fine,
+                _ => Coarse,
+            };
+            assert_eq!(ev.detail(), want);
+        }
+        assert!(TraceDetail::Fine > TraceDetail::Coarse);
+    }
+
+    #[test]
+    fn unknown_tag_is_an_error() {
+        let v = Json::obj(vec![("ev", Json::str("warp_core_breach"))]);
+        assert!(TelemetryEvent::from_json(&v).is_err());
+        assert!(TelemetryEvent::from_json(&Json::Null).is_err());
+    }
+
+    #[test]
+    fn timestamps_and_level_parse() {
+        assert_eq!(TraceDetail::parse("fine"), Some(TraceDetail::Fine));
+        assert_eq!(TraceDetail::parse("coarse"), Some(TraceDetail::Coarse));
+        assert_eq!(TraceDetail::parse("verbose"), None);
+        assert_eq!(
+            sample_events()[1].at(),
+            Some(Ps(1_000)),
+            "bank_busy carries its issue time"
+        );
+        assert_eq!(sample_events()[0].at(), None, "run_meta is untimed");
+    }
+
+    propcheck! {
+        fn queue_depth_roundtrip(at in 0u64..=u64::MAX / 2, r in 0u64..=64, w in 0u64..=64) {
+            let ev = TelemetryEvent::QueueDepth {
+                at: Ps(at),
+                reads: r as u32,
+                writes: w as u32,
+            };
+            prop_assert_eq!(TelemetryEvent::from_json_str(&ev.to_json_string()).unwrap(), ev);
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! Sinks the simulator records [`TelemetryEvent`]s into.
+
+use crate::event::{TelemetryEvent, TraceDetail};
+use pcm_types::{Json, JsonCodec};
+use std::io::{self, BufRead, Write};
+
+/// The recording interface the memory hierarchy is instrumented against.
+///
+/// The simulator holds a `&mut dyn Telemetry` (or a boxed one) and calls
+/// [`Telemetry::record`] at each instrumentation point, guarded by
+/// [`Telemetry::wants`] so disabled sinks cost one virtual call and no
+/// event construction:
+///
+/// ```
+/// use pcm_telemetry::{NullSink, Telemetry, TelemetryEvent, TraceDetail};
+/// use pcm_types::Ps;
+/// let mut tel = NullSink;
+/// if tel.wants(TraceDetail::Fine) {
+///     tel.record(&TelemetryEvent::BankIdle { at: Ps(100), bank: 0 });
+/// }
+/// assert!(!tel.wants(TraceDetail::Coarse)); // never reached above
+/// ```
+pub trait Telemetry {
+    /// The detail level this sink records, or `None` when disabled.
+    fn detail(&self) -> Option<TraceDetail>;
+
+    /// Record one event. Implementations may assume the caller already
+    /// checked [`Telemetry::wants`], but must stay correct (filter or
+    /// drop) if handed an event above their level.
+    fn record(&mut self, ev: &TelemetryEvent);
+
+    /// Would an event of detail `d` be kept? Instrumentation points use
+    /// this to skip event construction entirely for [`NullSink`].
+    fn wants(&self, d: TraceDetail) -> bool {
+        self.detail().is_some_and(|lvl| lvl >= d)
+    }
+
+    /// Flush buffered output and surface any deferred I/O error.
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The zero-cost default sink: records nothing, reports disabled.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl Telemetry for NullSink {
+    fn detail(&self) -> Option<TraceDetail> {
+        None
+    }
+
+    fn record(&mut self, _ev: &TelemetryEvent) {}
+}
+
+/// Collects events in memory; the test and summary workhorse.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    /// Every recorded event, in arrival order.
+    pub events: Vec<TelemetryEvent>,
+    level: TraceDetail,
+}
+
+impl MemorySink {
+    /// A sink recording everything ([`TraceDetail::Fine`]).
+    pub fn new() -> MemorySink {
+        MemorySink::with_detail(TraceDetail::Fine)
+    }
+
+    /// A sink recording events up to `level`.
+    pub fn with_detail(level: TraceDetail) -> MemorySink {
+        MemorySink {
+            events: Vec::new(),
+            level,
+        }
+    }
+}
+
+impl Telemetry for MemorySink {
+    fn detail(&self) -> Option<TraceDetail> {
+        Some(self.level)
+    }
+
+    fn record(&mut self, ev: &TelemetryEvent) {
+        if self.wants(ev.detail()) {
+            self.events.push(ev.clone());
+        }
+    }
+}
+
+/// Streams one compact JSON object per line to any writer.
+///
+/// Output is buffered; I/O errors are deferred and surfaced by
+/// [`Telemetry::flush`] (recording itself stays infallible so the
+/// simulator's hot path carries no `Result` plumbing).
+pub struct JsonlSink<W: Write> {
+    w: io::BufWriter<W>,
+    level: TraceDetail,
+    written: u64,
+    err: Option<io::Error>,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wrap a writer, keeping events up to `level`.
+    pub fn new(w: W, level: TraceDetail) -> JsonlSink<W> {
+        JsonlSink {
+            w: io::BufWriter::new(w),
+            level,
+            written: 0,
+            err: None,
+        }
+    }
+
+    /// Events written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flush and return the inner writer (first deferred error wins).
+    pub fn finish(mut self) -> io::Result<W> {
+        Telemetry::flush(&mut self)?;
+        self.w.into_inner().map_err(|e| e.into_error())
+    }
+}
+
+impl JsonlSink<std::fs::File> {
+    /// Create (truncate) a trace file at `path`.
+    pub fn create(path: &std::path::Path, level: TraceDetail) -> io::Result<Self> {
+        Ok(JsonlSink::new(std::fs::File::create(path)?, level))
+    }
+}
+
+impl<W: Write> Telemetry for JsonlSink<W> {
+    fn detail(&self) -> Option<TraceDetail> {
+        Some(self.level)
+    }
+
+    fn record(&mut self, ev: &TelemetryEvent) {
+        if self.err.is_some() || !self.wants(ev.detail()) {
+            return;
+        }
+        if let Err(e) = writeln!(self.w, "{}", ev.to_json_string()) {
+            self.err = Some(e);
+        } else {
+            self.written += 1;
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if let Some(e) = self.err.take() {
+            return Err(e);
+        }
+        self.w.flush()
+    }
+}
+
+/// Forwarding impls so `Box<dyn Telemetry>` and `&mut dyn Telemetry`
+/// can themselves be passed where `impl Telemetry` is expected.
+impl<T: Telemetry + ?Sized> Telemetry for &mut T {
+    fn detail(&self) -> Option<TraceDetail> {
+        (**self).detail()
+    }
+    fn record(&mut self, ev: &TelemetryEvent) {
+        (**self).record(ev)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        (**self).flush()
+    }
+}
+
+impl<T: Telemetry + ?Sized> Telemetry for Box<T> {
+    fn detail(&self) -> Option<TraceDetail> {
+        (**self).detail()
+    }
+    fn record(&mut self, ev: &TelemetryEvent) {
+        (**self).record(ev)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        (**self).flush()
+    }
+}
+
+/// Parse a JSONL trace from a reader. Blank lines are skipped; a
+/// malformed line aborts with `InvalidData` naming the line number.
+pub fn read_events<R: BufRead>(r: R) -> io::Result<Vec<TelemetryEvent>> {
+    let mut events = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = Json::parse(line).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("trace line {}: {e}", i + 1),
+            )
+        })?;
+        let ev = TelemetryEvent::from_json(&v).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("trace line {}: {e}", i + 1),
+            )
+        })?;
+        events.push(ev);
+    }
+    Ok(events)
+}
+
+/// [`read_events`] over an in-memory string (tests, fixtures).
+pub fn read_events_str(s: &str) -> io::Result<Vec<TelemetryEvent>> {
+    read_events(s.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::OpKind;
+    use pcm_types::Ps;
+
+    fn fine_event() -> TelemetryEvent {
+        TelemetryEvent::QueueDepth {
+            at: Ps(10),
+            reads: 1,
+            writes: 2,
+        }
+    }
+
+    fn coarse_event() -> TelemetryEvent {
+        TelemetryEvent::DrainStart {
+            at: Ps(20),
+            writes: 32,
+        }
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        let mut s = NullSink;
+        assert_eq!(s.detail(), None);
+        assert!(!s.wants(TraceDetail::Coarse));
+        assert!(!s.wants(TraceDetail::Fine));
+        s.record(&fine_event()); // no-op, must not panic
+        s.flush().unwrap();
+    }
+
+    #[test]
+    fn memory_sink_filters_by_detail() {
+        let mut fine = MemorySink::new();
+        fine.record(&fine_event());
+        fine.record(&coarse_event());
+        assert_eq!(fine.events.len(), 2);
+
+        let mut coarse = MemorySink::with_detail(TraceDetail::Coarse);
+        assert!(coarse.wants(TraceDetail::Coarse));
+        assert!(!coarse.wants(TraceDetail::Fine));
+        coarse.record(&fine_event()); // above level: dropped even unguarded
+        coarse.record(&coarse_event());
+        assert_eq!(coarse.events, vec![coarse_event()]);
+    }
+
+    #[test]
+    fn jsonl_sink_round_trips_through_reader() {
+        let mut sink = JsonlSink::new(Vec::new(), TraceDetail::Fine);
+        let evs = vec![
+            TelemetryEvent::RunMeta {
+                workload: "w".into(),
+                scheme: "s".into(),
+                banks: 8,
+            },
+            TelemetryEvent::BankBusy {
+                at: Ps(5),
+                bank: 2,
+                kind: OpKind::Read,
+                until: Ps(50_005),
+                lines: 1,
+            },
+            fine_event(),
+            coarse_event(),
+        ];
+        for ev in &evs {
+            sink.record(ev);
+        }
+        assert_eq!(sink.written(), 4);
+        let bytes = sink.finish().unwrap();
+        let back = read_events(&bytes[..]).unwrap();
+        assert_eq!(back, evs);
+    }
+
+    #[test]
+    fn jsonl_sink_coarse_drops_fine_events() {
+        let mut sink = JsonlSink::new(Vec::new(), TraceDetail::Coarse);
+        sink.record(&fine_event());
+        sink.record(&coarse_event());
+        assert_eq!(sink.written(), 1);
+        let back = read_events(&sink.finish().unwrap()[..]).unwrap();
+        assert_eq!(back, vec![coarse_event()]);
+    }
+
+    #[test]
+    fn reader_skips_blanks_and_names_bad_lines() {
+        let good = coarse_event().to_json_string();
+        let text = format!("\n{good}\n\n");
+        assert_eq!(read_events_str(&text).unwrap().len(), 1);
+
+        let bad = format!("{good}\nnot json\n");
+        let err = read_events_str(&bad).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn dyn_and_boxed_sinks_forward() {
+        let mut mem = MemorySink::new();
+        {
+            let dyn_ref: &mut dyn Telemetry = &mut mem;
+            let wrapped = dyn_ref; // &mut dyn Telemetry is itself Telemetry
+            wrapped.record(&coarse_event());
+        }
+        let mut boxed: Box<dyn Telemetry> = Box::new(mem);
+        boxed.record(&fine_event());
+        boxed.flush().unwrap();
+    }
+}

@@ -1,0 +1,304 @@
+//! Aggregation primitives: counters and log-bucketed histograms.
+//!
+//! These are the building blocks trace consumers aggregate events into.
+//! The histogram mirrors the simulator's latency-statistics geometry
+//! (power-of-two octaves split into sub-buckets) but is unit-agnostic:
+//! it records plain `u64` values, so it serves picosecond latencies and
+//! queue depths alike.
+
+use pcm_types::json::field_error;
+use pcm_types::{Json, JsonCodec, JsonError};
+
+/// Sub-buckets per power-of-two octave.
+const SUB: usize = 4;
+/// Octaves covered (values up to 2^48 land in the last octave).
+const OCTAVES: usize = 48;
+/// Total buckets.
+const BUCKETS: usize = OCTAVES * SUB;
+
+/// Map a value to its log-scale bucket.
+fn bucket_of(v: u64) -> usize {
+    let v = v.max(1);
+    let octave = (63 - v.leading_zeros()) as usize;
+    let base = 1u64 << octave;
+    let sub = ((v - base) * SUB as u64 / base) as usize;
+    (octave * SUB + sub).min(BUCKETS - 1)
+}
+
+/// Lower edge of a bucket.
+fn bucket_floor(b: usize) -> u64 {
+    let octave = b / SUB;
+    let sub = b % SUB;
+    let base = 1u64 << octave;
+    base + base * sub as u64 / SUB as u64
+}
+
+/// A named monotonic counter.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Counter {
+    /// Counter name (JSON key `name`).
+    pub name: String,
+    /// Current value.
+    pub value: u64,
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new(name: impl Into<String>) -> Counter {
+        Counter {
+            name: name.into(),
+            value: 0,
+        }
+    }
+
+    /// Increment by one.
+    pub fn incr(&mut self) {
+        self.value += 1;
+    }
+
+    /// Increment by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Fold another counter in (names must match; debug-asserted).
+    pub fn merge(&mut self, other: &Counter) {
+        debug_assert_eq!(self.name, other.name);
+        self.value += other.value;
+    }
+}
+
+impl JsonCodec for Counter {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::str(&self.name)),
+            ("value", Json::UInt(self.value)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Counter {
+            name: v
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| field_error("name"))?
+                .to_string(),
+            value: v
+                .get("value")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| field_error("value"))?,
+        })
+    }
+}
+
+/// Streaming histogram over `u64` values with logarithmic buckets.
+///
+/// Percentile queries are approximate (bucket floors, resolution ~25% of
+/// the value) but O(buckets) irrespective of sample count; exact min,
+/// max, count, and sum are tracked alongside.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    buckets: Vec<u64>,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        if self.count == 0 || v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+        self.count += 1;
+        self.sum += v;
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; BUCKETS];
+        }
+        self.buckets[bucket_of(v)] += 1;
+    }
+
+    /// Mean of all samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate percentile (`p` in [0, 1]): the floor of the bucket
+    /// containing the `ceil(p · count)`-th smallest sample.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * p.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                // The first bucket's floor is 1; a recorded 0 lands there.
+                return bucket_floor(b).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 || other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if !other.buckets.is_empty() {
+            if self.buckets.is_empty() {
+                self.buckets = vec![0; BUCKETS];
+            }
+            for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+                *a += b;
+            }
+        }
+    }
+}
+
+impl JsonCodec for Histogram {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("count", Json::UInt(self.count)),
+            ("sum", Json::UInt(self.sum)),
+            ("min", Json::UInt(self.min)),
+            ("max", Json::UInt(self.max)),
+            ("buckets", Json::u64_array(&self.buckets)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let u = |k: &str| v.get(k).and_then(Json::as_u64).unwrap_or(0);
+        let buckets: Vec<u64> = v
+            .get("buckets")
+            .and_then(Json::as_array)
+            .map(|a| a.iter().filter_map(Json::as_u64).collect())
+            .unwrap_or_default();
+        Ok(Histogram {
+            count: u("count"),
+            sum: u("sum"),
+            min: u("min"),
+            max: u("max"),
+            buckets,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcm_types::{prop_assert, propcheck};
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new("drains");
+        c.incr();
+        c.add(4);
+        assert_eq!(c.value, 5);
+        let mut d = Counter::new("drains");
+        d.add(2);
+        c.merge(&d);
+        assert_eq!(c.value, 7);
+        let back = Counter::from_json_str(&c.to_json_string()).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn histogram_stream_and_percentiles() {
+        let mut h = Histogram::new();
+        for _ in 0..90 {
+            h.record(8);
+        }
+        for _ in 0..10 {
+            h.record(1_000);
+        }
+        assert_eq!(h.count, 100);
+        assert_eq!(h.min, 8);
+        assert_eq!(h.max, 1_000);
+        assert_eq!(h.percentile(0.50), 8);
+        let p99 = h.percentile(0.99);
+        assert!((512..=1_000).contains(&p99), "p99 = {p99}");
+        assert_eq!(Histogram::new().percentile(0.5), 0);
+    }
+
+    #[test]
+    fn zero_samples_count_in_first_bucket() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(0);
+        h.record(0);
+        assert_eq!(h.min, 0);
+        // Percentile is clamped to max, so all-zero samples report 0.
+        assert_eq!(h.percentile(0.99), 0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for _ in 0..50 {
+            a.record(10);
+            b.record(10_000);
+        }
+        a.merge(&b);
+        assert_eq!(a.count, 100);
+        assert!(a.percentile(0.25) <= 10);
+        assert!(a.percentile(0.75) >= 5_000);
+        a.merge(&Histogram::new());
+        assert_eq!(a.count, 100);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_percentiles() {
+        let mut h = Histogram::new();
+        for v in [1u64, 5, 9, 100, 40_000, 1 << 40] {
+            h.record(v);
+        }
+        let back = Histogram::from_json_str(&h.to_json_string()).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(back.percentile(0.95), h.percentile(0.95));
+    }
+
+    propcheck! {
+        /// A percentile is never below min nor above max, and the
+        /// histogram survives a JSON round trip bit-for-bit.
+        fn percentile_bounded(vals in pcm_types::propcheck::vec_of(0u64..=1 << 50, 1..=64)) {
+            let mut h = Histogram::new();
+            for &v in &vals {
+                h.record(v);
+            }
+            for p in [0.0, 0.5, 0.95, 1.0] {
+                let q = h.percentile(p);
+                prop_assert!(q <= h.max, "p{p}: {q} > max {}", h.max);
+            }
+            let back = Histogram::from_json_str(&h.to_json_string()).unwrap();
+            prop_assert!(back == h);
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! Reduce a recorded event stream back into report-ready aggregates:
+//! per-bank busy time / utilization and queue-depth percentiles.
+
+use crate::event::{OpKind, TelemetryEvent};
+use pcm_types::Ps;
+
+/// Accumulated service activity for one bank.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BankUsage {
+    /// Total time the bank spent servicing operations (pause-corrected:
+    /// an interrupted write only contributes the portion actually run).
+    pub busy: Ps,
+    /// Read operations issued to the bank.
+    pub reads: u64,
+    /// Write operations issued to the bank (a batch counts once).
+    pub writes: u64,
+    /// Cache lines serviced (batches count their packed lines).
+    pub lines: u64,
+}
+
+/// Everything the `report` subcommand needs, computed in one pass over
+/// a trace.
+#[derive(Clone, Debug, Default)]
+pub struct TraceSummary {
+    /// Workload name from the `run_meta` event (empty if absent).
+    pub workload: String,
+    /// Scheme name from the `run_meta` event (empty if absent).
+    pub scheme: String,
+    /// Per-bank usage, indexed by flat bank id (length = max bank seen + 1,
+    /// or the `run_meta` bank count if larger).
+    pub banks: Vec<BankUsage>,
+    /// Last timestamp observed (including scheduled completions) —
+    /// the denominator for utilization.
+    pub span: Ps,
+    /// Sorted read-queue depth samples.
+    pub read_depths: Vec<u32>,
+    /// Sorted write-queue depth samples.
+    pub write_depths: Vec<u32>,
+    /// Write pauses observed.
+    pub pauses: u64,
+    /// Paused-write resumes observed.
+    pub resumes: u64,
+    /// Drain-mode entries observed.
+    pub drains: u64,
+    /// Batch-pack outcomes observed.
+    pub batches: u64,
+    /// Write0 jobs stolen into sub-write-unit slack, summed over batches.
+    pub stolen_write0s: u64,
+    /// Mean current-budget utilization over batch-pack outcomes.
+    pub mean_batch_utilization: f64,
+}
+
+/// Nearest-rank percentile of a **sorted** slice (`p` in [0, 1]).
+/// Returns 0 for an empty slice. Exact, unlike [`crate::Histogram`].
+pub fn percentile(sorted: &[u32], p: f64) -> u32 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let n = sorted.len() as f64;
+    let rank = (n * p.clamp(0.0, 1.0)).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+impl TraceSummary {
+    /// Aggregate an event stream (the order events were recorded in).
+    pub fn from_events(events: &[TelemetryEvent]) -> TraceSummary {
+        let mut s = TraceSummary::default();
+        // Scheduled end of each bank's current operation, so a pause can
+        // retract the not-yet-run tail of a busy interval.
+        let mut busy_until: Vec<Ps> = Vec::new();
+        let mut util_sum = 0.0f64;
+
+        let bank_mut = |banks: &mut Vec<BankUsage>, busy_until: &mut Vec<Ps>, bank: u32| -> usize {
+            let i = bank as usize;
+            if banks.len() <= i {
+                banks.resize(i + 1, BankUsage::default());
+                busy_until.resize(i + 1, Ps::ZERO);
+            }
+            i
+        };
+
+        for ev in events {
+            if let Some(at) = ev.at() {
+                s.span = s.span.max(at);
+            }
+            match *ev {
+                TelemetryEvent::RunMeta {
+                    ref workload,
+                    ref scheme,
+                    banks,
+                } => {
+                    s.workload = workload.clone();
+                    s.scheme = scheme.clone();
+                    if s.banks.len() < banks as usize {
+                        s.banks.resize(banks as usize, BankUsage::default());
+                        busy_until.resize(banks as usize, Ps::ZERO);
+                    }
+                }
+                TelemetryEvent::BankBusy {
+                    at,
+                    bank,
+                    kind,
+                    until,
+                    lines,
+                } => {
+                    let i = bank_mut(&mut s.banks, &mut busy_until, bank);
+                    s.banks[i].busy += until.saturating_sub(at);
+                    s.banks[i].lines += u64::from(lines);
+                    match kind {
+                        OpKind::Read => s.banks[i].reads += 1,
+                        OpKind::Write => s.banks[i].writes += 1,
+                    }
+                    busy_until[i] = until;
+                    s.span = s.span.max(until);
+                }
+                TelemetryEvent::WritePause { at, bank, .. } => {
+                    s.pauses += 1;
+                    let i = bank_mut(&mut s.banks, &mut busy_until, bank);
+                    // Retract the part of the interval that never ran.
+                    s.banks[i].busy -= busy_until[i].saturating_sub(at);
+                    busy_until[i] = at;
+                }
+                TelemetryEvent::WriteResume { at, bank, until } => {
+                    s.resumes += 1;
+                    let i = bank_mut(&mut s.banks, &mut busy_until, bank);
+                    s.banks[i].busy += until.saturating_sub(at);
+                    busy_until[i] = until;
+                    s.span = s.span.max(until);
+                }
+                TelemetryEvent::QueueDepth { reads, writes, .. } => {
+                    s.read_depths.push(reads);
+                    s.write_depths.push(writes);
+                }
+                TelemetryEvent::DrainStart { .. } => s.drains += 1,
+                TelemetryEvent::DrainStop { .. } | TelemetryEvent::BankIdle { .. } => {}
+                TelemetryEvent::BatchPack {
+                    stolen_write0s,
+                    utilization,
+                    ..
+                } => {
+                    s.batches += 1;
+                    s.stolen_write0s += u64::from(stolen_write0s);
+                    util_sum += utilization;
+                }
+            }
+        }
+        if s.batches > 0 {
+            s.mean_batch_utilization = util_sum / s.batches as f64;
+        }
+        s.read_depths.sort_unstable();
+        s.write_depths.sort_unstable();
+        s
+    }
+
+    /// Fraction of the trace span bank `i` spent busy (0 when the trace
+    /// is empty).
+    pub fn utilization(&self, bank: usize) -> f64 {
+        if self.span == Ps::ZERO {
+            return 0.0;
+        }
+        self.banks
+            .get(bank)
+            .map(|b| b.busy.as_ps() as f64 / self.span.as_ps() as f64)
+            .unwrap_or(0.0)
+    }
+
+    /// Mean utilization across all banks.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.banks.is_empty() {
+            0.0
+        } else {
+            (0..self.banks.len())
+                .map(|b| self.utilization(b))
+                .sum::<f64>()
+                / self.banks.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcm_types::Ps;
+
+    fn meta(banks: u32) -> TelemetryEvent {
+        TelemetryEvent::RunMeta {
+            workload: "w".into(),
+            scheme: "s".into(),
+            banks,
+        }
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<u32> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0.50), 50);
+        assert_eq!(percentile(&v, 0.95), 95);
+        assert_eq!(percentile(&v, 0.99), 99);
+        assert_eq!(percentile(&v, 1.0), 100);
+        assert_eq!(percentile(&v, 0.0), 1);
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[7], 0.5), 7);
+    }
+
+    #[test]
+    fn busy_time_accumulates_per_bank() {
+        let evs = vec![
+            meta(2),
+            TelemetryEvent::BankBusy {
+                at: Ps(0),
+                bank: 0,
+                kind: OpKind::Read,
+                until: Ps(50_000),
+                lines: 1,
+            },
+            TelemetryEvent::BankBusy {
+                at: Ps(50_000),
+                bank: 0,
+                kind: OpKind::Write,
+                until: Ps(100_000),
+                lines: 2,
+            },
+            TelemetryEvent::BankIdle {
+                at: Ps(100_000),
+                bank: 0,
+            },
+        ];
+        let s = TraceSummary::from_events(&evs);
+        assert_eq!(s.banks.len(), 2);
+        assert_eq!(s.banks[0].busy, Ps(100_000));
+        assert_eq!(s.banks[0].reads, 1);
+        assert_eq!(s.banks[0].writes, 1);
+        assert_eq!(s.banks[0].lines, 3);
+        assert_eq!(s.banks[1].busy, Ps::ZERO);
+        assert_eq!(s.span, Ps(100_000));
+        assert!((s.utilization(0) - 1.0).abs() < 1e-12);
+        assert_eq!(s.utilization(1), 0.0);
+        assert!((s.mean_utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pause_retracts_unrun_tail_and_resume_re_adds() {
+        // Write scheduled 0..430ns, paused at 100ns, resumes 150..480ns.
+        let evs = vec![
+            meta(1),
+            TelemetryEvent::BankBusy {
+                at: Ps(0),
+                bank: 0,
+                kind: OpKind::Write,
+                until: Ps(430_000),
+                lines: 1,
+            },
+            TelemetryEvent::WritePause {
+                at: Ps(100_000),
+                bank: 0,
+                pauses: 1,
+            },
+            TelemetryEvent::WriteResume {
+                at: Ps(150_000),
+                bank: 0,
+                until: Ps(480_000),
+            },
+        ];
+        let s = TraceSummary::from_events(&evs);
+        // 100ns before the pause + 330ns after the resume.
+        assert_eq!(s.banks[0].busy, Ps(430_000));
+        assert_eq!(s.pauses, 1);
+        assert_eq!(s.resumes, 1);
+        assert_eq!(s.span, Ps(480_000));
+        assert!(s.utilization(0) < 1.0);
+    }
+
+    #[test]
+    fn queue_depths_sorted_and_counted() {
+        let evs = vec![
+            TelemetryEvent::QueueDepth {
+                at: Ps(1),
+                reads: 9,
+                writes: 2,
+            },
+            TelemetryEvent::QueueDepth {
+                at: Ps(2),
+                reads: 3,
+                writes: 30,
+            },
+            TelemetryEvent::DrainStart {
+                at: Ps(3),
+                writes: 32,
+            },
+            TelemetryEvent::BatchPack {
+                at: Ps(4),
+                bank: 0,
+                lines: 4,
+                write_units: 1.5,
+                stolen_write0s: 6,
+                utilization: 0.5,
+            },
+            TelemetryEvent::BatchPack {
+                at: Ps(5),
+                bank: 0,
+                lines: 2,
+                write_units: 1.0,
+                stolen_write0s: 2,
+                utilization: 1.0,
+            },
+        ];
+        let s = TraceSummary::from_events(&evs);
+        assert_eq!(s.read_depths, vec![3, 9]);
+        assert_eq!(s.write_depths, vec![2, 30]);
+        assert_eq!(s.drains, 1);
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.stolen_write0s, 8);
+        assert!((s.mean_batch_utilization - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_is_all_zeroes() {
+        let s = TraceSummary::from_events(&[]);
+        assert_eq!(s.span, Ps::ZERO);
+        assert!(s.banks.is_empty());
+        assert_eq!(s.utilization(0), 0.0);
+        assert_eq!(s.mean_utilization(), 0.0);
+    }
+}

@@ -4,7 +4,8 @@
 //! JSON, so an experiment can be replayed bit-for-bit or inspected offline.
 
 use pcm_memsim::{AccessKind, TraceOp, TraceSource};
-use pcm_types::Json;
+use pcm_types::json::field_error;
+use pcm_types::{Json, JsonCodec, JsonError};
 use std::io::{BufRead, Write};
 
 /// Serializable form of one op.
@@ -42,6 +43,33 @@ impl From<TraceRecord> for TraceOp {
     }
 }
 
+impl JsonCodec for TraceRecord {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("gap", Json::UInt(self.gap as u64)),
+            ("w", Json::Bool(self.w)),
+            ("addr", Json::UInt(self.addr)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let gap = v
+            .get("gap")
+            .and_then(Json::as_u64)
+            .and_then(|g| u32::try_from(g).ok())
+            .ok_or_else(|| field_error("gap"))?;
+        let w = v
+            .get("w")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| field_error("w"))?;
+        let addr = v
+            .get("addr")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| field_error("addr"))?;
+        Ok(TraceRecord { gap, w, addr })
+    }
+}
+
 /// Materialize a [`TraceSource`] into per-core op vectors.
 pub fn record_trace(src: &mut dyn TraceSource, cores: usize) -> Vec<Vec<TraceOp>> {
     (0..cores)
@@ -56,14 +84,7 @@ pub fn write_trace<W: Write>(w: &mut W, trace: &[Vec<TraceOp>]) -> std::io::Resu
         let records = Json::Arr(
             core_ops
                 .iter()
-                .map(|&o| {
-                    let r = TraceRecord::from(o);
-                    Json::obj(vec![
-                        ("gap", Json::UInt(r.gap as u64)),
-                        ("w", Json::Bool(r.w)),
-                        ("addr", Json::UInt(r.addr)),
-                    ])
-                })
+                .map(|&o| TraceRecord::from(o).to_json())
                 .collect(),
         );
         w.write_all(records.to_string_compact().as_bytes())?;
@@ -90,20 +111,9 @@ pub fn read_trace<R: BufRead>(r: R) -> std::io::Result<Vec<Vec<TraceOp>>> {
         let ops = records
             .iter()
             .map(|rec| {
-                let gap = rec.get("gap").and_then(Json::as_u64);
-                let w = rec.get("w").and_then(Json::as_bool);
-                let addr = rec.get("addr").and_then(Json::as_u64);
-                match (gap, w, addr) {
-                    (Some(gap), Some(w), Some(addr)) => Ok(TraceOp::from(TraceRecord {
-                        gap: gap as u32,
-                        w,
-                        addr,
-                    })),
-                    _ => Err(std::io::Error::new(
-                        std::io::ErrorKind::InvalidData,
-                        "trace record missing gap/w/addr",
-                    )),
-                }
+                TraceRecord::from_json(rec)
+                    .map(TraceOp::from)
+                    .map_err(std::io::Error::from)
             })
             .collect::<std::io::Result<Vec<TraceOp>>>()?;
         out.push(ops);
@@ -116,6 +126,8 @@ mod tests {
     use super::*;
     use crate::generator::{GeneratorConfig, SyntheticParsec};
     use crate::profiles::ALL_PROFILES;
+    use pcm_types::propcheck::{any_bool, any_u64};
+    use pcm_types::{prop_assert_eq, propcheck};
 
     #[test]
     fn roundtrip_through_json() {
@@ -152,6 +164,14 @@ mod tests {
     fn empty_lines_skipped() {
         let back = read_trace(std::io::BufReader::new("\n\n".as_bytes())).unwrap();
         assert!(back.is_empty());
+    }
+
+    propcheck! {
+        /// `JsonCodec` round-trip for individual trace records.
+        fn trace_record_json_roundtrip(gap in 0u64..=u32::MAX as u64, w in any_bool(), addr in any_u64()) {
+            let r = TraceRecord { gap: gap as u32, w, addr };
+            prop_assert_eq!(TraceRecord::from_json_str(&r.to_json_string()).unwrap(), r);
+        }
     }
 
     #[test]

@@ -6,9 +6,8 @@
 //! cargo run --release --example batch_scheduler
 //! ```
 
-use pcm_workloads::WorkloadProfile;
 use tetris_experiments::ablation::sample_demands;
-use tetris_experiments::{run_one, RunConfig, SchemeKind};
+use tetris_experiments::{run_one, RunConfig, SchemeKind, WorkloadProfile};
 use tetris_write::{analyze, analyze_batch, render_gantt, TetrisConfig};
 
 fn main() {
@@ -40,8 +39,10 @@ fn main() {
 
     // System level: drain the write queue in batches of 1/2/4.
     println!("full-system effect on ferret (write-queue drains):");
-    let mut run_cfg = RunConfig::quick();
-    run_cfg.instructions_per_core = 1_000_000;
+    let mut run_cfg = RunConfig::builder()
+        .instructions_per_core(1_000_000)
+        .build()
+        .expect("valid run configuration");
     let mut baseline = None;
     for batch_writes in [1usize, 2, 4] {
         run_cfg.system.controller.batch_writes = batch_writes;

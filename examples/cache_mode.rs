@@ -5,13 +5,15 @@
 //! cargo run --release --example cache_mode
 //! ```
 
-use pcm_memsim::cpu::VecTrace;
-use pcm_memsim::{AccessKind, System, SystemConfig, TraceLevel, TraceOp, UniformRandomContent};
+use pcm_memsim::prelude::*;
 use tetris_experiments::SchemeKind;
 
 fn main() {
-    let mut cfg = SystemConfig::small_test();
-    cfg.cores = 2;
+    let cfg = SystemConfig::builder()
+        .small_caches()
+        .cores(2)
+        .build()
+        .expect("valid system configuration");
 
     // Each core: a pointer-chase over a hot footprint (cache-resident)
     // interleaved with a streaming writer whose footprint exceeds the L3.

@@ -7,11 +7,9 @@
 //! ```
 
 use pcm_device::{FsmExecutor, PcmBank, ScheduledBitWrite, WriteOp};
-use pcm_schemes::WriteCtx;
-use pcm_types::{LineData, PcmTimings, PowerParams};
-use pcm_workloads::WorkloadProfile;
-use tetris_experiments::{run_one, RunConfig, SchemeKind};
-use tetris_write::{analyze, build_jobs, read_stage, TetrisConfig};
+use pcm_memsim::prelude::*;
+use tetris_experiments::{run_one, RunConfig, SchemeKind, WorkloadProfile};
+use tetris_write::{build_jobs, read_stage};
 
 fn main() {
     device_level();
@@ -73,7 +71,10 @@ fn device_level() {
 fn system_level() {
     println!("system level — cell pulses per line write (ferret, quick run)");
     let p = WorkloadProfile::by_name("ferret").unwrap();
-    let cfg = RunConfig::quick();
+    let cfg = RunConfig::builder()
+        .quick()
+        .build()
+        .expect("valid run configuration");
     println!(
         "  {:<20} {:>14} {:>18}",
         "scheme", "pulses/write", "relative lifetime"

@@ -5,8 +5,7 @@
 //! cargo run --release --example parsec_sim -- vips [instructions-per-core]
 //! ```
 
-use pcm_workloads::WorkloadProfile;
-use tetris_experiments::{run_one, RunConfig, SchemeKind};
+use tetris_experiments::{run_one, RunConfig, SchemeKind, WorkloadProfile};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -7,11 +7,9 @@
 //! cargo run --release --example power_budget_explorer
 //! ```
 
+use pcm_memsim::prelude::*;
 use pcm_schemes::analytic;
-use pcm_types::PowerParams;
-use pcm_workloads::WorkloadProfile;
-use tetris_experiments::ablation::sample_demands;
-use tetris_write::{analyze, TetrisConfig};
+use tetris_experiments::{ablation::sample_demands, WorkloadProfile};
 
 fn main() {
     let profiles = ["blackscholes", "ferret", "vips"];

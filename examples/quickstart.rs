@@ -5,11 +5,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use pcm_schemes::{
-    DcwWrite, FlipNWrite, SchemeConfig, ThreeStageWrite, TwoStageWrite, WriteCtx, WriteScheme,
-};
-use pcm_types::LineData;
-use tetris_write::{render_gantt, TetrisWrite};
+use pcm_memsim::prelude::*;
 
 fn main() {
     // Table II baseline: 64 B lines, 8 B write units, 430/53/50 ns pulses,

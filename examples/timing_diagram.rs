@@ -5,9 +5,8 @@
 //! cargo run --example timing_diagram
 //! ```
 
-use pcm_schemes::{analytic, SchemeConfig};
-use pcm_types::{LineDemand, PowerParams, UnitDemand};
-use tetris_write::{analyze, render_gantt, TetrisConfig};
+use pcm_memsim::prelude::*;
+use pcm_schemes::analytic;
 
 fn main() {
     // The paper's example: 64 B line, four X16 chips, budget 32 per chip,

@@ -127,8 +127,11 @@ fn recorded_trace_replays_identically() {
 /// issued is eventually serviced, none invented.
 #[test]
 fn cpu_mode_conserves_work() {
-    let mut cfg = SystemConfig::small_test();
-    cfg.cores = 1;
+    let cfg = SystemConfig::builder()
+        .small_caches()
+        .cores(1)
+        .build()
+        .unwrap();
     let lines = 4096u64;
     let ops: Vec<TraceOp> = (0..lines)
         .map(|i| TraceOp {
@@ -167,10 +170,10 @@ fn end_to_end_determinism() {
         tetris_experiments::SchemeKind::Dcw,
         tetris_experiments::SchemeKind::Tetris,
     ] {
-        let cfg = tetris_experiments::RunConfig {
-            instructions_per_core: 150_000,
-            ..tetris_experiments::RunConfig::quick()
-        };
+        let cfg = tetris_experiments::RunConfig::builder()
+            .instructions_per_core(150_000)
+            .build()
+            .unwrap();
         let a = tetris_experiments::run_one(p, kind, &cfg);
         let b = tetris_experiments::run_one(p, kind, &cfg);
         assert_eq!(a.runtime, b.runtime);
@@ -206,4 +209,44 @@ fn writes_conserved_under_backpressure() {
         r.write_stall.as_ps() > 0,
         "32-entry queue must backpressure 500 writes"
     );
+}
+
+/// The traced-run path writes a JSONL telemetry file that round-trips
+/// through the reader into a non-trivial summary: run metadata, per-bank
+/// activity and queue-depth samples all survive the disk hop.
+#[test]
+fn traced_run_roundtrips_through_jsonl() {
+    use pcm_telemetry::{read_events, JsonlSink, TraceDetail, TraceSummary};
+    let path = std::env::temp_dir().join(format!(
+        "tetris-trace-roundtrip-{}.jsonl",
+        std::process::id()
+    ));
+    let sink = JsonlSink::create(&path, TraceDetail::Fine).unwrap();
+    let p = WorkloadProfile::by_name("vips").unwrap();
+    let cfg = tetris_experiments::RunConfig::builder()
+        .instructions_per_core(100_000)
+        .build()
+        .unwrap();
+    let r = tetris_experiments::run_one_traced(
+        p,
+        tetris_experiments::SchemeKind::Tetris,
+        &cfg,
+        Box::new(sink),
+    );
+    let file = std::io::BufReader::new(std::fs::File::open(&path).unwrap());
+    let events = read_events(file).unwrap();
+    std::fs::remove_file(&path).ok();
+    let s = TraceSummary::from_events(&events);
+    assert_eq!(s.workload, "vips");
+    assert_eq!(s.scheme, "Tetris Write");
+    assert_eq!(s.banks.len(), cfg.system.mem.org.total_banks() as usize);
+    let reads: u64 = s.banks.iter().map(|b| b.reads).sum();
+    let writes: u64 = s.banks.iter().map(|b| b.writes).sum();
+    assert_eq!(reads, r.mem_reads, "every memory read is traced");
+    assert!(writes > 0 && !s.read_depths.is_empty());
+    // The rendered tables carry one row per bank / queue.
+    let banks = tetris_experiments::report::trace_bank_table(&s);
+    let queues = tetris_experiments::report::trace_queue_table(&s);
+    assert_eq!(banks.to_csv().lines().count(), 2 + s.banks.len());
+    assert!(queues.to_csv().contains("\nread,"));
 }
