@@ -10,11 +10,17 @@
 //! tetris-experiments trace WORKLOAD OUT.jsonl [--instructions N]
 //! tetris-experiments replay TRACE.jsonl SCHEME
 //! tetris-experiments report TRACE.jsonl [--csv DIR]
+//! tetris-experiments sched-ablation [--quick] [--workload W] [--instructions N]
+//!                    [--trace-dir DIR] [--csv DIR] [--assert]
 //! ```
 //!
 //! `--trace` records a telemetry trace of one run (vips × Tetris, the
 //! paper's write-heaviest pairing) to a JSONL file; `report` renders such
 //! a file into per-bank utilization and queue-depth percentile tables.
+//! `sched-ablation` runs the same workload under the fixed and the
+//! adaptive controller scheduling policy and prints the delta table;
+//! `--assert` exits nonzero if the adaptive policy regresses (the CI
+//! `sched-regression` job runs exactly this).
 
 use pcm_memsim::SystemConfig;
 /// Print to stdout, exiting quietly if the consumer closed the pipe
@@ -188,6 +194,99 @@ fn run_traced(out: &str, level: pcm_telemetry::TraceDetail, cfg: &RunConfig) {
     );
 }
 
+/// `sched-ablation`: fixed vs adaptive scheduling head-to-head.
+fn cmd_sched_ablation(args: &[String]) {
+    let mut workload = "vips".to_string();
+    let mut quick = false;
+    let mut instructions: Option<u64> = None;
+    let mut trace_dir = "sched-traces".to_string();
+    let mut csv_dir: Option<String> = None;
+    let mut assert_no_regression = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--assert" => assert_no_regression = true,
+            "--workload" => {
+                i += 1;
+                workload = args
+                    .get(i)
+                    .unwrap_or_else(|| usage_error("--workload needs a name"))
+                    .clone();
+            }
+            "--instructions" => {
+                i += 1;
+                instructions = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage_error("--instructions needs a number")),
+                );
+            }
+            "--trace-dir" => {
+                i += 1;
+                trace_dir = args
+                    .get(i)
+                    .unwrap_or_else(|| usage_error("--trace-dir needs a directory"))
+                    .clone();
+            }
+            "--csv" => {
+                i += 1;
+                csv_dir = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| usage_error("--csv needs a directory"))
+                        .clone(),
+                );
+            }
+            other => usage_error(&format!("unknown sched-ablation flag '{other}'")),
+        }
+        i += 1;
+    }
+    let profile = pcm_workloads::WorkloadProfile::by_name(&workload).unwrap_or_else(|| {
+        eprintln!("unknown workload {workload}");
+        std::process::exit(1);
+    });
+    let mut builder = RunConfig::builder();
+    if quick {
+        builder = builder.quick();
+    }
+    if let Some(n) = instructions {
+        builder = builder.instructions_per_core(n);
+    }
+    let cfg = builder
+        .build()
+        .expect("baseline run configuration is valid");
+    eprintln!(
+        "sched-ablation: {} × Tetris, {} instructions/core, fixed vs adaptive…",
+        profile.name, cfg.instructions_per_core
+    );
+    let out =
+        tetris_experiments::run_sched_ablation(profile, &cfg, std::path::Path::new(&trace_dir))
+            .unwrap_or_else(|e| {
+                eprintln!("sched-ablation failed: {e}");
+                std::process::exit(1);
+            });
+    eprintln!(
+        "traces: {} and {}",
+        out.base_trace.display(),
+        out.adaptive_trace.display()
+    );
+    emit(
+        &tetris_experiments::delta_table(&out.base, &out.adaptive),
+        &csv_dir,
+    );
+    let violations = tetris_experiments::regression_check(&out.base, &out.adaptive);
+    if violations.is_empty() {
+        outln!("regression check: OK — adaptive is no worse than fixed");
+    } else {
+        for v in &violations {
+            outln!("regression check: FAIL — {v}");
+        }
+        if assert_no_regression {
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Exit with a clean usage error instead of a panic backtrace.
 fn usage_error(msg: &str) -> ! {
     eprintln!("error: {msg} (see --help)");
@@ -234,6 +333,10 @@ fn main() {
                     .unwrap_or_else(|| usage_error("report needs a trace path")),
                 &csv_dir,
             );
+            return;
+        }
+        Some("sched-ablation") => {
+            cmd_sched_ablation(&args);
             return;
         }
         _ => {}
@@ -295,6 +398,7 @@ fn main() {
                 outln!("       tetris-experiments trace WORKLOAD OUT.jsonl [--instructions N]");
                 outln!("       tetris-experiments replay TRACE.jsonl SCHEME");
                 outln!("       tetris-experiments report TRACE.jsonl [--csv DIR]");
+                outln!("       tetris-experiments sched-ablation [--quick] [--workload W] [--instructions N] [--trace-dir DIR] [--csv DIR] [--assert]");
                 return;
             }
             t => targets.push(t.to_string()),

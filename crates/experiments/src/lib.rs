@@ -16,6 +16,10 @@
 //!   (sorting, slack stealing, paper-literal Algorithm 2), power-budget
 //!   sweeps (mobile X8/X4/X2), cache-line scaling (64/128/256 B), and
 //!   wear/endurance comparisons.
+//! * [`sched_ablation`] — controller scheduling-policy ablation: fixed
+//!   drain watermarks vs the adaptive policy layer (watermarks + bank
+//!   steering + read windows), diffed from telemetry traces and gated
+//!   in CI.
 //!
 //! The `tetris-experiments` binary exposes all of it on the command line.
 
@@ -28,6 +32,7 @@ pub mod paper;
 pub mod pool;
 pub mod report;
 pub mod runner;
+pub mod sched_ablation;
 pub mod schemes;
 
 pub use pcm_memsim::{SimResult, SystemConfig};
@@ -35,5 +40,8 @@ pub use pcm_workloads::{WorkloadProfile, ALL_PROFILES};
 pub use report::Table;
 pub use runner::{
     run_matrix, run_matrix_threads, run_one, run_one_traced, RunConfig, RunConfigBuilder,
+};
+pub use sched_ablation::{
+    delta_table, regression_check, run_sched_ablation, AblationOutcome, PolicySummary,
 };
 pub use schemes::SchemeKind;

@@ -237,6 +237,12 @@ pub fn trace_queue_table(s: &TraceSummary) -> Table {
             s.batches, s.stolen_write0s, s.mean_batch_utilization
         ));
     }
+    if s.watermark_adjusts + s.steered_writes + s.read_windows > 0 {
+        t.note(format!(
+            "scheduler: {} watermark moves, {} steered writes, {} read windows",
+            s.watermark_adjusts, s.steered_writes, s.read_windows
+        ));
+    }
     t
 }
 

@@ -39,18 +39,6 @@ impl RunConfig {
             cfg: Self::default(),
         }
     }
-
-    /// A fast configuration for tests and `--quick` runs.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use RunConfig::builder().quick().build() instead"
-    )]
-    pub fn quick() -> Self {
-        Self::builder()
-            .quick()
-            .build()
-            .expect("quick preset is valid")
-    }
 }
 
 /// Fluent construction of a [`RunConfig`];
@@ -192,16 +180,6 @@ fn fxhash(s: &str) -> u64 {
 mod tests {
     use super::*;
     use pcm_workloads::ALL_PROFILES;
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_quick_matches_builder() {
-        let old = RunConfig::quick();
-        let new = RunConfig::builder().quick().build().unwrap();
-        assert_eq!(old.instructions_per_core, new.instructions_per_core);
-        assert_eq!(old.seed, new.seed);
-        assert_eq!(old.system, new.system);
-    }
 
     #[test]
     fn single_run_produces_traffic() {

@@ -82,6 +82,16 @@ impl BankState {
             .saturating_sub(self.busy_until.saturating_sub(now));
         self.busy_until = now;
     }
+
+    /// Bank indices sorted least-utilized-first (cumulative busy time,
+    /// ties broken by index so the order is deterministic). The steering
+    /// policy visits free banks in this order to flatten the per-bank
+    /// utilization spread.
+    pub fn least_utilized_order(banks: &[BankState]) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..banks.len()).collect();
+        order.sort_by_key(|&i| (banks[i].busy_total(), i));
+        order
+    }
 }
 
 #[cfg(test)]
@@ -122,6 +132,21 @@ mod tests {
         // Resume for the remainder.
         b.begin_write(Ps::from_ns(160), 1, Ps::from_ns(330));
         assert_eq!(b.busy_total(), Ps::from_ns(430));
+    }
+
+    #[test]
+    fn least_utilized_order_sorts_by_busy_total_then_index() {
+        let mut banks = vec![BankState::default(); 4];
+        banks[0].begin_write(Ps::ZERO, 0, Ps::from_ns(300));
+        banks[1].begin_write(Ps::ZERO, 0, Ps::from_ns(100));
+        banks[3].begin_write(Ps::ZERO, 0, Ps::from_ns(100));
+        // bank 2 idle (0 ns) < banks 1,3 (100 ns, index tiebreak) < bank 0.
+        assert_eq!(BankState::least_utilized_order(&banks), vec![2, 1, 3, 0]);
+        assert_eq!(
+            BankState::least_utilized_order(&[]),
+            Vec::<usize>::new(),
+            "empty bank set"
+        );
     }
 
     #[test]

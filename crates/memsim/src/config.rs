@@ -1,5 +1,6 @@
 //! System configuration (Table II of the paper).
 
+use crate::sched::SchedConfig;
 use pcm_schemes::SchemeConfig;
 use pcm_types::{PcmError, Ps};
 
@@ -50,6 +51,10 @@ pub struct ControllerConfig {
     /// negligible current, §II), but the shared charge pump still allows
     /// only one write per bank at a time. 1 = the paper's organization.
     pub subarrays_per_bank: usize,
+    /// Write-scheduling policy selection (adaptive watermarks, bank
+    /// steering, read-priority windows). The default
+    /// [`SchedConfig::fixed`] reproduces the paper's controller exactly.
+    pub sched: SchedConfig,
 }
 
 impl Default for ControllerConfig {
@@ -66,6 +71,7 @@ impl Default for ControllerConfig {
             batch_writes: 1,
             coalesce_writes: false,
             subarrays_per_bank: 1,
+            sched: SchedConfig::fixed(),
         }
     }
 }
@@ -201,6 +207,38 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Replace the whole write-scheduling policy configuration.
+    pub fn sched(mut self, s: SchedConfig) -> Self {
+        self.cfg.controller.sched = s;
+        self
+    }
+
+    /// Turn on all three adaptive scheduling policies
+    /// ([`SchedConfig::adaptive`]): percentile-driven drain watermarks,
+    /// least-utilized-first bank steering and read-priority windows.
+    pub fn adaptive_scheduling(mut self) -> Self {
+        self.cfg.controller.sched = SchedConfig::adaptive();
+        self
+    }
+
+    /// Enable or disable percentile-driven drain watermarks.
+    pub fn adaptive_watermarks(mut self, on: bool) -> Self {
+        self.cfg.controller.sched.adaptive_watermarks = on;
+        self
+    }
+
+    /// Enable or disable least-utilized-first bank steering.
+    pub fn bank_steering(mut self, on: bool) -> Self {
+        self.cfg.controller.sched.bank_steering = on;
+        self
+    }
+
+    /// Enable or disable read-priority windows during drains.
+    pub fn read_windows(mut self, on: bool) -> Self {
+        self.cfg.controller.sched.read_windows = on;
+        self
+    }
+
     /// Scaled-down preset for fast tests: 2 cores, 4 KB L1 / 32 KB L2 /
     /// 256 KB L3 (the old `small_test()` shape).
     pub fn small_caches(mut self) -> Self {
@@ -263,18 +301,6 @@ impl SystemConfig {
         }
     }
 
-    /// A scaled-down configuration for fast tests: 2 cores, small caches.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use SystemConfig::builder().small_caches().build() instead"
-    )]
-    pub fn small_test() -> Self {
-        Self::builder()
-            .small_caches()
-            .build()
-            .expect("small-test preset is valid")
-    }
-
     /// One CPU cycle.
     pub fn cycle(&self) -> Ps {
         Ps::from_cycles(1, self.cpu_freq_mhz)
@@ -295,6 +321,14 @@ impl SystemConfig {
         }
         if self.controller.batch_writes == 0 || self.controller.subarrays_per_bank == 0 {
             return Err(PcmError::config("batch_writes and subarrays must be ≥ 1"));
+        }
+        if self.controller.sched.watermark_interval == 0 {
+            return Err(PcmError::config("watermark_interval must be ≥ 1"));
+        }
+        if self.controller.sched.min_watermark_gap >= self.controller.write_queue_cap {
+            return Err(PcmError::config(
+                "min_watermark_gap must be below queue capacity",
+            ));
         }
         for c in [&self.l1, &self.l2, &self.l3] {
             let line = self.mem.org.cache_line_bytes as u64;
@@ -368,11 +402,34 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_small_test_matches_builder() {
+    fn sched_builder_knobs_and_validation() {
+        let cfg = SystemConfig::builder()
+            .adaptive_scheduling()
+            .build()
+            .unwrap();
+        assert_eq!(cfg.controller.sched, SchedConfig::adaptive());
+
+        let cfg = SystemConfig::builder()
+            .adaptive_watermarks(true)
+            .read_windows(true)
+            .build()
+            .unwrap();
+        assert!(cfg.controller.sched.adaptive_watermarks);
+        assert!(!cfg.controller.sched.bank_steering);
+        assert!(cfg.controller.sched.read_windows);
+
+        // Defaults stay paper-faithful: everything off.
         assert_eq!(
-            SystemConfig::small_test(),
-            SystemConfig::builder().small_caches().build().unwrap()
+            SystemConfig::paper_baseline().controller.sched,
+            SchedConfig::fixed()
         );
+
+        // A gap as wide as the queue can never hold low + gap <= high.
+        let mut bad = SchedConfig::adaptive();
+        bad.min_watermark_gap = 32;
+        assert!(SystemConfig::builder().sched(bad).build().is_err());
+        bad.min_watermark_gap = 4;
+        bad.watermark_interval = 0;
+        assert!(SystemConfig::builder().sched(bad).build().is_err());
     }
 }

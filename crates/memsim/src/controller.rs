@@ -15,6 +15,7 @@ use crate::config::ControllerConfig;
 use crate::content::WriteContent;
 use crate::memory::PcmMainMemory;
 use crate::request::MemRequest;
+use crate::sched::{SchedPolicy, WindowPoll};
 use pcm_telemetry::{OpKind, Telemetry, TelemetryEvent, TraceDetail};
 use pcm_types::{DecodedAddr, PcmTimings, Ps};
 
@@ -84,6 +85,13 @@ pub struct CtrlStats {
     pub write_pauses: u64,
     /// Same-line writes coalesced in the queue (DWC).
     pub writes_coalesced: u64,
+    /// Drain writes serviced on a less-utilized bank before the bank
+    /// strict FIFO order would have picked (steering policy).
+    pub steered_writes: u64,
+    /// Read-priority windows opened mid-drain (read-window policy).
+    pub read_windows: u64,
+    /// Watermark recomputations that moved the marks (adaptive policy).
+    pub watermark_updates: u64,
 }
 
 /// The memory controller.
@@ -102,6 +110,7 @@ pub struct MemoryController {
     paused: Vec<Option<PausedWrite>>,
     epoch: u64,
     drain: bool,
+    sched: SchedPolicy,
     /// Statistics.
     pub stats: CtrlStats,
 }
@@ -111,9 +120,11 @@ impl MemoryController {
     /// (`num_banks × subarrays_per_bank` lanes).
     pub fn new(cfg: ControllerConfig, timings: PcmTimings, num_banks: usize) -> Self {
         let lanes = num_banks * cfg.subarrays_per_bank.max(1);
+        let sched = SchedPolicy::new(&cfg, &timings);
         MemoryController {
             cfg,
             timings,
+            sched,
             banks: vec![BankState::default(); lanes],
             read_q: Vec::with_capacity(cfg.read_queue_cap),
             write_q: Vec::with_capacity(cfg.write_queue_cap),
@@ -169,6 +180,26 @@ impl MemoryController {
     /// In drain mode?
     pub fn draining(&self) -> bool {
         self.drain
+    }
+
+    /// The scheduling policy's current state (watermarks, steering).
+    pub fn sched(&self) -> &SchedPolicy {
+        &self.sched
+    }
+
+    /// Record one write-queue depth sample with the scheduling policy and
+    /// report a watermark move, if any.
+    fn observe_write_depth(&mut self, at: Ps, tel: &mut dyn Telemetry) {
+        if let Some((low, high)) = self.sched.observe_depth(self.write_q.len()) {
+            self.stats.watermark_updates += 1;
+            if tel.wants(TraceDetail::Coarse) {
+                tel.record(&TelemetryEvent::WatermarkAdjust {
+                    at,
+                    low: low as u32,
+                    high: high as u32,
+                });
+            }
+        }
     }
 
     /// Force a drain (used to flush the write queue at end of run).
@@ -227,6 +258,7 @@ impl MemoryController {
                 let old = std::mem::replace(&mut existing.req, req);
                 existing.absorbed.push(old);
                 self.stats.writes_coalesced += 1;
+                self.observe_write_depth(req.arrival, tel);
                 return;
             }
         }
@@ -237,9 +269,13 @@ impl MemoryController {
             line: d.line,
             absorbed: Vec::new(),
         });
-        if self.write_queue_full() {
+        self.observe_write_depth(req.arrival, tel);
+        // Drain entry at the policy's high mark (queue capacity under the
+        // fixed policy — the paper's fill-to-capacity behaviour).
+        if !self.drain && self.write_q.len() >= self.sched.high_watermark() {
             self.drain = true;
             self.stats.drains += 1;
+            self.sched.note_drain_start(req.arrival);
             if tel.wants(TraceDetail::Coarse) {
                 tel.record(&TelemetryEvent::DrainStart {
                     at: req.arrival,
@@ -282,7 +318,22 @@ impl MemoryController {
         tel: &mut dyn Telemetry,
     ) -> Vec<Issued> {
         let mut issued = Vec::new();
-        for bank in 0..self.banks.len() {
+        // Read-window policy: a long-starving drain yields briefly to
+        // queued reads (banks without queued reads keep draining).
+        let window = self
+            .sched
+            .poll_read_window(now, self.drain, !self.read_q.is_empty());
+        if let WindowPoll::Opened(until) = window {
+            self.stats.read_windows += 1;
+            if tel.wants(TraceDetail::Coarse) {
+                tel.record(&TelemetryEvent::ReadWindow { at: now, until });
+            }
+        }
+        let window_active = window.active();
+        // Steering policy: visit free banks least-utilized-first so idle
+        // banks pick up backlog before already-hot ones.
+        let order = self.sched.bank_order(&self.banks);
+        for bank in order {
             // Write pausing: a busy write yields to a queued read for the
             // same bank at an iteration boundary.
             if self.cfg.write_pausing
@@ -318,7 +369,22 @@ impl MemoryController {
             // queued writes for the bank are serviced as one batched
             // operation (inter-line Tetris packing). The shared pump
             // allows one write per bank across its subarrays.
-            if self.drain && !self.bank_write_busy(bank) {
+            if self.drain
+                && !self.bank_write_busy(bank)
+                && !(window_active && self.pick(&self.read_q, bank).is_some())
+            {
+                // Which bank strict index-order servicing would have
+                // drained first — recorded when steering deviates.
+                let fifo_bank = if self.sched.steering_enabled() {
+                    (0..self.banks.len()).find(|&b| {
+                        self.in_flight[b].is_none()
+                            && self.banks[b].is_free(now)
+                            && !self.bank_write_busy(b)
+                            && self.pick(&self.write_q, b).is_some()
+                    })
+                } else {
+                    None
+                };
                 let mut picked = Vec::new();
                 while picked.len() < self.cfg.batch_writes.max(1) {
                     match self.pick(&self.write_q, bank) {
@@ -381,9 +447,22 @@ impl MemoryController {
                         req: reqs[0],
                         epoch: self.epoch,
                     });
-                    // Drain stops at the low watermark.
-                    if self.drain && self.write_q.len() <= self.cfg.write_low_watermark {
+                    if let Some(over) = fifo_bank {
+                        if over != bank {
+                            self.stats.steered_writes += 1;
+                            if tel.wants(TraceDetail::Fine) {
+                                tel.record(&TelemetryEvent::WriteSteer {
+                                    at: now,
+                                    bank: bank as u32,
+                                    over: over as u32,
+                                });
+                            }
+                        }
+                    }
+                    // Drain stops at the (possibly adapted) low watermark.
+                    if self.drain && self.write_q.len() <= self.sched.low_watermark() {
                         self.drain = false;
+                        self.sched.note_drain_stop();
                         if tel.wants(TraceDetail::Coarse) {
                             tel.record(&TelemetryEvent::DrainStop {
                                 at: now,
@@ -487,6 +566,8 @@ mod tests {
     use crate::request::AccessKind;
     use pcm_schemes::{DcwWrite, SchemeConfig};
     use pcm_telemetry::{MemorySink, NullSink};
+    use pcm_types::propcheck::vec_of;
+    use pcm_types::{prop_assert, prop_assert_eq, propcheck};
 
     fn setup() -> (MemoryController, PcmMainMemory, UniformRandomContent) {
         let cfg = SchemeConfig::paper_baseline();
@@ -994,6 +1075,168 @@ mod tests {
             matches!(stops[0], TelemetryEvent::DrainStop { writes, .. } if *writes == 16),
             "stopped at the low watermark"
         );
+    }
+
+    #[test]
+    fn steering_services_least_utilized_bank_first() {
+        use crate::sched::SchedConfig;
+        let (_c, mut mem, mut content) = setup();
+        let cfg = ControllerConfig {
+            sched: SchedConfig {
+                bank_steering: true,
+                ..SchedConfig::fixed()
+            },
+            ..Default::default()
+        };
+        let mut ctrl = MemoryController::new(cfg, pcm_types::PcmTimings::paper_baseline(), 8);
+
+        // Make bank 0 the hot bank: one full write, completed.
+        let (d0, fb0) = decode(&mem, 0x0);
+        ctrl.enqueue_write(write_req(1, 0x0, Ps::ZERO), &d0, fb0, &mut NullSink);
+        ctrl.force_drain();
+        let w = ctrl.try_issue(Ps::ZERO, &mut mem, &mut content, &mut NullSink);
+        let t = w[0].completion;
+        ctrl.complete(w[0].bank, w[0].epoch);
+
+        // Writes queued for banks 0 and 2; both banks now free, bank 2 cold.
+        let mut tel = MemorySink::new();
+        ctrl.enqueue_write(write_req(2, 8 * 64, t), &d0, fb0, &mut tel);
+        let (d2, fb2) = decode(&mem, 0x80);
+        assert_eq!(fb2, 2);
+        ctrl.enqueue_write(write_req(3, 0x80, t), &d2, fb2, &mut tel);
+        ctrl.force_drain();
+        // Two queued writes are under the low watermark, so the drain
+        // exits after one issue — which must pick the cold bank.
+        let issued = ctrl.try_issue(t, &mut mem, &mut content, &mut tel);
+        assert_eq!(issued.len(), 1);
+        assert_eq!(
+            issued[0].bank, 2,
+            "cold bank 2 is serviced before hot bank 0"
+        );
+        assert_eq!(ctrl.stats.steered_writes, 1);
+        assert!(tel.events.iter().any(|e| matches!(
+            e,
+            TelemetryEvent::WriteSteer {
+                bank: 2,
+                over: 0,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn read_window_bounds_drain_starvation() {
+        use crate::sched::SchedConfig;
+        let run = |windows: bool| {
+            let (_c, mut mem, mut content) = setup();
+            let cfg = ControllerConfig {
+                sched: SchedConfig {
+                    read_windows: windows,
+                    ..SchedConfig::fixed()
+                },
+                ..Default::default()
+            };
+            let mut ctrl = MemoryController::new(cfg, pcm_types::PcmTimings::paper_baseline(), 8);
+            let mut tel = MemorySink::new();
+            // Fill the queue with bank-0 writes: drain starts at t = 0.
+            for i in 0..32u64 {
+                let addr = i * 8 * 64; // every row maps to bank 0
+                let (d, fb) = decode(&mem, addr);
+                assert_eq!(fb, 0);
+                ctrl.enqueue_write(write_req(i, addr, Ps::ZERO), &d, fb, &mut tel);
+            }
+            assert!(ctrl.draining());
+            let w = ctrl.try_issue(Ps::ZERO, &mut mem, &mut content, &mut tel);
+            assert_eq!(w.len(), 1, "all writes target bank 0");
+            let t = w[0].completion; // one DCW write ≈ 3.4 µs ≫ t_set
+            ctrl.complete(w[0].bank, w[0].epoch);
+            // A read for bank 0 has been starved by the ongoing drain.
+            let (dr, fbr) = decode(&mem, 40 * 8 * 64);
+            ctrl.enqueue_read(read_req(100, 40 * 8 * 64, t), &dr, fbr);
+            let issued = ctrl.try_issue(t, &mut mem, &mut content, &mut tel);
+            assert_eq!(issued.len(), 1);
+            (issued[0].req.kind, ctrl.stats.read_windows, tel)
+        };
+
+        let (kind, windows, tel) = run(true);
+        assert_eq!(kind, AccessKind::Read, "starved read wins the window");
+        assert_eq!(windows, 1);
+        assert!(tel
+            .events
+            .iter()
+            .any(|e| matches!(e, TelemetryEvent::ReadWindow { .. })));
+
+        let (kind, windows, _) = run(false);
+        assert_eq!(kind, AccessKind::Write, "fixed policy keeps draining");
+        assert_eq!(windows, 0);
+    }
+
+    propcheck! {
+        cases = 16;
+        /// Hysteresis invariants under an arbitrary write workload with
+        /// the full adaptive policy on: a write admitted at or above the
+        /// high mark always finds the controller draining, a drain round
+        /// never pulls the queue below the low mark, and every issued
+        /// write runs on the bank its address decodes to.
+        fn adaptive_drain_and_steering_invariants(lines in vec_of(0u64..=255, 48..=96)) {
+            let scfg = SchemeConfig::paper_baseline();
+            let mut mem = PcmMainMemory::new(scfg, Box::new(DcwWrite)).unwrap();
+            let cfg = ControllerConfig {
+                sched: crate::sched::SchedConfig::adaptive(),
+                ..Default::default()
+            };
+            let mut ctrl =
+                MemoryController::new(cfg, scfg.timings, scfg.org.total_banks() as usize);
+            let mut content = UniformRandomContent::new(7);
+            let mut now = Ps::ZERO;
+            let mut inflight: Vec<Issued> = Vec::new();
+            for (n, &line) in lines.iter().enumerate() {
+                // Make room by completing the earliest in-flight write.
+                while ctrl.write_queue_full() {
+                    inflight.extend(ctrl.try_issue(now, &mut mem, &mut content, &mut NullSink));
+                    let k = inflight
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, i)| i.completion)
+                        .map(|(k, _)| k)
+                        .expect("full queue implies in-flight work");
+                    let done = inflight.remove(k);
+                    now = now.max(done.completion);
+                    ctrl.complete(done.bank, done.epoch);
+                }
+                let addr = line * 64;
+                let d = mem.addr_map().decode(addr).unwrap();
+                let fb = mem.addr_map().flat_bank(&d);
+                ctrl.enqueue_write(write_req(n as u64, addr, now), &d, fb, &mut NullSink);
+                let (_, wq) = ctrl.queue_depths();
+                prop_assert!(
+                    wq < ctrl.sched().high_watermark() || ctrl.draining(),
+                    "depth {} at/above high {} without draining",
+                    wq,
+                    ctrl.sched().high_watermark()
+                );
+                let before = wq;
+                let low = ctrl.sched().low_watermark();
+                let issued = ctrl.try_issue(now, &mut mem, &mut content, &mut NullSink);
+                for i in &issued {
+                    let dd = mem.addr_map().decode(i.req.addr).unwrap();
+                    prop_assert_eq!(
+                        i.bank,
+                        mem.addr_map().flat_bank(&dd),
+                        "request on its own address-mapped bank"
+                    );
+                }
+                let (_, after) = ctrl.queue_depths();
+                prop_assert!(
+                    after >= low.min(before),
+                    "drained below the low mark: {} < min({}, {})",
+                    after,
+                    low,
+                    before
+                );
+                inflight.extend(issued);
+            }
+        }
     }
 
     #[test]

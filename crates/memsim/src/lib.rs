@@ -13,6 +13,9 @@
 //!   and write queues, read priority, and write service **only when the
 //!   write queue fills** (drain to a low watermark) — the policy behind the
 //!   paper's blackscholes/swaptions write-latency anomaly.
+//! * [`sched`] — pluggable write-scheduling policies: adaptive drain
+//!   watermarks, least-utilized-first bank steering, and read-priority
+//!   windows that bound drain-induced read starvation.
 //! * [`bankstate`] — per-bank busy tracking and an open-row buffer model.
 //! * [`memory`] — the 4 GB sparse PCM backing store: per-line stored bits,
 //!   flip tags and wear, with every write planned by a pluggable
@@ -38,6 +41,7 @@ pub mod hierarchy;
 pub mod memory;
 pub mod prelude;
 pub mod request;
+pub mod sched;
 pub mod stats;
 pub mod system;
 pub mod wear_leveling;
@@ -49,6 +53,7 @@ pub use cpu::{Core, TraceOp, TraceSource};
 pub use memory::{BatchOutcome, PcmMainMemory, WriteOutcome};
 pub use pcm_schemes::{SchemeConfig, WriteCtx, WriteScheme};
 pub use request::{AccessKind, MemRequest};
+pub use sched::{SchedConfig, SchedPolicy, WindowPoll};
 pub use stats::{LatencyStats, SimResult};
 pub use system::{System, TraceLevel};
 pub use wear_leveling::{GapMove, StartGap};

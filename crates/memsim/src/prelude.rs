@@ -23,6 +23,7 @@ pub use crate::content::{ExplicitContent, UniformRandomContent, WriteContent};
 pub use crate::cpu::{TraceOp, TraceSource, VecTrace};
 pub use crate::memory::{BatchOutcome, PcmMainMemory, WriteOutcome};
 pub use crate::request::{AccessKind, MemRequest};
+pub use crate::sched::SchedConfig;
 pub use crate::stats::{LatencyStats, SimResult};
 pub use crate::system::{System, TraceLevel};
 

@@ -141,6 +141,34 @@ pub enum TelemetryEvent {
         /// New scheduled completion time.
         until: Ps,
     },
+    /// The adaptive scheduling policy recomputed its drain watermarks
+    /// from the observed queue-depth percentiles.
+    WatermarkAdjust {
+        /// When the watermarks changed.
+        at: Ps,
+        /// New drain-exit (low) watermark.
+        low: u32,
+        /// New drain-entry (high) watermark.
+        high: u32,
+    },
+    /// Bank steering dispatched a drained write to a less-utilized idle
+    /// bank ahead of the strict-FIFO choice.
+    WriteSteer {
+        /// Issue time.
+        at: Ps,
+        /// Flat bank index the write went to.
+        bank: u32,
+        /// The busier bank FIFO order would have serviced first.
+        over: u32,
+    },
+    /// A long drain yielded a bounded read-priority window: banks with
+    /// queued reads service those reads before further drain writes.
+    ReadWindow {
+        /// When the window opened.
+        at: Ps,
+        /// When write priority resumes.
+        until: Ps,
+    },
     /// Outcome of packing a batch of writes into one bank service slot
     /// (Tetris inter-line packing).
     BatchPack {
@@ -166,7 +194,8 @@ impl TelemetryEvent {
         match self {
             TelemetryEvent::BankBusy { .. }
             | TelemetryEvent::BankIdle { .. }
-            | TelemetryEvent::QueueDepth { .. } => TraceDetail::Fine,
+            | TelemetryEvent::QueueDepth { .. }
+            | TelemetryEvent::WriteSteer { .. } => TraceDetail::Fine,
             _ => TraceDetail::Coarse,
         }
     }
@@ -182,6 +211,9 @@ impl TelemetryEvent {
             | TelemetryEvent::DrainStop { at, .. }
             | TelemetryEvent::WritePause { at, .. }
             | TelemetryEvent::WriteResume { at, .. }
+            | TelemetryEvent::WatermarkAdjust { at, .. }
+            | TelemetryEvent::WriteSteer { at, .. }
+            | TelemetryEvent::ReadWindow { at, .. }
             | TelemetryEvent::BatchPack { at, .. } => Some(at),
         }
     }
@@ -274,6 +306,23 @@ impl JsonCodec for TelemetryEvent {
                 ("bank", Json::UInt(u64::from(*bank))),
                 ("until", Json::UInt(until.0)),
             ]),
+            TelemetryEvent::WatermarkAdjust { at, low, high } => Json::obj(vec![
+                ("ev", Json::str("watermark_adjust")),
+                ("at", Json::UInt(at.0)),
+                ("low", Json::UInt(u64::from(*low))),
+                ("high", Json::UInt(u64::from(*high))),
+            ]),
+            TelemetryEvent::WriteSteer { at, bank, over } => Json::obj(vec![
+                ("ev", Json::str("write_steer")),
+                ("at", Json::UInt(at.0)),
+                ("bank", Json::UInt(u64::from(*bank))),
+                ("over", Json::UInt(u64::from(*over))),
+            ]),
+            TelemetryEvent::ReadWindow { at, until } => Json::obj(vec![
+                ("ev", Json::str("read_window")),
+                ("at", Json::UInt(at.0)),
+                ("until", Json::UInt(until.0)),
+            ]),
             TelemetryEvent::BatchPack {
                 at,
                 bank,
@@ -337,6 +386,20 @@ impl JsonCodec for TelemetryEvent {
             "write_resume" => Ok(TelemetryEvent::WriteResume {
                 at: get_ps(v, "at")?,
                 bank: get_u32(v, "bank")?,
+                until: get_ps(v, "until")?,
+            }),
+            "watermark_adjust" => Ok(TelemetryEvent::WatermarkAdjust {
+                at: get_ps(v, "at")?,
+                low: get_u32(v, "low")?,
+                high: get_u32(v, "high")?,
+            }),
+            "write_steer" => Ok(TelemetryEvent::WriteSteer {
+                at: get_ps(v, "at")?,
+                bank: get_u32(v, "bank")?,
+                over: get_u32(v, "over")?,
+            }),
+            "read_window" => Ok(TelemetryEvent::ReadWindow {
+                at: get_ps(v, "at")?,
                 until: get_ps(v, "until")?,
             }),
             "batch_pack" => Ok(TelemetryEvent::BatchPack {
@@ -409,6 +472,20 @@ mod tests {
                 stolen_write0s: 9,
                 utilization: 0.875,
             },
+            TelemetryEvent::WatermarkAdjust {
+                at: Ps(11_000),
+                low: 12,
+                high: 24,
+            },
+            TelemetryEvent::WriteSteer {
+                at: Ps(12_000),
+                bank: 5,
+                over: 2,
+            },
+            TelemetryEvent::ReadWindow {
+                at: Ps(13_000),
+                until: Ps(63_000),
+            },
         ]
     }
 
@@ -437,7 +514,8 @@ mod tests {
             let want = match ev {
                 TelemetryEvent::BankBusy { .. }
                 | TelemetryEvent::BankIdle { .. }
-                | TelemetryEvent::QueueDepth { .. } => Fine,
+                | TelemetryEvent::QueueDepth { .. }
+                | TelemetryEvent::WriteSteer { .. } => Fine,
                 _ => Coarse,
             };
             assert_eq!(ev.detail(), want);

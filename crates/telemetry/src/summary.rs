@@ -48,6 +48,12 @@ pub struct TraceSummary {
     pub stolen_write0s: u64,
     /// Mean current-budget utilization over batch-pack outcomes.
     pub mean_batch_utilization: f64,
+    /// Adaptive watermark adjustments observed.
+    pub watermark_adjusts: u64,
+    /// Writes steered to a less-utilized bank than FIFO order would pick.
+    pub steered_writes: u64,
+    /// Read-priority windows opened mid-drain.
+    pub read_windows: u64,
 }
 
 /// Nearest-rank percentile of a **sorted** slice (`p` in [0, 1]).
@@ -133,6 +139,12 @@ impl TraceSummary {
                 }
                 TelemetryEvent::DrainStart { .. } => s.drains += 1,
                 TelemetryEvent::DrainStop { .. } | TelemetryEvent::BankIdle { .. } => {}
+                TelemetryEvent::WatermarkAdjust { .. } => s.watermark_adjusts += 1,
+                TelemetryEvent::WriteSteer { .. } => s.steered_writes += 1,
+                TelemetryEvent::ReadWindow { until, .. } => {
+                    s.read_windows += 1;
+                    s.span = s.span.max(until);
+                }
                 TelemetryEvent::BatchPack {
                     stolen_write0s,
                     utilization,
@@ -311,6 +323,36 @@ mod tests {
         assert_eq!(s.batches, 2);
         assert_eq!(s.stolen_write0s, 8);
         assert!((s.mean_batch_utilization - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scheduler_events_counted_and_window_extends_span() {
+        let evs = vec![
+            TelemetryEvent::WatermarkAdjust {
+                at: Ps(1_000),
+                low: 10,
+                high: 24,
+            },
+            TelemetryEvent::WriteSteer {
+                at: Ps(2_000),
+                bank: 3,
+                over: 0,
+            },
+            TelemetryEvent::WriteSteer {
+                at: Ps(3_000),
+                bank: 1,
+                over: 0,
+            },
+            TelemetryEvent::ReadWindow {
+                at: Ps(4_000),
+                until: Ps(90_000),
+            },
+        ];
+        let s = TraceSummary::from_events(&evs);
+        assert_eq!(s.watermark_adjusts, 1);
+        assert_eq!(s.steered_writes, 2);
+        assert_eq!(s.read_windows, 1);
+        assert_eq!(s.span, Ps(90_000), "window end extends the trace span");
     }
 
     #[test]
