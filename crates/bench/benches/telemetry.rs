@@ -4,7 +4,9 @@
 //! raw per-event cost of the sink trait object.
 
 use pcm_bench::{criterion_group, criterion_main, Criterion};
-use pcm_telemetry::{MemorySink, NullSink, OpKind, Telemetry, TelemetryEvent, TraceDetail};
+use pcm_telemetry::{
+    AsyncTraceWriter, MemorySink, NullSink, OpKind, Telemetry, TelemetryEvent, TraceDetail,
+};
 use pcm_types::Ps;
 use pcm_workloads::WorkloadProfile;
 use std::hint::black_box;
@@ -32,6 +34,21 @@ fn bench(c: &mut Criterion) {
                 SchemeKind::Tetris,
                 &cfg,
                 Box::new(MemorySink::with_detail(TraceDetail::Fine)),
+            ))
+        })
+    });
+    // Async rank-tagged sink draining into a background thread (the
+    // sharded-run tracing path; acceptance target is <2% over null_sink
+    // at Coarse detail — the producer only pays a bounded-channel send).
+    // The writer thread lives across iterations; Drop joins it untimed.
+    g.bench_function("async_sink_coarse", |b| {
+        let w = AsyncTraceWriter::new(std::io::sink(), TraceDetail::Coarse);
+        b.iter(|| {
+            black_box(run_one_traced(
+                p,
+                SchemeKind::Tetris,
+                &cfg,
+                Box::new(w.rank_sink(0)),
             ))
         })
     });

@@ -48,3 +48,20 @@ pub use pcm_schemes::{SchemeConfig, WriteCtx, WriteScheme};
 pub use read_stage::{read_stage, ReadStageOutput};
 pub use schedule::{build_jobs, validate_on_bank, ValidationReport};
 pub use scheme_impl::TetrisWrite;
+
+/// Register [`TetrisWrite`] as the constructor behind
+/// [`pcm_schemes::SchemeSelect::Tetris`], so
+/// `SchemeConfig::instantiate()` can build it despite the crate
+/// dependency pointing the other way. Idempotent — callers may invoke it
+/// freely before instantiating schemes.
+///
+/// The registered factory uses [`TetrisConfig::paper_baseline`] packing
+/// knobs with the caller's `SchemeConfig` substituted; code that needs
+/// non-default packing knobs constructs [`TetrisWrite`] directly.
+pub fn register_scheme_factory() {
+    pcm_schemes::register_tetris_factory(|cfg| {
+        let mut t = TetrisConfig::paper_baseline();
+        t.scheme = *cfg;
+        Box::new(TetrisWrite::new(t))
+    });
+}

@@ -1,8 +1,8 @@
 //! `tetris-experiments` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! tetris-experiments [TARGETS...] [--quick] [--instructions N] [--json FILE] [--csv DIR]
-//!                    [--trace OUT.jsonl] [--trace-level coarse|fine]
+//! tetris-experiments [TARGETS...] [--quick] [--instructions N] [--ranks R] [--json FILE]
+//!                    [--csv DIR] [--trace OUT.jsonl] [--trace-level coarse|fine]
 //!
 //! TARGETS: all (default) | fig1 | fig3 | fig4 | table1 | table2 | table3 |
 //!          fig10 | fig11 | fig12 | fig13 | fig14 | energy | ablation
@@ -11,7 +11,7 @@
 //! tetris-experiments replay TRACE.jsonl SCHEME
 //! tetris-experiments report TRACE.jsonl [--csv DIR]
 //! tetris-experiments sched-ablation [--quick] [--workload W] [--instructions N]
-//!                    [--trace-dir DIR] [--csv DIR] [--assert]
+//!                    [--ranks R] [--trace-dir DIR] [--csv DIR] [--assert]
 //! ```
 //!
 //! `--trace` records a telemetry trace of one run (vips × Tetris, the
@@ -105,7 +105,7 @@ fn cmd_trace(workload: &str, out: &str, instructions: u64) {
 /// `replay TRACE.jsonl SCHEME`: run a recorded trace through the system.
 fn cmd_replay(path: &str, scheme: &str) {
     use pcm_memsim::cpu::VecTrace;
-    use pcm_memsim::{System, SystemConfig, TraceLevel, UniformRandomContent};
+    use pcm_memsim::{System, SystemConfig, UniformRandomContent};
     use pcm_workloads::trace::read_trace;
     let kind = SchemeKind::parse(scheme).unwrap_or_else(|| {
         eprintln!("unknown scheme {scheme}; try dcw/fnw/2sw/3sw/tetris/preset");
@@ -125,14 +125,11 @@ fn cmd_replay(path: &str, scheme: &str) {
     }
     let mut cfg = SystemConfig::paper_baseline();
     cfg.cores = trace.len();
-    let mut sys = System::new(
-        cfg,
-        kind.build(),
-        Box::new(VecTrace::new(trace)),
-        Box::new(UniformRandomContent::new(7)),
-        TraceLevel::MemoryLevel,
-    )
-    .expect("valid config");
+    cfg.mem.select = kind.select();
+    let mut sys = System::build(cfg)
+        .expect("valid config")
+        .with_trace(Box::new(VecTrace::new(trace)))
+        .with_content(Box::new(UniformRandomContent::new(7)));
     sys.set_workload_name(path);
     let r = sys.run();
     outln!(
@@ -147,47 +144,82 @@ fn cmd_replay(path: &str, scheme: &str) {
     );
 }
 
-/// `report TRACE.jsonl`: summarize a recorded telemetry trace.
+/// `report TRACE.jsonl`: summarize a recorded telemetry trace. Ranked
+/// (tagged) traces additionally render a per-rank rollup and per-rank
+/// tables; plain single-rank traces render exactly as before.
 fn cmd_report(path: &str, csv_dir: &Option<String>) {
-    use pcm_telemetry::{read_events, TraceSummary};
+    use pcm_telemetry::{read_tagged_events, TraceSummary};
     let file = std::io::BufReader::new(std::fs::File::open(path).unwrap_or_else(|e| {
         eprintln!("cannot open trace {path}: {e}");
         std::process::exit(1);
     }));
-    let events = read_events(file).unwrap_or_else(|e| {
+    let tagged = read_tagged_events(file).unwrap_or_else(|e| {
         eprintln!("cannot parse trace {path}: {e}");
         std::process::exit(1);
     });
-    if events.is_empty() {
+    if tagged.is_empty() {
         eprintln!("trace {path} contains no events");
         std::process::exit(1);
     }
-    let summary = TraceSummary::from_events(&events);
+    let ranks = TraceSummary::by_rank(&tagged);
+    if ranks.len() == 1 {
+        emit(
+            &tetris_experiments::report::trace_bank_table(&ranks[0]),
+            csv_dir,
+        );
+        emit(
+            &tetris_experiments::report::trace_queue_table(&ranks[0]),
+            csv_dir,
+        );
+        return;
+    }
     emit(
-        &tetris_experiments::report::trace_bank_table(&summary),
+        &tetris_experiments::report::rank_util_table(&ranks),
+        csv_dir,
+    );
+    let merged = TraceSummary::merged(&ranks);
+    emit(
+        &tetris_experiments::report::trace_bank_table(&merged),
         csv_dir,
     );
     emit(
-        &tetris_experiments::report::trace_queue_table(&summary),
+        &tetris_experiments::report::trace_queue_table(&merged),
         csv_dir,
     );
+    for (i, s) in ranks.iter().enumerate() {
+        emit(
+            &tetris_experiments::report::trace_bank_table_for_rank(s, i as u32),
+            csv_dir,
+        );
+        emit(
+            &tetris_experiments::report::trace_queue_table_for_rank(s, i as u32),
+            csv_dir,
+        );
+    }
 }
 
-/// `--trace OUT.jsonl`: run vips × Tetris once with a JSONL telemetry sink.
+/// `--trace OUT.jsonl`: run vips × Tetris once, streaming rank-tagged
+/// JSONL telemetry through the async background writer.
 fn run_traced(out: &str, level: pcm_telemetry::TraceDetail, cfg: &RunConfig) {
-    use pcm_telemetry::JsonlSink;
-    let sink = JsonlSink::create(std::path::Path::new(out), level).unwrap_or_else(|e| {
-        eprintln!("cannot create trace {out}: {e}");
-        std::process::exit(1);
-    });
     let vips = pcm_workloads::WorkloadProfile::by_name("vips").expect("vips profile exists");
+    let ranks = cfg.system.mem.org.ranks;
     eprintln!(
-        "tracing vips × Tetris ({} instructions/core, {:?} detail) to {out}…",
+        "tracing vips × Tetris ({} instructions/core, {ranks} rank(s), {:?} detail) to {out}…",
         cfg.instructions_per_core, level
     );
-    let r = tetris_experiments::run_one_traced(vips, SchemeKind::Tetris, cfg, Box::new(sink));
+    let (r, written) = tetris_experiments::run_one_to_file(
+        vips,
+        SchemeKind::Tetris,
+        cfg,
+        std::path::Path::new(out),
+        level,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("cannot trace to {out}: {e}");
+        std::process::exit(1);
+    });
     eprintln!(
-        "traced run done: runtime {:.1} µs, {} reads / {} writes — render with `tetris-experiments report {out}`",
+        "traced run done: runtime {:.1} µs, {} reads / {} writes, {written} events — render with `tetris-experiments report {out}`",
         r.runtime.as_ns_f64() / 1000.0,
         r.mem_reads,
         r.mem_writes
@@ -199,6 +231,7 @@ fn cmd_sched_ablation(args: &[String]) {
     let mut workload = "vips".to_string();
     let mut quick = false;
     let mut instructions: Option<u64> = None;
+    let mut ranks: Option<u32> = None;
     let mut trace_dir = "sched-traces".to_string();
     let mut csv_dir: Option<String> = None;
     let mut assert_no_regression = false;
@@ -207,6 +240,15 @@ fn cmd_sched_ablation(args: &[String]) {
         match args[i].as_str() {
             "--quick" => quick = true,
             "--assert" => assert_no_regression = true,
+            "--ranks" => {
+                i += 1;
+                ranks = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .filter(|r: &u32| r.is_power_of_two())
+                        .unwrap_or_else(|| usage_error("--ranks needs a power-of-two number")),
+                );
+            }
             "--workload" => {
                 i += 1;
                 workload = args
@@ -252,12 +294,15 @@ fn cmd_sched_ablation(args: &[String]) {
     if let Some(n) = instructions {
         builder = builder.instructions_per_core(n);
     }
+    if let Some(r) = ranks {
+        builder = builder.ranks(r);
+    }
     let cfg = builder
         .build()
-        .expect("baseline run configuration is valid");
+        .unwrap_or_else(|e| usage_error(&e.to_string()));
     eprintln!(
-        "sched-ablation: {} × Tetris, {} instructions/core, fixed vs adaptive…",
-        profile.name, cfg.instructions_per_core
+        "sched-ablation: {} × Tetris, {} instructions/core, {} rank(s), fixed vs adaptive…",
+        profile.name, cfg.instructions_per_core, cfg.system.mem.org.ranks
     );
     let out =
         tetris_experiments::run_sched_ablation(profile, &cfg, std::path::Path::new(&trace_dir))
@@ -274,6 +319,12 @@ fn cmd_sched_ablation(args: &[String]) {
         &tetris_experiments::delta_table(&out.base, &out.adaptive),
         &csv_dir,
     );
+    if out.adaptive_ranks.len() > 1 {
+        emit(
+            &tetris_experiments::report::rank_util_table(&out.adaptive_ranks),
+            &csv_dir,
+        );
+    }
     let violations = tetris_experiments::regression_check(&out.base, &out.adaptive);
     if violations.is_empty() {
         outln!("regression check: OK — adaptive is no worse than fixed");
@@ -344,6 +395,7 @@ fn main() {
     let mut targets: Vec<String> = Vec::new();
     let mut quick = false;
     let mut instructions: Option<u64> = None;
+    let mut ranks: Option<u32> = None;
     let mut json_path: Option<String> = None;
     let mut csv_dir: Option<String> = None;
     let mut trace_path: Option<String> = None;
@@ -358,6 +410,15 @@ fn main() {
                     args.get(i)
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| usage_error("--instructions needs a number")),
+                );
+            }
+            "--ranks" => {
+                i += 1;
+                ranks = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .filter(|r: &u32| r.is_power_of_two())
+                        .unwrap_or_else(|| usage_error("--ranks needs a power-of-two number")),
                 );
             }
             "--json" => {
@@ -393,12 +454,12 @@ fn main() {
             }
             "--help" | "-h" => {
                 outln!(
-                    "usage: tetris-experiments [all|fig1|fig3|fig4|fig10|fig11|fig12|fig13|fig14|table1|table2|table3|energy|ablation]... [--quick] [--instructions N] [--json FILE] [--csv DIR] [--trace OUT.jsonl] [--trace-level coarse|fine]"
+                    "usage: tetris-experiments [all|fig1|fig3|fig4|fig10|fig11|fig12|fig13|fig14|table1|table2|table3|energy|ablation]... [--quick] [--instructions N] [--ranks R] [--json FILE] [--csv DIR] [--trace OUT.jsonl] [--trace-level coarse|fine]"
                 );
                 outln!("       tetris-experiments trace WORKLOAD OUT.jsonl [--instructions N]");
                 outln!("       tetris-experiments replay TRACE.jsonl SCHEME");
                 outln!("       tetris-experiments report TRACE.jsonl [--csv DIR]");
-                outln!("       tetris-experiments sched-ablation [--quick] [--workload W] [--instructions N] [--trace-dir DIR] [--csv DIR] [--assert]");
+                outln!("       tetris-experiments sched-ablation [--quick] [--workload W] [--instructions N] [--ranks R] [--trace-dir DIR] [--csv DIR] [--assert]");
                 return;
             }
             t => targets.push(t.to_string()),
@@ -428,9 +489,12 @@ fn main() {
     if let Some(n) = instructions {
         builder = builder.instructions_per_core(n);
     }
+    if let Some(r) = ranks {
+        builder = builder.ranks(r);
+    }
     let cfg = builder
         .build()
-        .expect("baseline run configuration is valid");
+        .unwrap_or_else(|e| usage_error(&e.to_string()));
 
     // A traced run is its own artifact: record it first, and unless the
     // user also asked for figures/tables explicitly, stop there.

@@ -187,6 +187,15 @@ pub fn trace_bank_table(s: &TraceSummary) -> Table {
             s.workload, s.scheme
         )
     };
+    bank_table_titled(title, s)
+}
+
+/// [`trace_bank_table`] labelled for one rank of a sharded trace.
+pub fn trace_bank_table_for_rank(s: &TraceSummary, rank: u32) -> Table {
+    bank_table_titled(format!("Trace — per-bank utilization — rank {rank}"), s)
+}
+
+fn bank_table_titled(title: String, s: &TraceSummary) -> Table {
     let mut t = Table::new(
         title,
         &["bank", "busy (µs)", "reads", "writes", "lines", "util %"],
@@ -213,10 +222,48 @@ pub fn trace_bank_table(s: &TraceSummary) -> Table {
 /// (the second table of the `report` subcommand). Percentiles are exact
 /// nearest-rank over every recorded sample.
 pub fn trace_queue_table(s: &TraceSummary) -> Table {
+    queue_table_titled("Trace — queue-depth percentiles".to_string(), s)
+}
+
+/// [`trace_queue_table`] labelled for one rank of a sharded trace.
+pub fn trace_queue_table_for_rank(s: &TraceSummary, rank: u32) -> Table {
+    queue_table_titled(format!("Trace — queue-depth percentiles — rank {rank}"), s)
+}
+
+/// One-row-per-rank rollup of a sharded trace: how evenly the shards
+/// shared the load (the headline table of a multi-rank `report`).
+pub fn rank_util_table(ranks: &[TraceSummary]) -> Table {
     let mut t = Table::new(
-        "Trace — queue-depth percentiles",
-        &["queue", "samples", "p50", "p95", "p99", "max"],
+        "Trace — per-rank utilization",
+        &[
+            "rank",
+            "banks",
+            "reads",
+            "writes",
+            "drains",
+            "batches",
+            "span (µs)",
+            "util %",
+        ],
     );
+    for (i, s) in ranks.iter().enumerate() {
+        t.row(vec![
+            i.to_string(),
+            s.banks.len().to_string(),
+            s.banks.iter().map(|b| b.reads).sum::<u64>().to_string(),
+            s.banks.iter().map(|b| b.writes).sum::<u64>().to_string(),
+            s.drains.to_string(),
+            s.batches.to_string(),
+            format!("{:.1}", s.span.as_ns_f64() / 1000.0),
+            format!("{:.1}", s.mean_utilization() * 100.0),
+        ]);
+    }
+    t.note("one shard = one rank: its own controller, bank set and scheduler");
+    t
+}
+
+fn queue_table_titled(title: String, s: &TraceSummary) -> Table {
+    let mut t = Table::new(title, &["queue", "samples", "p50", "p95", "p99", "max"]);
     for (name, d) in [("read", &s.read_depths), ("write", &s.write_depths)] {
         t.row(vec![
             name.to_string(),

@@ -2,23 +2,27 @@
 
 use crate::pool;
 use crate::schemes::SchemeKind;
-use pcm_memsim::{SimResult, System, SystemConfig, TraceLevel};
-use pcm_telemetry::{NullSink, Telemetry};
+use pcm_memsim::{Rank, ShardedSystem, SimResult, System, SystemConfig};
+use pcm_telemetry::{AsyncTraceWriter, NullSink, Telemetry, TraceDetail};
 use pcm_types::PcmError;
-use pcm_workloads::{GeneratorConfig, ProfileContent, SyntheticParsec, WorkloadProfile};
+use pcm_workloads::{
+    record_trace, GeneratorConfig, ProfileContent, SyntheticParsec, WorkloadProfile,
+};
 use tetris_write::TetrisConfig;
+
+/// Per-rank content-seed perturbation (rank 0 keeps the unsharded seed).
+const RANK_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// Sizing/seeding for one experiment run.
 #[derive(Clone, Copy, Debug)]
 pub struct RunConfig {
     /// Instructions each core retires.
     pub instructions_per_core: u64,
-    /// System configuration (cores, caches, controller, PCM).
+    /// System configuration (cores, caches, controller, PCM, Tetris
+    /// tuning, rank count).
     pub system: SystemConfig,
     /// RNG seed shared by trace generation and content synthesis.
     pub seed: u64,
-    /// Tetris configuration (ignored by other schemes).
-    pub tetris: TetrisConfig,
 }
 
 impl Default for RunConfig {
@@ -27,7 +31,6 @@ impl Default for RunConfig {
             instructions_per_core: 8_000_000,
             system: SystemConfig::paper_baseline(),
             seed: 0xC0FFEE,
-            tetris: TetrisConfig::paper_baseline(),
         }
     }
 }
@@ -82,7 +85,14 @@ impl RunConfigBuilder {
 
     /// Tetris configuration (ignored by other schemes).
     pub fn tetris(mut self, t: TetrisConfig) -> Self {
-        self.cfg.tetris = t;
+        self.cfg.system.tetris = t;
+        self
+    }
+
+    /// Number of PCM ranks; above 1 the runner shards the trace across
+    /// per-rank controllers ([`run_sharded`]).
+    pub fn ranks(mut self, n: u32) -> Self {
+        self.cfg.system.mem.org.ranks = n;
         self
     }
 
@@ -95,48 +105,124 @@ impl RunConfigBuilder {
     /// Validate and return the finished configuration.
     pub fn build(self) -> Result<RunConfig, PcmError> {
         self.cfg.system.validate()?;
-        self.cfg.tetris.validate()?;
         Ok(self.cfg)
     }
 }
 
-/// Run one workload under one scheme.
-pub fn run_one(profile: &WorkloadProfile, scheme: SchemeKind, cfg: &RunConfig) -> SimResult {
-    run_one_traced(profile, scheme, cfg, Box::new(NullSink))
+/// Generator settings for a (workload, run-config) pair.
+fn gen_cfg(profile: &WorkloadProfile, cfg: &RunConfig) -> GeneratorConfig {
+    GeneratorConfig {
+        instructions_per_core: cfg.instructions_per_core,
+        cores: cfg.system.cores,
+        line_bytes: cfg.system.mem.org.cache_line_bytes as u64,
+        seed: cfg.seed ^ fxhash(profile.name),
+    }
 }
 
-/// [`run_one`] with a telemetry sink observing the memory hierarchy —
-/// pass a [`pcm_telemetry::JsonlSink`] to record the run to disk, or a
-/// [`pcm_telemetry::MemorySink`] to inspect events in-process. Telemetry
-/// adds nothing to the result; the sink sees bank occupancy, queue depths,
-/// drain episodes, pause/resume decisions and batch-packing outcomes.
+/// The scheme-selected system configuration for one run.
+fn sys_cfg(scheme: SchemeKind, cfg: &RunConfig) -> SystemConfig {
+    let mut sys = cfg.system;
+    sys.mem.select = scheme.select();
+    sys
+}
+
+/// Run one workload under one scheme. Shards across ranks automatically
+/// when `cfg.system.mem.org.ranks > 1` (see [`run_sharded`]).
+pub fn run_one(profile: &WorkloadProfile, scheme: SchemeKind, cfg: &RunConfig) -> SimResult {
+    if cfg.system.mem.org.ranks > 1 {
+        run_sharded(profile, scheme, cfg, pool::default_threads(), |_| {
+            Box::new(NullSink)
+        })
+    } else {
+        run_one_traced(profile, scheme, cfg, Box::new(NullSink))
+    }
+}
+
+/// Single-controller run with a telemetry sink observing the memory
+/// hierarchy — pass a [`pcm_telemetry::JsonlSink`] to record the run to
+/// disk, or a [`pcm_telemetry::MemorySink`] to inspect events in-process.
+/// Telemetry adds nothing to the result; the sink sees bank occupancy,
+/// queue depths, drain episodes, pause/resume decisions and batch-packing
+/// outcomes. For multi-rank configurations use [`run_sharded`] (one sink
+/// per rank) or [`run_one_to_file`] (async rank-tagged JSONL).
 pub fn run_one_traced(
     profile: &WorkloadProfile,
     scheme: SchemeKind,
     cfg: &RunConfig,
     tel: Box<dyn Telemetry>,
 ) -> SimResult {
-    let gen_cfg = GeneratorConfig {
-        instructions_per_core: cfg.instructions_per_core,
-        cores: cfg.system.cores,
-        line_bytes: cfg.system.mem.org.cache_line_bytes as u64,
-        seed: cfg.seed ^ fxhash(profile.name),
-    };
+    let gen_cfg = gen_cfg(profile, cfg);
     let trace = SyntheticParsec::new(profile, gen_cfg);
     let content = ProfileContent::new(profile, gen_cfg.seed ^ 0x51);
-    let mut tetris = cfg.tetris;
-    tetris.scheme = cfg.system.mem;
-    let mut sys = System::new(
-        cfg.system,
-        scheme.build_with(tetris),
-        Box::new(trace),
-        Box::new(content),
-        TraceLevel::MemoryLevel,
-    )
-    .expect("valid system configuration");
+    let mut sys = System::build(sys_cfg(scheme, cfg))
+        .expect("valid system configuration")
+        .with_trace(Box::new(trace))
+        .with_content(Box::new(content));
     sys.set_workload_name(profile.name);
     sys.set_telemetry(tel);
     sys.run()
+}
+
+/// Shard one run across per-rank controllers, executing the ranks on the
+/// in-repo work-stealing pool.
+///
+/// The workload trace is materialized once, partitioned by decoded rank
+/// bits (gap-folded so every rank sees the full instruction timeline), and
+/// each rank runs its own [`System`] — controller, bank set, scheduler —
+/// on a pool worker. `rank_sink` builds the telemetry sink each rank
+/// records into (called on the worker thread; use
+/// [`pcm_telemetry::AsyncTraceWriter::rank_sink`] for rank-tagged JSONL,
+/// or `|_| Box::new(NullSink)` for none). Per-rank results are merged into
+/// one whole-system [`SimResult`]; with one rank this is bit-for-bit the
+/// [`run_one_traced`] result.
+pub fn run_sharded<F>(
+    profile: &WorkloadProfile,
+    scheme: SchemeKind,
+    cfg: &RunConfig,
+    threads: usize,
+    rank_sink: F,
+) -> SimResult
+where
+    F: Fn(u32) -> Box<dyn Telemetry> + Sync,
+{
+    let gen_cfg = gen_cfg(profile, cfg);
+    let mut trace = SyntheticParsec::new(profile, gen_cfg);
+    let ops = record_trace(&mut trace, gen_cfg.cores);
+    let sharded =
+        ShardedSystem::build(sys_cfg(scheme, cfg), ops).expect("valid sharded configuration");
+    let parts = pool::parallel_map(sharded.plans(), threads, |plan| {
+        let seed = (gen_cfg.seed ^ 0x51) ^ (plan.index as u64).wrapping_mul(RANK_SEED_STRIDE);
+        let mut rank = Rank::build(plan).expect("valid rank configuration");
+        rank.sys
+            .set_content(Box::new(ProfileContent::new(profile, seed)));
+        rank.sys.set_workload_name(profile.name);
+        rank.sys.set_telemetry(rank_sink(plan.index));
+        rank.run()
+    });
+    sharded.merge(&parts)
+}
+
+/// Run one workload under one scheme while streaming rank-tagged JSONL
+/// telemetry to `path` through a bounded channel drained by a background
+/// writer thread. Works for both single- and multi-rank configurations;
+/// returns the merged result and the number of events written.
+pub fn run_one_to_file(
+    profile: &WorkloadProfile,
+    scheme: SchemeKind,
+    cfg: &RunConfig,
+    path: &std::path::Path,
+    level: TraceDetail,
+) -> std::io::Result<(SimResult, u64)> {
+    let writer = AsyncTraceWriter::create(path, level)?;
+    let result = if cfg.system.mem.org.ranks > 1 {
+        run_sharded(profile, scheme, cfg, pool::default_threads(), |r| {
+            Box::new(writer.rank_sink(r))
+        })
+    } else {
+        run_one_traced(profile, scheme, cfg, Box::new(writer.rank_sink(0)))
+    };
+    let (_file, written) = writer.finish()?;
+    Ok((result, written))
 }
 
 /// Run the full workload × scheme matrix in parallel on the in-repo
@@ -286,6 +372,89 @@ mod tests {
             t_par < t_seq,
             "4-thread matrix ({t_par:?}) not faster than sequential ({t_seq:?})"
         );
+    }
+
+    #[test]
+    fn sharded_one_rank_matches_single_controller_bit_for_bit() {
+        let p = &ALL_PROFILES[7]; // vips, heaviest
+        let cfg = RunConfig::builder()
+            .instructions_per_core(100_000)
+            .build()
+            .unwrap();
+        for scheme in [SchemeKind::Dcw, SchemeKind::Tetris] {
+            let direct = run_one_traced(p, scheme, &cfg, Box::new(NullSink));
+            let sharded = run_sharded(p, scheme, &cfg, 1, |_| Box::new(NullSink));
+            assert_eq!(direct.runtime, sharded.runtime);
+            assert_eq!(direct.energy, sharded.energy);
+            assert_eq!(direct.instructions, sharded.instructions);
+            assert_eq!(direct.cycles, sharded.cycles);
+            assert_eq!(direct.read_latency.sum_ps, sharded.read_latency.sum_ps);
+            assert_eq!(direct.write_latency.sum_ps, sharded.write_latency.sum_ps);
+            assert_eq!(direct.mem_writes, sharded.mem_writes);
+            assert_eq!(direct.mem_reads, sharded.mem_reads);
+            assert_eq!(direct.avg_write_units, sharded.avg_write_units);
+            assert_eq!(direct.cell_sets, sharded.cell_sets);
+            assert_eq!(direct.cell_resets, sharded.cell_resets);
+        }
+    }
+
+    #[test]
+    fn four_rank_run_conserves_traffic_and_instructions() {
+        let p = &ALL_PROFILES[7];
+        let one_cfg = RunConfig::builder()
+            .instructions_per_core(100_000)
+            .build()
+            .unwrap();
+        let four_cfg = RunConfig::builder()
+            .instructions_per_core(100_000)
+            .ranks(4)
+            .build()
+            .unwrap();
+        let one = run_one(p, SchemeKind::Tetris, &one_cfg);
+        let four = run_one(p, SchemeKind::Tetris, &four_cfg);
+        assert_eq!(four.instructions, one.instructions);
+        assert_eq!(four.mem_writes, one.mem_writes);
+        assert_eq!(four.mem_reads, one.mem_reads);
+        assert!(four.runtime <= one.runtime, "more ranks, no slower");
+    }
+
+    #[test]
+    fn sharded_runs_are_deterministic_across_thread_counts() {
+        let p = &ALL_PROFILES[2];
+        let cfg = RunConfig::builder()
+            .instructions_per_core(100_000)
+            .ranks(2)
+            .build()
+            .unwrap();
+        let a = run_sharded(p, SchemeKind::Tetris, &cfg, 1, |_| Box::new(NullSink));
+        let b = run_sharded(p, SchemeKind::Tetris, &cfg, 4, |_| Box::new(NullSink));
+        assert_eq!(a.runtime, b.runtime);
+        assert_eq!(a.energy, b.energy);
+        assert_eq!(a.instructions, b.instructions);
+        assert_eq!(a.read_latency.sum_ps, b.read_latency.sum_ps);
+    }
+
+    #[test]
+    fn traced_file_run_tags_every_rank() {
+        use pcm_telemetry::read_tagged_events;
+        let p = &ALL_PROFILES[7];
+        let cfg = RunConfig::builder()
+            .instructions_per_core(100_000)
+            .ranks(2)
+            .build()
+            .unwrap();
+        let path = std::env::temp_dir().join("tetris-runner-tagged-trace.jsonl");
+        let (r, written) =
+            run_one_to_file(p, SchemeKind::Tetris, &cfg, &path, TraceDetail::Coarse).unwrap();
+        assert!(r.mem_writes > 0);
+        assert!(written > 0);
+        let tagged =
+            read_tagged_events(std::io::BufReader::new(std::fs::File::open(&path).unwrap()))
+                .unwrap();
+        assert_eq!(tagged.len() as u64, written);
+        let ranks: std::collections::BTreeSet<u32> = tagged.iter().map(|(r, _)| *r).collect();
+        assert_eq!(ranks.into_iter().collect::<Vec<_>>(), vec![0, 1]);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

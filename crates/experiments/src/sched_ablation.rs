@@ -12,10 +12,10 @@
 //! spread, within tolerance).
 
 use crate::report::{f2, Table};
-use crate::runner::{run_one_traced, RunConfig};
+use crate::runner::{run_one_to_file, RunConfig};
 use crate::schemes::SchemeKind;
 use pcm_memsim::{SchedConfig, SimResult};
-use pcm_telemetry::{percentile, read_events, JsonlSink, TraceDetail, TraceSummary};
+use pcm_telemetry::{percentile, read_tagged_events, TraceDetail, TraceSummary};
 use pcm_types::PcmError;
 use pcm_workloads::WorkloadProfile;
 use std::path::{Path, PathBuf};
@@ -182,10 +182,16 @@ pub struct AblationOutcome {
     pub base_trace: PathBuf,
     /// JSONL trace of the adaptive run.
     pub adaptive_trace: PathBuf,
+    /// Per-rank trace summaries of the fixed run, indexed by rank
+    /// (length 1 for unsharded runs).
+    pub base_ranks: Vec<TraceSummary>,
+    /// Per-rank trace summaries of the adaptive run.
+    pub adaptive_ranks: Vec<TraceSummary>,
 }
 
 /// Run `profile` under Tetris Write with the fixed and the adaptive
-/// scheduling policy, tracing both into `trace_dir`, and summarize.
+/// scheduling policy, tracing both into `trace_dir` (asynchronously,
+/// rank-tagged when `cfg` shards across ranks), and summarize.
 pub fn run_sched_ablation(
     profile: &WorkloadProfile,
     cfg: &RunConfig,
@@ -197,23 +203,31 @@ pub fn run_sched_ablation(
         let mut cfg = *cfg;
         cfg.system.controller.sched = sched;
         let path = trace_dir.join(format!("{}_{}.jsonl", profile.name, label));
-        let sink = JsonlSink::create(&path, TraceDetail::Fine)
-            .map_err(|e| PcmError::config(format!("cannot create {}: {e}", path.display())))?;
-        let result = run_one_traced(profile, SchemeKind::Tetris, &cfg, Box::new(sink));
+        let (result, _written) =
+            run_one_to_file(profile, SchemeKind::Tetris, &cfg, &path, TraceDetail::Fine)
+                .map_err(|e| PcmError::config(format!("cannot trace {}: {e}", path.display())))?;
         let file = std::fs::File::open(&path)
             .map_err(|e| PcmError::config(format!("cannot reopen {}: {e}", path.display())))?;
-        let events = read_events(std::io::BufReader::new(file))
+        let tagged = read_tagged_events(std::io::BufReader::new(file))
             .map_err(|e| PcmError::config(format!("cannot parse {}: {e}", path.display())))?;
-        let summary = TraceSummary::from_events(&events);
-        Ok((summarize(label, &result, &summary), path))
+        let ranks = TraceSummary::by_rank(&tagged);
+        let summary = if ranks.len() == 1 {
+            ranks[0].clone()
+        } else {
+            TraceSummary::merged(&ranks)
+        };
+        Ok((summarize(label, &result, &summary), ranks, path))
     };
-    let (base, base_trace) = run_policy("fixed", SchedConfig::fixed())?;
-    let (adaptive, adaptive_trace) = run_policy("adaptive", SchedConfig::adaptive())?;
+    let (base, base_ranks, base_trace) = run_policy("fixed", SchedConfig::fixed())?;
+    let (adaptive, adaptive_ranks, adaptive_trace) =
+        run_policy("adaptive", SchedConfig::adaptive())?;
     Ok(AblationOutcome {
         base,
         adaptive,
         base_trace,
         adaptive_trace,
+        base_ranks,
+        adaptive_ranks,
     })
 }
 

@@ -1,10 +1,6 @@
 //! The compared write schemes behind one constructor enum.
 
-use pcm_schemes::{
-    ConventionalWrite, DcwWrite, FlipNWrite, PreSetWrite, ThreeStageWrite, TwoStageWrite,
-    WriteScheme,
-};
-use tetris_write::{TetrisConfig, TetrisWrite};
+use pcm_schemes::SchemeSelect;
 
 /// Every write scheme in the study.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -72,25 +68,18 @@ impl SchemeKind {
         }
     }
 
-    /// Instantiate the scheme.
-    pub fn build(self) -> Box<dyn WriteScheme> {
+    /// The scheme-factory selector consumed by
+    /// [`pcm_schemes::SchemeConfig::instantiate`] and
+    /// `pcm_memsim::System::build`.
+    pub fn select(self) -> SchemeSelect {
         match self {
-            SchemeKind::Conventional => Box::new(ConventionalWrite),
-            SchemeKind::Dcw => Box::new(DcwWrite),
-            SchemeKind::Fnw => Box::new(FlipNWrite),
-            SchemeKind::TwoStage => Box::new(TwoStageWrite),
-            SchemeKind::ThreeStage => Box::new(ThreeStageWrite),
-            SchemeKind::Tetris => Box::new(TetrisWrite::paper_baseline()),
-            SchemeKind::PreSet => Box::new(PreSetWrite),
-        }
-    }
-
-    /// Instantiate Tetris with a custom configuration (ablations); other
-    /// schemes ignore the config.
-    pub fn build_with(self, tetris_cfg: TetrisConfig) -> Box<dyn WriteScheme> {
-        match self {
-            SchemeKind::Tetris => Box::new(TetrisWrite::new(tetris_cfg)),
-            other => other.build(),
+            SchemeKind::Conventional => SchemeSelect::Conventional,
+            SchemeKind::Dcw => SchemeSelect::Dcw,
+            SchemeKind::Fnw => SchemeSelect::Fnw,
+            SchemeKind::TwoStage => SchemeSelect::TwoStage,
+            SchemeKind::ThreeStage => SchemeSelect::ThreeStage,
+            SchemeKind::Tetris => SchemeSelect::Tetris,
+            SchemeKind::PreSet => SchemeSelect::PreSet,
         }
     }
 
@@ -114,9 +103,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn build_names_match() {
+    fn instantiated_names_match() {
+        tetris_write::register_scheme_factory();
         for k in SchemeKind::ALL {
-            let s = k.build();
+            let mut cfg = pcm_schemes::SchemeConfig::paper_baseline();
+            cfg.select = k.select();
+            let s = cfg.instantiate();
             match k {
                 SchemeKind::Dcw => assert_eq!(s.name(), "DCW (baseline)"),
                 SchemeKind::Tetris => assert_eq!(s.name(), "Tetris Write"),

@@ -1,8 +1,15 @@
 //! System configuration (Table II of the paper).
 
 use crate::sched::SchedConfig;
-use pcm_schemes::SchemeConfig;
+use crate::system::TraceLevel;
+use pcm_schemes::{SchemeConfig, SchemeSelect};
 use pcm_types::{PcmError, Ps};
+use tetris_write::TetrisConfig;
+
+/// The error [`crate::System::build`] and the config builders return on an
+/// invalid configuration (an alias of [`PcmError`], whose `Config` variant
+/// carries the explanation).
+pub type ConfigError = PcmError;
 
 /// One cache level's geometry.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -91,8 +98,15 @@ pub struct SystemConfig {
     pub l3: CacheConfig,
     /// Memory controller.
     pub controller: ControllerConfig,
-    /// PCM device + write-scheme geometry.
+    /// PCM device + write-scheme geometry (including which scheme
+    /// [`crate::System::build`] instantiates, via `mem.select`).
     pub mem: SchemeConfig,
+    /// Which abstraction level the trace describes.
+    pub level: TraceLevel,
+    /// Packing knobs used when `mem.select` is [`SchemeSelect::Tetris`]
+    /// (its embedded `scheme` field is overridden with `mem` at build
+    /// time, so `mem` stays the single source of device geometry).
+    pub tetris: TetrisConfig,
 }
 
 impl Default for SystemConfig {
@@ -162,6 +176,37 @@ impl SystemConfigBuilder {
     /// PCM device + write-scheme geometry.
     pub fn mem(mut self, m: SchemeConfig) -> Self {
         self.cfg.mem = m;
+        self
+    }
+
+    /// Number of PCM ranks; [`crate::ShardedSystem`] runs one controller
+    /// shard per rank.
+    pub fn ranks(mut self, n: u32) -> Self {
+        self.cfg.mem.org.ranks = n;
+        self
+    }
+
+    /// Which write scheme [`crate::System::build`] instantiates.
+    pub fn scheme(mut self, s: SchemeSelect) -> Self {
+        self.cfg.mem.select = s;
+        self
+    }
+
+    /// Tetris packing knobs (only used with [`SchemeSelect::Tetris`]).
+    pub fn tetris(mut self, t: TetrisConfig) -> Self {
+        self.cfg.tetris = t;
+        self
+    }
+
+    /// Which abstraction level the trace describes.
+    pub fn level(mut self, l: TraceLevel) -> Self {
+        self.cfg.level = l;
+        self
+    }
+
+    /// Shorthand: CPU-level trace filtered through the cache hierarchy.
+    pub fn cpu_level(mut self) -> Self {
+        self.cfg.level = TraceLevel::CpuLevel;
         self
     }
 
@@ -298,6 +343,8 @@ impl SystemConfig {
             },
             controller: ControllerConfig::default(),
             mem: SchemeConfig::paper_baseline(),
+            level: TraceLevel::MemoryLevel,
+            tetris: TetrisConfig::paper_baseline(),
         }
     }
 
@@ -336,7 +383,41 @@ impl SystemConfig {
                 return Err(PcmError::config("cache size must divide into sets"));
             }
         }
-        self.mem.validate()
+        // Rank × bank × power-budget consistency: sharding splits the
+        // address space and the per-bank current budget must make sense in
+        // every shard.
+        let org = &self.mem.org;
+        if org.ranks == 0 || org.banks_per_rank == 0 {
+            return Err(PcmError::config(
+                "ranks and banks_per_rank must be at least 1",
+            ));
+        }
+        if org.total_banks() > 1024 {
+            return Err(PcmError::config(
+                "ranks × banks_per_rank exceeds 1024 banks",
+            ));
+        }
+        if org.capacity_bytes % (org.ranks as u64 * org.cache_line_bytes as u64) != 0 {
+            return Err(PcmError::config(
+                "capacity must split into a whole number of lines per rank",
+            ));
+        }
+        if self.mem.power.chips_per_bank != org.chips_per_bank {
+            return Err(PcmError::config(
+                "power budget and organization disagree on chips per bank",
+            ));
+        }
+        if self.mem.power.budget_per_bank < self.mem.power.set_cost(1) {
+            return Err(PcmError::config(
+                "per-bank power budget cannot program even one bit",
+            ));
+        }
+        self.mem.validate()?;
+        // The packing knobs must be coherent with the device geometry they
+        // will be rebound to at build time.
+        let mut t = self.tetris;
+        t.scheme = self.mem;
+        t.validate()
     }
 }
 

@@ -42,18 +42,20 @@ pub mod memory;
 pub mod prelude;
 pub mod request;
 pub mod sched;
+pub mod shard;
 pub mod stats;
 pub mod system;
 pub mod wear_leveling;
 
-pub use config::{CacheConfig, ControllerConfig, SystemConfig, SystemConfigBuilder};
+pub use config::{CacheConfig, ConfigError, ControllerConfig, SystemConfig, SystemConfigBuilder};
 pub use content::{ExplicitContent, UniformRandomContent, WriteContent};
 pub use controller::MemoryController;
 pub use cpu::{Core, TraceOp, TraceSource};
 pub use memory::{BatchOutcome, PcmMainMemory, WriteOutcome};
-pub use pcm_schemes::{SchemeConfig, WriteCtx, WriteScheme};
+pub use pcm_schemes::{SchemeConfig, SchemeSelect, WriteCtx, WriteScheme};
 pub use request::{AccessKind, MemRequest};
 pub use sched::{SchedConfig, SchedPolicy, WindowPoll};
+pub use shard::{Rank, RankPlan, ShardedSystem};
 pub use stats::{LatencyStats, SimResult};
 pub use system::{System, TraceLevel};
 pub use wear_leveling::{GapMove, StartGap};

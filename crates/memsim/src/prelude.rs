@@ -18,22 +18,26 @@
 //! workspace; crate-specific detail (cache internals, the event engine,
 //! analytic models) stays behind its module path.
 
-pub use crate::config::{CacheConfig, ControllerConfig, SystemConfig, SystemConfigBuilder};
+pub use crate::config::{
+    CacheConfig, ConfigError, ControllerConfig, SystemConfig, SystemConfigBuilder,
+};
 pub use crate::content::{ExplicitContent, UniformRandomContent, WriteContent};
 pub use crate::cpu::{TraceOp, TraceSource, VecTrace};
 pub use crate::memory::{BatchOutcome, PcmMainMemory, WriteOutcome};
 pub use crate::request::{AccessKind, MemRequest};
 pub use crate::sched::SchedConfig;
+pub use crate::shard::{Rank, RankPlan, ShardedSystem};
 pub use crate::stats::{LatencyStats, SimResult};
 pub use crate::system::{System, TraceLevel};
 
 pub use pcm_schemes::{
     ConventionalWrite, DcwWrite, FlipNWrite, PreSetWrite, SchemeConfig, SchemeConfigBuilder,
-    ThreeStageWrite, TwoStageWrite, WriteCtx, WritePlan, WriteScheme,
+    SchemeSelect, ThreeStageWrite, TwoStageWrite, WriteCtx, WritePlan, WriteScheme,
 };
 
 pub use pcm_telemetry::{
-    JsonlSink, MemorySink, NullSink, OpKind, Telemetry, TelemetryEvent, TraceDetail, TraceSummary,
+    AsyncRankSink, AsyncTraceWriter, JsonlSink, MemorySink, NullSink, OpKind, RingBufferSink,
+    Telemetry, TelemetryEvent, TraceDetail, TraceSummary,
 };
 
 pub use pcm_types::{

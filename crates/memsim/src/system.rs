@@ -9,18 +9,18 @@
 //! * [`TraceLevel::CpuLevel`] — ops are CPU accesses filtered through the
 //!   L1/L2/L3 hierarchy; LLC misses and write-backs reach the PCM.
 
-use crate::config::SystemConfig;
-use crate::content::WriteContent;
+use crate::config::{ConfigError, SystemConfig};
+use crate::content::{UniformRandomContent, WriteContent};
 use crate::controller::{MemoryController, ReadEnqueue};
-use crate::cpu::{Core, CorePhase, TraceSource};
+use crate::cpu::{Core, CorePhase, TraceSource, VecTrace};
 use crate::engine::{Event, EventQueue};
 use crate::hierarchy::{CacheHierarchy, HitLevel};
 use crate::memory::PcmMainMemory;
 use crate::request::{AccessKind, MemRequest};
 use crate::stats::{LatencyStats, SimResult};
-use pcm_schemes::{SchemeConfig, WriteScheme};
+use pcm_schemes::{SchemeConfig, SchemeSelect, WriteScheme};
 use pcm_telemetry::{NullSink, Telemetry, TelemetryEvent, TraceDetail};
-use pcm_types::{PcmError, PhysAddr, Ps};
+use pcm_types::{PhysAddr, Ps};
 use std::collections::{HashMap, VecDeque};
 
 /// Which abstraction level the trace describes.
@@ -59,16 +59,28 @@ pub struct System {
 }
 
 impl System {
-    /// Build a system running `scheme` over `trace` with `content`
-    /// synthesizing write-back payloads.
-    pub fn new(
-        cfg: SystemConfig,
-        scheme: Box<dyn WriteScheme>,
-        trace: Box<dyn TraceSource>,
-        content: Box<dyn WriteContent>,
-        level: TraceLevel,
-    ) -> Result<Self, PcmError> {
+    /// Build a system from one validated configuration — the single
+    /// construction entry point. The write scheme comes from
+    /// `cfg.mem.select` via [`SchemeConfig::instantiate`] (with
+    /// `cfg.tetris` supplying the packing knobs for
+    /// [`SchemeSelect::Tetris`]); the trace level from `cfg.level`.
+    ///
+    /// The fresh system has an empty trace, seed-0 random write content,
+    /// and the zero-cost [`pcm_telemetry::NullSink`]; chain
+    /// [`System::with_trace`] / [`System::with_content`] /
+    /// [`System::with_telemetry`] to replace them.
+    pub fn build(cfg: SystemConfig) -> Result<Self, ConfigError> {
         cfg.validate()?;
+        tetris_write::register_scheme_factory();
+        let scheme: Box<dyn WriteScheme> = if cfg.mem.select == SchemeSelect::Tetris {
+            // Route through cfg.tetris so custom packing knobs apply; the
+            // registered factory would use paper-baseline knobs.
+            let mut t = cfg.tetris;
+            t.scheme = cfg.mem;
+            Box::new(tetris_write::TetrisWrite::new(t))
+        } else {
+            cfg.mem.instantiate()
+        };
         let mem_cfg: SchemeConfig = cfg.mem;
         let memory = PcmMainMemory::new(mem_cfg, scheme)?;
         let controller = MemoryController::new(
@@ -76,7 +88,7 @@ impl System {
             mem_cfg.timings,
             mem_cfg.org.total_banks() as usize,
         );
-        let hierarchy = match level {
+        let hierarchy = match cfg.level {
             TraceLevel::MemoryLevel => None,
             TraceLevel::CpuLevel => Some(CacheHierarchy::new(&cfg)?),
         };
@@ -84,10 +96,10 @@ impl System {
             cores: (0..cfg.cores).map(Core::new).collect(),
             backlog: vec![VecDeque::new(); cfg.cores],
             pending_mem_read: vec![None; cfg.cores],
+            level: cfg.level,
+            trace: Box::new(VecTrace::new(vec![Vec::new(); cfg.cores])),
+            content: Box::new(UniformRandomContent::new(0)),
             cfg,
-            level,
-            trace,
-            content,
             controller,
             memory,
             hierarchy,
@@ -102,6 +114,31 @@ impl System {
             workload_name: String::new(),
             tel: Box::new(NullSink),
         })
+    }
+
+    /// Replace the trace source (chainable after [`System::build`]).
+    pub fn with_trace(mut self, trace: Box<dyn TraceSource>) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Replace the write-content model (chainable after [`System::build`]).
+    pub fn with_content(mut self, content: Box<dyn WriteContent>) -> Self {
+        self.content = content;
+        self
+    }
+
+    /// Install a telemetry sink (chainable form of
+    /// [`System::set_telemetry`]).
+    pub fn with_telemetry(mut self, tel: Box<dyn Telemetry>) -> Self {
+        self.tel = tel;
+        self
+    }
+
+    /// Replace the write-content model in place (mutating form of
+    /// [`System::with_content`]).
+    pub fn set_content(&mut self, content: Box<dyn WriteContent>) {
+        self.content = content;
     }
 
     /// Label the run's workload in the result.
@@ -509,10 +546,7 @@ impl System {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::content::UniformRandomContent;
-    use crate::cpu::{TraceOp, VecTrace};
-    use pcm_schemes::DcwWrite;
-    use tetris_write::TetrisWrite;
+    use crate::cpu::TraceOp;
 
     fn mem_trace_ops(n: usize, gap: u32, write_every: usize, stride: u64) -> Vec<TraceOp> {
         (0..n)
@@ -528,23 +562,20 @@ mod tests {
             .collect()
     }
 
-    fn run(scheme: Box<dyn WriteScheme>, ops_per_core: Vec<Vec<TraceOp>>) -> SimResult {
+    fn run(select: SchemeSelect, ops_per_core: Vec<Vec<TraceOp>>) -> SimResult {
         let mut cfg = SystemConfig::paper_baseline();
         cfg.cores = ops_per_core.len();
-        let mut sys = System::new(
-            cfg,
-            scheme,
-            Box::new(VecTrace::new(ops_per_core)),
-            Box::new(UniformRandomContent::new(3)),
-            TraceLevel::MemoryLevel,
-        )
-        .unwrap();
+        cfg.mem.select = select;
+        let mut sys = System::build(cfg)
+            .unwrap()
+            .with_trace(Box::new(VecTrace::new(ops_per_core)))
+            .with_content(Box::new(UniformRandomContent::new(3)));
         sys.run()
     }
 
     #[test]
     fn read_only_trace_completes_with_sane_latency() {
-        let r = run(Box::new(DcwWrite), vec![mem_trace_ops(100, 10, 0, 64)]);
+        let r = run(SchemeSelect::Dcw, vec![mem_trace_ops(100, 10, 0, 64)]);
         assert_eq!(r.mem_reads, 100);
         assert_eq!(r.mem_writes, 0);
         assert_eq!(r.instructions[0], 100 * 10 + 100);
@@ -561,7 +592,7 @@ mod tests {
     fn writes_are_flushed_at_end() {
         // 10 writes never fill the 32-entry queue; the final flush must
         // still service them.
-        let r = run(Box::new(DcwWrite), vec![mem_trace_ops(10, 1, 1, 64)]);
+        let r = run(SchemeSelect::Dcw, vec![mem_trace_ops(10, 1, 1, 64)]);
         assert_eq!(r.mem_writes, 10);
         assert_eq!(r.write_latency.count, 10);
     }
@@ -572,7 +603,7 @@ mod tests {
         // for nearly the whole run.
         let mut ops = mem_trace_ops(2_000, 50, 0, 64);
         ops[0].kind = AccessKind::Write; // one early write
-        let r = run(Box::new(DcwWrite), vec![ops]);
+        let r = run(SchemeSelect::Dcw, vec![ops]);
         assert_eq!(r.mem_writes, 1);
         let runtime_ns = r.runtime.as_ns_f64();
         assert!(
@@ -591,8 +622,8 @@ mod tests {
                 mem_trace_ops(600, 5, 2, 64 * 1024),
             ]
         };
-        let dcw = run(Box::new(DcwWrite), mk());
-        let tetris = run(Box::new(TetrisWrite::paper_baseline()), mk());
+        let dcw = run(SchemeSelect::Dcw, mk());
+        let tetris = run(SchemeSelect::Tetris, mk());
         assert_eq!(dcw.mem_writes, tetris.mem_writes);
         assert!(
             tetris.runtime < dcw.runtime,
@@ -607,7 +638,7 @@ mod tests {
     #[test]
     fn backpressure_throttles_but_preserves_work() {
         // Write storm: queue fills, cores stall, everything still lands.
-        let r = run(Box::new(DcwWrite), vec![mem_trace_ops(300, 1, 1, 64)]);
+        let r = run(SchemeSelect::Dcw, vec![mem_trace_ops(300, 1, 1, 64)]);
         assert_eq!(r.mem_writes, 300);
         assert!(r.write_stall > Ps::ZERO, "backpressure must have engaged");
     }
@@ -628,7 +659,7 @@ mod tests {
                 addr: 0x40,
             },
         ];
-        let r = run(Box::new(DcwWrite), vec![ops]);
+        let r = run(SchemeSelect::Dcw, vec![ops]);
         assert_eq!(r.read_forwards, 1);
     }
 
@@ -650,14 +681,12 @@ mod tests {
                 });
             }
         }
-        let mut sys = System::new(
-            cfg,
-            Box::new(DcwWrite),
-            Box::new(VecTrace::new(vec![ops])),
-            Box::new(UniformRandomContent::new(9)),
-            TraceLevel::CpuLevel,
-        )
-        .unwrap();
+        let mut cfg = cfg;
+        cfg.level = TraceLevel::CpuLevel;
+        let mut sys = System::build(cfg)
+            .unwrap()
+            .with_trace(Box::new(VecTrace::new(vec![ops])))
+            .with_content(Box::new(UniformRandomContent::new(9)));
         let r = sys.run();
         assert_eq!(r.mem_reads, 64, "second pass is cache-resident");
         let (l1, _) = sys.hierarchy().unwrap().core_stats(0);
@@ -681,14 +710,12 @@ mod tests {
                 addr: i * 64,
             })
             .collect();
-        let mut sys = System::new(
-            cfg,
-            Box::new(DcwWrite),
-            Box::new(VecTrace::new(vec![ops])),
-            Box::new(UniformRandomContent::new(9)),
-            TraceLevel::CpuLevel,
-        )
-        .unwrap();
+        let mut cfg = cfg;
+        cfg.level = TraceLevel::CpuLevel;
+        let mut sys = System::build(cfg)
+            .unwrap()
+            .with_trace(Box::new(VecTrace::new(vec![ops])))
+            .with_content(Box::new(UniformRandomContent::new(9)));
         let r = sys.run();
         assert_eq!(
             r.mem_writes, lines,
@@ -698,20 +725,16 @@ mod tests {
 
     #[test]
     fn batched_drain_services_all_writes_faster() {
-        use tetris_write::TetrisWrite;
         let ops = || vec![mem_trace_ops(400, 1, 1, 64)];
         let run_batched = |batch: usize| {
             let mut cfg = SystemConfig::paper_baseline();
             cfg.cores = 1;
             cfg.controller.batch_writes = batch;
-            let mut sys = System::new(
-                cfg,
-                Box::new(TetrisWrite::paper_baseline()),
-                Box::new(VecTrace::new(ops())),
-                Box::new(UniformRandomContent::new(4)),
-                TraceLevel::MemoryLevel,
-            )
-            .unwrap();
+            cfg.mem.select = SchemeSelect::Tetris;
+            let mut sys = System::build(cfg)
+                .unwrap()
+                .with_trace(Box::new(VecTrace::new(ops())))
+                .with_content(Box::new(UniformRandomContent::new(4)));
             sys.run()
         };
         let single = run_batched(1);
@@ -738,14 +761,11 @@ mod tests {
         let mut cfg = SystemConfig::paper_baseline();
         cfg.cores = 1;
         cfg.controller.write_pausing = true;
-        let mut sys = System::new(
-            cfg,
-            Box::new(TetrisWrite::paper_baseline()),
-            Box::new(VecTrace::new(vec![mem_trace_ops(400, 2, 2, 64)])),
-            Box::new(UniformRandomContent::new(3)),
-            TraceLevel::MemoryLevel,
-        )
-        .unwrap();
+        cfg.mem.select = SchemeSelect::Tetris;
+        let mut sys = System::build(cfg)
+            .unwrap()
+            .with_trace(Box::new(VecTrace::new(vec![mem_trace_ops(400, 2, 2, 64)])))
+            .with_content(Box::new(UniformRandomContent::new(3)));
         sys.set_workload_name("unit");
         sys.set_telemetry(Box::new(
             JsonlSink::create(&path, TraceDetail::Fine).unwrap(),
@@ -783,14 +803,10 @@ mod tests {
         ));
         let mut cfg = SystemConfig::paper_baseline();
         cfg.cores = 1;
-        let mut sys = System::new(
-            cfg,
-            Box::new(DcwWrite),
-            Box::new(VecTrace::new(vec![mem_trace_ops(100, 2, 2, 64)])),
-            Box::new(UniformRandomContent::new(3)),
-            TraceLevel::MemoryLevel,
-        )
-        .unwrap();
+        let mut sys = System::build(cfg)
+            .unwrap()
+            .with_trace(Box::new(VecTrace::new(vec![mem_trace_ops(100, 2, 2, 64)])))
+            .with_content(Box::new(UniformRandomContent::new(3)));
         sys.set_telemetry(Box::new(
             JsonlSink::create(&path, TraceDetail::Coarse).unwrap(),
         ));
@@ -811,16 +827,13 @@ mod tests {
             let cfg = SystemConfig::builder()
                 .cores(1)
                 .sched(sched)
+                .scheme(SchemeSelect::Tetris)
                 .build()
                 .unwrap();
-            let mut sys = System::new(
-                cfg,
-                Box::new(TetrisWrite::paper_baseline()),
-                Box::new(VecTrace::new(vec![mem_trace_ops(800, 1, 2, 64)])),
-                Box::new(UniformRandomContent::new(3)),
-                TraceLevel::MemoryLevel,
-            )
-            .unwrap();
+            let mut sys = System::build(cfg)
+                .unwrap()
+                .with_trace(Box::new(VecTrace::new(vec![mem_trace_ops(800, 1, 2, 64)])))
+                .with_content(Box::new(UniformRandomContent::new(3)));
             sys.set_telemetry(Box::new(MemorySink::new()));
             let r = sys.run();
             (r, sys.ctrl_stats())
@@ -846,16 +859,13 @@ mod tests {
         let cfg = SystemConfig::builder()
             .cores(1)
             .adaptive_scheduling()
+            .scheme(SchemeSelect::Tetris)
             .build()
             .unwrap();
-        let mut sys = System::new(
-            cfg,
-            Box::new(TetrisWrite::paper_baseline()),
-            Box::new(VecTrace::new(vec![mem_trace_ops(800, 1, 2, 64)])),
-            Box::new(UniformRandomContent::new(3)),
-            TraceLevel::MemoryLevel,
-        )
-        .unwrap();
+        let mut sys = System::build(cfg)
+            .unwrap()
+            .with_trace(Box::new(VecTrace::new(vec![mem_trace_ops(800, 1, 2, 64)])))
+            .with_content(Box::new(UniformRandomContent::new(3)));
         let path =
             std::env::temp_dir().join(format!("pcm_memsim_sched_{}.jsonl", std::process::id()));
         sys.set_telemetry(Box::new(
@@ -881,8 +891,8 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a = run(Box::new(DcwWrite), vec![mem_trace_ops(200, 3, 3, 64)]);
-        let b = run(Box::new(DcwWrite), vec![mem_trace_ops(200, 3, 3, 64)]);
+        let a = run(SchemeSelect::Dcw, vec![mem_trace_ops(200, 3, 3, 64)]);
+        let b = run(SchemeSelect::Dcw, vec![mem_trace_ops(200, 3, 3, 64)]);
         assert_eq!(a.runtime, b.runtime);
         assert_eq!(a.read_latency.sum_ps, b.read_latency.sum_ps);
         assert_eq!(a.energy, b.energy);

@@ -88,6 +88,37 @@ impl AddrMap {
         })
     }
 
+    /// Encode rank/bank/row/col coordinates back into a byte address —
+    /// the exact inverse of [`decode`][Self::decode]. The `line` field of
+    /// the input is ignored; it is recomputed from the coordinates.
+    pub fn encode(&self, d: &DecodedAddr) -> Result<PhysAddr, crate::PcmError> {
+        if d.rank >= self.org.ranks
+            || d.bank >= self.org.banks_per_rank
+            || d.col >= self.lines_per_row
+        {
+            return Err(crate::PcmError::config(
+                "encode: coordinate exceeds organization geometry",
+            ));
+        }
+        let addr = d
+            .row
+            .checked_mul(self.lines_per_row as u64)
+            .and_then(|v| v.checked_add(d.col as u64))
+            .and_then(|v| v.checked_mul(self.org.ranks as u64))
+            .and_then(|v| v.checked_add(d.rank as u64))
+            .and_then(|v| v.checked_mul(self.org.banks_per_rank as u64))
+            .and_then(|v| v.checked_add(d.bank as u64))
+            .and_then(|v| v.checked_mul(self.org.cache_line_bytes as u64))
+            .unwrap_or(u64::MAX);
+        if addr >= self.org.capacity_bytes {
+            return Err(crate::PcmError::AddressOutOfRange {
+                addr,
+                capacity: self.org.capacity_bytes,
+            });
+        }
+        Ok(addr)
+    }
+
     /// Align an address down to its cache-line base.
     pub const fn line_base(&self, addr: PhysAddr) -> PhysAddr {
         addr - addr % self.org.cache_line_bytes as u64
@@ -166,5 +197,84 @@ mod tests {
     fn rejects_bad_lines_per_row() {
         assert!(AddrMap::new(MemOrg::paper_baseline(), 0).is_err());
         assert!(AddrMap::new(MemOrg::paper_baseline(), 3).is_err());
+    }
+
+    #[test]
+    fn encode_inverts_decode_baseline() {
+        let m = map();
+        for i in 0..4096u64 {
+            let addr = i * 64;
+            let d = m.decode(addr).unwrap();
+            assert_eq!(m.encode(&d).unwrap(), addr);
+        }
+    }
+
+    #[test]
+    fn encode_rejects_bad_coordinates() {
+        let m = map();
+        let mut d = m.decode(0).unwrap();
+        d.rank = 1; // baseline has a single rank
+        assert!(m.encode(&d).is_err());
+        let mut d = m.decode(0).unwrap();
+        d.bank = 8;
+        assert!(m.encode(&d).is_err());
+        let mut d = m.decode(0).unwrap();
+        d.row = u64::MAX / 2; // far past capacity
+        assert!(m.encode(&d).is_err());
+    }
+
+    crate::propcheck! {
+        /// decode → encode is the identity for every line-aligned address,
+        /// across all rank/bank/row-width combinations.
+        fn decode_encode_roundtrip(
+            rank_bits in 0u32..=3,
+            bank_bits in 0u32..=4,
+            row_bits in 0u32..=3,
+            line in 0u64..1u64 << 20
+        ) {
+            let org = MemOrg {
+                ranks: 1 << rank_bits,
+                banks_per_rank: 1 << bank_bits,
+                capacity_bytes: 1 << 30,
+                ..MemOrg::paper_baseline()
+            };
+            let m = AddrMap::new(org, 1 << (row_bits + 3)).unwrap();
+            let addr = (line * 64) % org.capacity_bytes;
+            let d = m.decode(addr).unwrap();
+            crate::prop_assert!(d.rank < org.ranks && d.bank < org.banks_per_rank);
+            crate::prop_assert_eq!(m.encode(&d).unwrap(), addr);
+        }
+
+        /// encode → decode recovers the coordinates for every in-range
+        /// (rank, bank, row, col) tuple.
+        fn encode_decode_roundtrip(
+            rank_bits in 0u32..=3,
+            bank_bits in 0u32..=4,
+            row in 0u64..256,
+            rank in 0u32..8,
+            bank in 0u32..16,
+            col in 0u32..8
+        ) {
+            let org = MemOrg {
+                ranks: 1 << rank_bits,
+                banks_per_rank: 1 << bank_bits,
+                capacity_bytes: 1 << 30,
+                ..MemOrg::paper_baseline()
+            };
+            let m = AddrMap::new(org, 8).unwrap();
+            let d = DecodedAddr {
+                rank: rank % org.ranks,
+                bank: bank % org.banks_per_rank,
+                row,
+                col,
+                line: 0,
+            };
+            let addr = m.encode(&d).unwrap();
+            let back = m.decode(addr).unwrap();
+            crate::prop_assert_eq!(back.rank, d.rank);
+            crate::prop_assert_eq!(back.bank, d.bank);
+            crate::prop_assert_eq!(back.row, d.row);
+            crate::prop_assert_eq!(back.col, d.col);
+        }
     }
 }

@@ -13,8 +13,98 @@
 //! traffic is not modelled — see DESIGN.md). Its SET pulses are charged to
 //! this write's energy; the foreground service time is the RESET stage
 //! only.
+//!
+//! This module also hosts the **unified scheme factory**: a
+//! [`SchemeSelect`] tag on [`SchemeConfig`] plus
+//! [`SchemeConfig::instantiate`], so every construction site (runner,
+//! ablations, replay) builds schemes through one path instead of
+//! hand-matching enums.
 
 use crate::traits::{SchemeConfig, WriteCtx, WritePlan, WriteScheme};
+use std::sync::OnceLock;
+
+/// Which write scheme a [`SchemeConfig`] instantiates.
+///
+/// `Tetris` lives in the downstream `tetris-write` crate (it depends on
+/// this one), so its constructor is injected via
+/// [`register_tetris_factory`] rather than named here.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum SchemeSelect {
+    /// Every bit programmed, strictly serial write units (Eq. 1).
+    Conventional,
+    /// Data-comparison write — the paper's baseline.
+    #[default]
+    Dcw,
+    /// Flip-N-Write: read + inversion bounds changed bits (Eq. 2).
+    Fnw,
+    /// RESET stage + asymmetry-sized SET stage (Eq. 3).
+    TwoStage,
+    /// 2-Stage + Flip-N-Write's read/flip (Eq. 4).
+    ThreeStage,
+    /// Background full-SET sweeps, RESET-only write-backs (ref. \[23\]).
+    PreSet,
+    /// The paper's contribution (constructed by the registered factory).
+    Tetris,
+}
+
+impl SchemeSelect {
+    /// Stable lowercase tag (CLI / JSON).
+    pub const fn tag(&self) -> &'static str {
+        match self {
+            SchemeSelect::Conventional => "conventional",
+            SchemeSelect::Dcw => "dcw",
+            SchemeSelect::Fnw => "fnw",
+            SchemeSelect::TwoStage => "2stage",
+            SchemeSelect::ThreeStage => "3stage",
+            SchemeSelect::PreSet => "preset",
+            SchemeSelect::Tetris => "tetris",
+        }
+    }
+}
+
+/// Constructor for the Tetris scheme, registered by the `tetris-write`
+/// crate (which depends on this one and therefore cannot be named here).
+type TetrisFactory = fn(&SchemeConfig) -> Box<dyn WriteScheme>;
+
+static TETRIS_FACTORY: OnceLock<TetrisFactory> = OnceLock::new();
+
+/// Register the constructor [`SchemeConfig::instantiate`] uses for
+/// [`SchemeSelect::Tetris`]. Idempotent; the first registration wins.
+/// `tetris_write::register_scheme_factory()` calls this on behalf of any
+/// code that links the downstream crate.
+pub fn register_tetris_factory(f: TetrisFactory) {
+    let _ = TETRIS_FACTORY.set(f);
+}
+
+impl SchemeConfig {
+    /// Construct the write scheme this configuration selects.
+    ///
+    /// This is the single factory every construction site goes through;
+    /// the returned scheme plans against `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `select` is [`SchemeSelect::Tetris`] and no factory has
+    /// been registered — call `tetris_write::register_scheme_factory()`
+    /// (or `pcm_memsim::System::build`, which does so) first.
+    pub fn instantiate(&self) -> Box<dyn WriteScheme> {
+        match self.select {
+            SchemeSelect::Conventional => Box::new(crate::ConventionalWrite),
+            SchemeSelect::Dcw => Box::new(crate::DcwWrite),
+            SchemeSelect::Fnw => Box::new(crate::FlipNWrite),
+            SchemeSelect::TwoStage => Box::new(crate::TwoStageWrite),
+            SchemeSelect::ThreeStage => Box::new(crate::ThreeStageWrite),
+            SchemeSelect::PreSet => Box::new(PreSetWrite),
+            SchemeSelect::Tetris => {
+                let f = TETRIS_FACTORY.get().expect(
+                    "SchemeSelect::Tetris requires tetris_write::register_scheme_factory() \
+                     to have been called (System::build does this automatically)",
+                );
+                f(self)
+            }
+        }
+    }
+}
 
 /// PreSET: background full-SET, foreground RESET-only write-back.
 #[derive(Clone, Copy, Debug, Default)]
@@ -117,6 +207,30 @@ mod tests {
         let p = plan(&old, 0, &new);
         assert_eq!(p.cell_sets, 512);
         assert_eq!(p.cell_resets, 8 * 56);
+    }
+
+    #[test]
+    fn instantiate_builds_every_local_scheme() {
+        use super::SchemeSelect::*;
+        for (sel, name) in [
+            (Conventional, "Conventional"),
+            (Dcw, "DCW (baseline)"),
+            (Fnw, "Flip-N-Write"),
+            (TwoStage, "2-Stage-Write"),
+            (ThreeStage, "Three-Stage-Write"),
+            (PreSet, "PreSET"),
+        ] {
+            let cfg = SchemeConfig::builder().select(sel).build().unwrap();
+            assert_eq!(cfg.instantiate().name(), name, "select {sel:?}");
+        }
+    }
+
+    #[test]
+    fn default_select_is_the_paper_baseline() {
+        assert_eq!(
+            SchemeConfig::paper_baseline().select,
+            super::SchemeSelect::Dcw
+        );
     }
 
     #[test]

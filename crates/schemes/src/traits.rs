@@ -15,6 +15,8 @@ pub struct SchemeConfig {
     pub org: MemOrg,
     /// Per-bit energies.
     pub energy: EnergyParams,
+    /// Which scheme [`SchemeConfig::instantiate`] constructs.
+    pub select: crate::preset::SchemeSelect,
 }
 
 impl Default for SchemeConfig {
@@ -31,6 +33,7 @@ impl SchemeConfig {
             power: PowerParams::paper_baseline(),
             org: MemOrg::paper_baseline(),
             energy: EnergyParams::paper_baseline(),
+            select: crate::preset::SchemeSelect::Dcw,
         }
     }
 
@@ -86,6 +89,12 @@ impl SchemeConfigBuilder {
     /// Per-bit energies.
     pub fn energy(mut self, e: EnergyParams) -> Self {
         self.cfg.energy = e;
+        self
+    }
+
+    /// Which scheme [`SchemeConfig::instantiate`] constructs.
+    pub fn select(mut self, s: crate::preset::SchemeSelect) -> Self {
+        self.cfg.select = s;
         self
     }
 

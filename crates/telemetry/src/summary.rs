@@ -176,6 +176,66 @@ impl TraceSummary {
             .unwrap_or(0.0)
     }
 
+    /// Combine per-rank summaries into one whole-system view.
+    ///
+    /// Bank tables concatenate in rank-major order (flat bank id =
+    /// `rank * banks_per_rank + local`), depth samples pool and re-sort,
+    /// counters sum, the span is the maximum, and the mean batch
+    /// utilization re-weights by each rank's batch count. The workload /
+    /// scheme labels come from the first non-empty part. Merging a single
+    /// summary returns it unchanged.
+    pub fn merged(parts: &[TraceSummary]) -> TraceSummary {
+        let mut out = TraceSummary::default();
+        let mut util_weight = 0.0f64;
+        for p in parts {
+            if out.workload.is_empty() {
+                out.workload = p.workload.clone();
+            }
+            if out.scheme.is_empty() {
+                out.scheme = p.scheme.clone();
+            }
+            out.banks.extend(p.banks.iter().cloned());
+            out.span = out.span.max(p.span);
+            out.read_depths.extend_from_slice(&p.read_depths);
+            out.write_depths.extend_from_slice(&p.write_depths);
+            out.pauses += p.pauses;
+            out.resumes += p.resumes;
+            out.drains += p.drains;
+            out.batches += p.batches;
+            out.stolen_write0s += p.stolen_write0s;
+            util_weight += p.mean_batch_utilization * p.batches as f64;
+            out.watermark_adjusts += p.watermark_adjusts;
+            out.steered_writes += p.steered_writes;
+            out.read_windows += p.read_windows;
+        }
+        if out.batches > 0 {
+            out.mean_batch_utilization = util_weight / out.batches as f64;
+        }
+        out.read_depths.sort_unstable();
+        out.write_depths.sort_unstable();
+        out
+    }
+
+    /// Summarize a rank-tagged event stream (as returned by
+    /// [`crate::read_tagged_events`]) into one summary per rank, indexed
+    /// by rank. Ranks with no events yield an empty summary, so the
+    /// result always spans `0..=max_rank`.
+    pub fn by_rank(tagged: &[(u32, TelemetryEvent)]) -> Vec<TraceSummary> {
+        let ranks = tagged
+            .iter()
+            .map(|&(r, _)| r)
+            .max()
+            .map_or(0, |m| m as usize + 1);
+        let mut streams: Vec<Vec<TelemetryEvent>> = vec![Vec::new(); ranks];
+        for (rank, ev) in tagged {
+            streams[*rank as usize].push(ev.clone());
+        }
+        streams
+            .iter()
+            .map(|evs| TraceSummary::from_events(evs))
+            .collect()
+    }
+
     /// Mean utilization across all banks.
     pub fn mean_utilization(&self) -> f64 {
         if self.banks.is_empty() {
@@ -353,6 +413,54 @@ mod tests {
         assert_eq!(s.steered_writes, 2);
         assert_eq!(s.read_windows, 1);
         assert_eq!(s.span, Ps(90_000), "window end extends the trace span");
+    }
+
+    #[test]
+    fn merged_concatenates_banks_and_pools_depths() {
+        let mut a = TraceSummary::from_events(&[
+            meta(2),
+            TelemetryEvent::BankBusy {
+                at: Ps(0),
+                bank: 0,
+                kind: OpKind::Read,
+                until: Ps(10_000),
+                lines: 1,
+            },
+            TelemetryEvent::QueueDepth {
+                at: Ps(1),
+                reads: 5,
+                writes: 9,
+            },
+        ]);
+        a.drains = 2;
+        let b = TraceSummary::from_events(&[
+            meta(2),
+            TelemetryEvent::BankBusy {
+                at: Ps(0),
+                bank: 1,
+                kind: OpKind::Write,
+                until: Ps(40_000),
+                lines: 2,
+            },
+            TelemetryEvent::QueueDepth {
+                at: Ps(2),
+                reads: 3,
+                writes: 1,
+            },
+        ]);
+        let m = TraceSummary::merged(&[a.clone(), b]);
+        assert_eq!(m.banks.len(), 4, "rank-major concatenation");
+        assert_eq!(m.banks[0].reads, 1);
+        assert_eq!(m.banks[3].writes, 1);
+        assert_eq!(m.span, Ps(40_000));
+        assert_eq!(m.read_depths, vec![3, 5]);
+        assert_eq!(m.write_depths, vec![1, 9]);
+        assert_eq!(m.drains, 2);
+        assert_eq!(m.workload, "w");
+        // Single-part merge only re-sorts (already sorted) — equal fields.
+        let one = TraceSummary::merged(std::slice::from_ref(&a));
+        assert_eq!(one.banks, a.banks);
+        assert_eq!(one.read_depths, a.read_depths);
     }
 
     #[test]

@@ -33,4 +33,5 @@ pub use content::ProfileContent;
 pub use generator::{GeneratorConfig, SyntheticParsec};
 pub use profiles::{Sharing, WorkloadProfile, ALL_PROFILES};
 pub use stats::{measure_bit_stats, BitStats};
+pub use trace::{read_trace, record_trace, write_trace, TraceRecord};
 pub use zipf::Zipf;

@@ -38,14 +38,13 @@ fn main() {
     };
 
     for kind in [SchemeKind::Dcw, SchemeKind::Tetris] {
-        let mut sys = System::new(
-            cfg,
-            kind.build(),
-            Box::new(VecTrace::new(vec![mk_core(0), mk_core(1)])),
-            Box::new(UniformRandomContent::new(12)),
-            TraceLevel::CpuLevel,
-        )
-        .expect("valid config");
+        let mut cfg = cfg;
+        cfg.level = TraceLevel::CpuLevel;
+        cfg.mem.select = kind.select();
+        let mut sys = System::build(cfg)
+            .expect("valid config")
+            .with_trace(Box::new(VecTrace::new(vec![mk_core(0), mk_core(1)])))
+            .with_content(Box::new(UniformRandomContent::new(12)));
         sys.set_workload_name("cache-mode-demo");
         let r = sys.run();
         let (l1, l2) = sys.hierarchy().unwrap().core_stats(0);

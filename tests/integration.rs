@@ -3,7 +3,7 @@
 
 use pcm_memsim::cpu::VecTrace;
 use pcm_memsim::{
-    AccessKind, PcmMainMemory, System, SystemConfig, TraceLevel, TraceOp, UniformRandomContent,
+    AccessKind, PcmMainMemory, ShardedSystem, System, SystemConfig, TraceOp, UniformRandomContent,
 };
 use pcm_schemes::{
     DcwWrite, FlipNWrite, SchemeConfig, ThreeStageWrite, TwoStageWrite, WriteScheme,
@@ -97,14 +97,10 @@ fn recorded_trace_replays_identically() {
     cfg.cores = 2;
 
     let run = |trace: Box<dyn pcm_memsim::TraceSource>| {
-        let mut sys = System::new(
-            cfg,
-            Box::new(DcwWrite),
-            trace,
-            Box::new(UniformRandomContent::new(3)),
-            TraceLevel::MemoryLevel,
-        )
-        .unwrap();
+        let mut sys = System::build(cfg)
+            .unwrap()
+            .with_trace(trace)
+            .with_content(Box::new(UniformRandomContent::new(3)));
         sys.run()
     };
 
@@ -130,6 +126,7 @@ fn cpu_mode_conserves_work() {
     let cfg = SystemConfig::builder()
         .small_caches()
         .cores(1)
+        .cpu_level()
         .build()
         .unwrap();
     let lines = 4096u64;
@@ -145,14 +142,10 @@ fn cpu_mode_conserves_work() {
         })
         .collect();
     let n_reads = ops.iter().filter(|o| o.kind == AccessKind::Read).count() as u64;
-    let mut sys = System::new(
-        cfg,
-        Box::new(DcwWrite),
-        Box::new(VecTrace::new(vec![ops])),
-        Box::new(UniformRandomContent::new(8)),
-        TraceLevel::CpuLevel,
-    )
-    .unwrap();
+    let mut sys = System::build(cfg)
+        .unwrap()
+        .with_trace(Box::new(VecTrace::new(vec![ops])))
+        .with_content(Box::new(UniformRandomContent::new(8)));
     let r = sys.run();
     // Every distinct line misses exactly once (footprint streams, no reuse).
     assert_eq!(r.mem_reads, lines, "write-allocate fetch per line");
@@ -194,14 +187,10 @@ fn writes_conserved_under_backpressure() {
             addr: i * 64,
         })
         .collect();
-    let mut sys = System::new(
-        SystemConfig::paper_baseline(),
-        Box::new(DcwWrite),
-        Box::new(VecTrace::new(vec![ops])),
-        Box::new(UniformRandomContent::new(1)),
-        TraceLevel::MemoryLevel,
-    )
-    .unwrap();
+    let mut sys = System::build(SystemConfig::paper_baseline())
+        .unwrap()
+        .with_trace(Box::new(VecTrace::new(vec![ops])))
+        .with_content(Box::new(UniformRandomContent::new(1)));
     let r = sys.run();
     assert_eq!(r.mem_writes, 500);
     assert_eq!(r.write_latency.count, 500);
@@ -209,6 +198,34 @@ fn writes_conserved_under_backpressure() {
         r.write_stall.as_ps() > 0,
         "32-entry queue must backpressure 500 writes"
     );
+}
+
+/// A recorded workload trace sharded across 4 ranks conserves traffic and
+/// instruction counts against the single-controller run of the same trace.
+#[test]
+fn sharded_replay_conserves_traffic() {
+    let p = WorkloadProfile::by_name("vips").unwrap();
+    let gen_cfg = GeneratorConfig {
+        instructions_per_core: 100_000,
+        cores: 2,
+        ..Default::default()
+    };
+    let mut gen = SyntheticParsec::new(p, gen_cfg);
+    let ops = record_trace(&mut gen, 2);
+    let mut cfg = SystemConfig::paper_baseline();
+    cfg.cores = 2;
+
+    let mut single = System::build(cfg)
+        .unwrap()
+        .with_trace(Box::new(VecTrace::new(ops.clone())));
+    let one = single.run();
+
+    cfg.mem.org.ranks = 4;
+    let four = ShardedSystem::build(cfg, ops).unwrap().run().unwrap();
+    assert_eq!(four.mem_reads, one.mem_reads);
+    assert_eq!(four.mem_writes, one.mem_writes);
+    assert_eq!(four.instructions, one.instructions);
+    assert!(four.runtime <= one.runtime);
 }
 
 /// The traced-run path writes a JSONL telemetry file that round-trips
