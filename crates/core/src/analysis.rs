@@ -247,7 +247,7 @@ pub fn analyze(demand: &LineDemand, cfg: &TetrisConfig) -> Result<AnalysisResult
                     .iter()
                     .map(|&u| budget - u)
                     .min()
-                    .unwrap();
+                    .unwrap_or(0);
                 if headroom >= chunk {
                     target = Some(j);
                     break;

@@ -45,7 +45,7 @@ pub fn render_gantt(analysis: &AnalysisResult, num_units: usize) -> String {
                 }
             }
         }
-        out.push_str(std::str::from_utf8(&row).expect("ascii row"));
+        out.push_str(&String::from_utf8_lossy(&row));
         out.push('\n');
     }
 
@@ -54,7 +54,7 @@ pub fn render_gantt(analysis: &AnalysisResult, num_units: usize) -> String {
     for &u in &analysis.slot_usage {
         let c = match (u as u64 * 10).div_ceil(analysis.budget.max(1) as u64) {
             0 => '.',
-            d @ 1..=9 => char::from_digit(d as u32, 10).expect("digit"),
+            d @ 1..=9 => char::from_digit(d as u32, 10).unwrap_or('#'),
             _ => '#',
         };
         out.push(c);

@@ -1,0 +1,207 @@
+//! The waiver file: per-line lint exemptions that must carry a written
+//! justification.
+//!
+//! Format (`lint-allow.txt` at the repo root), one waiver per line:
+//!
+//! ```text
+//! rule-id | repo/relative/path.rs | line-substring | justification
+//! ```
+//!
+//! A finding is waived when the rule id and path match exactly and the
+//! offending source line contains `line-substring`. Substring matching keeps
+//! waivers stable across unrelated edits (line numbers shift; the code
+//! being waived does not). `#`-prefixed lines and blank lines are comments.
+//!
+//! The file is itself linted: malformed entries, missing justifications
+//! (fewer than [`MIN_JUSTIFICATION`] characters) and waivers that no longer
+//! match any finding are reported as `allowlist` findings — a waiver is a
+//! debt record, and stale or unexplained debt fails the gate.
+
+use crate::diag::Diagnostic;
+
+/// Minimum justification length, in characters. Long enough that "ok" or
+/// "legacy" cannot pass review as a rationale.
+pub const MIN_JUSTIFICATION: usize = 20;
+
+/// Rule id used for problems with the allowlist file itself.
+pub const ALLOWLIST_RULE: &str = "allowlist";
+
+/// One parsed waiver.
+#[derive(Clone, Debug)]
+pub struct Waiver {
+    /// Rule this waiver silences.
+    pub rule: String,
+    /// Repo-relative path it applies to.
+    pub path: String,
+    /// Substring the offending source line must contain.
+    pub needle: String,
+    /// Why the exemption is sound (surfaced in `--list-waivers`).
+    pub justification: String,
+    /// 1-based line in the allowlist file.
+    pub line: u32,
+}
+
+/// The parsed allowlist plus any findings about the file itself.
+#[derive(Default)]
+pub struct Allowlist {
+    /// Well-formed waivers.
+    pub waivers: Vec<Waiver>,
+    /// Malformed / unjustified entries.
+    pub problems: Vec<Diagnostic>,
+    /// File name the list was parsed from (for stale-waiver diagnostics).
+    pub file_name: String,
+}
+
+impl Allowlist {
+    /// Parse allowlist text. `file_name` labels diagnostics.
+    pub fn parse(file_name: &str, text: &str) -> Allowlist {
+        let mut out = Allowlist {
+            file_name: file_name.to_string(),
+            ..Allowlist::default()
+        };
+        for (i, raw) in text.lines().enumerate() {
+            let line_no = i as u32 + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let parts: Vec<&str> = line.splitn(4, '|').map(str::trim).collect();
+            let problem = |msg: String| Diagnostic {
+                rule: ALLOWLIST_RULE,
+                path: file_name.to_string(),
+                line: line_no,
+                col: 1,
+                len: raw.len() as u32,
+                msg,
+                snippet: raw.to_string(),
+            };
+            if parts.len() != 4 || parts[..3].iter().any(|p| p.is_empty()) {
+                out.problems.push(problem(
+                    "malformed waiver: expected `rule | path | line-substring | justification`"
+                        .into(),
+                ));
+                continue;
+            }
+            if parts[3].chars().count() < MIN_JUSTIFICATION {
+                out.problems.push(problem(format!(
+                    "waiver justification too short ({} chars, need ≥ {MIN_JUSTIFICATION}): \
+                     explain why `{}` is sound to exempt here",
+                    parts[3].chars().count(),
+                    parts[0]
+                )));
+                continue;
+            }
+            out.waivers.push(Waiver {
+                rule: parts[0].to_string(),
+                path: parts[1].to_string(),
+                needle: parts[2].to_string(),
+                justification: parts[3].to_string(),
+                line: line_no,
+            });
+        }
+        out
+    }
+
+    /// Split `diags` into (kept, waived) and report stale waivers. A waiver
+    /// that matched nothing becomes a finding itself: either the violation
+    /// was fixed (delete the waiver) or the waiver never worked.
+    pub fn apply(&self, diags: Vec<Diagnostic>) -> (Vec<Diagnostic>, Vec<Diagnostic>) {
+        let mut used = vec![false; self.waivers.len()];
+        let mut kept = Vec::new();
+        let mut waived = Vec::new();
+        for d in diags {
+            let hit = self.waivers.iter().enumerate().find(|(_, w)| {
+                w.rule == d.rule && w.path == d.path && d.snippet.contains(&w.needle)
+            });
+            match hit {
+                Some((i, _)) => {
+                    used[i] = true;
+                    waived.push(d);
+                }
+                None => kept.push(d),
+            }
+        }
+        for (w, used) in self.waivers.iter().zip(&used) {
+            if !used {
+                kept.push(Diagnostic {
+                    rule: ALLOWLIST_RULE,
+                    path: self.file_name.clone(),
+                    line: w.line,
+                    col: 1,
+                    len: 1,
+                    msg: format!(
+                        "stale waiver: no `{}` finding in `{}` matches `{}` — \
+                         the violation is gone, delete this line",
+                        w.rule, w.path, w.needle
+                    ),
+                    snippet: format!(
+                        "{} | {} | {} | {}",
+                        w.rule, w.path, w.needle, w.justification
+                    ),
+                });
+            }
+        }
+        (kept, waived)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str, snippet: &str) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: path.into(),
+            line: 10,
+            col: 3,
+            len: 5,
+            msg: "m".into(),
+            snippet: snippet.into(),
+        }
+    }
+
+    #[test]
+    fn waives_matching_findings_only() {
+        let al = Allowlist::parse(
+            "lint-allow.txt",
+            "no-wall-clock | a.rs | Instant::now | throughput display only, never feeds sim state\n",
+        );
+        assert!(al.problems.is_empty());
+        let (kept, waived) = al.apply(vec![
+            finding("no-wall-clock", "a.rs", "let t = Instant::now();"),
+            finding("no-wall-clock", "b.rs", "let t = Instant::now();"),
+        ]);
+        assert_eq!(waived.len(), 1);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].path, "b.rs");
+    }
+
+    #[test]
+    fn short_justification_rejected() {
+        let al = Allowlist::parse("f", "panic-policy | a.rs | expect | ok\n");
+        assert!(al.waivers.is_empty());
+        assert_eq!(al.problems.len(), 1);
+        assert!(al.problems[0].msg.contains("too short"));
+    }
+
+    #[test]
+    fn malformed_line_rejected() {
+        let al = Allowlist::parse("f", "just-some-words\n# comment is fine\n\n");
+        assert_eq!(al.problems.len(), 1);
+        assert!(al.problems[0].msg.contains("malformed"));
+    }
+
+    #[test]
+    fn stale_waiver_becomes_finding() {
+        let al = Allowlist::parse(
+            "lint-allow.txt",
+            "panic-policy | gone.rs | unwrap | the code this waived was removed in PR 5\n",
+        );
+        let (kept, waived) = al.apply(vec![]);
+        assert!(waived.is_empty());
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].rule, ALLOWLIST_RULE);
+        assert!(kept[0].msg.contains("stale"));
+    }
+}

@@ -1,0 +1,156 @@
+//! Span-accurate diagnostics and their human / JSON renderings.
+
+use pcm_types::{Json, JsonCodec, JsonError};
+
+/// One lint finding, anchored to a source span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Diagnostic {
+    /// Stable rule identifier (e.g. `no-wall-clock`).
+    pub rule: &'static str,
+    /// Repo-relative path of the offending file.
+    pub path: String,
+    /// 1-based line of the span start.
+    pub line: u32,
+    /// 1-based column (in bytes) of the span start.
+    pub col: u32,
+    /// Span length in bytes (caret width; 1 when unknown).
+    pub len: u32,
+    /// What is wrong and what to do instead.
+    pub msg: String,
+    /// The full source line the span starts on (trimmed of trailing `\n`).
+    pub snippet: String,
+}
+
+impl Diagnostic {
+    /// Render in the familiar `path:line:col` compiler style with the
+    /// offending line and a caret underline.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{}:{}:{}: [{}] {}\n",
+            self.path, self.line, self.col, self.rule, self.msg
+        );
+        let gutter = format!("{:>5} | ", self.line);
+        out.push_str(&gutter);
+        out.push_str(&self.snippet);
+        out.push('\n');
+        out.push_str(&" ".repeat(gutter.len() - 2));
+        out.push_str("| ");
+        out.push_str(&" ".repeat(self.col.saturating_sub(1) as usize));
+        out.push_str(&"^".repeat((self.len.max(1) as usize).min(80)));
+        out
+    }
+}
+
+impl JsonCodec for Diagnostic {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("rule", Json::str(self.rule)),
+            ("path", Json::str(self.path.clone())),
+            ("line", Json::UInt(u64::from(self.line))),
+            ("col", Json::UInt(u64::from(self.col))),
+            ("len", Json::UInt(u64::from(self.len))),
+            ("msg", Json::str(self.msg.clone())),
+            ("snippet", Json::str(self.snippet.clone())),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        use pcm_types::json::field_error;
+        let get_str = |f: &str| {
+            v.get(f)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| field_error(f))
+        };
+        let get_u32 = |f: &str| {
+            v.get(f)
+                .and_then(Json::as_u64)
+                .and_then(|x| u32::try_from(x).ok())
+                .ok_or_else(|| field_error(f))
+        };
+        let rule_name = get_str("rule")?;
+        let rule = crate::rules::RULE_IDS
+            .iter()
+            .copied()
+            .find(|r| *r == rule_name)
+            .ok_or_else(|| field_error("rule"))?;
+        Ok(Diagnostic {
+            rule,
+            path: get_str("path")?,
+            line: get_u32("line")?,
+            col: get_u32("col")?,
+            len: get_u32("len")?,
+            msg: get_str("msg")?,
+            snippet: get_str("snippet")?,
+        })
+    }
+}
+
+/// Render a findings list as one JSON document (the `--json` format):
+/// `{"findings": [...], "count": N}`.
+pub fn to_json_report(diags: &[Diagnostic]) -> String {
+    let obj = Json::obj(vec![
+        ("count", Json::UInt(diags.len() as u64)),
+        (
+            "findings",
+            Json::Arr(diags.iter().map(JsonCodec::to_json).collect()),
+        ),
+    ]);
+    obj.to_string_pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Diagnostic {
+        Diagnostic {
+            rule: "no-wall-clock",
+            path: "crates/memsim/src/engine.rs".into(),
+            line: 42,
+            col: 17,
+            len: 12,
+            msg: "wall-clock read in deterministic crate".into(),
+            snippet: "        let t = Instant::now();".into(),
+        }
+    }
+
+    #[test]
+    fn render_points_at_the_span() {
+        let r = sample().render();
+        assert!(r.starts_with("crates/memsim/src/engine.rs:42:17: [no-wall-clock]"));
+        assert!(r.contains("   42 |         let t = Instant::now();"));
+        let caret_line = r.lines().last().unwrap();
+        assert_eq!(caret_line.find('^').unwrap(), "   42 | ".len() + 16);
+        assert!(caret_line.ends_with("^^^^^^^^^^^^"));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let d = sample();
+        let back = Diagnostic::from_json_str(&d.to_json_string()).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let report = to_json_report(&[sample()]);
+        let v = Json::parse(&report).unwrap();
+        assert_eq!(v.get("count").and_then(Json::as_u64), Some(1));
+        assert!(matches!(v.get("findings"), Some(Json::Arr(a)) if a.len() == 1));
+    }
+
+    #[test]
+    fn unknown_rule_rejected() {
+        let v = Json::obj(vec![
+            ("rule", Json::str("made-up")),
+            ("path", Json::str("x")),
+            ("line", Json::UInt(1)),
+            ("col", Json::UInt(1)),
+            ("len", Json::UInt(1)),
+            ("msg", Json::str("m")),
+            ("snippet", Json::str("s")),
+        ]);
+        assert!(Diagnostic::from_json(&v).is_err());
+    }
+}

@@ -1,0 +1,611 @@
+//! A small, total Rust-source lexer.
+//!
+//! Produces a token stream that **partitions the input**: every byte of the
+//! source belongs to exactly one token, in order, so concatenating the token
+//! texts reproduces the file bit-for-bit (the propcheck suite asserts this).
+//! The lexer never fails — malformed input (unterminated strings/comments)
+//! degrades to a token that runs to end-of-file, which is exactly what a
+//! diagnostics tool wants when pointed at a file mid-edit.
+//!
+//! It is comment- and string-aware so rules never match inside `"… Instant …"`
+//! literals or `// prose`, handles the lexical corners that trip up
+//! grep-based checks (nested block comments, raw strings `r#"…"#`, lifetimes
+//! vs. char literals, numeric underscores and suffixes), and exposes
+//! `#[cfg(test)]` region detection so rules can exempt test code.
+
+/// Classification of one source token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Spaces, tabs, newlines.
+    Whitespace,
+    /// `// …` (including `///` and `//!` doc comments), newline excluded.
+    LineComment,
+    /// `/* … */`, nesting-aware; runs to EOF when unterminated.
+    BlockComment,
+    /// Identifier or keyword (including raw `r#ident`).
+    Ident,
+    /// `'label` / `'static` / `'_`.
+    Lifetime,
+    /// `'x'`, `'\n'`, `b'x'`.
+    CharLit,
+    /// `"…"` or `b"…"` with escapes.
+    StrLit,
+    /// `r"…"`, `r#"…"#`, `br##"…"##`.
+    RawStrLit,
+    /// Integer or float literal, with underscores/suffix (`430_000u64`).
+    NumLit,
+    /// A single punctuation character (multi-char operators are left to
+    /// rules, which match consecutive `Punct` tokens like `:` `:`).
+    Punct,
+}
+
+/// One token: classification plus the byte range it covers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Tok {
+    /// What the token is.
+    pub kind: TokKind,
+    /// Start byte offset (inclusive).
+    pub lo: usize,
+    /// End byte offset (exclusive). Always a `char` boundary.
+    pub hi: usize,
+}
+
+impl Tok {
+    /// The token's text within `src`.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.lo..self.hi]
+    }
+
+    /// True for tokens rules should look at (not whitespace or comments).
+    pub fn significant(&self) -> bool {
+        !matches!(
+            self.kind,
+            TokKind::Whitespace | TokKind::LineComment | TokKind::BlockComment
+        )
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lex `src` into a complete token cover (see module docs).
+pub fn lex(src: &str) -> Vec<Tok> {
+    let bytes = src.as_bytes();
+    let n = bytes.len();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let push = |toks: &mut Vec<Tok>, kind, lo, hi| {
+        debug_assert!(hi > lo);
+        toks.push(Tok { kind, lo, hi });
+    };
+    while i < n {
+        let b = bytes[i];
+        let lo = i;
+        // Whitespace run.
+        if b.is_ascii_whitespace() {
+            while i < n && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            push(&mut toks, TokKind::Whitespace, lo, i);
+            continue;
+        }
+        // Comments.
+        if b == b'/' && i + 1 < n && bytes[i + 1] == b'/' {
+            while i < n && bytes[i] != b'\n' {
+                i += 1;
+            }
+            push(&mut toks, TokKind::LineComment, lo, i);
+            continue;
+        }
+        if b == b'/' && i + 1 < n && bytes[i + 1] == b'*' {
+            i += 2;
+            let mut depth = 1usize;
+            while i < n && depth > 0 {
+                if bytes[i] == b'/' && i + 1 < n && bytes[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if bytes[i] == b'*' && i + 1 < n && bytes[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            // Unterminated comments swallow to EOF; re-align to a char
+            // boundary in case the loop stopped mid-multibyte-char.
+            while i < n && !src.is_char_boundary(i) {
+                i += 1;
+            }
+            push(&mut toks, TokKind::BlockComment, lo, i);
+            continue;
+        }
+        // Raw strings / raw identifiers: r"…", r#"…"#, r#ident.
+        if b == b'r' {
+            let mut j = i + 1;
+            while j < n && bytes[j] == b'#' {
+                j += 1;
+            }
+            let hashes = j - (i + 1);
+            if j < n && bytes[j] == b'"' {
+                i = scan_raw_string(src, j + 1, hashes);
+                push(&mut toks, TokKind::RawStrLit, lo, i);
+                continue;
+            }
+            if hashes == 1 && j < n && is_ident_start(bytes[j]) {
+                i = j + 1;
+                while i < n && is_ident_continue(bytes[i]) {
+                    i += 1;
+                }
+                push(&mut toks, TokKind::Ident, lo, i);
+                continue;
+            }
+            // Fall through: plain identifier starting with `r`.
+        }
+        // Byte literals: b'x', b"…", br"…".
+        if b == b'b' && i + 1 < n {
+            let c1 = bytes[i + 1];
+            if c1 == b'\'' {
+                i = scan_char_body(src, i + 2);
+                push(&mut toks, TokKind::CharLit, lo, i);
+                continue;
+            }
+            if c1 == b'"' {
+                i = scan_string(src, i + 2);
+                push(&mut toks, TokKind::StrLit, lo, i);
+                continue;
+            }
+            if c1 == b'r' {
+                let mut j = i + 2;
+                while j < n && bytes[j] == b'#' {
+                    j += 1;
+                }
+                let hashes = j - (i + 2);
+                if j < n && bytes[j] == b'"' {
+                    i = scan_raw_string(src, j + 1, hashes);
+                    push(&mut toks, TokKind::RawStrLit, lo, i);
+                    continue;
+                }
+            }
+        }
+        // Identifiers / keywords.
+        if is_ident_start(b) {
+            i += 1;
+            while i < n && is_ident_continue(bytes[i]) {
+                i += 1;
+            }
+            push(&mut toks, TokKind::Ident, lo, i);
+            continue;
+        }
+        // Strings.
+        if b == b'"' {
+            i = scan_string(src, i + 1);
+            push(&mut toks, TokKind::StrLit, lo, i);
+            continue;
+        }
+        // Lifetime vs. char literal.
+        if b == b'\'' {
+            if let Some(end) = try_char_literal(src, i) {
+                i = end;
+                push(&mut toks, TokKind::CharLit, lo, i);
+            } else {
+                i += 1;
+                while i < n && is_ident_continue(bytes[i]) {
+                    i += 1;
+                }
+                push(&mut toks, TokKind::Lifetime, lo, i);
+            }
+            continue;
+        }
+        // Numbers.
+        if b.is_ascii_digit() {
+            i = scan_number(bytes, i);
+            push(&mut toks, TokKind::NumLit, lo, i);
+            continue;
+        }
+        // Anything else: one char of punctuation (multibyte chars kept whole
+        // so spans stay on char boundaries).
+        let ch_len = src[i..].chars().next().map_or(1, char::len_utf8);
+        i += ch_len;
+        push(&mut toks, TokKind::Punct, lo, i);
+    }
+    toks
+}
+
+/// Scan past a `"`-terminated string body starting at `i` (after the open
+/// quote); returns the offset just past the closing quote (or EOF).
+fn scan_string(src: &str, mut i: usize) -> usize {
+    let bytes = src.as_bytes();
+    let n = bytes.len();
+    while i < n {
+        match bytes[i] {
+            b'\\' => i = (i + 2).min(n),
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    n
+}
+
+/// Scan past a raw-string body (after the open quote) expecting `hashes`
+/// trailing `#`s; returns the offset just past the final `#` (or EOF).
+fn scan_raw_string(src: &str, mut i: usize, hashes: usize) -> usize {
+    let bytes = src.as_bytes();
+    let n = bytes.len();
+    while i < n {
+        if bytes[i] == b'"' {
+            let end = i + 1 + hashes;
+            if end <= n && bytes[i + 1..end].iter().all(|&b| b == b'#') {
+                return end;
+            }
+        }
+        i += 1;
+    }
+    n
+}
+
+/// Scan a char-literal body starting just after the opening `'` (used for
+/// `b'…'` where there is no lifetime ambiguity).
+fn scan_char_body(src: &str, i: usize) -> usize {
+    let bytes = src.as_bytes();
+    let n = bytes.len();
+    if i >= n {
+        return n;
+    }
+    let mut j = if bytes[i] == b'\\' {
+        (i + 2).min(n)
+    } else {
+        i + src[i..].chars().next().map_or(1, char::len_utf8)
+    };
+    // Consume up to the closing quote (tolerates multi-char garbage).
+    while j < n && bytes[j] != b'\'' && bytes[j] != b'\n' {
+        j += 1;
+    }
+    if j < n && bytes[j] == b'\'' {
+        j + 1
+    } else {
+        j
+    }
+}
+
+/// If the `'` at `i` opens a char literal (rather than a lifetime), return
+/// the literal's end offset.
+fn try_char_literal(src: &str, i: usize) -> Option<usize> {
+    let bytes = src.as_bytes();
+    let n = bytes.len();
+    if i + 1 >= n {
+        return None;
+    }
+    if bytes[i + 1] == b'\\' {
+        // Escape: definitely a char literal.
+        return Some(scan_char_body(src, i + 1));
+    }
+    // `'X'` where X is one char: char literal. `'X` otherwise: lifetime.
+    let c = src[i + 1..].chars().next()?;
+    let after = i + 1 + c.len_utf8();
+    if after < n && bytes[after] == b'\'' {
+        Some(after + 1)
+    } else {
+        None
+    }
+}
+
+/// Scan a numeric literal starting at a digit; consumes underscores,
+/// base prefixes, a fractional part, an exponent, and any alphanumeric
+/// suffix (`u32`, `f64`). Stops before `..` so range expressions survive.
+fn scan_number(bytes: &[u8], mut i: usize) -> usize {
+    let n = bytes.len();
+    let radix_prefix = bytes[i] == b'0'
+        && i + 1 < n
+        && matches!(bytes[i + 1], b'x' | b'X' | b'o' | b'O' | b'b' | b'B');
+    if radix_prefix {
+        i += 2;
+        while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+            i += 1;
+        }
+        return i;
+    }
+    while i < n && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+        i += 1;
+    }
+    // Fraction: only if `.` is followed by a digit (so `430.max(x)` and
+    // `0..8` don't absorb the dot).
+    if i + 1 < n && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+        i += 1;
+        while i < n && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+            i += 1;
+        }
+    }
+    // Exponent.
+    if i < n && (bytes[i] == b'e' || bytes[i] == b'E') {
+        let mut j = i + 1;
+        if j < n && (bytes[j] == b'+' || bytes[j] == b'-') {
+            j += 1;
+        }
+        if j < n && bytes[j].is_ascii_digit() {
+            i = j;
+            while i < n && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                i += 1;
+            }
+        }
+    }
+    // Type suffix.
+    while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+        i += 1;
+    }
+    i
+}
+
+/// Parse the numeric value of a `NumLit` token as `f64`, ignoring
+/// underscores and any type suffix. Returns `None` for non-decimal bases
+/// (hex masks are never timing constants).
+pub fn num_value(text: &str) -> Option<f64> {
+    let t = text.replace('_', "");
+    if t.starts_with("0x") || t.starts_with("0X") || t.starts_with("0o") || t.starts_with("0b") {
+        return None;
+    }
+    let digits: String = t
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == 'e' || *c == 'E' || *c == '-')
+        .collect();
+    digits.parse().ok()
+}
+
+// ---------------------------------------------------------------------------
+// `#[cfg(test)]` region detection
+// ---------------------------------------------------------------------------
+
+/// Byte ranges of the source covered by test-gated items: any item annotated
+/// `#[cfg(test)]` (including `#[cfg(all(test, …))]`) or `#[test]`, through
+/// the end of its brace-delimited body (or terminating `;`).
+pub fn test_regions(src: &str, toks: &[Tok]) -> Vec<(usize, usize)> {
+    let sig: Vec<&Tok> = toks.iter().filter(|t| t.significant()).collect();
+    let mut regions: Vec<(usize, usize)> = Vec::new();
+    let mut k = 0usize;
+    while k < sig.len() {
+        if sig[k].kind == TokKind::Punct
+            && sig[k].text(src) == "#"
+            && k + 1 < sig.len()
+            && sig[k + 1].text(src) == "["
+        {
+            // Collect the attribute tokens up to the matching `]`.
+            let mut depth = 0i32;
+            let mut j = k + 1;
+            let mut has_cfg = false;
+            let mut has_test = false;
+            let mut has_not = false;
+            let mut bare_test = true;
+            while j < sig.len() {
+                match sig[j].text(src) {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    "cfg" => has_cfg = true,
+                    "test" => has_test = true,
+                    "not" => has_not = true,
+                    _ => {}
+                }
+                if depth > 0 && !matches!(sig[j].text(src), "[" | "test") {
+                    bare_test = false;
+                }
+                j += 1;
+            }
+            // `cfg(not(test))` is live code, not test code.
+            let is_test_attr = (has_cfg && has_test && !has_not) || (has_test && bare_test);
+            if is_test_attr && j < sig.len() {
+                // Skip any further attributes, then find the item's extent.
+                let mut m = j + 1;
+                while m + 1 < sig.len() && sig[m].text(src) == "#" && sig[m + 1].text(src) == "[" {
+                    let mut d = 0i32;
+                    while m < sig.len() {
+                        match sig[m].text(src) {
+                            "[" => d += 1,
+                            "]" => {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        m += 1;
+                    }
+                    m += 1;
+                }
+                let start = sig[k].lo;
+                let mut brace = 0i32;
+                let mut end = src.len();
+                let mut p = m;
+                while p < sig.len() {
+                    match sig[p].text(src) {
+                        "{" => brace += 1,
+                        "}" => {
+                            brace -= 1;
+                            if brace == 0 {
+                                end = sig[p].hi;
+                                break;
+                            }
+                        }
+                        ";" if brace == 0 => {
+                            end = sig[p].hi;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    p += 1;
+                }
+                regions.push((start, end));
+                k = p + 1;
+                continue;
+            }
+        }
+        k += 1;
+    }
+    regions
+}
+
+/// True when `offset` falls inside any of `regions`.
+pub fn in_regions(regions: &[(usize, usize)], offset: usize) -> bool {
+    regions.iter().any(|&(lo, hi)| offset >= lo && offset < hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.significant())
+            .map(|t| (t.kind, &src[t.lo..t.hi]))
+            .collect()
+    }
+
+    #[test]
+    fn covers_every_byte_in_order() {
+        let src = r##"fn main() { let s = r#"a "quoted" b"#; /* c /* d */ e */ let t = 'a'; let l: &'static str = "x\n"; }"##;
+        let toks = lex(src);
+        let mut pos = 0;
+        for t in &toks {
+            assert_eq!(t.lo, pos, "gap before {t:?}");
+            pos = t.hi;
+        }
+        assert_eq!(pos, src.len());
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_token() {
+        let src = "a /* x /* y */ z */ b";
+        let ks = kinds(src);
+        assert_eq!(
+            ks,
+            vec![(TokKind::Ident, "a"), (TokKind::Ident, "b")],
+            "comment fully skipped"
+        );
+        let all = lex(src);
+        assert!(all
+            .iter()
+            .any(|t| t.kind == TokKind::BlockComment && t.text(src) == "/* x /* y */ z */"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r####"let x = r##"inner "# quote"## ;"####;
+        let ks = kinds(src);
+        assert!(ks
+            .iter()
+            .any(|(k, s)| *k == TokKind::RawStrLit && s.contains("inner")));
+        assert_eq!(ks.last().unwrap().1, ";");
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let ks = kinds("fn f<'a>(x: &'a u8) { let c = 'b'; let nl = '\\n'; }");
+        let lifetimes: Vec<&str> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .map(|(_, s)| *s)
+            .collect();
+        let chars: Vec<&str> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::CharLit)
+            .map(|(_, s)| *s)
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        assert_eq!(chars, vec!["'b'", "'\\n'"]);
+    }
+
+    #[test]
+    fn numbers_keep_underscores_suffixes_and_ranges() {
+        let ks = kinds("let a = 430_000u64; let b = 1.5e-3; for i in 0..8 {}");
+        let nums: Vec<&str> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::NumLit)
+            .map(|(_, s)| *s)
+            .collect();
+        assert_eq!(nums, vec!["430_000u64", "1.5e-3", "0", "8"]);
+        assert_eq!(num_value("430_000u64"), Some(430_000.0));
+        assert_eq!(num_value("53"), Some(53.0));
+        assert_eq!(num_value("0xFF"), None);
+    }
+
+    #[test]
+    fn byte_literals() {
+        let ks = kinds(r##"let a = b'x'; let s = b"bytes"; let r = br#"raw"#;"##);
+        assert!(ks
+            .iter()
+            .any(|(k, s)| *k == TokKind::CharLit && *s == "b'x'"));
+        assert!(ks
+            .iter()
+            .any(|(k, s)| *k == TokKind::StrLit && *s == "b\"bytes\""));
+        assert!(ks
+            .iter()
+            .any(|(k, s)| *k == TokKind::RawStrLit && s.starts_with("br#")));
+    }
+
+    #[test]
+    fn strings_hide_rule_triggers() {
+        let src = r#"let msg = "Instant::now() is forbidden";"#;
+        let idents: Vec<&str> = kinds(src)
+            .into_iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, s)| s)
+            .collect();
+        assert_eq!(idents, vec!["let", "msg"], "no Instant token leaks out");
+    }
+
+    #[test]
+    fn raw_ident_is_ident_not_raw_string() {
+        let ks = kinds("let r#type = 1;");
+        assert!(ks
+            .iter()
+            .any(|(k, s)| *k == TokKind::Ident && *s == "r#type"));
+    }
+
+    #[test]
+    fn unterminated_forms_run_to_eof() {
+        for src in ["\"abc", "/* open", "r#\"raw", "'"] {
+            let toks = lex(src);
+            assert_eq!(toks.last().unwrap().hi, src.len(), "input {src:?}");
+        }
+    }
+
+    #[test]
+    fn cfg_test_region_spans_the_module() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn more() {}";
+        let toks = lex(src);
+        let regions = test_regions(src, &toks);
+        assert_eq!(regions.len(), 1);
+        let unwrap_at = src.find("unwrap").unwrap();
+        assert!(in_regions(&regions, unwrap_at));
+        assert!(!in_regions(&regions, src.find("lib").unwrap()));
+        assert!(!in_regions(&regions, src.find("more").unwrap()));
+    }
+
+    #[test]
+    fn cfg_all_test_and_bare_test_attrs_detected() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nmod t { }\n#[test]\nfn one() { }\n#[cfg(feature = \"y\")]\nfn not_test() { }";
+        let toks = lex(src);
+        let regions = test_regions(src, &toks);
+        assert_eq!(regions.len(), 2);
+        assert!(!in_regions(&regions, src.find("not_test").unwrap()));
+    }
+
+    #[test]
+    fn cfg_test_use_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn lib() {}";
+        let toks = lex(src);
+        let regions = test_regions(src, &toks);
+        assert_eq!(regions.len(), 1);
+        assert!(!in_regions(&regions, src.find("lib").unwrap()));
+    }
+}

@@ -1,0 +1,62 @@
+//! `pcm-lint` — zero-dependency static analysis for the Tetris-Write
+//! workspace.
+//!
+//! The simulator's headline guarantees (bit-for-bit Eq. 5 service times,
+//! 1-rank sharded ≡ unsharded, thread-count-independent results) rest on
+//! source-level invariants no test asserts: no wall-clock in sim logic, no
+//! unordered-container iteration on deterministic paths, timing constants
+//! only via `pcm_types` newtypes. This crate machine-checks them: a small
+//! comment/string-aware Rust lexer ([`lexer`]) feeds a rule catalog
+//! ([`rules`]) producing span-accurate diagnostics ([`diag`]), filtered
+//! through a justification-carrying waiver file ([`allowlist`]).
+//!
+//! Run it as `cargo run -p pcm-lint -- --workspace`; the `static-analysis`
+//! CI job gates on a clean exit. See `DESIGN.md` §10 for the rule catalog
+//! and waiver policy.
+
+pub mod allowlist;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+use diag::Diagnostic;
+use std::path::Path;
+
+/// Name of the waiver file at the workspace root.
+pub const ALLOWLIST_FILE: &str = "lint-allow.txt";
+
+/// Outcome of a full workspace scan.
+pub struct LintReport {
+    /// Findings that fail the gate (allowlist problems included).
+    pub findings: Vec<Diagnostic>,
+    /// Findings silenced by a justified waiver (informational).
+    pub waived: Vec<Diagnostic>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+/// Lint the workspace rooted at `root`. `allow` suppresses whole rules by
+/// id (the CLI's `--allow`, for local iteration; CI passes none).
+pub fn run(root: &Path, allow: &[String]) -> std::io::Result<LintReport> {
+    let ws = workspace::load(root)?;
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    for rule in rules::all_rules() {
+        if allow.iter().any(|a| a == rule.id()) {
+            continue;
+        }
+        diags.extend(rule.check(&ws));
+    }
+    let allowlist_text = std::fs::read_to_string(root.join(ALLOWLIST_FILE)).unwrap_or_default();
+    let al = allowlist::Allowlist::parse(ALLOWLIST_FILE, &allowlist_text);
+    let (mut findings, waived) = al.apply(diags);
+    findings.extend(al.problems);
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+    Ok(LintReport {
+        findings,
+        waived,
+        files_scanned: ws.files.len(),
+    })
+}

@@ -1,0 +1,94 @@
+//! `no-lossy-cycle-casts`: narrowing `as` casts on cycle/latency-typed
+//! values.
+//!
+//! Simulated time is `u64` picoseconds ([`pcm_types::Ps`]); long runs
+//! overflow `u32` after ~4.3 ms of simulated time, and `as` truncates
+//! silently. The rule flags `<expr> as u8/u16/u32/i32/usize` when the
+//! expression's postfix subject is recognizably time-valued: a call to
+//! `as_ps()`/`as_ns()`/`as_cycles()` or an identifier whose name says time
+//! (`*_ps`, `*_cycles`, `latency`, `service_time`, `runtime`, `span`,
+//! `until`, `busy`). Use `u64` arithmetic, `Ps` helpers, or an explicit
+//! `u32::try_from` whose failure path is handled.
+
+use super::{postfix_subject, Rule, SigView};
+use crate::diag::Diagnostic;
+use crate::workspace::{Workspace, DETERMINISTIC_CRATES};
+
+/// Narrow targets worth flagging (`as u64`/`f64` are not lossy for Ps).
+const NARROW: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "usize"];
+
+/// Time-suggesting method / identifier names.
+fn is_timey(name: &str) -> bool {
+    name.ends_with("_ps")
+        || name.ends_with("_ns")
+        || name.ends_with("_cycles")
+        || matches!(
+            name,
+            "as_ps"
+                | "as_ns"
+                | "as_cycles"
+                | "cycles"
+                | "cycle"
+                | "latency"
+                | "service_time"
+                | "runtime"
+                | "span"
+                | "until"
+                | "busy"
+        )
+}
+
+/// See module docs.
+pub struct NoLossyCycleCasts;
+
+impl Rule for NoLossyCycleCasts {
+    fn id(&self) -> &'static str {
+        "no-lossy-cycle-casts"
+    }
+
+    fn describe(&self) -> &'static str {
+        "narrowing `as` casts on cycle/latency-typed expressions truncate silently"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for file in &ws.files {
+            if !DETERMINISTIC_CRATES.contains(&file.crate_name.as_str())
+                || !file.path.contains("/src/")
+            {
+                continue;
+            }
+            let v = SigView::new(file);
+            for i in 0..v.len() {
+                if v.text(i) != "as" || i + 1 >= v.len() || !NARROW.contains(&v.text(i + 1)) {
+                    continue;
+                }
+                if v.in_test(i) {
+                    continue;
+                }
+                let Some(subj) = postfix_subject(&v, i) else {
+                    continue;
+                };
+                let name = v.text(subj);
+                if !is_timey(name) {
+                    continue;
+                }
+                let lo = v.tok(i).lo;
+                let hi = v.tok(i + 1).hi;
+                out.push(file.diag(
+                    self.id(),
+                    lo,
+                    hi - lo,
+                    format!(
+                        "`{name} as {}` truncates a time-valued quantity after ~4.3 ms of \
+                         simulated time; keep u64 / `Ps`, or use `{}::try_from` and handle \
+                         the overflow",
+                        v.text(i + 1),
+                        v.text(i + 1),
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}

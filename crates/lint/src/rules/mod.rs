@@ -1,0 +1,149 @@
+//! The rule catalog.
+//!
+//! Every rule has a stable ID (used in waivers and `--allow`), a one-line
+//! description, and a checker that walks the lexed workspace and emits
+//! span-accurate [`Diagnostic`]s. Rules are syntactic — they work on the
+//! token stream, not on types — so each one documents the approximation it
+//! makes and errs on the side of flagging (waivers carry the justification
+//! when the approximation is wrong).
+
+mod ci_parity;
+mod lossy_casts;
+mod panic_policy;
+mod resurrected_api;
+mod telemetry_parity;
+mod typed_units;
+mod unordered_iter;
+mod wall_clock;
+
+use crate::diag::Diagnostic;
+use crate::lexer::{Tok, TokKind};
+use crate::workspace::{SourceFile, Workspace};
+
+/// A single lint rule.
+pub trait Rule {
+    /// Stable identifier (kebab-case; referenced by waivers and docs).
+    fn id(&self) -> &'static str;
+    /// One-line description for `--list-rules`.
+    fn describe(&self) -> &'static str;
+    /// Scan the workspace and report findings.
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic>;
+}
+
+/// All rule IDs, in catalog order (also the JSON decoder's whitelist).
+pub const RULE_IDS: &[&str] = &[
+    "no-wall-clock",
+    "no-unordered-iteration",
+    "typed-units",
+    "no-lossy-cycle-casts",
+    "panic-policy",
+    "telemetry-parity",
+    "no-resurrected-apis",
+    "ci-phase-parity",
+    crate::allowlist::ALLOWLIST_RULE,
+];
+
+/// Instantiate the full catalog, in [`RULE_IDS`] order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(wall_clock::NoWallClock),
+        Box::new(unordered_iter::NoUnorderedIteration),
+        Box::new(typed_units::TypedUnits),
+        Box::new(lossy_casts::NoLossyCycleCasts),
+        Box::new(panic_policy::PanicPolicy),
+        Box::new(telemetry_parity::TelemetryParity),
+        Box::new(resurrected_api::NoResurrectedApis),
+        Box::new(ci_parity::CiPhaseParity),
+    ]
+}
+
+/// A file's significant tokens with convenience accessors; the shared
+/// substrate every rule matches against.
+pub struct SigView<'a> {
+    /// The file under scan.
+    pub file: &'a SourceFile,
+    sig: Vec<usize>,
+}
+
+impl<'a> SigView<'a> {
+    /// Build the significant-token view of `file`.
+    pub fn new(file: &'a SourceFile) -> SigView<'a> {
+        SigView {
+            file,
+            sig: file.sig_indices(),
+        }
+    }
+
+    /// Number of significant tokens.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.sig.len()
+    }
+
+    /// The `i`-th significant token.
+    pub fn tok(&self, i: usize) -> &Tok {
+        &self.file.toks[self.sig[i]]
+    }
+
+    /// Its text.
+    pub fn text(&self, i: usize) -> &str {
+        self.tok(i).text(&self.file.src)
+    }
+
+    /// Its kind.
+    pub fn kind(&self, i: usize) -> TokKind {
+        self.tok(i).kind
+    }
+
+    /// Does the significant-token sequence starting at `i` spell out
+    /// `pattern` (one entry per token, e.g. `&["Instant", ":", ":", "now"]`)?
+    pub fn matches(&self, i: usize, pattern: &[&str]) -> bool {
+        pattern
+            .iter()
+            .enumerate()
+            .all(|(k, p)| i + k < self.len() && self.text(i + k) == *p)
+    }
+
+    /// True when token `i` starts inside a test-gated region.
+    pub fn in_test(&self, i: usize) -> bool {
+        self.file.in_test(self.tok(i).lo)
+    }
+}
+
+/// Walk back from the significant token at `i` (exclusive) over one postfix
+/// expression tail and return the index of its "subject" name: for
+/// `foo.bar(x, y)` with `i` pointing past `)`, returns the index of `bar`;
+/// for `foo` returns `foo`. Used by the cast rule to ask "what expression is
+/// being cast?". Returns `None` when the shape is unrecognized.
+pub fn postfix_subject(v: &SigView<'_>, i: usize) -> Option<usize> {
+    if i == 0 {
+        return None;
+    }
+    let last = i - 1;
+    match v.text(last) {
+        ")" => {
+            // Walk to the matching `(`, then the callee ident before it.
+            let mut depth = 0i32;
+            let mut j = last;
+            loop {
+                match v.text(j) {
+                    ")" => depth += 1,
+                    "(" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                if j == 0 {
+                    return None;
+                }
+                j -= 1;
+            }
+            (j > 0 && v.kind(j - 1) == TokKind::Ident).then(|| j - 1)
+        }
+        _ if v.kind(last) == TokKind::Ident || v.kind(last) == TokKind::NumLit => Some(last),
+        _ => None,
+    }
+}

@@ -1,0 +1,71 @@
+//! `panic-policy`: library crates must not panic on fallible paths.
+//!
+//! `unwrap()` in library code turns a recoverable condition into an abort
+//! with no context; `expect()` is acceptable only as an *invariant
+//! assertion* — a condition the surrounding code has just established — and
+//! every such use must be recorded in the allowlist with a justification
+//! naming the invariant. `#[cfg(test)]` code is exempt (a panicking test is
+//! a failing test, which is the desired behaviour).
+//!
+//! The matcher looks for `.unwrap()` and `.expect("…")` method-call shapes.
+//! Requiring a string-literal argument for `expect` keeps the rule from
+//! firing on unrelated methods that happen to share the name (e.g. the
+//! JSON parser's `expect(b'{')` byte-matcher).
+
+use super::{Rule, SigView};
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::workspace::{Workspace, LIBRARY_CRATES};
+
+/// See module docs.
+pub struct PanicPolicy;
+
+impl Rule for PanicPolicy {
+    fn id(&self) -> &'static str {
+        "panic-policy"
+    }
+
+    fn describe(&self) -> &'static str {
+        "unwrap()/expect() in library crates outside #[cfg(test)] need typed errors or a waiver"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for file in &ws.files {
+            if !LIBRARY_CRATES.contains(&file.crate_name.as_str()) || !file.path.contains("/src/") {
+                continue;
+            }
+            let v = SigView::new(file);
+            for i in 0..v.len() {
+                if v.text(i) != "." || i + 2 >= v.len() {
+                    continue;
+                }
+                let method = v.text(i + 1);
+                let flagged = match method {
+                    "unwrap" => v.matches(i + 2, &["(", ")"]),
+                    "expect" => {
+                        v.text(i + 2) == "(" && i + 3 < v.len() && v.kind(i + 3) == TokKind::StrLit
+                    }
+                    _ => false,
+                };
+                if !flagged || v.in_test(i) {
+                    continue;
+                }
+                let lo = v.tok(i).lo;
+                let hi = v.tok(i + 1).hi;
+                out.push(file.diag(
+                    self.id(),
+                    lo,
+                    hi - lo,
+                    format!(
+                        "`.{method}(…)` in library crate `{}`: return a typed error \
+                         (`PcmError`), or keep it as an invariant assertion and record the \
+                         invariant in lint-allow.txt",
+                        file.crate_name
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,72 @@
+//! `no-resurrected-apis`: constructors removed by the builder-API
+//! migrations must not quietly come back.
+//!
+//! PR 3 removed the `SystemConfig::small_test` / `RunConfig::quick`
+//! deprecation shims; PR 4 replaced `System::new` with the validating
+//! `System::build`. Each removal was a one-way door: the replacements
+//! validate configuration the old paths did not. A merge-conflict
+//! resolution or an LLM-assisted edit that re-introduces a call (or a
+//! fresh definition) re-opens the unvalidated path for every caller that
+//! follows. The rule bans the path expressions outright — in tests and
+//! examples too, since those are exactly where copy-paste resurrection
+//! starts.
+
+use super::{Rule, SigView};
+use crate::diag::Diagnostic;
+use crate::workspace::Workspace;
+
+/// Banned `Type::method` paths and what to use instead.
+const BANNED: &[(&str, &str, &str)] = &[
+    (
+        "System",
+        "new",
+        "System::build(SystemConfig) — validates before constructing",
+    ),
+    (
+        "SystemConfig",
+        "small_test",
+        "SystemConfig::builder().small_caches().build()",
+    ),
+    ("RunConfig", "quick", "RunConfig::builder().quick().build()"),
+];
+
+/// See module docs.
+pub struct NoResurrectedApis;
+
+impl Rule for NoResurrectedApis {
+    fn id(&self) -> &'static str {
+        "no-resurrected-apis"
+    }
+
+    fn describe(&self) -> &'static str {
+        "removed constructors (System::new, SystemConfig::small_test, RunConfig::quick) stay removed"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for file in &ws.files {
+            if file.crate_name == "lint" {
+                continue; // this file spells the banned names in its tables
+            }
+            let v = SigView::new(file);
+            for i in 0..v.len() {
+                for (ty, method, instead) in BANNED {
+                    if v.text(i) == *ty && v.matches(i + 1, &[":", ":", method]) {
+                        let lo = v.tok(i).lo;
+                        let hi = v.tok(i + 3).hi;
+                        out.push(file.diag(
+                            self.id(),
+                            lo,
+                            hi - lo,
+                            format!(
+                                "`{ty}::{method}` was removed by the builder-API migration; \
+                                 use {instead}"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,127 @@
+//! `telemetry-parity`: every `TelemetryEvent` variant must be handled by
+//! the `TraceSummary` aggregator.
+//!
+//! The telemetry contract (ROADMAP: "perf PRs gated on evidence") is that
+//! anything the simulator emits shows up in `report` output. A variant
+//! added to `event.rs` but absent from `summary.rs` would be recorded to
+//! JSONL and then silently dropped at aggregation — the evidence trail
+//! would have a hole exactly where the new behaviour is. Exhaustive-match
+//! compilation normally forces the pairing, but one `_ =>` arm defeats it
+//! forever; this rule is the backstop that notices the drop either way.
+//!
+//! Mechanically: parse the variant names out of `enum TelemetryEvent { … }`
+//! in `crates/telemetry/src/event.rs` and require each name to appear as a
+//! token in `crates/telemetry/src/summary.rs`.
+
+use super::{Rule, SigView};
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::workspace::Workspace;
+
+const EVENT_FILE: &str = "crates/telemetry/src/event.rs";
+const SUMMARY_FILE: &str = "crates/telemetry/src/summary.rs";
+
+/// Extract `(variant-name, byte-offset)` pairs from `enum TelemetryEvent`.
+pub fn event_variants(ws: &Workspace) -> Vec<(String, usize)> {
+    let Some(file) = ws.file(EVENT_FILE) else {
+        return Vec::new();
+    };
+    let v = SigView::new(file);
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 2 < v.len() {
+        if v.text(i) == "enum" && v.text(i + 1) == "TelemetryEvent" && v.text(i + 2) == "{" {
+            // Variants are idents at brace depth 1, each followed by
+            // `{`, `(` or `,`.
+            let mut depth = 1i32;
+            let mut j = i + 3;
+            while j < v.len() && depth > 0 {
+                match v.text(j) {
+                    "{" => depth += 1,
+                    "}" => depth -= 1,
+                    "(" => depth += 1,
+                    ")" => depth -= 1,
+                    "#" if depth == 1 && v.matches(j + 1, &["["]) => {
+                        // Skip attribute tokens (doc comments are trivia
+                        // already; `#[…]` would otherwise look like idents).
+                        let mut d = 0i32;
+                        j += 1;
+                        while j < v.len() {
+                            match v.text(j) {
+                                "[" => d += 1,
+                                "]" => {
+                                    d -= 1;
+                                    if d == 0 {
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                            j += 1;
+                        }
+                    }
+                    _ => {
+                        if depth == 1
+                            && v.kind(j) == TokKind::Ident
+                            && j + 1 < v.len()
+                            && matches!(v.text(j + 1), "{" | "(" | ",")
+                        {
+                            out.push((v.text(j).to_string(), v.tok(j).lo));
+                        }
+                    }
+                }
+                j += 1;
+            }
+            break;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// See module docs.
+pub struct TelemetryParity;
+
+impl Rule for TelemetryParity {
+    fn id(&self) -> &'static str {
+        "telemetry-parity"
+    }
+
+    fn describe(&self) -> &'static str {
+        "every TelemetryEvent variant must be aggregated (or explicitly ignored) in TraceSummary"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let variants = event_variants(ws);
+        let Some(summary) = ws.file(SUMMARY_FILE) else {
+            // Nothing to check against (e.g. linting a partial tree).
+            return Vec::new();
+        };
+        let sv = SigView::new(summary);
+        let mut mentioned = std::collections::BTreeSet::new();
+        for i in 0..sv.len() {
+            if sv.kind(i) == TokKind::Ident {
+                mentioned.insert(sv.text(i).to_string());
+            }
+        }
+        let Some(event_file) = ws.file(EVENT_FILE) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for (name, lo) in variants {
+            if !mentioned.contains(&name) {
+                out.push(event_file.diag(
+                    self.id(),
+                    lo,
+                    name.len(),
+                    format!(
+                        "TelemetryEvent::{name} has no counterpart in TraceSummary \
+                         ({SUMMARY_FILE}): events would be recorded but dropped from \
+                         `report` — add a counter or an explicit no-op arm"
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}

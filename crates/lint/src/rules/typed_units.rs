@@ -1,0 +1,75 @@
+//! `typed-units`: the paper's timing/current constants must come from
+//! `pcm_types` newtypes, not be re-typed as raw literals.
+//!
+//! The Table II numbers — READ 50 ns, RESET 53 ns, SET 430 ns — and their
+//! picosecond forms are load-bearing: every scheme's service-time model and
+//! the K = ⌊Tset/Treset⌋ sub-slot division derive from them. A raw `430`
+//! in scheme or simulator code silently forks the configuration: change
+//! `PcmTimings` and the fork keeps the old value. Outside `pcm-types`
+//! (where the constants are *defined*) and test code (where literal
+//! expected values are the point), these numbers must be spelled
+//! `cfg.timing.t_set` etc.
+
+use super::{Rule, SigView};
+use crate::diag::Diagnostic;
+use crate::lexer::{num_value, TokKind};
+use crate::workspace::{Workspace, DETERMINISTIC_CRATES};
+
+/// The magic values, in both ns and ps spellings.
+const MAGIC: &[(f64, &str)] = &[
+    (50.0, "t_read (50 ns)"),
+    (53.0, "t_reset (53 ns)"),
+    (430.0, "t_set (430 ns)"),
+    (50_000.0, "t_read in ps"),
+    (53_000.0, "t_reset in ps"),
+    (430_000.0, "t_set in ps"),
+];
+
+/// See module docs.
+pub struct TypedUnits;
+
+impl Rule for TypedUnits {
+    fn id(&self) -> &'static str {
+        "typed-units"
+    }
+
+    fn describe(&self) -> &'static str {
+        "raw PCM timing literals (50/53/430 ns) outside pcm-types must use PcmTimings"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for file in &ws.files {
+            if !DETERMINISTIC_CRATES.contains(&file.crate_name.as_str())
+                || file.crate_name == "pcm-types"
+                || !file.path.contains("/src/")
+            {
+                continue;
+            }
+            let v = SigView::new(file);
+            for i in 0..v.len() {
+                if v.kind(i) != TokKind::NumLit || v.in_test(i) {
+                    continue;
+                }
+                let Some(val) = num_value(v.text(i)) else {
+                    continue;
+                };
+                let Some((_, what)) = MAGIC.iter().find(|(m, _)| *m == val) else {
+                    continue;
+                };
+                let t = v.tok(i);
+                out.push(file.diag(
+                    self.id(),
+                    t.lo,
+                    t.hi - t.lo,
+                    format!(
+                        "raw PCM timing literal `{}` ({what}): use the `PcmTimings` \
+                         constants so a config change cannot fork the model",
+                        v.text(i)
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}

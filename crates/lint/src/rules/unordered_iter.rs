@@ -1,0 +1,136 @@
+//! `no-unordered-iteration`: iterating a `HashMap`/`HashSet` in a
+//! deterministic crate must go through a sorted adapter.
+//!
+//! Hash-map iteration order is arbitrary (and, with a different hasher or
+//! allocator, different between runs/platforms). When such an iteration
+//! feeds scheduling, trace emission, or any accumulation that is not
+//! commutative, results silently diverge — no assertion fails, the numbers
+//! are just different. The fix is [`pcm_types::sorted_entries`] /
+//! [`pcm_types::sorted_keys`] (or collecting + `sort_unstable`); genuinely
+//! commutative reductions (`.values().sum()`, `max`) may carry a waiver
+//! saying so.
+//!
+//! Detection is two-pass and name-based: first collect every binding whose
+//! type annotation mentions `HashMap`/`HashSet` (struct fields, `let`
+//! bindings, fn params), then flag `name.iter()`-style calls and `for … in
+//! … name …` headers over those names. Type inference is out of scope for a
+//! lexer-level tool; a binding that *is* a hash map but never annotated
+//! (e.g. `let m = HashMap::new()` used without a type) is caught at its
+//! `HashMap::new()` construction site instead.
+
+use super::{Rule, SigView};
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::workspace::{Workspace, DETERMINISTIC_CRATES};
+use std::collections::BTreeSet;
+
+/// Methods that expose iteration order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// See module docs.
+pub struct NoUnorderedIteration;
+
+impl Rule for NoUnorderedIteration {
+    fn id(&self) -> &'static str {
+        "no-unordered-iteration"
+    }
+
+    fn describe(&self) -> &'static str {
+        "HashMap/HashSet iteration in deterministic crates must use a sorted adapter"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for file in &ws.files {
+            if !DETERMINISTIC_CRATES.contains(&file.crate_name.as_str())
+                || !file.path.contains("/src/")
+            {
+                continue;
+            }
+            let v = SigView::new(file);
+            // Pass A: names annotated `: HashMap<…>` / `: HashSet<…>`
+            // (possibly via a `std::collections::` path).
+            let mut hash_names: BTreeSet<String> = BTreeSet::new();
+            for i in 0..v.len() {
+                if v.text(i) != ":" || i == 0 || i + 1 >= v.len() {
+                    continue;
+                }
+                // Skip `::` path separators.
+                if v.text(i + 1) == ":" || (i > 0 && v.text(i - 1) == ":") {
+                    continue;
+                }
+                if v.kind(i - 1) != TokKind::Ident {
+                    continue;
+                }
+                // The annotated type may be `HashMap`, `std::collections::
+                // HashMap`, etc.: scan forward over path segments.
+                let mut j = i + 1;
+                let mut steps = 0;
+                while j + 2 < v.len() && v.text(j + 1) == ":" && v.text(j + 2) == ":" && steps < 4 {
+                    j += 3;
+                    steps += 1;
+                }
+                let ty = v.text(j);
+                if ty == "HashMap" || ty == "HashSet" {
+                    hash_names.insert(v.text(i - 1).to_string());
+                }
+            }
+            // Pass B: flag ordered-iteration shapes over the collected names.
+            for i in 0..v.len() {
+                if v.kind(i) != TokKind::Ident || !hash_names.contains(v.text(i)) {
+                    continue;
+                }
+                if v.in_test(i) {
+                    continue;
+                }
+                let name = v.text(i).to_string();
+                // `name.iter()` / `name.keys()` / …
+                let is_method_iter = v.matches(i + 1, &["."])
+                    && i + 2 < v.len()
+                    && ITER_METHODS.contains(&v.text(i + 2))
+                    && v.matches(i + 3, &["("]);
+                // `for pat in [&[mut]] [self.]name {` — the name is the
+                // iterated expression itself (IntoIterator on &HashMap).
+                let mut is_for_subject = false;
+                if i + 1 < v.len() && (v.text(i + 1) == "{" || v.text(i + 1) == ".") {
+                    // Look back for `in` within the for-header.
+                    let lookback = i.saturating_sub(6);
+                    for k in (lookback..i).rev() {
+                        let t = v.text(k);
+                        if t == "in" {
+                            is_for_subject = v.text(i + 1) == "{";
+                            break;
+                        }
+                        if !matches!(t, "&" | "mut" | "self" | ".") {
+                            break;
+                        }
+                    }
+                }
+                if is_method_iter || is_for_subject {
+                    let t = v.tok(i);
+                    out.push(file.diag(
+                        self.id(),
+                        t.lo,
+                        t.hi - t.lo,
+                        format!(
+                            "iteration over hash-ordered `{name}`: order is arbitrary and \
+                             breaks run-to-run determinism. Use pcm_types::sorted_entries / \
+                             sorted_keys, or waive with a commutativity justification"
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,58 @@
+//! `no-wall-clock`: simulator logic must never read the host clock.
+//!
+//! Simulation time is [`pcm_types::Ps`], advanced by the event engine; a
+//! wall-clock read anywhere in a deterministic crate makes results depend
+//! on host speed and destroys the bit-for-bit reproducibility the paper
+//! comparison rests on (Eq. 5 service times, 1-rank shard equivalence,
+//! thread-count independence). `Instant`/`SystemTime` are legitimate only
+//! for *reporting* how long the simulation took — the runner's throughput
+//! display and the bench harness — which is why those two files carry
+//! justified waivers rather than exemptions baked into the rule.
+
+use super::{Rule, SigView};
+use crate::diag::Diagnostic;
+use crate::workspace::Workspace;
+
+/// See module docs.
+pub struct NoWallClock;
+
+impl Rule for NoWallClock {
+    fn id(&self) -> &'static str {
+        "no-wall-clock"
+    }
+
+    fn describe(&self) -> &'static str {
+        "Instant/SystemTime reads are forbidden outside the runner's timing display and bench"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for file in &ws.files {
+            let v = SigView::new(file);
+            for i in 0..v.len() {
+                if v.kind(i) != crate::lexer::TokKind::Ident {
+                    continue;
+                }
+                let name = v.text(i);
+                if name != "Instant" && name != "SystemTime" {
+                    continue;
+                }
+                if v.in_test(i) {
+                    continue;
+                }
+                let t = v.tok(i);
+                out.push(file.diag(
+                    self.id(),
+                    t.lo,
+                    t.hi - t.lo,
+                    format!(
+                        "`{name}` reads the wall clock; simulation logic must use `Ps` event \
+                         time. If this is pure reporting, add a justified waiver to \
+                         lint-allow.txt"
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,8 @@
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => {}
+        Some("orphan") => {}
+        _ => {}
+    }
+}

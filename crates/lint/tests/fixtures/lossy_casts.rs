@@ -1,0 +1,20 @@
+fn clip(busy: u64, width: u64) -> u32 {
+    let w = width as u32;
+    (busy as u32) + w
+}
+
+fn to_slot(t_ps: u64) -> usize {
+    t_ps as usize
+}
+
+struct T;
+
+impl T {
+    fn as_ps(&self) -> u64 {
+        7
+    }
+
+    fn narrow(&self) -> u32 {
+        self.as_ps() as u32
+    }
+}

@@ -1,0 +1,26 @@
+fn first_last(v: &[u64]) -> u64 {
+    let a = v.first().unwrap();
+    let b = v.last().expect("nonempty");
+    a + b
+}
+
+struct Parser;
+
+impl Parser {
+    fn expect(&self, _b: u8) -> bool {
+        true
+    }
+
+    fn ok(&self) -> bool {
+        self.expect(b'[')
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_here() {
+        let v = [1u64];
+        assert_eq!(v.first().unwrap(), &1);
+    }
+}

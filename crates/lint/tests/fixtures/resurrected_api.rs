@@ -1,0 +1,4 @@
+fn build_the_old_way() {
+    let _sys = System::new(SystemConfig::small_test());
+    let _rc = RunConfig::quick();
+}

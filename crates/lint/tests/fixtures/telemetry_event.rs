@@ -1,0 +1,9 @@
+/// Fixture telemetry events.
+pub enum TelemetryEvent {
+    /// Aggregated below.
+    BankBusy { at: u64, bank: u32 },
+    /// Aggregated below.
+    DrainStart,
+    /// Forgotten by the summary fixture on purpose.
+    WritePause { at: u64 },
+}

@@ -1,0 +1,15 @@
+/// Fixture aggregator that forgets `WritePause`.
+pub struct TraceSummary {
+    pub busy: u64,
+    pub drains: u64,
+}
+
+impl TraceSummary {
+    pub fn absorb(&mut self, e: &TelemetryEvent) {
+        match e {
+            TelemetryEvent::BankBusy { .. } => self.busy += 1,
+            TelemetryEvent::DrainStart => self.drains += 1,
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,13 @@
+fn service_model() -> u64 {
+    let t_set = 430;
+    let t_reset = 53;
+    t_set + t_reset + 7
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn literal_expectations_are_the_point() {
+        assert_eq!(super::service_model(), 430 + 53 + 7);
+    }
+}

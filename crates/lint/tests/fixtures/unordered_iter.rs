@@ -1,0 +1,36 @@
+use std::collections::HashMap;
+
+struct Wear {
+    counters: HashMap<u64, u64>,
+}
+
+impl Wear {
+    fn dump(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for (_k, v) in &self.counters {
+            out.push(*v);
+        }
+        out
+    }
+
+    fn walk(&self) -> u64 {
+        self.counters.values().sum()
+    }
+
+    fn probe(&self, k: u64) -> Option<&u64> {
+        self.counters.get(&k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_is_fine_in_tests() {
+        let w = Wear {
+            counters: HashMap::new(),
+        };
+        assert_eq!(w.counters.values().count(), 0);
+    }
+}

@@ -1,0 +1,16 @@
+use std::time::Instant;
+
+fn timed() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::SystemTime;
+
+    #[test]
+    fn clocks_are_fine_in_tests() {
+        let _ = SystemTime::now();
+    }
+}

@@ -1,0 +1,196 @@
+//! Golden-fixture tests: each rule runs against a small source file with
+//! known violations (and known non-violations), and the diagnostics must
+//! land on exact `(line, col)` positions. The fixtures live under
+//! `tests/fixtures/`, which the workspace loader deliberately skips, so
+//! the lint's own test material never gates the real tree.
+
+use pcm_lint::diag::{to_json_report, Diagnostic};
+use pcm_lint::rules::{all_rules, Rule};
+use pcm_lint::workspace::{SourceFile, Workspace};
+use pcm_types::{Json, JsonCodec};
+use std::path::PathBuf;
+
+/// Build a synthetic workspace from `(repo-relative path, source)` pairs.
+fn ws(files: &[(&str, &str)], ci_yml: Option<&str>) -> Workspace {
+    Workspace {
+        root: PathBuf::from("."),
+        files: files
+            .iter()
+            .map(|(p, s)| SourceFile::new(p, (*s).to_string()))
+            .collect(),
+        ci_yml: ci_yml.map(str::to_string),
+    }
+}
+
+fn rule(id: &str) -> Box<dyn Rule> {
+    all_rules()
+        .into_iter()
+        .find(|r| r.id() == id)
+        .unwrap_or_else(|| panic!("unknown rule {id}"))
+}
+
+/// Run one rule and return sorted `(line, col)` positions of its findings.
+fn locs(id: &str, ws: &Workspace) -> Vec<(u32, u32)> {
+    let diags = rule(id).check(ws);
+    for d in &diags {
+        assert_eq!(d.rule, id);
+        assert!(!d.snippet.is_empty(), "snippet attached: {d:?}");
+    }
+    let mut out: Vec<(u32, u32)> = diags.iter().map(|d| (d.line, d.col)).collect();
+    out.sort_unstable();
+    out
+}
+
+#[test]
+fn wall_clock_fixture() {
+    let src = include_str!("fixtures/wall_clock.rs");
+    let w = ws(&[("crates/memsim/src/fixture.rs", src)], None);
+    // `Instant` in the import and in `timed()`; `SystemTime` under
+    // `#[cfg(test)]` is exempt.
+    assert_eq!(locs("no-wall-clock", &w), vec![(1, 16), (4, 13)]);
+}
+
+#[test]
+fn unordered_iter_fixture() {
+    let src = include_str!("fixtures/unordered_iter.rs");
+    let w = ws(&[("crates/memsim/src/fixture.rs", src)], None);
+    // The `for … in &self.counters` header and `.values()` call; `.get()`
+    // probes and test-module iteration are exempt.
+    assert_eq!(locs("no-unordered-iteration", &w), vec![(10, 30), (17, 14)]);
+}
+
+#[test]
+fn unordered_iter_ignores_non_deterministic_crates() {
+    let src = include_str!("fixtures/unordered_iter.rs");
+    let w = ws(&[("crates/experiments/src/fixture.rs", src)], None);
+    assert_eq!(locs("no-unordered-iteration", &w), vec![]);
+}
+
+#[test]
+fn typed_units_fixture() {
+    let src = include_str!("fixtures/typed_units.rs");
+    let w = ws(&[("crates/schemes/src/fixture.rs", src)], None);
+    // `430` and `53` in live code; the test module's literals are exempt.
+    assert_eq!(locs("typed-units", &w), vec![(2, 17), (3, 19)]);
+}
+
+#[test]
+fn typed_units_allows_pcm_types_itself() {
+    let src = include_str!("fixtures/typed_units.rs");
+    let w = ws(&[("crates/pcm-types/src/fixture.rs", src)], None);
+    assert_eq!(locs("typed-units", &w), vec![]);
+}
+
+#[test]
+fn lossy_casts_fixture() {
+    let src = include_str!("fixtures/lossy_casts.rs");
+    let w = ws(&[("crates/core/src/fixture.rs", src)], None);
+    // `busy as u32`, `t_ps as usize`, `self.as_ps() as u32`; the
+    // non-time-valued `width as u32` is exempt.
+    assert_eq!(
+        locs("no-lossy-cycle-casts", &w),
+        vec![(3, 11), (7, 10), (18, 22)]
+    );
+}
+
+#[test]
+fn panic_policy_fixture() {
+    let src = include_str!("fixtures/panic_policy.rs");
+    let w = ws(&[("crates/memsim/src/fixture.rs", src)], None);
+    // `.unwrap()` and `.expect("…")`; the parser-style `expect(b'[')`
+    // (non-string argument) and the test module are exempt.
+    assert_eq!(locs("panic-policy", &w), vec![(2, 22), (3, 21)]);
+}
+
+#[test]
+fn telemetry_parity_fixture() {
+    let event = include_str!("fixtures/telemetry_event.rs");
+    let summary = include_str!("fixtures/telemetry_summary.rs");
+    let w = ws(
+        &[
+            ("crates/telemetry/src/event.rs", event),
+            ("crates/telemetry/src/summary.rs", summary),
+        ],
+        None,
+    );
+    // `WritePause` is never mentioned by the summary fixture.
+    let diags = rule("telemetry-parity").check(&w);
+    assert_eq!(diags.len(), 1);
+    assert_eq!((diags[0].line, diags[0].col), (8, 5));
+    assert!(diags[0].msg.contains("WritePause"));
+}
+
+#[test]
+fn resurrected_api_fixture() {
+    let src = include_str!("fixtures/resurrected_api.rs");
+    let w = ws(&[("crates/memsim/src/fixture.rs", src)], None);
+    assert_eq!(
+        locs("no-resurrected-apis", &w),
+        vec![(2, 16), (2, 28), (3, 15)]
+    );
+}
+
+#[test]
+fn ci_parity_fixture() {
+    let src = include_str!("fixtures/ci_parity.rs");
+    let ci = "jobs:\n  smoke:\n    run: cargo run -p tetris-experiments -- run --quick\n";
+    let w = ws(
+        &[("crates/experiments/src/bin/tetris-experiments.rs", src)],
+        Some(ci),
+    );
+    // `run` appears as a word in ci.yml; `orphan` does not.
+    let diags = rule("ci-phase-parity").check(&w);
+    assert_eq!(diags.len(), 1);
+    assert_eq!((diags[0].line, diags[0].col), (5, 14));
+    assert!(diags[0].msg.contains("`orphan`"));
+}
+
+#[test]
+fn render_golden() {
+    let src = include_str!("fixtures/typed_units.rs");
+    let w = ws(&[("crates/schemes/src/fixture.rs", src)], None);
+    let diags = rule("typed-units").check(&w);
+    let r = diags[0].render();
+    let mut lines = r.lines();
+    assert!(lines
+        .next()
+        .unwrap()
+        .starts_with("crates/schemes/src/fixture.rs:2:17: [typed-units]"));
+    assert_eq!(lines.next().unwrap(), "    2 |     let t_set = 430;");
+    assert_eq!(lines.next().unwrap(), "      |                 ^^^");
+}
+
+#[test]
+fn json_report_round_trips_fixture_findings() {
+    let src = include_str!("fixtures/panic_policy.rs");
+    let w = ws(&[("crates/memsim/src/fixture.rs", src)], None);
+    let diags = rule("panic-policy").check(&w);
+    let report = to_json_report(&diags);
+    let v = Json::parse(&report).expect("valid JSON");
+    assert_eq!(
+        v.get("count").and_then(Json::as_u64),
+        Some(diags.len() as u64)
+    );
+    let Some(Json::Arr(arr)) = v.get("findings") else {
+        panic!("findings array missing");
+    };
+    for (j, d) in arr.iter().zip(&diags) {
+        assert_eq!(&Diagnostic::from_json(j).expect("decodes"), d);
+    }
+}
+
+/// The real tree must lint clean with the real allowlist — the same gate
+/// the `static-analysis` CI job enforces, kept honest under `cargo test`.
+#[test]
+fn workspace_is_clean() {
+    let root = pcm_lint::workspace::find_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root");
+    let report = pcm_lint::run(&root, &[]).expect("lint runs");
+    let rendered: Vec<String> = report.findings.iter().map(Diagnostic::render).collect();
+    assert!(
+        report.findings.is_empty(),
+        "workspace has lint findings:\n{}",
+        rendered.join("\n")
+    );
+    assert!(report.files_scanned > 100, "whole tree scanned");
+}

@@ -1,0 +1,146 @@
+//! Property tests for the lint lexer.
+//!
+//! The rules' soundness rests entirely on the lexer being *total* (every
+//! byte lands in exactly one token, so nothing is silently skipped) and on
+//! it classifying the tricky forms correctly: nested block comments, raw
+//! strings with arbitrary `#` fences, lifetimes that look like the start
+//! of a char literal, and `#[cfg(test)]` region boundaries. Each property
+//! here generates hostile inputs for one of those and checks the
+//! invariant over hundreds of seeded cases.
+
+use pcm_lint::lexer::{in_regions, lex, test_regions, TokKind};
+use pcm_types::propcheck::{any_bool, one_of, vec_of, Strategy};
+use pcm_types::{prop_assert, prop_assert_eq, propcheck};
+
+/// Fragments chosen to collide with every lexer mode: comments that
+/// contain string quotes, strings that contain comment markers, raw
+/// strings, byte/char literals, numbers with underscores and exponents.
+fn fragments() -> impl Strategy<Value = Vec<&'static str>> {
+    vec_of(
+        one_of(&[
+            "fn",
+            "x",
+            "42",
+            "0x1f",
+            "1_000u64",
+            "1.5e3",
+            "\"str with // inside\"",
+            "\"unclosed",
+            "// line comment with \" quote",
+            "/* block */",
+            "/* outer /* nested */ still open",
+            "r\"raw\"",
+            "r#\"raw with \" quote\"#",
+            "'a'",
+            "'\\n'",
+            "b'['",
+            "b\"bytes\"",
+            "&'a str",
+            "'lifetime",
+            "..",
+            "::",
+            "#[cfg(test)]",
+            "=>",
+        ]),
+        0..=15usize,
+    )
+}
+
+propcheck! {
+    /// Totality: the token stream partitions the input byte-exactly, no
+    /// token is empty, and trivia never counts as significant.
+    fn lex_is_total(frags in fragments(), sep in one_of(&[" ", "\n", "\t "])) {
+        let src = frags.join(sep);
+        let toks = lex(&src);
+        let mut pos = 0usize;
+        for t in &toks {
+            prop_assert_eq!(t.lo, pos, "gap or overlap at byte {}", pos);
+            prop_assert!(t.hi > t.lo, "empty token at {}", t.lo);
+            if matches!(
+                t.kind,
+                TokKind::Whitespace | TokKind::LineComment | TokKind::BlockComment
+            ) {
+                prop_assert!(!t.significant());
+            }
+            pos = t.hi;
+        }
+        prop_assert_eq!(pos, src.len(), "lexer stopped early");
+    }
+
+    /// Block comments nest to arbitrary depth and swallow any filler —
+    /// including quotes and stray comment markers — as one trivia token.
+    fn nested_block_comments_are_one_token(
+        depth in 1usize..6,
+        filler in one_of(&["x y", "\"quote\"", "* star", "// inner line", "'c'"]),
+    ) {
+        let mut s = String::new();
+        for _ in 0..depth {
+            s.push_str("/*");
+        }
+        s.push_str(filler);
+        for _ in 0..depth {
+            s.push_str("*/");
+        }
+        let toks = lex(&s);
+        prop_assert_eq!(toks.len(), 1, "one comment token, got {:?}", toks);
+        prop_assert_eq!(toks[0].kind, TokKind::BlockComment);
+    }
+
+    /// A raw string closes only on a quote followed by its own fence of
+    /// `#`s, so interior quotes and hashes never terminate it early.
+    fn raw_strings_close_on_matching_fence(
+        hashes in 1usize..5,
+        inner in one_of(&["plain", "a # b", "// not a comment", "/* not */", "multi\nline"]),
+    ) {
+        let fence = "#".repeat(hashes);
+        let lit = format!("r{fence}\"{inner}\"{fence}");
+        let src = format!("{lit} tail");
+        let toks = lex(&src);
+        prop_assert_eq!(toks[0].kind, TokKind::RawStrLit);
+        prop_assert_eq!(toks[0].text(&src), lit.as_str());
+    }
+
+    /// `'name` after `&` is a lifetime, never a half-open char literal;
+    /// the tokens after it survive intact.
+    fn lifetimes_are_not_char_literals(name in one_of(&["a", "de", "static", "_x"])) {
+        let src = format!("&'{name} T");
+        let toks = lex(&src);
+        let sig: Vec<_> = toks.iter().filter(|t| t.significant()).collect();
+        prop_assert_eq!(sig.len(), 3, "&, lifetime, ident: {:?}", toks);
+        prop_assert_eq!(sig[1].kind, TokKind::Lifetime);
+        let want = format!("'{name}");
+        prop_assert_eq!(sig[1].text(&src), want.as_str());
+        prop_assert_eq!(sig[2].text(&src), "T");
+    }
+
+    /// Real single-quoted characters (including escapes) are char
+    /// literals, and the literal spans exactly the quoted form.
+    fn char_literals_are_chars(c in one_of(&["a", "Z", "9", "\\n", "\\'", " ", "*"])) {
+        let src = format!("let x = '{c}';");
+        let lit = format!("'{c}'");
+        let toks = lex(&src);
+        let found = toks
+            .iter()
+            .find(|t| t.kind == TokKind::CharLit)
+            .map(|t| t.text(&src).to_string());
+        prop_assert_eq!(found, Some(lit));
+    }
+
+    /// `#[cfg(test)]` gates exactly the item it annotates: code inside is
+    /// in a test region, code before and after is not, and `cfg(not(test))`
+    /// gates nothing (it is live code).
+    fn cfg_test_regions_cover_the_gated_item(gated in any_bool(), pad in 0usize..4) {
+        let prefix = "fn live() { let q = 1; }\n".repeat(pad);
+        let attr = if gated { "#[cfg(test)]" } else { "#[cfg(not(test))]" };
+        let src = format!("{prefix}{attr}\nmod m {{ fn inner() {{}} }}\nfn after() {{}}\n");
+        let toks = lex(&src);
+        let regions = test_regions(&src, &toks);
+        let inner = src.find("inner").expect("inner present");
+        prop_assert_eq!(in_regions(&regions, inner), gated);
+        let after = src.rfind("after").expect("after present");
+        prop_assert!(!in_regions(&regions, after), "code after the item is live");
+        if pad > 0 {
+            prop_assert!(!in_regions(&regions, 0), "code before the attr is live");
+        }
+    }
+}

@@ -129,7 +129,7 @@ impl Cache {
                 .enumerate()
                 .min_by_key(|(_, l)| l.lru)
                 .map(|(i, _)| i)
-                .expect("assoc ≥ 1"),
+                .unwrap_or(0),
         };
         let evicted = ways[victim];
         let writeback = (evicted.valid && evicted.dirty)

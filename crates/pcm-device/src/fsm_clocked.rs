@@ -150,11 +150,8 @@ impl ClockedFsmPair {
                         // Pop every unit scheduled in this write unit's
                         // window (same start slot) — they share the pulse.
                         let slot = e.start_slot;
-                        while let Some(e) = q1.front() {
-                            if e.start_slot != slot {
-                                break;
-                            }
-                            let e = q1.pop_front().expect("checked front");
+                        while q1.front().is_some_and(|e| e.start_slot == slot) {
+                            let Some(e) = q1.pop_front() else { break };
                             bank.drive_unit(
                                 e.job.unit_row,
                                 e.job.new_data,
@@ -182,11 +179,8 @@ impl ClockedFsmPair {
                     None => FsmState::Idle,
                     Some(e) if (e.start_slot as u64) * self.slot_cycles <= tick => {
                         let slot = e.start_slot;
-                        while let Some(e) = q0.front() {
-                            if e.start_slot != slot {
-                                break;
-                            }
-                            let e = q0.pop_front().expect("checked front");
+                        while q0.front().is_some_and(|e| e.start_slot == slot) {
+                            let Some(e) = q0.pop_front() else { break };
                             bank.drive_unit(
                                 e.job.unit_row,
                                 e.job.new_data,

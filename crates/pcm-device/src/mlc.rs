@@ -9,7 +9,7 @@
 //! exactly why MLC write scheduling gets even more budget-constrained than
 //! the SLC case the paper optimizes.
 
-use pcm_types::{PcmError, Ps};
+use pcm_types::{PcmError, PcmTimings, Ps};
 
 /// Resistance bands of a 2-bit MLC cell, from fully crystalline (`L3`,
 /// lowest resistance, bits `11`) to fully amorphous (`L0`, bits `00`).
@@ -84,10 +84,11 @@ impl Default for MlcProgramParams {
     fn default() -> Self {
         // Representative MLC PCM numbers: partial SETs are short anneals,
         // each followed by a verify read; 2 iterations per band.
+        let slc = PcmTimings::paper_baseline();
         MlcProgramParams {
             t_partial_set: Ps::from_ns(100),
-            t_verify: Ps::from_ns(50),
-            t_reset: Ps::from_ns(53),
+            t_verify: slc.t_read,
+            t_reset: slc.t_reset,
             iterations_per_level: 2,
         }
     }

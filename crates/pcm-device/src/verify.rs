@@ -30,7 +30,7 @@ impl Default for VerifyParams {
         VerifyParams {
             failure_ppm: 0,
             max_rounds: 8,
-            t_verify: Ps::from_ns(50),
+            t_verify: PcmTimings::paper_baseline().t_read,
         }
     }
 }

@@ -458,7 +458,10 @@ impl<'a> Parser<'a> {
                         offset: start,
                         msg: "invalid UTF-8".into(),
                     })?;
-                    let c = s.chars().next().unwrap();
+                    let c = s.chars().next().ok_or_else(|| JsonError {
+                        offset: start,
+                        msg: "truncated UTF-8 sequence".into(),
+                    })?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -505,7 +508,9 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        // The scanned range is all ASCII (digits, sign, dot, exponent).
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("non-ASCII byte in number"))?;
         if !is_float {
             if let Ok(v) = text.parse::<u64>() {
                 return Ok(Json::UInt(v));

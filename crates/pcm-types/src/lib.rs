@@ -40,6 +40,7 @@
 
 pub mod addr;
 pub mod bits;
+pub mod collections;
 pub mod data;
 pub mod demand;
 pub mod energy;
@@ -55,6 +56,7 @@ pub mod timing;
 
 pub use addr::{AddrMap, DecodedAddr, PhysAddr};
 pub use bits::{hamming, hamming_unit, transitions, Transitions};
+pub use collections::{sorted_entries, sorted_keys, sorted_values};
 pub use data::{DataUnit, LineData, MAX_LINE_BYTES, MAX_UNITS_PER_LINE};
 pub use demand::{LineDemand, UnitDemand};
 pub use energy::{EnergyParams, PicoJoules};
