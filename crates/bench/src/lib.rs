@@ -35,6 +35,9 @@ use std::fmt;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
+pub mod snapshot;
+pub mod suite;
+
 /// Shared quick-run sizing for the system benches.
 pub fn quick_run_config() -> tetris_experiments::RunConfig {
     tetris_experiments::RunConfig::builder()
@@ -110,11 +113,13 @@ impl IntoBenchmarkId for String {
 pub struct Bencher {
     iters: u64,
     elapsed: Duration,
+    called: bool,
 }
 
 impl Bencher {
     /// Time `routine`, called `iters` times back to back.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.called = true;
         let start = Instant::now();
         for _ in 0..self.iters {
             black_box(routine());
@@ -137,6 +142,8 @@ pub struct BenchResult {
     pub samples: usize,
     /// Iterations per sample batch.
     pub iters_per_sample: u64,
+    /// Throughput annotation of the group the bench ran under, if any.
+    pub throughput: Option<Throughput>,
 }
 
 /// The benchmark driver: registers, filters, runs, and reports.
@@ -145,6 +152,7 @@ pub struct Criterion {
     filters: Vec<String>,
     results: Vec<BenchResult>,
     skipped: usize,
+    failures: Vec<String>,
 }
 
 impl Criterion {
@@ -155,6 +163,11 @@ impl Criterion {
             .skip(1)
             .filter(|a| !a.starts_with('-'))
             .collect();
+        Self::with_filters(filters)
+    }
+
+    /// Driver with an explicit substring-filter list (empty = run all).
+    pub fn with_filters(filters: Vec<String>) -> Self {
         Criterion {
             filters,
             ..Default::default()
@@ -190,13 +203,30 @@ impl Criterion {
         &self.results
     }
 
-    /// Print the closing line; returns the number of benchmarks run.
+    /// Hard failures recorded so far (duplicate ids, zero-sample benches).
+    /// Any entry here must make the process exit non-zero — a silently
+    /// empty or ambiguous result set would poison every later snapshot
+    /// comparison.
+    pub fn failures(&self) -> &[String] {
+        &self.failures
+    }
+
+    /// True when any benchmark failed structurally (see [`Self::failures`]).
+    pub fn has_failures(&self) -> bool {
+        !self.failures.is_empty()
+    }
+
+    /// Print the closing line (and any failures); returns the number of
+    /// benchmarks run.
     pub fn final_summary(&self) -> usize {
         eprintln!(
             "bench summary: {} run, {} filtered out",
             self.results.len(),
             self.skipped
         );
+        for f in &self.failures {
+            eprintln!("bench FAILURE: {f}");
+        }
         self.results.len()
     }
 
@@ -211,6 +241,12 @@ impl Criterion {
             self.skipped += 1;
             return;
         }
+        if self.results.iter().any(|r| r.id == id) {
+            self.failures.push(format!(
+                "duplicate benchmark id `{id}` — ids must be unique"
+            ));
+            return;
+        }
         // Warmup: ramp the batch size until one batch costs ≥ ~1/4 of the
         // warmup budget or the budget elapses, to learn the per-iter cost.
         let warmup_start = Instant::now();
@@ -220,8 +256,17 @@ impl Criterion {
             let mut b = Bencher {
                 iters,
                 elapsed: Duration::ZERO,
+                called: false,
             };
             f(&mut b);
+            if !b.called {
+                // The closure never invoked `Bencher::iter`: no timing was
+                // taken, so every "sample" would be a fabricated zero.
+                self.failures.push(format!(
+                    "benchmark `{id}` recorded zero samples (closure never called Bencher::iter)"
+                ));
+                return;
+            }
             per_iter = b.elapsed.as_secs_f64() / iters as f64;
             if warmup_start.elapsed() >= WARMUP || b.elapsed >= WARMUP / 4 {
                 break;
@@ -239,14 +284,14 @@ impl Criterion {
                 let mut b = Bencher {
                     iters: iters_per_sample,
                     elapsed: Duration::ZERO,
+                    called: false,
                 };
                 f(&mut b);
                 b.elapsed.as_nanos() as f64 / iters_per_sample as f64
             })
             .collect();
-        let median_ns = median(&mut samples_ns);
-        let mut deviations: Vec<f64> = samples_ns.iter().map(|s| (s - median_ns).abs()).collect();
-        let mad_ns = median(&mut deviations);
+        let median_ns = median_of(&mut samples_ns);
+        let mad_ns = mad_of(&samples_ns, median_ns);
 
         let mut line = format!(
             "{id:<44} time: [{} ± {}]  ({} samples × {} iters)",
@@ -273,6 +318,7 @@ impl Criterion {
             mad_ns,
             samples: samples_ns.len(),
             iters_per_sample,
+            throughput,
         });
     }
 }
@@ -331,7 +377,10 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
-fn median(values: &mut [f64]) -> f64 {
+/// Median of a sample series (sorts in place). Empty input yields 0.0 —
+/// callers that care distinguish "no samples" *before* reaching here (see
+/// the zero-sample failure path in `run_one`).
+pub fn median_of(values: &mut [f64]) -> f64 {
     if values.is_empty() {
         return 0.0;
     }
@@ -342,6 +391,14 @@ fn median(values: &mut [f64]) -> f64 {
     } else {
         (values[n / 2 - 1] + values[n / 2]) / 2.0
     }
+}
+
+/// Median absolute deviation around `median`. A constant series has MAD 0
+/// exactly; downstream the regression gate treats that as "fall back to
+/// the relative tolerance" — 0 is a legal value, never a divisor.
+pub fn mad_of(values: &[f64], median: f64) -> f64 {
+    let mut deviations: Vec<f64> = values.iter().map(|s| (s - median).abs()).collect();
+    median_of(&mut deviations)
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -380,6 +437,8 @@ macro_rules! criterion_group {
 }
 
 /// Generate `main` running the given groups, like criterion's macro.
+/// Exits non-zero when any benchmark failed structurally (duplicate id or
+/// zero samples) so CI can't mistake a broken suite for a quiet one.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
@@ -387,6 +446,9 @@ macro_rules! criterion_main {
             let mut c = $crate::Criterion::from_args();
             $( $group(&mut c); )+
             c.final_summary();
+            if c.has_failures() {
+                std::process::exit(1);
+            }
         }
     };
 }
@@ -440,10 +502,88 @@ mod tests {
     #[test]
     fn median_and_mad_are_robust() {
         let mut v = vec![10.0, 11.0, 9.0, 10.5, 1000.0];
-        assert_eq!(median(&mut v), 10.5);
-        let m = 10.5;
-        let mut d: Vec<f64> = v.iter().map(|x| (x - m).abs()).collect();
-        assert!(median(&mut d) <= 1.5, "outlier must not dominate MAD");
+        assert_eq!(median_of(&mut v), 10.5);
+        assert!(mad_of(&v, 10.5) <= 1.5, "outlier must not dominate MAD");
+    }
+
+    #[test]
+    fn median_handles_odd_even_and_single_series() {
+        assert_eq!(median_of(&mut [7.0]), 7.0, "single sample is its median");
+        assert_eq!(median_of(&mut [3.0, 1.0, 2.0]), 2.0, "odd count");
+        assert_eq!(
+            median_of(&mut [4.0, 1.0, 3.0, 2.0]),
+            2.5,
+            "even count averages the middle pair"
+        );
+        assert_eq!(median_of(&mut []), 0.0, "empty series is sentinel zero");
+    }
+
+    #[test]
+    fn mad_of_constant_series_is_exactly_zero() {
+        let v = [5.0; 8];
+        let m = median_of(&mut v.to_vec());
+        assert_eq!(mad_of(&v, m), 0.0);
+        // And a zero MAD must not blow up the regression gate: the
+        // threshold falls back to the relative tolerance (no division).
+        let rec = |median_ns, mad_ns| pcm_types::BenchRecord {
+            id: "x".into(),
+            median_ns,
+            mad_ns,
+            samples: 8,
+            iters_per_sample: 1,
+            throughput: None,
+        };
+        let gate = pcm_types::GatePolicy::default();
+        let t = gate.threshold_ns(&rec(100.0, 0.0), &rec(100.0, 0.0));
+        assert!(t.is_finite() && t > 0.0, "k·MAD fallback must stay usable");
+        assert_eq!(t, 5.0, "5% tolerance decides when MAD is 0");
+    }
+
+    #[test]
+    fn zero_sample_bench_is_a_loud_failure() {
+        let mut c = Criterion::default();
+        // A closure that never calls `b.iter` records nothing.
+        c.bench_function("broken/no_iter", |_b| {});
+        assert!(c.results().is_empty());
+        assert!(c.has_failures());
+        assert!(
+            c.failures()[0].contains("zero samples"),
+            "{:?}",
+            c.failures()
+        );
+    }
+
+    #[test]
+    fn duplicate_bench_id_is_a_loud_failure() {
+        let mut c = Criterion::default();
+        c.bench_function("dup/x", |b| b.iter(|| black_box(1)));
+        c.bench_function("dup/x", |b| b.iter(|| black_box(2)));
+        assert_eq!(c.results().len(), 1, "second registration rejected");
+        assert!(c.has_failures());
+        assert!(c.failures()[0].contains("duplicate"), "{:?}", c.failures());
+    }
+
+    #[test]
+    fn with_filters_matches_substring() {
+        let mut c = Criterion::with_filters(vec!["keep".into()]);
+        c.bench_function("a/keep_me", |b| b.iter(|| black_box(1)));
+        c.bench_function("a/drop_me", |b| b.iter(|| black_box(1)));
+        assert_eq!(c.results().len(), 1);
+        assert_eq!(c.results()[0].id, "a/keep_me");
+    }
+
+    #[test]
+    fn throughput_annotation_lands_in_results() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("tp");
+        g.sample_size(3);
+        g.throughput(Throughput::Bytes(64));
+        g.bench_function("x", |b| b.iter(|| black_box(1)));
+        g.finish();
+        assert!(matches!(
+            c.results()[0].throughput,
+            Some(Throughput::Bytes(64))
+        ));
     }
 
     #[test]

@@ -1,0 +1,80 @@
+//! `pcm-bench` — run the canonical suite and write a `BENCH_<n>.json`
+//! perf snapshot.
+//!
+//! ```text
+//! pcm-bench snapshot [--quick] [--out PATH] [FILTER…]
+//! ```
+//!
+//! Positional `FILTER`s are substring filters over bench ids (same
+//! semantics as `cargo bench -- <filter>`); `--out` defaults to stdout.
+//! Exits 1 when the suite records a structural failure (duplicate id,
+//! zero samples) or the resulting snapshot fails validation, 2 on usage
+//! errors — CI must never mistake a broken suite for a quiet one.
+//!
+//! Compare two snapshots with `tetris-experiments bench-compare`.
+
+use pcm_bench::snapshot::{collect_meta, snapshot_from_results};
+use pcm_bench::suite::canonical_suite;
+use pcm_bench::Criterion;
+use pcm_types::JsonCodec;
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: pcm-bench snapshot [--quick] [--out PATH] [FILTER…]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("snapshot") => {}
+        Some(other) => usage_error(&format!("unknown subcommand `{other}`")),
+        None => usage_error("missing subcommand"),
+    }
+    let mut quick = false;
+    let mut out: Option<String> = None;
+    let mut filters: Vec<String> = Vec::new();
+    let mut it = args.iter().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => match it.next() {
+                Some(p) => out = Some(p.clone()),
+                None => usage_error("--out needs a path"),
+            },
+            flag if flag.starts_with('-') => {
+                usage_error(&format!("unknown flag `{flag}`"));
+            }
+            filter => filters.push(filter.to_string()),
+        }
+    }
+
+    let mut c = Criterion::with_filters(filters);
+    canonical_suite(&mut c, quick);
+    c.final_summary();
+    if c.has_failures() {
+        std::process::exit(1);
+    }
+
+    let snapshot = match snapshot_from_results(c.results(), collect_meta(quick)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: refusing to write snapshot: {e}");
+            std::process::exit(1);
+        }
+    };
+    let text = snapshot.to_json().to_string_pretty();
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, text + "\n") {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!(
+                "snapshot written to {path} ({} benches)",
+                snapshot.benches.len()
+            );
+        }
+        None => println!("{text}"),
+    }
+}

@@ -1,0 +1,137 @@
+//! Turn harness results into a validated [`BenchSnapshot`].
+//!
+//! The snapshot writer is the producing half of the perf trajectory: it
+//! stamps run metadata (git revision, cargo profile, thread count,
+//! scheme/rank configuration), converts each [`BenchResult`] into the
+//! schema types from [`pcm_types::perf`], and refuses to emit anything
+//! that fails [`BenchSnapshot::validate`] — an empty or ambiguous
+//! snapshot must be a loud error, never a committed file.
+
+use crate::{BenchResult, Throughput};
+use pcm_types::perf::{BenchRecord, BenchSnapshot, BenchThroughput, SnapshotMeta, ThroughputUnit};
+use pcm_types::PcmError;
+
+/// Run metadata for a snapshot produced by this process. `git_rev` falls
+/// back to `"unknown"` outside a git checkout (e.g. a source tarball);
+/// everything else is derived from the build and host.
+pub fn collect_meta(quick: bool) -> SnapshotMeta {
+    let git_rev = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    let profile = if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    };
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1);
+    SnapshotMeta {
+        git_rev,
+        profile: profile.to_string(),
+        threads,
+        quick,
+        // The canonical system benches run vips under Tetris on 1 rank;
+        // see `suite::canonical_suite`.
+        scheme: "tetris".to_string(),
+        ranks: 1,
+    }
+}
+
+/// Convert harness results into a validated snapshot.
+pub fn snapshot_from_results(
+    results: &[BenchResult],
+    meta: SnapshotMeta,
+) -> Result<BenchSnapshot, PcmError> {
+    let benches = results
+        .iter()
+        .map(|r| BenchRecord {
+            id: r.id.clone(),
+            median_ns: r.median_ns,
+            mad_ns: r.mad_ns,
+            samples: r.samples as u64,
+            iters_per_sample: r.iters_per_sample,
+            throughput: r.throughput.map(|t| match t {
+                Throughput::Elements(n) => BenchThroughput {
+                    unit: ThroughputUnit::Elements,
+                    per_iter: n,
+                },
+                Throughput::Bytes(n) => BenchThroughput {
+                    unit: ThroughputUnit::Bytes,
+                    per_iter: n,
+                },
+            }),
+        })
+        .collect();
+    let snapshot = BenchSnapshot {
+        version: BenchSnapshot::SCHEMA_VERSION,
+        meta,
+        benches,
+    };
+    snapshot.validate()?;
+    Ok(snapshot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(id: &str) -> BenchResult {
+        BenchResult {
+            id: id.to_string(),
+            median_ns: 42.0,
+            mad_ns: 1.5,
+            samples: 20,
+            iters_per_sample: 1024,
+            throughput: Some(Throughput::Bytes(64)),
+        }
+    }
+
+    #[test]
+    fn meta_reflects_build_and_host() {
+        let meta = collect_meta(true);
+        assert!(meta.quick);
+        assert!(!meta.git_rev.is_empty());
+        assert!(meta.threads >= 1);
+        assert_eq!(meta.scheme, "tetris");
+        // Tests run under `cargo test` (debug) or `--release`; either way
+        // the profile string must match the build.
+        let expect = if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        };
+        assert_eq!(meta.profile, expect);
+    }
+
+    #[test]
+    fn results_convert_and_validate() {
+        let snap = snapshot_from_results(&[result("a/b"), result("a/c")], collect_meta(false))
+            .expect("two distinct results are a valid snapshot");
+        assert_eq!(snap.benches.len(), 2);
+        assert_eq!(
+            snap.benches[0].throughput,
+            Some(BenchThroughput {
+                unit: ThroughputUnit::Bytes,
+                per_iter: 64
+            })
+        );
+        // Round trip through the JSON text form.
+        use pcm_types::JsonCodec;
+        let back = BenchSnapshot::from_json_str(&snap.to_json().to_string_pretty()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn empty_and_duplicate_results_are_rejected() {
+        assert!(snapshot_from_results(&[], collect_meta(true)).is_err());
+        let dup = [result("same/id"), result("same/id")];
+        assert!(snapshot_from_results(&dup, collect_meta(true)).is_err());
+    }
+}

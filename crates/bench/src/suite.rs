@@ -1,0 +1,134 @@
+//! The canonical perf suite behind the `BENCH_<n>.json` trajectory.
+//!
+//! A deliberately small, stable subset of the full bench targets — one
+//! representative per subsystem the paper's performance story depends on —
+//! so snapshots stay comparable across PRs:
+//!
+//! * `canonical/analysis/*` — the bit utilities and the Tetris
+//!   analysis/packing hot path (the ROADMAP's bit-parallel rewrite must
+//!   show up here).
+//! * `canonical/telemetry/*` — per-event sink dispatch cost (the "tracing
+//!   off costs nothing" claim).
+//! * `canonical/system/*` — a quick end-to-end run under the fixed and
+//!   adaptive scheduling policies (the sched-ablation surface).
+//!
+//! Bench ids are part of the snapshot schema: renaming one orphans its
+//! baseline row (reported as `added`/`missing` by `bench-compare`), so
+//! treat ids as API.
+
+use crate::{Criterion, Throughput};
+use pcm_memsim::SchedConfig;
+use pcm_telemetry::{MemorySink, NullSink, OpKind, Telemetry, TelemetryEvent};
+use pcm_types::{flip_encode, transitions, LineDemand, Ps, UnitDemand};
+use pcm_workloads::WorkloadProfile;
+use std::hint::black_box;
+use tetris_experiments::{run_one, RunConfig, SchemeKind};
+use tetris_write::{analyze, TetrisConfig};
+
+/// Instructions per core for the system-level benches.
+fn system_instructions(quick: bool) -> u64 {
+    if quick {
+        50_000
+    } else {
+        200_000
+    }
+}
+
+/// Register the canonical suite on `c`. `quick` shrinks the system-run
+/// size and sample counts for CI; micro benches are cheap either way.
+pub fn canonical_suite(c: &mut Criterion, quick: bool) {
+    let micro_samples = if quick { 10 } else { 20 };
+
+    // --- analysis / packing hot path -----------------------------------
+    let mut g = c.benchmark_group("canonical/analysis");
+    g.sample_size(micro_samples);
+    g.bench_function("transitions", |b| {
+        b.iter(|| black_box(transitions(black_box(0xDEAD_BEEF), black_box(0xFEED_FACE))))
+    });
+    g.bench_function("flip_encode", |b| {
+        b.iter(|| {
+            black_box(flip_encode(
+                black_box(0xAAAA),
+                false,
+                black_box(0x5555_5555),
+            ))
+        })
+    });
+    let cfg = TetrisConfig::paper_baseline();
+    let demand = LineDemand::from_units(&[UnitDemand::new(7, 3); 8]);
+    g.throughput(Throughput::Elements(8));
+    g.bench_function("analyze_line", |b| {
+        b.iter(|| black_box(analyze(black_box(&demand), &cfg).unwrap()))
+    });
+    g.finish();
+
+    // --- telemetry per-event dispatch ----------------------------------
+    let ev = TelemetryEvent::BankBusy {
+        at: Ps(1_000),
+        bank: 3,
+        kind: OpKind::Write,
+        until: Ps(501_000),
+        lines: 4,
+    };
+    let mut g = c.benchmark_group("canonical/telemetry");
+    g.sample_size(micro_samples);
+    g.bench_function("null_sink_event", |b| {
+        let mut sink: Box<dyn Telemetry> = Box::new(NullSink);
+        b.iter(|| sink.record(black_box(&ev)))
+    });
+    g.bench_function("memory_sink_event", |b| {
+        let mut sink: Box<dyn Telemetry> = Box::new(MemorySink::new());
+        b.iter(|| sink.record(black_box(&ev)))
+    });
+    g.finish();
+
+    // --- end-to-end system run, both scheduling policies ---------------
+    let run_cfg = RunConfig::builder()
+        .instructions_per_core(system_instructions(quick))
+        .build()
+        .expect("canonical suite configuration is valid");
+    let p = WorkloadProfile::by_name("vips").expect("vips profile exists");
+    let mut g = c.benchmark_group("canonical/system");
+    g.sample_size(if quick { 5 } else { 10 });
+    for (label, sched) in [
+        ("vips_tetris_fixed", SchedConfig::fixed()),
+        ("vips_tetris_adaptive", SchedConfig::adaptive()),
+    ] {
+        let mut cfg = run_cfg;
+        cfg.system.controller.sched = sched;
+        g.bench_function(label, |b| {
+            b.iter(|| black_box(run_one(p, SchemeKind::Tetris, &cfg)))
+        });
+    }
+    g.finish();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The suite must register cleanly, produce no structural failures,
+    /// and contain every id the committed baseline pins. Filters keep the
+    /// test to the cheap micro benches.
+    #[test]
+    fn canonical_micro_benches_run_clean() {
+        let mut c = Criterion::with_filters(vec!["canonical/analysis".into()]);
+        canonical_suite(&mut c, true);
+        assert!(!c.has_failures(), "{:?}", c.failures());
+        let ids: Vec<&str> = c.results().iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(
+            ids,
+            [
+                "canonical/analysis/transitions",
+                "canonical/analysis/flip_encode",
+                "canonical/analysis/analyze_line",
+            ]
+        );
+        assert!(
+            c.results()
+                .iter()
+                .any(|r| matches!(r.throughput, Some(Throughput::Elements(8)))),
+            "analyze_line carries its throughput annotation"
+        );
+    }
+}

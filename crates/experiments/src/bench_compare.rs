@@ -1,0 +1,411 @@
+//! Diff two `BENCH_<n>.json` perf snapshots and gate on regressions.
+//!
+//! The comparing half of the perf trajectory (the producing half lives in
+//! `pcm-bench`): load a committed baseline and a fresh snapshot, compute
+//! per-bench deltas, and flag anything whose median drifted beyond the
+//! [`GatePolicy`] band `max(tolerance% · base, k · MAD)`. Output is a
+//! markdown delta table (for humans and PR comments) plus a JSON report
+//! (for machines); [`CompareReport::has_failures`] drives the CI exit
+//! code.
+//!
+//! Benches present on only one side are reported as `added` / `missing`
+//! rather than silently dropped — a missing bench usually means a suite
+//! rename, which would otherwise sever the trajectory unnoticed.
+
+use pcm_types::json::{field_error, Json, JsonCodec, JsonError};
+use pcm_types::perf::{BenchSnapshot, GatePolicy};
+
+/// Verdict for one benchmark id across the two snapshots.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeltaStatus {
+    /// Within the gate band (no meaningful change).
+    Ok,
+    /// Faster by more than the band (informational).
+    Improved,
+    /// Slower by more than the band — fails the gate.
+    Regressed,
+    /// Present only in the fresh snapshot (new bench; informational).
+    Added,
+    /// Present only in the baseline — fails the gate (suite rename or
+    /// dropped coverage).
+    Missing,
+}
+
+impl DeltaStatus {
+    /// Stable lowercase tag used in JSON and the markdown table.
+    pub const fn tag(&self) -> &'static str {
+        match self {
+            DeltaStatus::Ok => "ok",
+            DeltaStatus::Improved => "improved",
+            DeltaStatus::Regressed => "REGRESSED",
+            DeltaStatus::Added => "added",
+            DeltaStatus::Missing => "MISSING",
+        }
+    }
+}
+
+/// One row of the delta table.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchDelta {
+    /// Benchmark id (`group/name`).
+    pub id: String,
+    /// Baseline median, ns (None when `Added`).
+    pub base_median_ns: Option<f64>,
+    /// Fresh median, ns (None when `Missing`).
+    pub fresh_median_ns: Option<f64>,
+    /// Gate threshold for this pair, ns (None when one side is absent).
+    pub threshold_ns: Option<f64>,
+    /// Verdict.
+    pub status: DeltaStatus,
+}
+
+impl BenchDelta {
+    /// `fresh − base` in ns, when both sides exist.
+    pub fn delta_ns(&self) -> Option<f64> {
+        Some(self.fresh_median_ns? - self.base_median_ns?)
+    }
+
+    /// Delta as a percentage of the baseline median, when defined.
+    pub fn delta_pct(&self) -> Option<f64> {
+        let base = self.base_median_ns?;
+        if base > 0.0 {
+            Some(self.delta_ns()? / base * 100.0)
+        } else {
+            None
+        }
+    }
+}
+
+/// Full comparison outcome: one [`BenchDelta`] per id seen on either side
+/// (baseline order first, then fresh-only additions).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompareReport {
+    /// The gate the comparison ran under.
+    pub policy: GatePolicy,
+    /// Short git revisions of the two snapshots (`base`, `fresh`).
+    pub revs: (String, String),
+    /// Per-bench rows.
+    pub deltas: Vec<BenchDelta>,
+}
+
+/// Compare `fresh` against the `base` snapshot under `policy`.
+pub fn compare(base: &BenchSnapshot, fresh: &BenchSnapshot, policy: GatePolicy) -> CompareReport {
+    let mut deltas = Vec::new();
+    for b in &base.benches {
+        let row = match fresh.find(&b.id) {
+            Some(f) => {
+                let status = if policy.is_regression(b, f) {
+                    DeltaStatus::Regressed
+                } else if policy.is_improvement(b, f) {
+                    DeltaStatus::Improved
+                } else {
+                    DeltaStatus::Ok
+                };
+                BenchDelta {
+                    id: b.id.clone(),
+                    base_median_ns: Some(b.median_ns),
+                    fresh_median_ns: Some(f.median_ns),
+                    threshold_ns: Some(policy.threshold_ns(b, f)),
+                    status,
+                }
+            }
+            None => BenchDelta {
+                id: b.id.clone(),
+                base_median_ns: Some(b.median_ns),
+                fresh_median_ns: None,
+                threshold_ns: None,
+                status: DeltaStatus::Missing,
+            },
+        };
+        deltas.push(row);
+    }
+    for f in &fresh.benches {
+        if base.find(&f.id).is_none() {
+            deltas.push(BenchDelta {
+                id: f.id.clone(),
+                base_median_ns: None,
+                fresh_median_ns: Some(f.median_ns),
+                threshold_ns: None,
+                status: DeltaStatus::Added,
+            });
+        }
+    }
+    CompareReport {
+        policy,
+        revs: (base.meta.git_rev.clone(), fresh.meta.git_rev.clone()),
+        deltas,
+    }
+}
+
+fn ns(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:.1} ns"),
+        None => "—".to_string(),
+    }
+}
+
+fn signed_ns(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:+.1} ns"),
+        None => "—".to_string(),
+    }
+}
+
+fn signed_pct(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:+.1}%"),
+        None => "—".to_string(),
+    }
+}
+
+impl CompareReport {
+    /// True when any bench regressed or went missing — the CI gate.
+    pub fn has_failures(&self) -> bool {
+        self.deltas
+            .iter()
+            .any(|d| matches!(d.status, DeltaStatus::Regressed | DeltaStatus::Missing))
+    }
+
+    /// Rows with a given status (convenience for summaries).
+    pub fn count(&self, status: DeltaStatus) -> usize {
+        self.deltas.iter().filter(|d| d.status == status).count()
+    }
+
+    /// The human-facing delta table. Byte-stable for fixed inputs (golden
+    /// fixtures pin it), so formatting changes are deliberate diffs.
+    pub fn markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# bench-compare\n\n");
+        out.push_str(&format!(
+            "base `{}` → fresh `{}` · gate: Δ > max({:.1}% · base, {:.1} · MAD)\n\n",
+            self.revs.0, self.revs.1, self.policy.tolerance_pct, self.policy.k_mad
+        ));
+        out.push_str("| bench | base | fresh | Δ | Δ% | threshold | status |\n");
+        out.push_str("|---|---:|---:|---:|---:|---:|---|\n");
+        for d in &self.deltas {
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} | {} | {} |\n",
+                d.id,
+                ns(d.base_median_ns),
+                ns(d.fresh_median_ns),
+                signed_ns(d.delta_ns()),
+                signed_pct(d.delta_pct()),
+                ns(d.threshold_ns),
+                d.status.tag(),
+            ));
+        }
+        out.push_str(&format!(
+            "\n{} ok, {} improved, {} regressed, {} added, {} missing → {}\n",
+            self.count(DeltaStatus::Ok),
+            self.count(DeltaStatus::Improved),
+            self.count(DeltaStatus::Regressed),
+            self.count(DeltaStatus::Added),
+            self.count(DeltaStatus::Missing),
+            if self.has_failures() { "FAIL" } else { "PASS" }
+        ));
+        out
+    }
+}
+
+impl JsonCodec for CompareReport {
+    fn to_json(&self) -> Json {
+        let delta = |d: &BenchDelta| {
+            Json::obj(vec![
+                ("id", Json::str(d.id.clone())),
+                (
+                    "base_median_ns",
+                    d.base_median_ns.map_or(Json::Null, Json::Num),
+                ),
+                (
+                    "fresh_median_ns",
+                    d.fresh_median_ns.map_or(Json::Null, Json::Num),
+                ),
+                ("delta_ns", d.delta_ns().map_or(Json::Null, Json::Num)),
+                ("threshold_ns", d.threshold_ns.map_or(Json::Null, Json::Num)),
+                ("status", Json::str(d.status.tag())),
+            ])
+        };
+        Json::obj(vec![
+            ("schema", Json::str("pcm-bench-compare")),
+            ("base_rev", Json::str(self.revs.0.clone())),
+            ("fresh_rev", Json::str(self.revs.1.clone())),
+            ("tolerance_pct", Json::Num(self.policy.tolerance_pct)),
+            ("k_mad", Json::Num(self.policy.k_mad)),
+            ("failed", Json::Bool(self.has_failures())),
+            ("deltas", Json::Arr(self.deltas.iter().map(delta).collect())),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        if v.get("schema").and_then(Json::as_str) != Some("pcm-bench-compare") {
+            return Err(field_error("schema"));
+        }
+        let policy = GatePolicy {
+            tolerance_pct: v
+                .get("tolerance_pct")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| field_error("tolerance_pct"))?,
+            k_mad: v
+                .get("k_mad")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| field_error("k_mad"))?,
+        };
+        let revs = (
+            v.get("base_rev")
+                .and_then(Json::as_str)
+                .ok_or_else(|| field_error("base_rev"))?
+                .to_string(),
+            v.get("fresh_rev")
+                .and_then(Json::as_str)
+                .ok_or_else(|| field_error("fresh_rev"))?
+                .to_string(),
+        );
+        let status = |tag: Option<&str>| match tag {
+            Some("ok") => Ok(DeltaStatus::Ok),
+            Some("improved") => Ok(DeltaStatus::Improved),
+            Some("REGRESSED") => Ok(DeltaStatus::Regressed),
+            Some("added") => Ok(DeltaStatus::Added),
+            Some("MISSING") => Ok(DeltaStatus::Missing),
+            _ => Err(field_error("status")),
+        };
+        let deltas = v
+            .get("deltas")
+            .and_then(Json::as_array)
+            .ok_or_else(|| field_error("deltas"))?
+            .iter()
+            .map(|d| {
+                let opt = |field: &str| match d.get(field) {
+                    None | Some(Json::Null) => Ok(None),
+                    Some(x) => match x.as_f64() {
+                        Some(v) => Ok(Some(v)),
+                        None => Err(field_error(field)),
+                    },
+                };
+                Ok(BenchDelta {
+                    id: d
+                        .get("id")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| field_error("id"))?
+                        .to_string(),
+                    base_median_ns: opt("base_median_ns")?,
+                    fresh_median_ns: opt("fresh_median_ns")?,
+                    threshold_ns: opt("threshold_ns")?,
+                    status: status(d.get("status").and_then(Json::as_str))?,
+                })
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        Ok(CompareReport {
+            policy,
+            revs,
+            deltas,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcm_types::perf::{BenchRecord, SnapshotMeta};
+
+    fn rec(id: &str, median: f64, mad: f64) -> BenchRecord {
+        BenchRecord {
+            id: id.to_string(),
+            median_ns: median,
+            mad_ns: mad,
+            samples: 20,
+            iters_per_sample: 64,
+            throughput: None,
+        }
+    }
+
+    fn snap(rev: &str, benches: Vec<BenchRecord>) -> BenchSnapshot {
+        BenchSnapshot {
+            version: BenchSnapshot::SCHEMA_VERSION,
+            meta: SnapshotMeta {
+                git_rev: rev.into(),
+                profile: "release".into(),
+                threads: 8,
+                quick: true,
+                scheme: "tetris".into(),
+                ranks: 1,
+            },
+            benches,
+        }
+    }
+
+    #[test]
+    fn self_comparison_passes_clean() {
+        let s = snap(
+            "aaaa111",
+            vec![rec("g/a", 100.0, 2.0), rec("g/b", 5000.0, 0.0)],
+        );
+        let report = compare(&s, &s, GatePolicy::default());
+        assert!(!report.has_failures());
+        assert!(
+            report.deltas.iter().all(|d| d.status == DeltaStatus::Ok),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn added_and_missing_are_tracked() {
+        let base = snap("aaaa111", vec![rec("g/old", 10.0, 1.0)]);
+        let fresh = snap("bbbb222", vec![rec("g/new", 10.0, 1.0)]);
+        let report = compare(&base, &fresh, GatePolicy::default());
+        assert_eq!(report.count(DeltaStatus::Missing), 1);
+        assert_eq!(report.count(DeltaStatus::Added), 1);
+        assert!(report.has_failures(), "missing coverage must gate");
+    }
+
+    /// Golden fixture: the exact markdown table and JSON report bytes for
+    /// a fixed comparison containing a synthetic regression. Any change
+    /// to the rendering is a deliberate, reviewed diff of this test.
+    #[test]
+    fn report_matches_golden_fixture() {
+        let base = snap(
+            "aaaa111",
+            vec![
+                rec("canonical/analysis/analyze_line", 100.0, 2.0),
+                rec("canonical/system/vips", 2_000_000.0, 40_000.0),
+            ],
+        );
+        // analyze_line doubled (regression far beyond 5%/3·MAD); the
+        // system run only drifted inside its MAD band.
+        let fresh = snap(
+            "bbbb222",
+            vec![
+                rec("canonical/analysis/analyze_line", 200.0, 1.0),
+                rec("canonical/system/vips", 2_050_000.0, 40_000.0),
+            ],
+        );
+        let report = compare(&base, &fresh, GatePolicy::default());
+        assert!(report.has_failures(), "synthetic regression must gate");
+
+        let expected_md = "\
+# bench-compare
+
+base `aaaa111` → fresh `bbbb222` · gate: Δ > max(5.0% · base, 3.0 · MAD)
+
+| bench | base | fresh | Δ | Δ% | threshold | status |
+|---|---:|---:|---:|---:|---:|---|
+| canonical/analysis/analyze_line | 100.0 ns | 200.0 ns | +100.0 ns | +100.0% | 6.0 ns | REGRESSED |
+| canonical/system/vips | 2000000.0 ns | 2050000.0 ns | +50000.0 ns | +2.5% | 120000.0 ns | ok |
+
+1 ok, 0 improved, 1 regressed, 0 added, 0 missing → FAIL
+";
+        assert_eq!(report.markdown(), expected_md);
+
+        let expected_json = "\
+{\"schema\":\"pcm-bench-compare\",\"base_rev\":\"aaaa111\",\"fresh_rev\":\"bbbb222\",\
+\"tolerance_pct\":5,\"k_mad\":3,\"failed\":true,\"deltas\":[\
+{\"id\":\"canonical/analysis/analyze_line\",\"base_median_ns\":100,\"fresh_median_ns\":200,\
+\"delta_ns\":100,\"threshold_ns\":6,\"status\":\"REGRESSED\"},\
+{\"id\":\"canonical/system/vips\",\"base_median_ns\":2000000,\"fresh_median_ns\":2050000,\
+\"delta_ns\":50000,\"threshold_ns\":120000,\"status\":\"ok\"}]}";
+        assert_eq!(report.to_json().to_string_compact(), expected_json);
+
+        // And the JSON form round-trips to the same report.
+        let back = CompareReport::from_json_str(&report.to_json_string()).unwrap();
+        assert_eq!(back, report);
+    }
+}

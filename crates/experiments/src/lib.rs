@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod bench_compare;
 pub mod figures;
 pub mod paper;
 pub mod pool;
@@ -35,6 +36,7 @@ pub mod runner;
 pub mod sched_ablation;
 pub mod schemes;
 
+pub use bench_compare::{compare, BenchDelta, CompareReport, DeltaStatus};
 pub use pcm_memsim::{SimResult, SystemConfig};
 pub use pcm_workloads::{WorkloadProfile, ALL_PROFILES};
 pub use report::Table;

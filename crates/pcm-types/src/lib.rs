@@ -48,6 +48,7 @@ pub mod error;
 pub mod flip;
 pub mod json;
 pub mod org;
+pub mod perf;
 pub mod power;
 pub mod propcheck;
 pub mod rng;
@@ -64,6 +65,9 @@ pub use error::PcmError;
 pub use flip::{flip_decode, flip_encode, flip_units, FlipBitWrite, FlipDecision, FlippedLine};
 pub use json::{Json, JsonCodec, JsonError};
 pub use org::MemOrg;
+pub use perf::{
+    BenchRecord, BenchSnapshot, BenchThroughput, GatePolicy, SnapshotMeta, ThroughputUnit,
+};
 pub use power::PowerParams;
 pub use time::Ps;
 pub use timing::PcmTimings;

@@ -1,0 +1,587 @@
+//! Machine-readable performance snapshots (`BENCH_<n>.json`).
+//!
+//! The bench harness in `pcm-bench` reports **median ± MAD** per benchmark;
+//! this module is the schema those numbers are persisted in so a perf
+//! trajectory survives across PRs. One snapshot = one committed JSON file
+//! at the repo root (`BENCH_6.json`, `BENCH_7.json`, …), produced by the
+//! canonical suite (`pcm-bench snapshot`) and diffed by the
+//! `tetris-experiments bench-compare` subcommand.
+//!
+//! Design constraints:
+//!
+//! * **Self-describing** — run metadata (git revision, cargo profile,
+//!   thread count, scheme/rank configuration, quick mode) rides along so a
+//!   reviewer can tell whether two snapshots are comparable. Metadata is
+//!   informational: `bench-compare` reports mismatches but gates only on
+//!   the numbers.
+//! * **Noise-aware gating** — [`GatePolicy`] flags a regression only beyond
+//!   `max(tolerance% · base, k · MAD)`, so noisy micro-benches don't
+//!   false-positive while a genuine slowdown on a stable bench still
+//!   trips. A MAD of 0 (constant series) falls back to the relative
+//!   tolerance alone — there is no division anywhere, so a zero MAD can
+//!   never poison the gate.
+//! * **Byte-stable round trips** — everything encodes through
+//!   [`crate::json`], whose `f64` rendering is shortest-round-trip, so
+//!   `parse(render(s)) == s` bit-for-bit (asserted by `propcheck!` below).
+
+use crate::error::PcmError;
+use crate::json::{field_error, Json, JsonCodec, JsonError};
+
+/// What one benchmark iteration processes (for derived throughput).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ThroughputUnit {
+    /// Logical elements per iteration.
+    Elements,
+    /// Bytes per iteration.
+    Bytes,
+}
+
+impl ThroughputUnit {
+    /// Stable lowercase tag used in JSON.
+    pub const fn tag(&self) -> &'static str {
+        match self {
+            ThroughputUnit::Elements => "elements",
+            ThroughputUnit::Bytes => "bytes",
+        }
+    }
+
+    /// Parse a tag written by [`ThroughputUnit::tag`].
+    pub fn parse(tag: &str) -> Option<Self> {
+        match tag {
+            "elements" => Some(ThroughputUnit::Elements),
+            "bytes" => Some(ThroughputUnit::Bytes),
+            _ => None,
+        }
+    }
+}
+
+/// Throughput annotation of one benchmark: how much work one iteration
+/// performs. The rate itself is derived (work / median), never stored.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BenchThroughput {
+    /// Unit of `per_iter`.
+    pub unit: ThroughputUnit,
+    /// Work items processed per iteration.
+    pub per_iter: u64,
+}
+
+impl JsonCodec for BenchThroughput {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("unit", Json::str(self.unit.tag())),
+            ("per_iter", Json::UInt(self.per_iter)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let unit = v
+            .get("unit")
+            .and_then(Json::as_str)
+            .and_then(ThroughputUnit::parse)
+            .ok_or_else(|| field_error("unit"))?;
+        let per_iter = v
+            .get("per_iter")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| field_error("per_iter"))?;
+        Ok(BenchThroughput { unit, per_iter })
+    }
+}
+
+/// One benchmark's robust statistics, as recorded by the harness.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchRecord {
+    /// Full benchmark id (`group/name`), unique within a snapshot.
+    pub id: String,
+    /// Median per-iteration time in nanoseconds.
+    pub median_ns: f64,
+    /// Median absolute deviation of the per-iteration time, ns.
+    pub mad_ns: f64,
+    /// Samples taken (each sample is one timed batch).
+    pub samples: u64,
+    /// Iterations per sample batch.
+    pub iters_per_sample: u64,
+    /// Work per iteration, when the bench declared a throughput.
+    pub throughput: Option<BenchThroughput>,
+}
+
+impl BenchRecord {
+    /// Derived throughput rate (work items per second), when annotated.
+    pub fn throughput_per_sec(&self) -> Option<f64> {
+        let t = self.throughput.as_ref()?;
+        if self.median_ns > 0.0 {
+            Some(t.per_iter as f64 / (self.median_ns * 1e-9))
+        } else {
+            None
+        }
+    }
+}
+
+impl JsonCodec for BenchRecord {
+    fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("id", Json::str(self.id.clone())),
+            ("median_ns", Json::Num(self.median_ns)),
+            ("mad_ns", Json::Num(self.mad_ns)),
+            ("samples", Json::UInt(self.samples)),
+            ("iters_per_sample", Json::UInt(self.iters_per_sample)),
+        ];
+        if let Some(t) = &self.throughput {
+            pairs.push(("throughput", t.to_json()));
+        }
+        Json::obj(pairs)
+    }
+
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let id = v
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or_else(|| field_error("id"))?
+            .to_string();
+        let median_ns = v
+            .get("median_ns")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| field_error("median_ns"))?;
+        let mad_ns = v
+            .get("mad_ns")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| field_error("mad_ns"))?;
+        let samples = v
+            .get("samples")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| field_error("samples"))?;
+        let iters_per_sample = v
+            .get("iters_per_sample")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| field_error("iters_per_sample"))?;
+        let throughput = match v.get("throughput") {
+            Some(t) => Some(BenchThroughput::from_json(t)?),
+            None => None,
+        };
+        Ok(BenchRecord {
+            id,
+            median_ns,
+            mad_ns,
+            samples,
+            iters_per_sample,
+            throughput,
+        })
+    }
+}
+
+/// Run metadata recorded alongside the numbers, so a reviewer can judge
+/// whether two snapshots are comparable (same profile? same quick mode?
+/// same machine class?). Never used for gating.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapshotMeta {
+    /// `git rev-parse --short HEAD` of the tree the suite ran on
+    /// (`"unknown"` outside a git checkout).
+    pub git_rev: String,
+    /// Cargo profile the suite was compiled under (`release`/`debug`).
+    pub profile: String,
+    /// Host hardware threads available to the run.
+    pub threads: u64,
+    /// Whether the suite ran in `--quick` mode (smaller inputs).
+    pub quick: bool,
+    /// Write scheme the system-level benches exercised.
+    pub scheme: String,
+    /// Rank count of the system-level benches.
+    pub ranks: u32,
+}
+
+impl JsonCodec for SnapshotMeta {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("git_rev", Json::str(self.git_rev.clone())),
+            ("profile", Json::str(self.profile.clone())),
+            ("threads", Json::UInt(self.threads)),
+            ("quick", Json::Bool(self.quick)),
+            ("scheme", Json::str(self.scheme.clone())),
+            ("ranks", Json::UInt(self.ranks as u64)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let text = |field: &str| -> Result<String, JsonError> {
+            Ok(v.get(field)
+                .and_then(Json::as_str)
+                .ok_or_else(|| field_error(field))?
+                .to_string())
+        };
+        let ranks = v
+            .get("ranks")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| field_error("ranks"))?;
+        let ranks = u32::try_from(ranks).map_err(|_| field_error("ranks"))?;
+        Ok(SnapshotMeta {
+            git_rev: text("git_rev")?,
+            profile: text("profile")?,
+            threads: v
+                .get("threads")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| field_error("threads"))?,
+            quick: v
+                .get("quick")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| field_error("quick"))?,
+            scheme: text("scheme")?,
+            ranks,
+        })
+    }
+}
+
+/// A complete perf snapshot: schema version, run metadata, and one
+/// [`BenchRecord`] per canonical benchmark.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchSnapshot {
+    /// Schema version ([`BenchSnapshot::SCHEMA_VERSION`]).
+    pub version: u64,
+    /// Run metadata (informational).
+    pub meta: SnapshotMeta,
+    /// Per-benchmark statistics, in suite registration order.
+    pub benches: Vec<BenchRecord>,
+}
+
+impl BenchSnapshot {
+    /// Current schema version; bump on incompatible layout changes.
+    pub const SCHEMA_VERSION: u64 = 1;
+
+    /// Lookup a record by its full benchmark id.
+    pub fn find(&self, id: &str) -> Option<&BenchRecord> {
+        self.benches.iter().find(|b| b.id == id)
+    }
+
+    /// Structural validity: a snapshot must carry at least one benchmark,
+    /// every id must be unique, every benchmark must have recorded at
+    /// least one sample, and medians/MADs must be finite and non-negative.
+    /// An empty or ambiguous snapshot would make every later comparison
+    /// meaningless, so the producer fails loudly instead of writing one.
+    pub fn validate(&self) -> Result<(), PcmError> {
+        if self.version != Self::SCHEMA_VERSION {
+            return Err(PcmError::config(format!(
+                "snapshot schema version {} (this build reads {})",
+                self.version,
+                Self::SCHEMA_VERSION
+            )));
+        }
+        if self.benches.is_empty() {
+            return Err(PcmError::config(
+                "snapshot contains no benchmarks (everything filtered out?)",
+            ));
+        }
+        let mut seen: Vec<&str> = Vec::with_capacity(self.benches.len());
+        for b in &self.benches {
+            if seen.contains(&b.id.as_str()) {
+                return Err(PcmError::config(format!(
+                    "duplicate benchmark id `{}` — suite names must be unique",
+                    b.id
+                )));
+            }
+            seen.push(&b.id);
+            if b.samples == 0 {
+                return Err(PcmError::config(format!(
+                    "benchmark `{}` recorded zero samples",
+                    b.id
+                )));
+            }
+            if !b.median_ns.is_finite() || b.median_ns < 0.0 {
+                return Err(PcmError::config(format!(
+                    "benchmark `{}` has a non-finite or negative median",
+                    b.id
+                )));
+            }
+            if !b.mad_ns.is_finite() || b.mad_ns < 0.0 {
+                return Err(PcmError::config(format!(
+                    "benchmark `{}` has a non-finite or negative MAD",
+                    b.id
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl JsonCodec for BenchSnapshot {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema", Json::str("pcm-bench-snapshot")),
+            ("version", Json::UInt(self.version)),
+            ("meta", self.meta.to_json()),
+            (
+                "benches",
+                Json::Arr(self.benches.iter().map(BenchRecord::to_json).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        if v.get("schema").and_then(Json::as_str) != Some("pcm-bench-snapshot") {
+            return Err(field_error("schema"));
+        }
+        let version = v
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| field_error("version"))?;
+        let meta = SnapshotMeta::from_json(v.get("meta").ok_or_else(|| field_error("meta"))?)?;
+        let benches = v
+            .get("benches")
+            .and_then(Json::as_array)
+            .ok_or_else(|| field_error("benches"))?
+            .iter()
+            .map(BenchRecord::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BenchSnapshot {
+            version,
+            meta,
+            benches,
+        })
+    }
+}
+
+/// The regression gate: how far a fresh median may drift above its
+/// baseline before `bench-compare` flags it.
+///
+/// Threshold = `max(tolerance_pct% · base_median, k_mad · max(MADs))` —
+/// the relative tolerance catches slow creep on stable benches, the MAD
+/// term widens the band for benches whose samples genuinely scatter.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GatePolicy {
+    /// Relative tolerance in percent of the baseline median.
+    pub tolerance_pct: f64,
+    /// Noise-band multiplier on the larger of the two MADs.
+    pub k_mad: f64,
+}
+
+impl Default for GatePolicy {
+    /// 5 % or 3·MAD, whichever is larger — tight enough to catch a real
+    /// hot-path regression, loose enough for same-machine noise.
+    fn default() -> Self {
+        GatePolicy {
+            tolerance_pct: 5.0,
+            k_mad: 3.0,
+        }
+    }
+}
+
+impl GatePolicy {
+    /// Absolute threshold in ns for this base/fresh pair. When both MADs
+    /// are 0 (constant series) the noise term vanishes and the relative
+    /// tolerance alone decides — the k·MAD fallback, with no division.
+    pub fn threshold_ns(&self, base: &BenchRecord, fresh: &BenchRecord) -> f64 {
+        let noise = self.k_mad * base.mad_ns.max(fresh.mad_ns);
+        (self.tolerance_pct / 100.0 * base.median_ns).max(noise)
+    }
+
+    /// True when `fresh` regressed beyond the threshold relative to `base`.
+    pub fn is_regression(&self, base: &BenchRecord, fresh: &BenchRecord) -> bool {
+        fresh.median_ns - base.median_ns > self.threshold_ns(base, fresh)
+    }
+
+    /// True when `fresh` improved beyond the threshold (informational —
+    /// improvements never gate, but the delta table calls them out).
+    pub fn is_improvement(&self, base: &BenchRecord, fresh: &BenchRecord) -> bool {
+        base.median_ns - fresh.median_ns > self.threshold_ns(base, fresh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::propcheck::vec_of;
+    use crate::{prop_assert, prop_assert_eq, propcheck};
+
+    fn rec(id: &str, median: f64, mad: f64) -> BenchRecord {
+        BenchRecord {
+            id: id.to_string(),
+            median_ns: median,
+            mad_ns: mad,
+            samples: 20,
+            iters_per_sample: 64,
+            throughput: None,
+        }
+    }
+
+    fn meta() -> SnapshotMeta {
+        SnapshotMeta {
+            git_rev: "abc1234".into(),
+            profile: "release".into(),
+            threads: 8,
+            quick: true,
+            scheme: "tetris".into(),
+            ranks: 1,
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_finds() {
+        let s = BenchSnapshot {
+            version: BenchSnapshot::SCHEMA_VERSION,
+            meta: meta(),
+            benches: vec![
+                BenchRecord {
+                    throughput: Some(BenchThroughput {
+                        unit: ThroughputUnit::Elements,
+                        per_iter: 64,
+                    }),
+                    ..rec("canonical/analysis/plan", 123.5, 2.25)
+                },
+                rec("canonical/system/run", 1.5e6, 1000.0),
+            ],
+        };
+        s.validate().unwrap();
+        let text = s.to_json().to_string_pretty();
+        let back = BenchSnapshot::from_json_str(&text).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(
+            s.find("canonical/system/run").map(|b| b.median_ns),
+            Some(1.5e6)
+        );
+        assert!(s.find("nope").is_none());
+        // Throughput derives from the median: 64 elem / 123.5 ns.
+        let rate = s.benches[0].throughput_per_sec().unwrap();
+        assert!((rate - 64.0 / 123.5e-9).abs() < 1.0);
+    }
+
+    #[test]
+    fn validate_rejects_broken_snapshots() {
+        let ok = rec("a", 1.0, 0.0);
+        let base = BenchSnapshot {
+            version: BenchSnapshot::SCHEMA_VERSION,
+            meta: meta(),
+            benches: vec![ok.clone()],
+        };
+        base.validate().unwrap();
+
+        let empty = BenchSnapshot {
+            benches: vec![],
+            ..base.clone()
+        };
+        assert!(empty.validate().is_err(), "no benchmarks");
+
+        let dup = BenchSnapshot {
+            benches: vec![ok.clone(), ok.clone()],
+            ..base.clone()
+        };
+        assert!(dup.validate().is_err(), "duplicate ids");
+
+        let zero = BenchSnapshot {
+            benches: vec![BenchRecord {
+                samples: 0,
+                ..ok.clone()
+            }],
+            ..base.clone()
+        };
+        assert!(zero.validate().is_err(), "zero samples");
+
+        let nan = BenchSnapshot {
+            benches: vec![BenchRecord {
+                median_ns: f64::NAN,
+                ..ok.clone()
+            }],
+            ..base.clone()
+        };
+        assert!(nan.validate().is_err(), "NaN median");
+
+        let vers = BenchSnapshot {
+            version: 99,
+            ..base.clone()
+        };
+        assert!(vers.validate().is_err(), "future schema version");
+    }
+
+    #[test]
+    fn from_json_rejects_wrong_schema_tag() {
+        assert!(BenchSnapshot::from_json_str("{\"schema\":\"other\"}").is_err());
+        assert!(BenchSnapshot::from_json_str("[]").is_err());
+    }
+
+    #[test]
+    fn gate_threshold_takes_the_larger_band() {
+        let p = GatePolicy::default(); // 5% or 3·MAD
+        let base = rec("x", 1000.0, 30.0);
+        let fresh = rec("x", 1000.0, 10.0);
+        // 5% of 1000 = 50 < 3·30 = 90 → MAD band wins.
+        assert_eq!(p.threshold_ns(&base, &fresh), 90.0);
+        // Stable bench: MAD 1 → 3·1 = 3 < 50 → tolerance wins.
+        let stable = rec("x", 1000.0, 1.0);
+        assert_eq!(p.threshold_ns(&stable, &stable), 50.0);
+    }
+
+    #[test]
+    fn zero_mad_falls_back_to_tolerance() {
+        let p = GatePolicy::default();
+        let base = rec("x", 100.0, 0.0);
+        // Constant series: threshold is exactly 5% of the median; a +4%
+        // drift passes, +6% trips — and nothing divided by the zero MAD.
+        assert_eq!(p.threshold_ns(&base, &base), 5.0);
+        assert!(!p.is_regression(&base, &rec("x", 104.0, 0.0)));
+        assert!(p.is_regression(&base, &rec("x", 106.0, 0.0)));
+        assert!(p.is_improvement(&base, &rec("x", 94.0, 0.0)));
+    }
+
+    #[test]
+    fn regression_and_improvement_are_exclusive() {
+        let p = GatePolicy::default();
+        let base = rec("x", 1000.0, 20.0);
+        for fresh_median in [900.0, 950.0, 1000.0, 1050.0, 1100.0] {
+            let fresh = rec("x", fresh_median, 20.0);
+            assert!(
+                !(p.is_regression(&base, &fresh) && p.is_improvement(&base, &fresh)),
+                "median {fresh_median} flagged both ways"
+            );
+        }
+    }
+
+    propcheck! {
+        cases = 64;
+
+        /// Snapshots survive a JSON round trip bit-for-bit. Quarter-ns
+        /// values exercise the fractional f64 path exactly.
+        fn snapshot_json_round_trip(
+            medians in vec_of(1u64..=4_000_000_000, 4),
+            mads in vec_of(0u64..=4_000_000, 4),
+            samples in 0u64..1000,
+        ) {
+            let benches: Vec<BenchRecord> = medians
+                .iter()
+                .zip(&mads)
+                .enumerate()
+                .map(|(i, (&m, &d))| BenchRecord {
+                    id: format!("grp/bench{i}"),
+                    median_ns: m as f64 * 0.25,
+                    mad_ns: d as f64 * 0.25,
+                    samples: samples + 1,
+                    iters_per_sample: 7,
+                    throughput: (i % 2 == 0).then_some(BenchThroughput {
+                        unit: ThroughputUnit::Bytes,
+                        per_iter: 64,
+                    }),
+                })
+                .collect();
+            let s = BenchSnapshot {
+                version: BenchSnapshot::SCHEMA_VERSION,
+                meta: meta(),
+                benches,
+            };
+            prop_assert!(s.validate().is_ok());
+            let back = BenchSnapshot::from_json_str(&s.to_json_string());
+            prop_assert_eq!(back, Ok(s));
+        }
+
+        /// The gate never flags a fresh median inside the threshold band,
+        /// always flags one beyond it, and a self-comparison never trips.
+        fn gate_is_a_band(median_q in 4u64..=4_000_000, mad_q in 0u64..=40_000) {
+            let (median, mad) = (median_q as f64 * 0.25, mad_q as f64 * 0.25);
+            let p = GatePolicy::default();
+            let base = rec("b", median, mad);
+            prop_assert!(!p.is_regression(&base, &base), "self-diff tripped");
+            prop_assert!(!p.is_improvement(&base, &base));
+            let t = p.threshold_ns(&base, &base);
+            let t_positive = t > 0.0;
+            prop_assert!(t_positive, "threshold must be positive for positive medians");
+            let inside = rec("b", median + t * 0.5, mad);
+            prop_assert!(!p.is_regression(&base, &inside));
+            let outside = rec("b", median + t * 2.0 + 1e-6, mad);
+            prop_assert!(p.is_regression(&base, &outside));
+        }
+    }
+}

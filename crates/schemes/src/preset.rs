@@ -48,6 +48,18 @@ pub enum SchemeSelect {
 }
 
 impl SchemeSelect {
+    /// Every scheme, in the paper's presentation order — the registry
+    /// surface for tests and sweeps that must cover all of them.
+    pub const ALL: [SchemeSelect; 7] = [
+        SchemeSelect::Conventional,
+        SchemeSelect::Dcw,
+        SchemeSelect::Fnw,
+        SchemeSelect::TwoStage,
+        SchemeSelect::ThreeStage,
+        SchemeSelect::PreSet,
+        SchemeSelect::Tetris,
+    ];
+
     /// Stable lowercase tag (CLI / JSON).
     pub const fn tag(&self) -> &'static str {
         match self {
