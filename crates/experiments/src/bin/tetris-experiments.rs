@@ -86,8 +86,9 @@ fn emit(t: &Table, csv_dir: &Option<String>) {
 
 /// `trace WORKLOAD OUT.jsonl`: record a synthetic trace to disk.
 fn cmd_trace(workload: &str, out: &str, instructions: u64) {
+    use pcm_memsim::VecTrace;
     use pcm_workloads::generator::{GeneratorConfig, SyntheticParsec};
-    use pcm_workloads::trace::{record_trace, write_trace};
+    use pcm_workloads::trace::write_trace;
     let p = pcm_workloads::WorkloadProfile::by_name(workload).unwrap_or_else(|| {
         eprintln!("unknown workload {workload}");
         std::process::exit(1);
@@ -97,14 +98,14 @@ fn cmd_trace(workload: &str, out: &str, instructions: u64) {
         ..Default::default()
     };
     let mut gen = SyntheticParsec::new(p, cfg);
-    let trace = record_trace(&mut gen, cfg.cores);
+    let trace = VecTrace::capture(&mut gen, cfg.cores);
     let mut file = std::io::BufWriter::new(std::fs::File::create(out).unwrap_or_else(|e| {
         eprintln!("cannot create {out}: {e}");
         std::process::exit(1);
     }));
-    write_trace(&mut file, &trace).expect("write trace");
-    let ops: usize = trace.iter().map(Vec::len).sum();
-    eprintln!("wrote {ops} ops for {} cores to {out}", trace.len());
+    write_trace(&mut file, trace.ops()).expect("write trace");
+    let ops: usize = trace.ops().iter().map(Vec::len).sum();
+    eprintln!("wrote {ops} ops for {} cores to {out}", trace.ops().len());
 }
 
 /// `replay TRACE.jsonl SCHEME`: run a recorded trace through the system.

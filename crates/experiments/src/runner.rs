@@ -5,9 +5,7 @@ use crate::schemes::SchemeKind;
 use pcm_memsim::{Rank, ShardedSystem, SimResult, System, SystemConfig};
 use pcm_telemetry::{AsyncTraceWriter, NullSink, Telemetry, TraceDetail};
 use pcm_types::PcmError;
-use pcm_workloads::{
-    record_trace, GeneratorConfig, ProfileContent, SyntheticParsec, WorkloadProfile,
-};
+use pcm_workloads::{GeneratorConfig, ProfileContent, SyntheticParsec, WorkloadProfile};
 use tetris_write::TetrisConfig;
 
 /// Per-rank content-seed perturbation (rank 0 keeps the unsharded seed).
@@ -166,8 +164,9 @@ pub fn run_one_traced(
 /// Shard one run across per-rank controllers, executing the ranks on the
 /// in-repo work-stealing pool.
 ///
-/// The workload trace is materialized once, partitioned by decoded rank
-/// bits (gap-folded so every rank sees the full instruction timeline), and
+/// The workload stream is pulled op-by-op straight from the generator,
+/// partitioned by decoded rank bits (gap-folded so every rank sees the
+/// full instruction timeline — the unsharded stream is never held), and
 /// each rank runs its own [`System`] — controller, bank set, scheduler —
 /// on a pool worker. `rank_sink` builds the telemetry sink each rank
 /// records into (called on the worker thread; use
@@ -187,9 +186,8 @@ where
 {
     let gen_cfg = gen_cfg(profile, cfg);
     let mut trace = SyntheticParsec::new(profile, gen_cfg);
-    let ops = record_trace(&mut trace, gen_cfg.cores);
-    let sharded =
-        ShardedSystem::build(sys_cfg(scheme, cfg), ops).expect("valid sharded configuration");
+    let sharded = ShardedSystem::build(sys_cfg(scheme, cfg), &mut trace)
+        .expect("valid sharded configuration");
     let parts = pool::parallel_map(sharded.plans(), threads, |plan| {
         let seed = (gen_cfg.seed ^ 0x51) ^ (plan.index as u64).wrapping_mul(RANK_SEED_STRIDE);
         let mut rank = Rank::build(plan).expect("valid rank configuration");
@@ -396,6 +394,61 @@ mod tests {
             assert_eq!(direct.cell_sets, sharded.cell_sets);
             assert_eq!(direct.cell_resets, sharded.cell_resets);
         }
+    }
+
+    /// The streaming pull path (generator fed straight into
+    /// `ShardedSystem::build`) must be bit-for-bit identical to running the
+    /// same stream through the sanctioned eager materialization point
+    /// (`VecTrace::capture`) — the compatibility pin for the
+    /// `RequestSource` redesign that replaced the old `record_trace` path.
+    #[test]
+    fn streaming_source_matches_materialized_trace_bit_for_bit() {
+        use pcm_memsim::VecTrace;
+        use pcm_workloads::SyntheticParsec;
+        let p = &ALL_PROFILES[7]; // vips, heaviest
+        let cfg = RunConfig::builder()
+            .instructions_per_core(100_000)
+            .ranks(2)
+            .build()
+            .unwrap();
+        let streamed = run_sharded(p, SchemeKind::Tetris, &cfg, 1, |_| Box::new(NullSink));
+
+        // Re-derive the identical stream, but materialize it first.
+        let gen_cfg = super::gen_cfg(p, &cfg);
+        let mut gen = SyntheticParsec::new(p, gen_cfg);
+        let mut captured = VecTrace::capture(&mut gen, gen_cfg.cores);
+        let sharded =
+            ShardedSystem::build(super::sys_cfg(SchemeKind::Tetris, &cfg), &mut captured).unwrap();
+        let parts: Vec<SimResult> = sharded
+            .plans()
+            .iter()
+            .map(|plan| {
+                let seed =
+                    (gen_cfg.seed ^ 0x51) ^ (plan.index as u64).wrapping_mul(RANK_SEED_STRIDE);
+                let mut rank = Rank::build(plan).unwrap();
+                rank.sys.set_content(Box::new(ProfileContent::new(p, seed)));
+                rank.sys.set_workload_name(p.name);
+                rank.run()
+            })
+            .collect();
+        let materialized = sharded.merge(&parts);
+
+        assert_eq!(streamed.runtime, materialized.runtime);
+        assert_eq!(streamed.energy, materialized.energy);
+        assert_eq!(streamed.instructions, materialized.instructions);
+        assert_eq!(streamed.cycles, materialized.cycles);
+        assert_eq!(
+            streamed.read_latency.sum_ps,
+            materialized.read_latency.sum_ps
+        );
+        assert_eq!(
+            streamed.write_latency.sum_ps,
+            materialized.write_latency.sum_ps
+        );
+        assert_eq!(streamed.mem_reads, materialized.mem_reads);
+        assert_eq!(streamed.mem_writes, materialized.mem_writes);
+        assert_eq!(streamed.cell_sets, materialized.cell_sets);
+        assert_eq!(streamed.cell_resets, materialized.cell_resets);
     }
 
     #[test]

@@ -83,18 +83,23 @@ impl SchemeKind {
         }
     }
 
-    /// Parse a CLI name.
-    pub fn parse(s: &str) -> Option<SchemeKind> {
-        match s.to_ascii_lowercase().as_str() {
-            "conventional" | "conv" => Some(SchemeKind::Conventional),
-            "dcw" | "baseline" => Some(SchemeKind::Dcw),
-            "fnw" | "flip-n-write" => Some(SchemeKind::Fnw),
-            "2sw" | "two-stage" | "2-stage-write" => Some(SchemeKind::TwoStage),
-            "3sw" | "three-stage" | "three-stage-write" => Some(SchemeKind::ThreeStage),
-            "tetris" | "tetris-write" => Some(SchemeKind::Tetris),
-            "preset" => Some(SchemeKind::PreSet),
-            _ => None,
+    /// The scheme kind selecting `select` in the factory registry.
+    pub fn from_select(select: SchemeSelect) -> SchemeKind {
+        match select {
+            SchemeSelect::Conventional => SchemeKind::Conventional,
+            SchemeSelect::Dcw => SchemeKind::Dcw,
+            SchemeSelect::Fnw => SchemeKind::Fnw,
+            SchemeSelect::TwoStage => SchemeKind::TwoStage,
+            SchemeSelect::ThreeStage => SchemeKind::ThreeStage,
+            SchemeSelect::PreSet => SchemeKind::PreSet,
+            SchemeSelect::Tetris => SchemeKind::Tetris,
         }
+    }
+
+    /// Parse a CLI name through [`SchemeSelect`]'s `FromStr` (one parser
+    /// for every scheme-naming surface — CLI, replay, serve).
+    pub fn parse(s: &str) -> Option<SchemeKind> {
+        s.parse::<SchemeSelect>().ok().map(SchemeKind::from_select)
     }
 }
 
@@ -121,6 +126,8 @@ mod tests {
     fn parse_roundtrip() {
         for k in SchemeKind::ALL {
             assert_eq!(SchemeKind::parse(k.short()), Some(k));
+            assert_eq!(SchemeKind::parse(k.select().tag()), Some(k));
+            assert_eq!(SchemeKind::from_select(k.select()), k);
         }
         assert_eq!(SchemeKind::parse("TETRIS"), Some(SchemeKind::Tetris));
         assert_eq!(SchemeKind::parse("bogus"), None);

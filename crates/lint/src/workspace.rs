@@ -5,9 +5,9 @@ use crate::lexer::{self, Tok};
 use std::path::{Path, PathBuf};
 
 /// Crates whose behaviour must be bit-for-bit reproducible: simulation
-/// logic, schemes, device models, types, telemetry and synthetic-workload
-/// generation. Wall-clock reads and unordered-container iteration are
-/// forbidden here.
+/// logic, schemes, device models, types, telemetry, synthetic-workload
+/// generation and the request-serving front end. Wall-clock reads and
+/// unordered-container iteration are forbidden here.
 pub const DETERMINISTIC_CRATES: &[&str] = &[
     "pcm-types",
     "pcm-device",
@@ -16,6 +16,7 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
     "memsim",
     "telemetry",
     "workloads",
+    "serve",
 ];
 
 /// Library crates where panics are API: `unwrap()`/`expect()` outside

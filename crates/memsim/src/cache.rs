@@ -3,6 +3,7 @@
 //! [`crate::content`]), tracking dirty bits so evictions produce
 //! write-backs.
 
+use crate::config::CacheConfig;
 use pcm_types::{PcmError, PhysAddr};
 
 #[derive(Clone, Copy, Debug, Default)]
@@ -57,10 +58,11 @@ pub struct Cache {
 }
 
 impl Cache {
-    /// Build a cache of `size_bytes` with `assoc` ways and `line_bytes`
-    /// lines.
-    pub fn new(size_bytes: u64, assoc: u32, line_bytes: u32) -> Result<Self, PcmError> {
-        let assoc = assoc as usize;
+    /// Build a cache level from its validated geometry
+    /// ([`CacheConfig::builder`]) and the system's cache-line size.
+    pub fn new(cfg: CacheConfig, line_bytes: u32) -> Result<Self, PcmError> {
+        let size_bytes = cfg.size_bytes;
+        let assoc = cfg.assoc as usize;
         let line_bytes = line_bytes as usize;
         if assoc == 0 || line_bytes == 0 || !line_bytes.is_power_of_two() {
             return Err(PcmError::config("bad cache geometry"));
@@ -177,18 +179,44 @@ impl Cache {
 mod tests {
     use super::*;
 
+    fn geom(size_bytes: u64, assoc: u32) -> CacheConfig {
+        CacheConfig {
+            size_bytes,
+            assoc,
+            latency_cycles: 1,
+        }
+    }
+
     fn small() -> Cache {
         // 4 sets × 2 ways × 64 B = 512 B.
-        Cache::new(512, 2, 64).unwrap()
+        Cache::new(geom(512, 2), 64).unwrap()
     }
 
     #[test]
     fn geometry() {
         let c = small();
         assert_eq!(c.num_sets(), 4);
-        assert!(Cache::new(500, 2, 64).is_err());
-        assert!(Cache::new(512, 0, 64).is_err());
-        assert!(Cache::new(512, 2, 48).is_err());
+        assert!(Cache::new(geom(500, 2), 64).is_err());
+        assert!(Cache::new(geom(512, 0), 64).is_err());
+        assert!(Cache::new(geom(512, 2), 48).is_err());
+    }
+
+    #[test]
+    fn builder_validates_before_the_cache_does() {
+        let cfg = CacheConfig::builder()
+            .size_bytes(512)
+            .assoc(2)
+            .latency_cycles(1)
+            .build()
+            .unwrap();
+        assert_eq!(Cache::new(cfg, 64).unwrap().num_sets(), 4);
+        assert!(CacheConfig::builder().assoc(0).build().is_err());
+        assert!(CacheConfig::builder().size_bytes(0).build().is_err());
+        assert!(CacheConfig::builder()
+            .size_bytes(511)
+            .assoc(2)
+            .build()
+            .is_err());
     }
 
     #[test]

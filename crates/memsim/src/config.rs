@@ -22,6 +22,77 @@ pub struct CacheConfig {
     pub latency_cycles: u32,
 }
 
+impl CacheConfig {
+    /// Start a fluent builder from the Table II L1 geometry
+    /// (32 KB, 4-way, 2-cycle).
+    pub fn builder() -> CacheConfigBuilder {
+        CacheConfigBuilder {
+            cfg: CacheConfig {
+                size_bytes: 32 << 10,
+                assoc: 4,
+                latency_cycles: 2,
+            },
+        }
+    }
+}
+
+/// Fluent construction of a [`CacheConfig`];
+/// [`CacheConfigBuilder::build`] validates the line-independent geometry
+/// (non-zero capacity and ways, capacity divisible into ways), so an
+/// invalid level never reaches [`crate::Cache::new`] — which re-checks
+/// against the concrete cache-line size.
+///
+/// ```
+/// use pcm_memsim::CacheConfig;
+/// let l2 = CacheConfig::builder()
+///     .size_bytes(2 << 20)
+///     .assoc(8)
+///     .latency_cycles(20)
+///     .build()
+///     .unwrap();
+/// assert_eq!(l2.size_bytes, 2 << 20);
+/// assert!(CacheConfig::builder().assoc(0).build().is_err());
+/// ```
+#[derive(Clone, Copy, Debug)]
+#[must_use = "call .build() to obtain the validated CacheConfig"]
+pub struct CacheConfigBuilder {
+    cfg: CacheConfig,
+}
+
+impl CacheConfigBuilder {
+    /// Capacity in bytes.
+    pub fn size_bytes(mut self, n: u64) -> Self {
+        self.cfg.size_bytes = n;
+        self
+    }
+
+    /// Associativity (ways).
+    pub fn assoc(mut self, n: u32) -> Self {
+        self.cfg.assoc = n;
+        self
+    }
+
+    /// Access latency in CPU cycles.
+    pub fn latency_cycles(mut self, n: u32) -> Self {
+        self.cfg.latency_cycles = n;
+        self
+    }
+
+    /// Validate and return the finished level geometry.
+    pub fn build(self) -> Result<CacheConfig, PcmError> {
+        if self.cfg.assoc == 0 {
+            return Err(PcmError::config("cache associativity must be ≥ 1"));
+        }
+        if self.cfg.size_bytes == 0 {
+            return Err(PcmError::config("cache capacity must be non-zero"));
+        }
+        if self.cfg.size_bytes % self.cfg.assoc as u64 != 0 {
+            return Err(PcmError::config("cache capacity must divide into ways"));
+        }
+        Ok(self.cfg)
+    }
+}
+
 /// Memory-controller parameters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ControllerConfig {

@@ -20,13 +20,19 @@ pub struct TraceOp {
     pub addr: PhysAddr,
 }
 
-/// A per-core instruction trace.
-pub trait TraceSource: Send {
+/// A pull-based, per-core stream of memory requests.
+///
+/// Everything that feeds the simulator — synthetic generators, trace
+/// files, the `pcm-serve` socket front end — implements this trait; the
+/// engine pulls one op at a time, so sources never need to materialize
+/// the whole request stream up front.
+pub trait RequestSource: Send {
     /// Next operation for `core`, or `None` when the core's work is done.
     fn next(&mut self, core: usize) -> Option<TraceOp>;
 }
 
-/// A fixed list of ops per core (tests, examples).
+/// A fixed list of ops per core (tests, examples, and the explicit
+/// materialization point for sources that must be replayed or saved).
 #[derive(Clone, Debug, Default)]
 pub struct VecTrace {
     ops: Vec<Vec<TraceOp>>,
@@ -39,9 +45,25 @@ impl VecTrace {
         let pos = vec![0; ops.len()];
         VecTrace { ops, pos }
     }
+
+    /// Drain a [`RequestSource`] into a materialized trace — the one
+    /// sanctioned eager path, for callers that genuinely need the whole
+    /// stream at once (saving a trace to disk, replay comparisons).
+    pub fn capture(src: &mut dyn RequestSource, cores: usize) -> Self {
+        VecTrace::new(
+            (0..cores)
+                .map(|c| std::iter::from_fn(|| src.next(c)).collect())
+                .collect(),
+        )
+    }
+
+    /// The per-core op lists.
+    pub fn ops(&self) -> &[Vec<TraceOp>] {
+        &self.ops
+    }
 }
 
-impl TraceSource for VecTrace {
+impl RequestSource for VecTrace {
     fn next(&mut self, core: usize) -> Option<TraceOp> {
         let op = self.ops.get(core)?.get(self.pos[core]).copied();
         if op.is_some() {

@@ -52,13 +52,13 @@ impl CacheHierarchy {
         let mut l1 = Vec::with_capacity(cfg.cores);
         let mut l2 = Vec::with_capacity(cfg.cores);
         for _ in 0..cfg.cores {
-            l1.push(Cache::new(cfg.l1.size_bytes, cfg.l1.assoc, line)?);
-            l2.push(Cache::new(cfg.l2.size_bytes, cfg.l2.assoc, line)?);
+            l1.push(Cache::new(cfg.l1, line)?);
+            l2.push(Cache::new(cfg.l2, line)?);
         }
         Ok(CacheHierarchy {
             l1,
             l2,
-            l3: Cache::new(cfg.l3.size_bytes, cfg.l3.assoc, line)?,
+            l3: Cache::new(cfg.l3, line)?,
             l1_lat: cfg.l1.latency_cycles,
             l2_lat: cfg.l2.latency_cycles,
             l3_lat: cfg.l3.latency_cycles,

@@ -47,10 +47,13 @@ pub mod stats;
 pub mod system;
 pub mod wear_leveling;
 
-pub use config::{CacheConfig, ConfigError, ControllerConfig, SystemConfig, SystemConfigBuilder};
+pub use config::{
+    CacheConfig, CacheConfigBuilder, ConfigError, ControllerConfig, SystemConfig,
+    SystemConfigBuilder,
+};
 pub use content::{ExplicitContent, UniformRandomContent, WriteContent};
-pub use controller::MemoryController;
-pub use cpu::{Core, TraceOp, TraceSource};
+pub use controller::{MemoryController, ReadEnqueue};
+pub use cpu::{Core, RequestSource, TraceOp, VecTrace};
 pub use memory::{BatchOutcome, PcmMainMemory, WriteOutcome};
 pub use pcm_schemes::{SchemeConfig, SchemeSelect, WriteCtx, WriteScheme};
 pub use request::{AccessKind, MemRequest};

@@ -19,10 +19,11 @@
 //! analytic models) stays behind its module path.
 
 pub use crate::config::{
-    CacheConfig, ConfigError, ControllerConfig, SystemConfig, SystemConfigBuilder,
+    CacheConfig, CacheConfigBuilder, ConfigError, ControllerConfig, SystemConfig,
+    SystemConfigBuilder,
 };
 pub use crate::content::{ExplicitContent, UniformRandomContent, WriteContent};
-pub use crate::cpu::{TraceOp, TraceSource, VecTrace};
+pub use crate::cpu::{RequestSource, TraceOp, VecTrace};
 pub use crate::memory::{BatchOutcome, PcmMainMemory, WriteOutcome};
 pub use crate::request::{AccessKind, MemRequest};
 pub use crate::sched::SchedConfig;

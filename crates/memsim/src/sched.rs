@@ -135,7 +135,6 @@ pub struct SchedPolicy {
     gap: usize,
     /// Depth-count histogram: `hist[d]` = samples that observed depth `d`.
     hist: Vec<u64>,
-    samples: u64,
     since_update: u32,
     /// When the current drain episode started starving reads.
     drain_since: Option<Ps>,
@@ -171,7 +170,6 @@ impl SchedPolicy {
             high: cap,
             gap,
             hist: vec![0; cap + 1],
-            samples: 0,
             since_update: 0,
             drain_since: None,
             window_until: None,
@@ -206,7 +204,6 @@ impl SchedPolicy {
             return None;
         }
         self.hist[depth.min(self.cap)] += 1;
-        self.samples += 1;
         self.since_update += 1;
         if self.since_update < self.cfg.watermark_interval.max(1) {
             return None;
@@ -231,17 +228,10 @@ impl SchedPolicy {
         Some((low, high))
     }
 
-    /// Nearest-rank percentile of the observed depth distribution.
+    /// Nearest-rank percentile of the observed depth distribution
+    /// (shared [`pcm_types::stats`] walk; capacity when no samples).
     fn percentile_depth(&self, p: f64) -> usize {
-        let rank = ((self.samples as f64) * p).ceil().max(1.0) as u64;
-        let mut acc = 0u64;
-        for (depth, &count) in self.hist.iter().enumerate() {
-            acc += count;
-            if acc >= rank {
-                return depth;
-            }
-        }
-        self.cap
+        pcm_types::stats::percentile_from_counts(&self.hist, p).unwrap_or(self.cap)
     }
 
     /// A drain episode began at `at` (reads start waiting now).

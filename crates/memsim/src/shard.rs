@@ -26,7 +26,7 @@
 //! [`pcm_telemetry::AsyncRankSink`] for rank-tagged tracing.
 
 use crate::config::{ConfigError, SystemConfig};
-use crate::cpu::{TraceOp, VecTrace};
+use crate::cpu::{RequestSource, TraceOp, VecTrace};
 use crate::stats::SimResult;
 use crate::system::{System, TraceLevel};
 use pcm_types::{AddrMap, PcmError};
@@ -81,12 +81,19 @@ pub struct ShardedSystem {
 }
 
 impl ShardedSystem {
-    /// Partition a memory-level trace across `cfg.mem.org.ranks` shards.
+    /// Partition a memory-level request stream across
+    /// `cfg.mem.org.ranks` shards, pulling ops from `source` one at a
+    /// time — the original stream is never materialized; each op is
+    /// decoded, gap-folded and re-addressed straight into its rank's
+    /// plan.
     ///
-    /// Only [`TraceLevel::MemoryLevel`] traces can be sharded (a CPU-level
-    /// trace is filtered by the shared cache hierarchy, which has no
-    /// per-rank decomposition).
-    pub fn build(cfg: SystemConfig, ops: Vec<Vec<TraceOp>>) -> Result<ShardedSystem, ConfigError> {
+    /// Only [`TraceLevel::MemoryLevel`] streams can be sharded (a
+    /// CPU-level trace is filtered by the shared cache hierarchy, which
+    /// has no per-rank decomposition).
+    pub fn build(
+        cfg: SystemConfig,
+        source: &mut dyn RequestSource,
+    ) -> Result<ShardedSystem, ConfigError> {
         cfg.validate()?;
         if cfg.level != TraceLevel::MemoryLevel {
             return Err(PcmError::config(
@@ -101,24 +108,22 @@ impl ShardedSystem {
         rank_cfg.mem.org.capacity_bytes = cfg.mem.org.capacity_bytes / ranks as u64;
         let local = AddrMap::with_default_rows(rank_cfg.mem.org)?;
 
-        let instr_totals: Vec<u64> = ops
-            .iter()
-            .map(|core| core.iter().map(|op| op.gap as u64 + 1).sum())
-            .collect();
+        let mut instr_totals = vec![0u64; cfg.cores];
 
         let mut plans: Vec<RankPlan> = (0..ranks)
             .map(|index| RankPlan {
                 index,
                 cfg: rank_cfg,
-                ops: vec![Vec::new(); ops.len()],
+                ops: vec![Vec::new(); cfg.cores],
             })
             .collect();
 
-        for (core, stream) in ops.iter().enumerate() {
+        for (core, total) in instr_totals.iter_mut().enumerate() {
             // Instruction-cycles owed to each rank's next kept op by the
             // ops that went to other ranks.
             let mut carry = vec![0u64; ranks as usize];
-            for op in stream {
+            while let Some(op) = source.next(core) {
+                *total += op.gap as u64 + 1;
                 let d = global.decode(op.addr)?;
                 for (r, c) in carry.iter_mut().enumerate() {
                     if r != d.rank as usize {
@@ -267,7 +272,7 @@ mod tests {
                 .with_trace(Box::new(VecTrace::new(ops.clone())));
             let direct = unsharded.run();
 
-            let sharded = ShardedSystem::build(cfg, ops).unwrap();
+            let sharded = ShardedSystem::build(cfg, &mut VecTrace::new(ops)).unwrap();
             assert_eq!(sharded.plans().len(), 1);
             let merged = sharded.run().unwrap();
             assert_results_identical(&direct, &merged);
@@ -280,7 +285,7 @@ mod tests {
         cfg.cores = 2;
         cfg.mem.org.ranks = 4;
         let ops = vec![mixed_ops(400, 3, 64), mixed_ops(100, 7, 4096)];
-        let sharded = ShardedSystem::build(cfg, ops.clone()).unwrap();
+        let sharded = ShardedSystem::build(cfg, &mut VecTrace::new(ops.clone())).unwrap();
         assert_eq!(sharded.plans().len(), 4);
 
         // Every op lands in exactly one rank.
@@ -336,7 +341,7 @@ mod tests {
         let one = unsharded.run();
 
         cfg.mem.org.ranks = 4;
-        let sharded = ShardedSystem::build(cfg, ops()).unwrap();
+        let sharded = ShardedSystem::build(cfg, &mut VecTrace::new(ops())).unwrap();
         let four = sharded.run().unwrap();
 
         assert_eq!(four.mem_writes, one.mem_writes, "no write lost sharding");
@@ -360,7 +365,7 @@ mod tests {
             .cpu_level()
             .build()
             .unwrap();
-        assert!(ShardedSystem::build(cfg, vec![Vec::new(); 2]).is_err());
+        assert!(ShardedSystem::build(cfg, &mut VecTrace::default()).is_err());
     }
 
     #[test]
@@ -368,7 +373,8 @@ mod tests {
         let mut cfg = SystemConfig::paper_baseline();
         cfg.mem.org.ranks = 2;
         cfg.cores = 1;
-        let sharded = ShardedSystem::build(cfg, vec![mixed_ops(64, 1, 64)]).unwrap();
+        let sharded =
+            ShardedSystem::build(cfg, &mut VecTrace::new(vec![mixed_ops(64, 1, 64)])).unwrap();
         let a = SimResult {
             mem_writes: 10,
             avg_write_units: 2.0,

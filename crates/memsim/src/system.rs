@@ -12,7 +12,7 @@
 use crate::config::{ConfigError, SystemConfig};
 use crate::content::{UniformRandomContent, WriteContent};
 use crate::controller::{MemoryController, ReadEnqueue};
-use crate::cpu::{Core, CorePhase, TraceSource, VecTrace};
+use crate::cpu::{Core, CorePhase, RequestSource, VecTrace};
 use crate::engine::{Event, EventQueue};
 use crate::hierarchy::{CacheHierarchy, HitLevel};
 use crate::memory::PcmMainMemory;
@@ -37,7 +37,7 @@ pub struct System {
     cfg: SystemConfig,
     level: TraceLevel,
     cores: Vec<Core>,
-    trace: Box<dyn TraceSource>,
+    trace: Box<dyn RequestSource>,
     content: Box<dyn WriteContent>,
     controller: MemoryController,
     memory: PcmMainMemory,
@@ -117,7 +117,7 @@ impl System {
     }
 
     /// Replace the trace source (chainable after [`System::build`]).
-    pub fn with_trace(mut self, trace: Box<dyn TraceSource>) -> Self {
+    pub fn with_trace(mut self, trace: Box<dyn RequestSource>) -> Self {
         self.trace = trace;
         self
     }

@@ -31,6 +31,9 @@
 //!   experiment results and trace files.
 //! * [`mod@propcheck`] — a seeded property-testing harness with shrinking
 //!   (the [`propcheck!`] macro replaces `proptest!` blocks).
+//! * [`stats`] — nearest-rank percentile machinery ([`Percentiles`])
+//!   shared by telemetry summaries, the adaptive scheduler, and the
+//!   `pcm-serve` SLO report.
 //!
 //! Everything here is `#![forbid(unsafe_code)]`, allocation-free on the hot
 //! paths (fixed-capacity line buffers), and deterministic.
@@ -52,6 +55,7 @@ pub mod perf;
 pub mod power;
 pub mod propcheck;
 pub mod rng;
+pub mod stats;
 pub mod time;
 pub mod timing;
 
@@ -69,5 +73,6 @@ pub use perf::{
     BenchRecord, BenchSnapshot, BenchThroughput, GatePolicy, SnapshotMeta, ThroughputUnit,
 };
 pub use power::PowerParams;
+pub use stats::Percentiles;
 pub use time::Ps;
 pub use timing::PcmTimings;

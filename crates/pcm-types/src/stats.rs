@@ -1,0 +1,206 @@
+//! Nearest-rank percentile machinery shared by every layer that reports
+//! distributions: `TraceSummary`'s queue-depth tables, the adaptive
+//! scheduler's watermark percentiles, and `pcm-serve`'s per-tenant SLO
+//! report all compute percentiles through this one module instead of
+//! carrying private copies.
+//!
+//! Semantics are the classic *nearest-rank* definition: for `n` samples
+//! and a level `p` in `[0, 1]`, the percentile is the sample at 1-based
+//! rank `max(1, ceil(n · p))` of the sorted series. `p = 0` is the
+//! minimum, `p = 1` the maximum, and the result is always an observed
+//! sample (no interpolation), which keeps integer series exact.
+
+/// 1-based nearest rank for `n` samples at level `p` (clamped to
+/// `[0, 1]`). Returns 0 when `n == 0` — there is no rank to pick.
+pub fn nearest_rank(n: u64, p: f64) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    let rank = ((n as f64) * p.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+    rank.min(n)
+}
+
+/// Nearest-rank percentile of an already-**sorted** slice.
+/// `None` when the slice is empty.
+pub fn percentile_sorted<T: Copy + Ord>(sorted: &[T], p: f64) -> Option<T> {
+    let rank = nearest_rank(sorted.len() as u64, p);
+    if rank == 0 {
+        return None;
+    }
+    Some(sorted[rank as usize - 1])
+}
+
+/// Nearest-rank percentile of a value-indexed count histogram
+/// (`counts[v]` = observations of value `v`): the smallest index whose
+/// cumulative count reaches the rank. `None` when the histogram is
+/// empty (all counts zero).
+pub fn percentile_from_counts(counts: &[u64], p: f64) -> Option<usize> {
+    let samples: u64 = counts.iter().sum();
+    let rank = nearest_rank(samples, p);
+    if rank == 0 {
+        return None;
+    }
+    let mut acc = 0u64;
+    for (value, &count) in counts.iter().enumerate() {
+        acc += count;
+        if acc >= rank {
+            return Some(value);
+        }
+    }
+    None
+}
+
+/// A sorted sample series with nearest-rank percentile queries — the
+/// shape every SLO-style report (`p50`/`p95`/`p99`/`p99.9`) consumes.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Percentiles<T> {
+    sorted: Vec<T>,
+}
+
+impl<T: Copy + Ord> Percentiles<T> {
+    /// Build from unordered observations (sorts once, queries are O(1)).
+    pub fn from_unsorted(mut samples: Vec<T>) -> Self {
+        samples.sort_unstable();
+        Percentiles { sorted: samples }
+    }
+
+    /// Build from an already-sorted series (sortedness is the caller's
+    /// contract; checked in debug builds).
+    pub fn from_sorted(samples: Vec<T>) -> Self {
+        debug_assert!(samples.windows(2).all(|w| w[0] <= w[1]));
+        Percentiles { sorted: samples }
+    }
+
+    /// Nearest-rank percentile at level `p`; `None` when empty.
+    pub fn at(&self, p: f64) -> Option<T> {
+        percentile_sorted(&self.sorted, p)
+    }
+
+    /// Nearest-rank percentile at level `p`, or `default` when empty.
+    pub fn at_or(&self, p: f64, default: T) -> T {
+        self.at(p).unwrap_or(default)
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when no observations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The sorted series itself.
+    pub fn as_slice(&self) -> &[T] {
+        &self.sorted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::propcheck::vec_of;
+    use crate::{prop_assert, prop_assert_eq, propcheck};
+
+    #[test]
+    fn exact_on_known_series() {
+        let p = Percentiles::from_unsorted((1u32..=100).rev().collect());
+        assert_eq!(p.at(0.50), Some(50));
+        assert_eq!(p.at(0.95), Some(95));
+        assert_eq!(p.at(0.99), Some(99));
+        assert_eq!(p.at(0.999), Some(100));
+        assert_eq!(p.at(1.0), Some(100));
+        assert_eq!(p.at(0.0), Some(1));
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty: Percentiles<u64> = Percentiles::from_unsorted(Vec::new());
+        assert!(empty.is_empty());
+        assert_eq!(empty.at(0.5), None);
+        assert_eq!(empty.at_or(0.5, 9), 9);
+        let one = Percentiles::from_sorted(vec![7u32]);
+        assert_eq!(one.at(0.0), Some(7));
+        assert_eq!(one.at(0.5), Some(7));
+        assert_eq!(one.at(1.0), Some(7));
+        assert_eq!(one.len(), 1);
+    }
+
+    #[test]
+    fn out_of_range_levels_clamp() {
+        let p = Percentiles::from_sorted(vec![1u32, 2, 3]);
+        assert_eq!(p.at(-0.5), Some(1));
+        assert_eq!(p.at(1.5), Some(3));
+    }
+
+    #[test]
+    fn counts_histogram_matches_expanded_series() {
+        // counts[v] = observations of value v; expand and cross-check.
+        let counts = [0u64, 3, 0, 2, 5, 0, 1];
+        let mut expanded = Vec::new();
+        for (v, &c) in counts.iter().enumerate() {
+            expanded.extend(std::iter::repeat_n(v, c as usize));
+        }
+        let series = Percentiles::from_sorted(expanded);
+        for p in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(percentile_from_counts(&counts, p), series.at(p), "p={p}");
+        }
+        assert_eq!(percentile_from_counts(&[], 0.5), None);
+        assert_eq!(percentile_from_counts(&[0, 0], 0.5), None);
+    }
+
+    #[test]
+    fn nearest_rank_edges() {
+        assert_eq!(nearest_rank(0, 0.5), 0);
+        assert_eq!(nearest_rank(100, 0.0), 1);
+        assert_eq!(nearest_rank(100, 1.0), 100);
+        assert_eq!(nearest_rank(100, 0.95), 95);
+        // ceil(100 · 0.999) = 100 — p99.9 of 100 samples is the max.
+        assert_eq!(nearest_rank(100, 0.999), 100);
+    }
+
+    propcheck! {
+        /// Monotone in rank: raising the level never lowers the result.
+        fn monotone_in_rank(
+            vals in vec_of(0u64..=1 << 40, 1..=128),
+            a in 0u64..=1000,
+            b in 0u64..=1000
+        ) {
+            let (lo, hi) = (a.min(b), a.max(b));
+            let p = Percentiles::from_unsorted(vals);
+            let at_lo = p.at(lo as f64 / 1000.0);
+            let at_hi = p.at(hi as f64 / 1000.0);
+            prop_assert!(at_lo <= at_hi);
+        }
+
+        /// Every percentile is an observed sample, bounded by min/max.
+        fn result_is_an_observed_sample(
+            vals in vec_of(0u32..=1 << 20, 1..=64),
+            level in 0u64..=1000
+        ) {
+            let p = Percentiles::from_unsorted(vals.clone());
+            let q = p.at(level as f64 / 1000.0);
+            prop_assert!(q.is_some());
+            let q = q.unwrap_or(0);
+            prop_assert!(vals.contains(&q));
+            prop_assert!(q >= *vals.iter().min().unwrap_or(&0));
+            prop_assert!(q <= *vals.iter().max().unwrap_or(&0));
+        }
+
+        /// The histogram walk and the sorted-slice form agree on any
+        /// small-valued series.
+        fn counts_agree_with_sorted(
+            vals in vec_of(0usize..16, 0..=64),
+            level in 0u64..=1000
+        ) {
+            let mut counts = [0u64; 16];
+            for &v in &vals {
+                counts[v] += 1;
+            }
+            let p = level as f64 / 1000.0;
+            let sorted = Percentiles::from_unsorted(vals);
+            prop_assert_eq!(percentile_from_counts(&counts, p), sorted.at(p));
+        }
+    }
+}

@@ -43,7 +43,7 @@ pub mod two_stage;
 pub use conventional::ConventionalWrite;
 pub use dcw::DcwWrite;
 pub use fnw::FlipNWrite;
-pub use preset::{register_tetris_factory, PreSetWrite, SchemeSelect};
+pub use preset::{register_tetris_factory, ParseSchemeError, PreSetWrite, SchemeSelect};
 pub use three_stage::ThreeStageWrite;
 pub use traits::{
     BatchPlan, PackStats, SchemeConfig, SchemeConfigBuilder, WriteCtx, WritePlan, WriteScheme,

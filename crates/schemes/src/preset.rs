@@ -21,6 +21,8 @@
 //! hand-matching enums.
 
 use crate::traits::{SchemeConfig, WriteCtx, WritePlan, WriteScheme};
+use std::fmt;
+use std::str::FromStr;
 use std::sync::OnceLock;
 
 /// Which write scheme a [`SchemeConfig`] instantiates.
@@ -70,6 +72,55 @@ impl SchemeSelect {
             SchemeSelect::ThreeStage => "3stage",
             SchemeSelect::PreSet => "preset",
             SchemeSelect::Tetris => "tetris",
+        }
+    }
+}
+
+impl fmt::Display for SchemeSelect {
+    /// Renders the stable [`SchemeSelect::tag`]; round-trips through
+    /// [`FromStr`].
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// Error from parsing a [`SchemeSelect`] tag that names no scheme.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseSchemeError {
+    /// The input that failed to parse.
+    pub input: String,
+}
+
+impl fmt::Display for ParseSchemeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown scheme '{}' (expected one of conventional, dcw, fnw, \
+             2stage, 3stage, preset, tetris)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseSchemeError {}
+
+impl FromStr for SchemeSelect {
+    type Err = ParseSchemeError;
+
+    /// Parse a scheme tag, case-insensitively. The canonical tags from
+    /// [`SchemeSelect::tag`] always parse (so `Display` → `FromStr`
+    /// round-trips); the common CLI spellings and paper names are
+    /// accepted as aliases.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "conventional" | "conv" => Ok(SchemeSelect::Conventional),
+            "dcw" | "baseline" => Ok(SchemeSelect::Dcw),
+            "fnw" | "flip-n-write" => Ok(SchemeSelect::Fnw),
+            "2stage" | "2sw" | "two-stage" | "2-stage-write" => Ok(SchemeSelect::TwoStage),
+            "3stage" | "3sw" | "three-stage" | "three-stage-write" => Ok(SchemeSelect::ThreeStage),
+            "preset" => Ok(SchemeSelect::PreSet),
+            "tetris" | "tetris-write" => Ok(SchemeSelect::Tetris),
+            _ => Err(ParseSchemeError { input: s.into() }),
         }
     }
 }
@@ -243,6 +294,38 @@ mod tests {
             SchemeConfig::paper_baseline().select,
             super::SchemeSelect::Dcw
         );
+    }
+
+    #[test]
+    fn fromstr_accepts_aliases_case_insensitively() {
+        for (alias, want) in [
+            ("Conv", SchemeSelect::Conventional),
+            ("BASELINE", SchemeSelect::Dcw),
+            ("flip-n-write", SchemeSelect::Fnw),
+            ("2SW", SchemeSelect::TwoStage),
+            ("three-stage-write", SchemeSelect::ThreeStage),
+            ("Tetris-Write", SchemeSelect::Tetris),
+            ("preset", SchemeSelect::PreSet),
+        ] {
+            assert_eq!(alias.parse::<SchemeSelect>(), Ok(want), "{alias}");
+        }
+        let err = "bogus".parse::<SchemeSelect>().unwrap_err();
+        assert_eq!(err.input, "bogus");
+        assert!(err.to_string().contains("tetris"), "lists valid tags");
+    }
+
+    pcm_types::propcheck! {
+        /// Display → FromStr is the identity over the whole registry,
+        /// in any ASCII case.
+        fn display_fromstr_roundtrip(i in 0usize..7, upper in pcm_types::propcheck::any_bool()) {
+            let scheme = SchemeSelect::ALL[i];
+            let mut tag = scheme.to_string();
+            pcm_types::prop_assert_eq!(tag.as_str(), scheme.tag());
+            if upper {
+                tag = tag.to_ascii_uppercase();
+            }
+            pcm_types::prop_assert_eq!(tag.parse::<SchemeSelect>(), Ok(scheme));
+        }
     }
 
     #[test]

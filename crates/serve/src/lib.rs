@@ -1,0 +1,41 @@
+//! # pcm-serve
+//!
+//! A request-serving front end for the Tetris Write simulator: instead of
+//! running a canned trace to completion, `pcm-serve` keeps the sharded
+//! per-rank memory system alive and feeds it *requests* — from a TCP
+//! socket, stdin, or built-in load generators — then reports per-tenant
+//! SLO percentiles from the telemetry stream.
+//!
+//! * [`engine`] — the incremental [`engine::ServeEngine`]: admission
+//!   control with a shed watermark (429-style backpressure instead of
+//!   unbounded queues), per-rank controllers, and a simulated-time clock
+//!   advanced only by request arrivals and completions.
+//! * [`proto`] — the line-delimited wire protocol (`req`/`ack`/`ok`/
+//!   `shed`/`done`) and [`proto::LineSource`], a socket-backed
+//!   [`pcm_memsim::RequestSource`] that feeds protocol lines straight
+//!   into the batch simulator.
+//! * [`load`] — deterministic open-loop (arrival-rate, burstiness,
+//!   tenant-mix) and closed-loop (N users, think time) generators.
+//! * [`report`] — per-tenant p50/p95/p99/p99.9 latency tables computed
+//!   from JSONL telemetry, byte-stable for golden fixtures.
+//! * [`server`] — the blocking connection loop shared by `listen` and
+//!   `stdin` modes of the `pcm-serve` binary.
+//!
+//! Everything is deterministic: no wall clock, no OS randomness. The same
+//! request stream (or generator seed) always yields the same responses,
+//! the same telemetry, and the same report bytes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod load;
+pub mod proto;
+pub mod report;
+pub mod server;
+
+pub use engine::{Admission, Completion, ServeConfig, ServeEngine, ServeStats};
+pub use load::{ClosedLoop, ClosedLoopConfig, OpenLoop, OpenLoopConfig};
+pub use proto::{LineSource, ProtoError, WireRequest};
+pub use report::SloReport;
+pub use server::serve_connection;

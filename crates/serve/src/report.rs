@@ -1,0 +1,214 @@
+//! Per-tenant SLO reporting from the telemetry stream.
+//!
+//! The report is computed purely from [`TelemetryEvent`]s —
+//! `request_done` carries each served request's tenant and latency,
+//! `backpressure` each shed — so it works identically on a live
+//! [`MemorySink`](pcm_telemetry::MemorySink) and on a JSONL file read
+//! back with [`pcm_telemetry::read_events`]. Rendering is fixed-width
+//! and byte-stable: the same events always produce the same bytes
+//! (golden-fixture tested).
+
+use pcm_telemetry::TelemetryEvent;
+use pcm_types::stats::Percentiles;
+use pcm_types::Ps;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One tenant's (or the `all` aggregate's) SLO numbers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TenantRow {
+    /// Tenant id; `None` for the aggregate row.
+    pub tenant: Option<u32>,
+    /// Requests served.
+    pub served: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Median latency, nanoseconds (nearest-rank).
+    pub p50_ns: u64,
+    /// 95th-percentile latency, nanoseconds.
+    pub p95_ns: u64,
+    /// 99th-percentile latency, nanoseconds.
+    pub p99_ns: u64,
+    /// 99.9th-percentile latency, nanoseconds.
+    pub p999_ns: u64,
+}
+
+/// The full report: one row per tenant plus the aggregate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SloReport {
+    /// Per-tenant rows, ascending tenant id.
+    pub rows: Vec<TenantRow>,
+    /// The aggregate over all tenants.
+    pub all: TenantRow,
+    /// Simulated span covered by the events (max timestamp).
+    pub span: Ps,
+}
+
+fn row(tenant: Option<u32>, latencies_ns: Vec<u64>, shed: u64) -> TenantRow {
+    let p = Percentiles::from_unsorted(latencies_ns);
+    TenantRow {
+        tenant,
+        served: p.len() as u64,
+        shed,
+        p50_ns: p.at_or(0.5, 0),
+        p95_ns: p.at_or(0.95, 0),
+        p99_ns: p.at_or(0.99, 0),
+        p999_ns: p.at_or(0.999, 0),
+    }
+}
+
+impl SloReport {
+    /// Aggregate `request_done` / `backpressure` events per tenant.
+    pub fn from_events(events: &[TelemetryEvent]) -> SloReport {
+        let mut lat: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
+        let mut shed: BTreeMap<u32, u64> = BTreeMap::new();
+        let mut span = Ps::ZERO;
+        for ev in events {
+            if let Some(at) = ev.at() {
+                span = span.max(at);
+            }
+            match ev {
+                TelemetryEvent::RequestDone {
+                    tenant, latency, ..
+                } => lat.entry(*tenant).or_default().push(latency.as_ns()),
+                TelemetryEvent::Backpressure { tenant, .. } => {
+                    *shed.entry(*tenant).or_default() += 1;
+                }
+                _ => {}
+            }
+        }
+        let tenants: std::collections::BTreeSet<u32> =
+            lat.keys().chain(shed.keys()).copied().collect();
+        let mut all_lat = Vec::new();
+        let mut all_shed = 0;
+        let mut rows = Vec::with_capacity(tenants.len());
+        for t in tenants {
+            let l = lat.remove(&t).unwrap_or_default();
+            let s = shed.remove(&t).unwrap_or_default();
+            all_lat.extend_from_slice(&l);
+            all_shed += s;
+            rows.push(row(Some(t), l, s));
+        }
+        SloReport {
+            rows,
+            all: row(None, all_lat, all_shed),
+            span,
+        }
+    }
+
+    /// Served ÷ span, in requests per second of simulated time.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.span == Ps::ZERO {
+            return 0.0;
+        }
+        self.all.served as f64 / (self.span.as_ns_f64() * 1e-9)
+    }
+
+    /// Shed ÷ (served + shed), as a fraction.
+    pub fn shed_rate(&self) -> f64 {
+        let total = self.all.served + self.all.shed;
+        if total == 0 {
+            return 0.0;
+        }
+        self.all.shed as f64 / total as f64
+    }
+
+    /// Fixed-width, byte-stable table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<8}{:>10}{:>10}{:>12}{:>12}{:>12}{:>12}",
+            "tenant", "served", "shed", "p50(ns)", "p95(ns)", "p99(ns)", "p99.9(ns)"
+        );
+        let mut line = |label: String, r: &TenantRow| {
+            let _ = writeln!(
+                out,
+                "{:<8}{:>10}{:>10}{:>12}{:>12}{:>12}{:>12}",
+                label, r.served, r.shed, r.p50_ns, r.p95_ns, r.p99_ns, r.p999_ns
+            );
+        };
+        for r in &self.rows {
+            line(r.tenant.map(|t| t.to_string()).unwrap_or_default(), r);
+        }
+        line("all".to_string(), &self.all);
+        let _ = writeln!(
+            out,
+            "span {:.6} ms  throughput {:.1} req/s  shed-rate {:.2}%",
+            self.span.as_ns_f64() / 1e6,
+            self.throughput_rps(),
+            self.shed_rate() * 100.0
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcm_telemetry::OpKind;
+
+    fn done(at_ns: u64, tenant: u32, lat_ns: u64) -> TelemetryEvent {
+        TelemetryEvent::RequestDone {
+            at: Ps::from_ns(at_ns),
+            tenant,
+            kind: OpKind::Read,
+            latency: Ps::from_ns(lat_ns),
+        }
+    }
+
+    fn fixture_events() -> Vec<TelemetryEvent> {
+        vec![
+            done(100, 0, 1_000),
+            done(300, 0, 2_000),
+            done(700, 1, 5_000),
+            TelemetryEvent::Backpressure {
+                at: Ps::from_ns(900),
+                tenant: 0,
+                depth: 32,
+            },
+            done(1_500, 0, 3_000),
+            done(2_000, 0, 4_000),
+        ]
+    }
+
+    #[test]
+    fn nearest_rank_percentiles_per_tenant() {
+        let r = SloReport::from_events(&fixture_events());
+        assert_eq!(r.rows.len(), 2);
+        let t0 = &r.rows[0];
+        assert_eq!((t0.served, t0.shed), (4, 1));
+        assert_eq!(
+            (t0.p50_ns, t0.p95_ns, t0.p99_ns, t0.p999_ns),
+            (2_000, 4_000, 4_000, 4_000)
+        );
+        let t1 = &r.rows[1];
+        assert_eq!((t1.served, t1.shed), (1, 0));
+        assert_eq!(t1.p50_ns, 5_000);
+        assert_eq!((r.all.served, r.all.shed), (5, 1));
+        assert_eq!(r.all.p50_ns, 3_000);
+        assert_eq!(r.span, Ps::from_ns(2_000));
+    }
+
+    #[test]
+    fn render_matches_golden_fixture_byte_for_byte() {
+        let got = SloReport::from_events(&fixture_events()).render();
+        let want = "\
+tenant      served      shed     p50(ns)     p95(ns)     p99(ns)   p99.9(ns)
+0                4         1        2000        4000        4000        4000
+1                1         0        5000        5000        5000        5000
+all              5         1        3000        5000        5000        5000
+span 0.002000 ms  throughput 2500000.0 req/s  shed-rate 16.67%
+";
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_event_stream_renders_a_zero_report() {
+        let r = SloReport::from_events(&[]);
+        assert!(r.rows.is_empty());
+        assert_eq!(r.all.served, 0);
+        assert_eq!(r.throughput_rps(), 0.0);
+        assert!(r.render().contains("shed-rate 0.00%"));
+    }
+}

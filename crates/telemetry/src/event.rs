@@ -186,6 +186,28 @@ pub enum TelemetryEvent {
         /// batch's occupied slots.
         utilization: f64,
     },
+    /// A front-end request completed service (the `pcm-serve` request
+    /// loop emits one per request, giving per-tenant latency samples).
+    RequestDone {
+        /// Completion time.
+        at: Ps,
+        /// Tenant index the request belongs to.
+        tenant: u32,
+        /// Read or write request.
+        kind: OpKind,
+        /// Arrival-to-completion latency.
+        latency: Ps,
+    },
+    /// Admission control shed a request: the bounded ingress queue was
+    /// past its watermark, so the request was refused instead of queued.
+    Backpressure {
+        /// When the request was shed.
+        at: Ps,
+        /// Tenant index the shed request belonged to.
+        tenant: u32,
+        /// Ingress-queue depth that triggered the shed.
+        depth: u32,
+    },
 }
 
 impl TelemetryEvent {
@@ -195,7 +217,8 @@ impl TelemetryEvent {
             TelemetryEvent::BankBusy { .. }
             | TelemetryEvent::BankIdle { .. }
             | TelemetryEvent::QueueDepth { .. }
-            | TelemetryEvent::WriteSteer { .. } => TraceDetail::Fine,
+            | TelemetryEvent::WriteSteer { .. }
+            | TelemetryEvent::RequestDone { .. } => TraceDetail::Fine,
             _ => TraceDetail::Coarse,
         }
     }
@@ -214,7 +237,9 @@ impl TelemetryEvent {
             | TelemetryEvent::WatermarkAdjust { at, .. }
             | TelemetryEvent::WriteSteer { at, .. }
             | TelemetryEvent::ReadWindow { at, .. }
-            | TelemetryEvent::BatchPack { at, .. } => Some(at),
+            | TelemetryEvent::BatchPack { at, .. }
+            | TelemetryEvent::RequestDone { at, .. }
+            | TelemetryEvent::Backpressure { at, .. } => Some(at),
         }
     }
 }
@@ -339,6 +364,24 @@ impl JsonCodec for TelemetryEvent {
                 ("stolen_write0s", Json::UInt(u64::from(*stolen_write0s))),
                 ("utilization", Json::Num(*utilization)),
             ]),
+            TelemetryEvent::RequestDone {
+                at,
+                tenant,
+                kind,
+                latency,
+            } => Json::obj(vec![
+                ("ev", Json::str("request_done")),
+                ("at", Json::UInt(at.0)),
+                ("tenant", Json::UInt(u64::from(*tenant))),
+                ("kind", Json::str(kind.tag())),
+                ("latency", Json::UInt(latency.0)),
+            ]),
+            TelemetryEvent::Backpressure { at, tenant, depth } => Json::obj(vec![
+                ("ev", Json::str("backpressure")),
+                ("at", Json::UInt(at.0)),
+                ("tenant", Json::UInt(u64::from(*tenant))),
+                ("depth", Json::UInt(u64::from(*depth))),
+            ]),
         }
     }
 
@@ -409,6 +452,21 @@ impl JsonCodec for TelemetryEvent {
                 write_units: get_f64(v, "write_units")?,
                 stolen_write0s: get_u32(v, "stolen_write0s")?,
                 utilization: get_f64(v, "utilization")?,
+            }),
+            "request_done" => Ok(TelemetryEvent::RequestDone {
+                at: get_ps(v, "at")?,
+                tenant: get_u32(v, "tenant")?,
+                kind: get_str(v, "kind")
+                    .ok()
+                    .as_deref()
+                    .and_then(OpKind::from_tag)
+                    .ok_or_else(|| field_error("kind"))?,
+                latency: get_ps(v, "latency")?,
+            }),
+            "backpressure" => Ok(TelemetryEvent::Backpressure {
+                at: get_ps(v, "at")?,
+                tenant: get_u32(v, "tenant")?,
+                depth: get_u32(v, "depth")?,
             }),
             other => Err(JsonError {
                 offset: 0,
@@ -486,6 +544,17 @@ mod tests {
                 at: Ps(13_000),
                 until: Ps(63_000),
             },
+            TelemetryEvent::RequestDone {
+                at: Ps(14_000),
+                tenant: 1,
+                kind: OpKind::Write,
+                latency: Ps(431_000),
+            },
+            TelemetryEvent::Backpressure {
+                at: Ps(15_000),
+                tenant: 0,
+                depth: 64,
+            },
         ]
     }
 
@@ -515,7 +584,8 @@ mod tests {
                 TelemetryEvent::BankBusy { .. }
                 | TelemetryEvent::BankIdle { .. }
                 | TelemetryEvent::QueueDepth { .. }
-                | TelemetryEvent::WriteSteer { .. } => Fine,
+                | TelemetryEvent::WriteSteer { .. }
+                | TelemetryEvent::RequestDone { .. } => Fine,
                 _ => Coarse,
             };
             assert_eq!(ev.detail(), want);

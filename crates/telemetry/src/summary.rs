@@ -54,17 +54,17 @@ pub struct TraceSummary {
     pub steered_writes: u64,
     /// Read-priority windows opened mid-drain.
     pub read_windows: u64,
+    /// Front-end requests served to completion (`request_done` events).
+    pub served_requests: u64,
+    /// Front-end requests shed by admission control (`backpressure`).
+    pub shed_requests: u64,
 }
 
 /// Nearest-rank percentile of a **sorted** slice (`p` in [0, 1]).
 /// Returns 0 for an empty slice. Exact, unlike [`crate::Histogram`].
+/// Thin wrapper over the shared [`pcm_types::stats`] machinery.
 pub fn percentile(sorted: &[u32], p: f64) -> u32 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let n = sorted.len() as f64;
-    let rank = (n * p.clamp(0.0, 1.0)).ceil().max(1.0) as usize;
-    sorted[rank.min(sorted.len()) - 1]
+    pcm_types::stats::percentile_sorted(sorted, p).unwrap_or(0)
 }
 
 impl TraceSummary {
@@ -154,6 +154,8 @@ impl TraceSummary {
                     s.stolen_write0s += u64::from(stolen_write0s);
                     util_sum += utilization;
                 }
+                TelemetryEvent::RequestDone { .. } => s.served_requests += 1,
+                TelemetryEvent::Backpressure { .. } => s.shed_requests += 1,
             }
         }
         if s.batches > 0 {
@@ -207,6 +209,8 @@ impl TraceSummary {
             out.watermark_adjusts += p.watermark_adjusts;
             out.steered_writes += p.steered_writes;
             out.read_windows += p.read_windows;
+            out.served_requests += p.served_requests;
+            out.shed_requests += p.shed_requests;
         }
         if out.batches > 0 {
             out.mean_batch_utilization = util_weight / out.batches as f64;
@@ -461,6 +465,36 @@ mod tests {
         let one = TraceSummary::merged(std::slice::from_ref(&a));
         assert_eq!(one.banks, a.banks);
         assert_eq!(one.read_depths, a.read_depths);
+    }
+
+    #[test]
+    fn serve_events_counted() {
+        let evs = vec![
+            TelemetryEvent::RequestDone {
+                at: Ps(1_000),
+                tenant: 0,
+                kind: OpKind::Read,
+                latency: Ps(60_000),
+            },
+            TelemetryEvent::RequestDone {
+                at: Ps(2_000),
+                tenant: 1,
+                kind: OpKind::Write,
+                latency: Ps(431_000),
+            },
+            TelemetryEvent::Backpressure {
+                at: Ps(3_000),
+                tenant: 1,
+                depth: 64,
+            },
+        ];
+        let s = TraceSummary::from_events(&evs);
+        assert_eq!(s.served_requests, 2);
+        assert_eq!(s.shed_requests, 1);
+        assert_eq!(s.span, Ps(3_000));
+        let m = TraceSummary::merged(&[s.clone(), s]);
+        assert_eq!(m.served_requests, 4);
+        assert_eq!(m.shed_requests, 2);
     }
 
     #[test]

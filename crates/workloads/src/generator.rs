@@ -17,7 +17,7 @@
 
 use crate::profiles::WorkloadProfile;
 use crate::zipf::Zipf;
-use pcm_memsim::{AccessKind, TraceOp, TraceSource};
+use pcm_memsim::{AccessKind, RequestSource, TraceOp};
 use pcm_types::rng::{Rng, SmallRng};
 use pcm_types::PhysAddr;
 
@@ -62,7 +62,7 @@ struct CoreState {
     stream_pos: u64,
 }
 
-/// A [`TraceSource`] producing the calibrated synthetic workload.
+/// A [`RequestSource`] producing the calibrated synthetic workload.
 pub struct SyntheticParsec {
     profile: WorkloadProfile,
     cfg: GeneratorConfig,
@@ -142,7 +142,7 @@ impl SyntheticParsec {
     }
 }
 
-impl TraceSource for SyntheticParsec {
+impl RequestSource for SyntheticParsec {
     fn next(&mut self, core: usize) -> Option<TraceOp> {
         let shared_frac = self.profile.sharing.shared_fraction();
         let st = self.cores.get_mut(core)?;

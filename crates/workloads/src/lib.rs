@@ -15,9 +15,9 @@
 //!
 //! Modules: [`profiles`] (the eight workloads), [`content`] (the
 //! Fig. 3-calibrated write-content model), [`generator`] (the
-//! [`pcm_memsim::TraceSource`] producing per-core op streams), [`zipf`]
+//! [`pcm_memsim::RequestSource`] producing per-core op streams), [`zipf`]
 //! (the locality sampler), [`stats`] (the Fig. 3 measurement harness) and
-//! [`trace`] (trace (de)serialization).
+//! [`trace`] (trace (de)serialization and the trace-file source).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,5 +33,5 @@ pub use content::ProfileContent;
 pub use generator::{GeneratorConfig, SyntheticParsec};
 pub use profiles::{Sharing, WorkloadProfile, ALL_PROFILES};
 pub use stats::{measure_bit_stats, BitStats};
-pub use trace::{read_trace, record_trace, write_trace, TraceRecord};
+pub use trace::{read_trace, write_trace, TraceFileSource, TraceRecord};
 pub use zipf::Zipf;

@@ -1,11 +1,14 @@
-//! Trace recording and (de)serialization.
+//! Trace (de)serialization and the trace-file [`RequestSource`].
 //!
-//! Generated traces can be materialized to per-core op vectors and saved as
-//! JSON, so an experiment can be replayed bit-for-bit or inspected offline.
+//! Generated traces can be materialized (via
+//! [`pcm_memsim::VecTrace::capture`]) and saved as JSON, so an experiment
+//! can be replayed bit-for-bit or inspected offline; [`TraceFileSource`]
+//! streams a saved trace back into the simulator.
 
-use pcm_memsim::{AccessKind, TraceOp, TraceSource};
+use pcm_memsim::{AccessKind, RequestSource, TraceOp};
 use pcm_types::json::field_error;
 use pcm_types::{Json, JsonCodec, JsonError};
+use std::collections::VecDeque;
 use std::io::{BufRead, Write};
 
 /// Serializable form of one op.
@@ -70,11 +73,38 @@ impl JsonCodec for TraceRecord {
     }
 }
 
-/// Materialize a [`TraceSource`] into per-core op vectors.
-pub fn record_trace(src: &mut dyn TraceSource, cores: usize) -> Vec<Vec<TraceOp>> {
-    (0..cores)
-        .map(|c| std::iter::from_fn(|| src.next(c)).collect())
-        .collect()
+/// A [`RequestSource`] replaying a saved JSON-lines trace.
+///
+/// Parsing happens once at construction (the file format is validated up
+/// front, so a malformed trace fails fast instead of mid-run); the ops are
+/// then handed out one at a time per core, like every other source.
+pub struct TraceFileSource {
+    cores: Vec<VecDeque<TraceOp>>,
+}
+
+impl TraceFileSource {
+    /// Parse a JSON-lines trace from `r` (one line per core).
+    pub fn from_reader<R: BufRead>(r: R) -> std::io::Result<Self> {
+        Ok(TraceFileSource {
+            cores: read_trace(r)?.into_iter().map(VecDeque::from).collect(),
+        })
+    }
+
+    /// Number of cores (lines) in the trace.
+    pub fn cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Ops remaining across all cores.
+    pub fn remaining(&self) -> usize {
+        self.cores.iter().map(VecDeque::len).sum()
+    }
+}
+
+impl RequestSource for TraceFileSource {
+    fn next(&mut self, core: usize) -> Option<TraceOp> {
+        self.cores.get_mut(core)?.pop_front()
+    }
 }
 
 /// Write a materialized trace as JSON-lines: one line per core, each an
@@ -137,14 +167,23 @@ mod tests {
             ..Default::default()
         };
         let mut gen = SyntheticParsec::new(&ALL_PROFILES[4], cfg);
-        let trace = record_trace(&mut gen, 2);
-        assert_eq!(trace.len(), 2);
-        assert!(!trace[0].is_empty());
+        let trace = pcm_memsim::VecTrace::capture(&mut gen, 2);
+        assert_eq!(trace.ops().len(), 2);
+        assert!(!trace.ops()[0].is_empty());
 
         let mut buf = Vec::new();
-        write_trace(&mut buf, &trace).unwrap();
+        write_trace(&mut buf, trace.ops()).unwrap();
         let back = read_trace(std::io::BufReader::new(&buf[..])).unwrap();
-        assert_eq!(trace, back);
+        assert_eq!(trace.ops(), &back[..]);
+
+        let mut src = TraceFileSource::from_reader(std::io::BufReader::new(&buf[..])).unwrap();
+        assert_eq!(src.cores(), 2);
+        let total = src.remaining();
+        assert_eq!(total, trace.ops().iter().map(Vec::len).sum::<usize>());
+        let replayed = pcm_memsim::VecTrace::capture(&mut src, 2);
+        assert_eq!(replayed.ops(), trace.ops());
+        assert_eq!(src.remaining(), 0);
+        assert!(src.next(0).is_none(), "exhausted source stays exhausted");
     }
 
     #[test]

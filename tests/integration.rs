@@ -12,7 +12,7 @@ use pcm_types::rng::{Rng, StdRng};
 use pcm_types::LineData;
 use pcm_workloads::{
     generator::{GeneratorConfig, SyntheticParsec},
-    trace::{read_trace, record_trace, write_trace},
+    trace::{write_trace, TraceFileSource},
     ProfileContent, WorkloadProfile, ALL_PROFILES,
 };
 use tetris_write::TetrisWrite;
@@ -96,7 +96,7 @@ fn recorded_trace_replays_identically() {
     let mut cfg = SystemConfig::paper_baseline();
     cfg.cores = 2;
 
-    let run = |trace: Box<dyn pcm_memsim::TraceSource>| {
+    let run = |trace: Box<dyn pcm_memsim::RequestSource>| {
         let mut sys = System::build(cfg)
             .unwrap()
             .with_trace(trace)
@@ -107,11 +107,12 @@ fn recorded_trace_replays_identically() {
     let live = run(Box::new(SyntheticParsec::new(p, gen_cfg)));
 
     let mut gen = SyntheticParsec::new(p, gen_cfg);
-    let recorded = record_trace(&mut gen, 2);
+    let recorded = VecTrace::capture(&mut gen, 2);
     let mut buf = Vec::new();
-    write_trace(&mut buf, &recorded).unwrap();
-    let loaded = read_trace(std::io::BufReader::new(&buf[..])).unwrap();
-    let replayed = run(Box::new(VecTrace::new(loaded)));
+    write_trace(&mut buf, recorded.ops()).unwrap();
+    let replayed = run(Box::new(
+        TraceFileSource::from_reader(std::io::BufReader::new(&buf[..])).unwrap(),
+    ));
 
     assert_eq!(live.runtime, replayed.runtime);
     assert_eq!(live.mem_reads, replayed.mem_reads);
@@ -211,17 +212,20 @@ fn sharded_replay_conserves_traffic() {
         ..Default::default()
     };
     let mut gen = SyntheticParsec::new(p, gen_cfg);
-    let ops = record_trace(&mut gen, 2);
+    let ops = VecTrace::capture(&mut gen, 2);
     let mut cfg = SystemConfig::paper_baseline();
     cfg.cores = 2;
 
     let mut single = System::build(cfg)
         .unwrap()
-        .with_trace(Box::new(VecTrace::new(ops.clone())));
+        .with_trace(Box::new(ops.clone()));
     let one = single.run();
 
     cfg.mem.org.ranks = 4;
-    let four = ShardedSystem::build(cfg, ops).unwrap().run().unwrap();
+    let four = ShardedSystem::build(cfg, &mut ops.clone())
+        .unwrap()
+        .run()
+        .unwrap();
     assert_eq!(four.mem_reads, one.mem_reads);
     assert_eq!(four.mem_writes, one.mem_writes);
     assert_eq!(four.instructions, one.instructions);
