@@ -7,6 +7,9 @@
 //! * `canonical/analysis/*` — the bit utilities and the Tetris
 //!   analysis/packing hot path (the ROADMAP's bit-parallel rewrite must
 //!   show up here).
+//! * `canonical/schemes/*` — per-write plan construction for the encoding
+//!   schemes with real planning work (PALP's slot packing, WIRE's coset
+//!   row search); the controller calls these on every serviced write.
 //! * `canonical/telemetry/*` — per-event sink dispatch cost (the "tracing
 //!   off costs nothing" claim).
 //! * `canonical/system/*` — a quick end-to-end run under the fixed and
@@ -61,6 +64,30 @@ pub fn canonical_suite(c: &mut Criterion, quick: bool) {
         b.iter(|| black_box(analyze(black_box(&demand), &cfg).unwrap()))
     });
     g.finish();
+
+    // --- scheme write planning -----------------------------------------
+    {
+        use pcm_schemes::{PalpWrite, SchemeConfig, WireWrite, WriteCtx, WriteScheme};
+        use pcm_types::LineData;
+        let scheme_cfg = SchemeConfig::paper_baseline();
+        let old = LineData::from_units(&[0xDEAD_BEEF_0123_4567; 8]);
+        let new = LineData::from_units(&[0xFEED_FACE_89AB_CDEF; 8]);
+        let ctx = WriteCtx {
+            old_stored: &old,
+            old_flips: 0,
+            new_logical: &new,
+            cfg: &scheme_cfg,
+        };
+        let mut g = c.benchmark_group("canonical/schemes");
+        g.sample_size(micro_samples);
+        g.bench_function("palp_plan", |b| {
+            b.iter(|| black_box(PalpWrite.plan(black_box(&ctx))))
+        });
+        g.bench_function("wire_plan", |b| {
+            b.iter(|| black_box(WireWrite.plan(black_box(&ctx))))
+        });
+        g.finish();
+    }
 
     // --- telemetry per-event dispatch ----------------------------------
     let ev = TelemetryEvent::BankBusy {

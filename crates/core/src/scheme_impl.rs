@@ -79,6 +79,7 @@ impl TetrisWrite {
             cell_sets: sets,
             cell_resets: resets,
             read_before_write: true,
+            partitions_used: 0,
         };
         (plan, analysis, read_out)
     }
@@ -134,6 +135,7 @@ impl WriteScheme for TetrisWrite {
                     cell_sets: sets,
                     cell_resets: resets,
                     read_before_write: true,
+                    partitions_used: 0,
                 }
             })
             .collect();

@@ -4,7 +4,7 @@
 //! circuit would issue. Those numbers must be *conserved* against the
 //! stored-line state transition the plan claims to perform:
 //!
-//! * **Differential schemes** (DCW, FNW, 3-Stage, Tetris): the reported
+//! * **Differential schemes** (DCW, FNW, 3-Stage, Tetris, PALP, WIRE): the reported
 //!   pulses are exactly the popcounts of the `transitions()` masks from
 //!   the old stored bits (+ flip tags) to the planned stored bits
 //!   (+ flip tags) — no phantom pulses, no unpaid transitions.
@@ -47,7 +47,12 @@ fn expected_pulses(sel: SchemeSelect, ctx: &WriteCtx<'_>, plan: &WritePlan) -> (
     match sel {
         // Differential: pulses == transitions(old stored → planned stored)
         // plus transitions(old flip tags → planned flip tags).
-        SchemeSelect::Dcw | SchemeSelect::Fnw | SchemeSelect::ThreeStage | SchemeSelect::Tetris => {
+        SchemeSelect::Dcw
+        | SchemeSelect::Fnw
+        | SchemeSelect::ThreeStage
+        | SchemeSelect::Tetris
+        | SchemeSelect::Palp
+        | SchemeSelect::Wire => {
             let mut sets = 0u32;
             let mut resets = 0u32;
             for i in 0..ctx.new_logical.num_units() {
@@ -151,8 +156,10 @@ fn registry_covers_every_scheme_once() {
             "conventional",
             "dcw",
             "fnw",
+            "palp",
             "preset",
-            "tetris"
+            "tetris",
+            "wire"
         ]
     );
 }

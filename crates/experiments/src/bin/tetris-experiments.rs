@@ -7,6 +7,10 @@
 //! TARGETS: all (default) | fig1 | fig3 | fig4 | table1 | table2 | table3 |
 //!          fig10 | fig11 | fig12 | fig13 | fig14 | energy | ablation
 //!
+//! tetris-experiments run --scheme TAG [--workload W] [--quick] [--instructions N]
+//!                    [--ranks R] [--trace OUT.jsonl] [--trace-level coarse|fine]
+//!                    [--json FILE]
+//! tetris-experiments run --list-schemes
 //! tetris-experiments trace WORKLOAD OUT.jsonl [--instructions N]
 //! tetris-experiments replay TRACE.jsonl SCHEME
 //! tetris-experiments report TRACE.jsonl [--csv DIR]
@@ -16,6 +20,9 @@
 //!                    [--md OUT.md] [--json OUT.json]
 //! ```
 //!
+//! `run` simulates one (workload, scheme) cell and prints a one-line
+//! summary — the CI `scheme-matrix` job runs every registered scheme tag
+//! through it (`--list-schemes` prints the tags, one per line).
 //! `--trace` records a telemetry trace of one run (vips × Tetris, the
 //! paper's write-heaviest pairing) to a JSONL file; `report` renders such
 //! a file into per-bank utilization and queue-depth percentile tables.
@@ -108,13 +115,175 @@ fn cmd_trace(workload: &str, out: &str, instructions: u64) {
     eprintln!("wrote {ops} ops for {} cores to {out}", trace.ops().len());
 }
 
+/// Canonical scheme tags, slash-joined for error hints — derived from the
+/// registry so a newly registered scheme shows up here for free.
+fn scheme_tag_hint() -> String {
+    pcm_schemes::SchemeSelect::ALL
+        .iter()
+        .map(|s| s.tag())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// `run --scheme TAG`: simulate one (workload, scheme) cell and print a
+/// one-line summary. This is the CI scheme-matrix entry point: one
+/// invocation per registered tag, optionally recording a telemetry trace
+/// for `report` to render.
+fn cmd_run(args: &[String]) {
+    let mut scheme: Option<String> = None;
+    let mut workload = "vips".to_string();
+    let mut quick = false;
+    let mut instructions: Option<u64> = None;
+    let mut ranks: Option<u32> = None;
+    let mut trace_path: Option<String> = None;
+    let mut trace_level = pcm_telemetry::TraceDetail::Fine;
+    let mut json_path: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list-schemes" => {
+                for s in pcm_schemes::SchemeSelect::ALL {
+                    outln!("{}", s.tag());
+                }
+                return;
+            }
+            "--quick" => quick = true,
+            "--scheme" => {
+                i += 1;
+                scheme = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| usage_error("--scheme needs a tag"))
+                        .clone(),
+                );
+            }
+            "--workload" => {
+                i += 1;
+                workload = args
+                    .get(i)
+                    .unwrap_or_else(|| usage_error("--workload needs a name"))
+                    .clone();
+            }
+            "--instructions" => {
+                i += 1;
+                instructions = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage_error("--instructions needs a number")),
+                );
+            }
+            "--ranks" => {
+                i += 1;
+                ranks = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .filter(|r: &u32| r.is_power_of_two())
+                        .unwrap_or_else(|| usage_error("--ranks needs a power-of-two number")),
+                );
+            }
+            "--trace" => {
+                i += 1;
+                trace_path = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| usage_error("--trace needs a path"))
+                        .clone(),
+                );
+            }
+            "--trace-level" => {
+                i += 1;
+                trace_level = args
+                    .get(i)
+                    .and_then(|v| pcm_telemetry::TraceDetail::parse(v))
+                    .unwrap_or_else(|| usage_error("--trace-level needs 'coarse' or 'fine'"));
+            }
+            "--json" => {
+                i += 1;
+                json_path = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| usage_error("--json needs a path"))
+                        .clone(),
+                );
+            }
+            other => usage_error(&format!("unknown run flag '{other}'")),
+        }
+        i += 1;
+    }
+    let scheme =
+        scheme.unwrap_or_else(|| usage_error("run needs --scheme TAG (or --list-schemes)"));
+    let kind = SchemeKind::parse(&scheme).unwrap_or_else(|| {
+        eprintln!("unknown scheme {scheme}; try {}", scheme_tag_hint());
+        std::process::exit(1);
+    });
+    let profile = pcm_workloads::WorkloadProfile::by_name(&workload).unwrap_or_else(|| {
+        eprintln!("unknown workload {workload}");
+        std::process::exit(1);
+    });
+    let mut builder = RunConfig::builder();
+    if quick {
+        builder = builder.quick();
+    }
+    if let Some(n) = instructions {
+        builder = builder.instructions_per_core(n);
+    }
+    if let Some(r) = ranks {
+        builder = builder.ranks(r);
+    }
+    let cfg = builder
+        .build()
+        .unwrap_or_else(|e| usage_error(&e.to_string()));
+    eprintln!(
+        "run: {} × {}, {} instructions/core, {} rank(s)…",
+        profile.name,
+        kind.name(),
+        cfg.instructions_per_core,
+        cfg.system.mem.org.ranks
+    );
+    let r = if let Some(out) = &trace_path {
+        let (r, written) = tetris_experiments::run_one_to_file(
+            profile,
+            kind,
+            &cfg,
+            std::path::Path::new(out),
+            trace_level,
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("cannot trace to {out}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("{written} telemetry events → {out}");
+        r
+    } else {
+        tetris_experiments::run_one(profile, kind, &cfg)
+    };
+    outln!(
+        "{} × {}: runtime {:.1} µs, IPC {:.3}, read {:.1} ns, write {:.1} ns, {} reads / {} writes, {} sets / {} resets",
+        profile.name,
+        kind.name(),
+        r.runtime.as_ns_f64() / 1000.0,
+        r.ipc(),
+        r.read_latency.mean_ns(),
+        r.write_latency.mean_ns(),
+        r.mem_reads,
+        r.mem_writes,
+        r.cell_sets,
+        r.cell_resets
+    );
+    if let Some(path) = &json_path {
+        let json = tetris_experiments::report::results_to_json(std::slice::from_ref(&r));
+        std::fs::write(path, json).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote {path}");
+    }
+}
+
 /// `replay TRACE.jsonl SCHEME`: run a recorded trace through the system.
 fn cmd_replay(path: &str, scheme: &str) {
     use pcm_memsim::cpu::VecTrace;
     use pcm_memsim::{System, SystemConfig, UniformRandomContent};
     use pcm_workloads::trace::read_trace;
     let kind = SchemeKind::parse(scheme).unwrap_or_else(|| {
-        eprintln!("unknown scheme {scheme}; try dcw/fnw/2sw/3sw/tetris/preset");
+        eprintln!("unknown scheme {scheme}; try {}", scheme_tag_hint());
         std::process::exit(1);
     });
     let file = std::io::BufReader::new(std::fs::File::open(path).unwrap_or_else(|e| {
@@ -445,6 +614,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Subcommands with positional arguments first.
     match args.first().map(String::as_str) {
+        Some("run") => {
+            cmd_run(&args);
+            return;
+        }
         Some("trace") => {
             let instructions = args
                 .iter()
@@ -557,6 +730,8 @@ fn main() {
                 outln!(
                     "usage: tetris-experiments [all|fig1|fig3|fig4|fig10|fig11|fig12|fig13|fig14|table1|table2|table3|energy|ablation]... [--quick] [--instructions N] [--ranks R] [--json FILE] [--csv DIR] [--trace OUT.jsonl] [--trace-level coarse|fine]"
                 );
+                outln!("       tetris-experiments run --scheme TAG [--workload W] [--quick] [--instructions N] [--ranks R] [--trace OUT.jsonl] [--trace-level coarse|fine] [--json FILE]");
+                outln!("       tetris-experiments run --list-schemes");
                 outln!("       tetris-experiments trace WORKLOAD OUT.jsonl [--instructions N]");
                 outln!("       tetris-experiments replay TRACE.jsonl SCHEME");
                 outln!("       tetris-experiments report TRACE.jsonl [--csv DIR]");

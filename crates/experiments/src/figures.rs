@@ -205,6 +205,8 @@ pub fn table1(m: &MatrixView<'_>) -> Table {
             SchemeKind::ThreeStage => "2SW + read-before-write flip",
             SchemeKind::Tetris => "schedule by actual current demand",
             SchemeKind::PreSet => "background SET sweep, RESET-only write-back",
+            SchemeKind::Palp => "intra-bank partition-parallel writes",
+            SchemeKind::Wire => "restricted coset coding (4-row codebook)",
             SchemeKind::Dcw => unreachable!(),
         };
         t.row(vec![

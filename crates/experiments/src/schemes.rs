@@ -19,6 +19,10 @@ pub enum SchemeKind {
     Tetris,
     /// PreSET (ref. \[23\]) — cited comparator, not in the paper's figures.
     PreSet,
+    /// PALP — intra-bank partition-parallel writes (follow-on literature).
+    Palp,
+    /// WIRE — restricted coset coding (follow-on literature).
+    Wire,
 }
 
 impl SchemeKind {
@@ -31,8 +35,8 @@ impl SchemeKind {
         SchemeKind::Tetris,
     ];
 
-    /// Every scheme, including Conventional and PreSET.
-    pub const ALL: [SchemeKind; 7] = [
+    /// Every scheme, including Conventional, PreSET, PALP and WIRE.
+    pub const ALL: [SchemeKind; 9] = [
         SchemeKind::Conventional,
         SchemeKind::Dcw,
         SchemeKind::Fnw,
@@ -40,6 +44,8 @@ impl SchemeKind {
         SchemeKind::ThreeStage,
         SchemeKind::Tetris,
         SchemeKind::PreSet,
+        SchemeKind::Palp,
+        SchemeKind::Wire,
     ];
 
     /// Display name matching the paper.
@@ -52,6 +58,8 @@ impl SchemeKind {
             SchemeKind::ThreeStage => "Three-Stage-Write",
             SchemeKind::Tetris => "Tetris Write",
             SchemeKind::PreSet => "PreSET",
+            SchemeKind::Palp => "PALP",
+            SchemeKind::Wire => "WIRE",
         }
     }
 
@@ -65,6 +73,8 @@ impl SchemeKind {
             SchemeKind::ThreeStage => "3SW",
             SchemeKind::Tetris => "Tetris",
             SchemeKind::PreSet => "PreSET",
+            SchemeKind::Palp => "PALP",
+            SchemeKind::Wire => "WIRE",
         }
     }
 
@@ -80,6 +90,8 @@ impl SchemeKind {
             SchemeKind::ThreeStage => SchemeSelect::ThreeStage,
             SchemeKind::Tetris => SchemeSelect::Tetris,
             SchemeKind::PreSet => SchemeSelect::PreSet,
+            SchemeKind::Palp => SchemeSelect::Palp,
+            SchemeKind::Wire => SchemeSelect::Wire,
         }
     }
 
@@ -93,6 +105,8 @@ impl SchemeKind {
             SchemeSelect::ThreeStage => SchemeKind::ThreeStage,
             SchemeSelect::PreSet => SchemeKind::PreSet,
             SchemeSelect::Tetris => SchemeKind::Tetris,
+            SchemeSelect::Palp => SchemeKind::Palp,
+            SchemeSelect::Wire => SchemeKind::Wire,
         }
     }
 

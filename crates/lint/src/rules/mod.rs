@@ -11,6 +11,7 @@ mod ci_parity;
 mod lossy_casts;
 mod panic_policy;
 mod resurrected_api;
+mod scheme_registry;
 mod telemetry_parity;
 mod typed_units;
 mod unordered_iter;
@@ -40,6 +41,7 @@ pub const RULE_IDS: &[&str] = &[
     "telemetry-parity",
     "no-resurrected-apis",
     "ci-phase-parity",
+    "scheme-registry-parity",
     crate::allowlist::ALLOWLIST_RULE,
 ];
 
@@ -54,6 +56,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(telemetry_parity::TelemetryParity),
         Box::new(resurrected_api::NoResurrectedApis),
         Box::new(ci_parity::CiPhaseParity),
+        Box::new(scheme_registry::SchemeRegistryParity),
     ]
 }
 

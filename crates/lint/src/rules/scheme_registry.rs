@@ -1,0 +1,276 @@
+//! `scheme-registry-parity`: the `SchemeSelect` registry surfaces must
+//! stay in lockstep.
+//!
+//! A write scheme is "registered" when four surfaces in
+//! `crates/schemes/src/preset.rs` agree: the `SchemeSelect::ALL` array
+//! (what sweeps and registry-driven tests cover), the `tag()` map (what
+//! CLI/JSON call it), the `instantiate()` factory (what actually gets
+//! built), and the `FromStr` parser (what tags parse back). The compiler
+//! only enforces two of these — `tag()` and `instantiate()` are
+//! exhaustive matches — while `ALL` and `FromStr` are plain data that
+//! silently go stale when a variant is added. A scheme missing from `ALL`
+//! is invisible to every conservation propcheck and CI matrix sweep; a
+//! canonical tag that doesn't parse breaks the `Display → FromStr`
+//! round-trip the CLI relies on. This rule closes the loop.
+//!
+//! Mechanically: parse the variant names out of `enum SchemeSelect`, then
+//! require (a) the `ALL: [SchemeSelect; N]` length literal to equal the
+//! variant count, (b) every variant to appear in the `ALL` initializer,
+//! (c) every variant to be matched in `tag()`, `instantiate()` and
+//! `from_str()`, and (d) every string returned by `tag()` to appear as a
+//! pattern literal in `from_str()`.
+
+use super::{Rule, SigView};
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::workspace::Workspace;
+
+const REGISTRY_FILE: &str = "crates/schemes/src/preset.rs";
+
+/// Extract `(variant-name, byte-offset)` pairs from `enum SchemeSelect`.
+fn variants(v: &SigView<'_>) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 2 < v.len() {
+        if v.text(i) == "enum" && v.text(i + 1) == "SchemeSelect" && v.text(i + 2) == "{" {
+            let mut depth = 1i32;
+            let mut j = i + 3;
+            while j < v.len() && depth > 0 {
+                match v.text(j) {
+                    "{" => depth += 1,
+                    "}" => depth -= 1,
+                    "(" => depth += 1,
+                    ")" => depth -= 1,
+                    "#" if depth == 1 && v.matches(j + 1, &["["]) => {
+                        // Skip `#[default]`-style attributes.
+                        let mut d = 0i32;
+                        j += 1;
+                        while j < v.len() {
+                            match v.text(j) {
+                                "[" => d += 1,
+                                "]" => {
+                                    d -= 1;
+                                    if d == 0 {
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                            j += 1;
+                        }
+                    }
+                    _ => {
+                        if depth == 1
+                            && v.kind(j) == TokKind::Ident
+                            && j + 1 < v.len()
+                            && matches!(v.text(j + 1), "," | "}")
+                        {
+                            out.push((v.text(j).to_string(), v.tok(j).lo));
+                        }
+                    }
+                }
+                j += 1;
+            }
+            break;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Significant-token range `(open-brace, close-brace)` of the body of the
+/// first `fn <name>` in the file.
+fn fn_body(v: &SigView<'_>, name: &str) -> Option<(usize, usize)> {
+    let mut i = 0;
+    while i + 1 < v.len() {
+        if v.text(i) == "fn" && v.text(i + 1) == name {
+            let mut j = i + 2;
+            while j < v.len() && v.text(j) != "{" {
+                j += 1;
+            }
+            let start = j;
+            let mut depth = 0i32;
+            while j < v.len() {
+                match v.text(j) {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return Some((start, j));
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            return None;
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Variant names referenced as `SchemeSelect::<Name>` within `[lo, hi]`.
+fn referenced_variants(
+    v: &SigView<'_>,
+    lo: usize,
+    hi: usize,
+) -> std::collections::BTreeSet<String> {
+    let mut out = std::collections::BTreeSet::new();
+    for i in lo..hi.min(v.len()) {
+        if v.text(i) == "SchemeSelect"
+            && v.matches(i + 1, &[":", ":"])
+            && i + 3 < v.len()
+            && v.kind(i + 3) == TokKind::Ident
+        {
+            out.insert(v.text(i + 3).to_string());
+        }
+    }
+    out
+}
+
+/// String literals (quotes stripped) within `[lo, hi]`.
+fn string_literals(v: &SigView<'_>, lo: usize, hi: usize) -> std::collections::BTreeSet<String> {
+    let mut out = std::collections::BTreeSet::new();
+    for i in lo..hi.min(v.len()) {
+        if v.kind(i) == TokKind::StrLit {
+            out.insert(v.text(i).trim_matches('"').to_string());
+        }
+    }
+    out
+}
+
+/// See module docs.
+pub struct SchemeRegistryParity;
+
+impl Rule for SchemeRegistryParity {
+    fn id(&self) -> &'static str {
+        "scheme-registry-parity"
+    }
+
+    fn describe(&self) -> &'static str {
+        "SchemeSelect's ALL array, tag(), instantiate() and FromStr must cover every variant"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let Some(file) = ws.file(REGISTRY_FILE) else {
+            // Nothing to check (e.g. linting a partial tree).
+            return Vec::new();
+        };
+        let v = SigView::new(file);
+        let variants = variants(&v);
+        if variants.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+
+        // (a) `ALL: [SchemeSelect; N]` — the length literal must equal the
+        // variant count; (b) every variant must appear in the initializer.
+        let mut all_found = false;
+        for i in 0..v.len() {
+            if v.text(i) == "ALL"
+                && v.matches(i + 1, &[":", "["])
+                && v.matches(i + 3, &["SchemeSelect", ";"])
+                && i + 5 < v.len()
+                && v.kind(i + 5) == TokKind::NumLit
+            {
+                all_found = true;
+                let lit = v.text(i + 5);
+                if lit.parse::<usize>() != Ok(variants.len()) {
+                    out.push(file.diag(
+                        self.id(),
+                        v.tok(i + 5).lo,
+                        lit.len(),
+                        format!(
+                            "SchemeSelect::ALL declares {lit} entries but the enum has {} \
+                             variants — registry sweeps would skip the difference",
+                            variants.len()
+                        ),
+                    ));
+                }
+                // Initializer: `] = [ … ] ;` — scan its bracketed span.
+                if v.matches(i + 6, &["]", "=", "["]) {
+                    let mut j = i + 9;
+                    let mut depth = 1i32;
+                    let lo = j;
+                    while j < v.len() && depth > 0 {
+                        match v.text(j) {
+                            "[" => depth += 1,
+                            "]" => depth -= 1,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    let listed = referenced_variants(&v, lo, j);
+                    for (name, at) in &variants {
+                        if !listed.contains(name) {
+                            out.push(file.diag(
+                                self.id(),
+                                *at,
+                                name.len(),
+                                format!(
+                                    "SchemeSelect::{name} is missing from SchemeSelect::ALL — \
+                                     conservation propchecks and matrix sweeps will never see it"
+                                ),
+                            ));
+                        }
+                    }
+                }
+                break;
+            }
+        }
+        if !all_found {
+            out.push(file.diag(
+                self.id(),
+                variants[0].1,
+                variants[0].0.len(),
+                "SchemeSelect has no `ALL: [SchemeSelect; N]` registry array".to_string(),
+            ));
+        }
+
+        // (c) every variant matched in tag(), instantiate() and from_str().
+        for fn_name in ["tag", "instantiate", "from_str"] {
+            let Some((lo, hi)) = fn_body(&v, fn_name) else {
+                continue;
+            };
+            let covered = referenced_variants(&v, lo, hi);
+            let at = v.tok(lo).lo;
+            for (name, _) in &variants {
+                if !covered.contains(name) {
+                    out.push(file.diag(
+                        self.id(),
+                        at,
+                        1,
+                        format!(
+                            "SchemeSelect::{name} is not handled in `{fn_name}` — \
+                             the registry surfaces have drifted apart"
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // (d) every canonical tag parses back: tag()'s string literals
+        // must each appear as a pattern literal in from_str().
+        if let (Some((tlo, thi)), Some((flo, fhi))) = (fn_body(&v, "tag"), fn_body(&v, "from_str"))
+        {
+            let canonical = string_literals(&v, tlo, thi);
+            let parsed = string_literals(&v, flo, fhi);
+            let at = v.tok(flo).lo;
+            for tag in canonical {
+                if !parsed.contains(&tag) {
+                    out.push(file.diag(
+                        self.id(),
+                        at,
+                        1,
+                        format!(
+                            "canonical tag \"{tag}\" from SchemeSelect::tag() is not accepted \
+                             by FromStr — Display → FromStr no longer round-trips"
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,44 @@
+// Broken registry: Gamma is in the enum but ALL declares 2 entries and
+// omits it, from_str never constructs it, and the canonical tag "beta"
+// does not parse back ("b" is accepted instead).
+pub enum SchemeSelect {
+    Alpha,
+    #[default]
+    Beta,
+    Gamma,
+}
+
+impl SchemeSelect {
+    pub const ALL: [SchemeSelect; 2] = [SchemeSelect::Alpha, SchemeSelect::Beta];
+
+    pub const fn tag(&self) -> &'static str {
+        match self {
+            SchemeSelect::Alpha => "alpha",
+            SchemeSelect::Beta => "beta",
+            SchemeSelect::Gamma => "gamma",
+        }
+    }
+}
+
+impl SchemeConfig {
+    pub fn instantiate(&self) -> Box<dyn WriteScheme> {
+        match self.select {
+            SchemeSelect::Alpha => Box::new(AlphaWrite),
+            SchemeSelect::Beta => Box::new(BetaWrite),
+            SchemeSelect::Gamma => Box::new(GammaWrite),
+        }
+    }
+}
+
+impl FromStr for SchemeSelect {
+    type Err = ParseSchemeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "alpha" => Ok(SchemeSelect::Alpha),
+            "b" => Ok(SchemeSelect::Beta),
+            "gamma" => Ok(SchemeSelect::Gamma),
+            _ => Err(ParseSchemeError { input: s.into() }),
+        }
+    }
+}

@@ -146,6 +146,34 @@ fn ci_parity_fixture() {
 }
 
 #[test]
+fn scheme_registry_fixture() {
+    let src = include_str!("fixtures/scheme_registry.rs");
+    let w = ws(&[("crates/schemes/src/preset.rs", src)], None);
+    let diags = rule("scheme-registry-parity").check(&w);
+    let msgs: Vec<&str> = diags.iter().map(|d| d.msg.as_str()).collect();
+    assert_eq!(diags.len(), 3, "findings: {msgs:?}");
+    // ALL declares 2 entries for a 3-variant enum…
+    assert!(msgs.iter().any(|m| m.contains("declares 2 entries")));
+    // …and omits Gamma entirely…
+    assert!(msgs
+        .iter()
+        .any(|m| m.contains("SchemeSelect::Gamma is missing from SchemeSelect::ALL")));
+    // …while the canonical tag "beta" no longer parses back.
+    assert!(msgs
+        .iter()
+        .any(|m| m.contains("canonical tag \"beta\"") && m.contains("round-trips")));
+}
+
+#[test]
+fn scheme_registry_accepts_complete_registry() {
+    // The real preset.rs is a complete registry; lifted wholesale so the
+    // fixture tracks reality.
+    let src = include_str!("../../schemes/src/preset.rs");
+    let w = ws(&[("crates/schemes/src/preset.rs", src)], None);
+    assert_eq!(locs("scheme-registry-parity", &w), vec![]);
+}
+
+#[test]
 fn render_golden() {
     let src = include_str!("fixtures/typed_units.rs");
     let w = ws(&[("crates/schemes/src/fixture.rs", src)], None);

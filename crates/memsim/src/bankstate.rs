@@ -9,6 +9,7 @@ pub struct BankState {
     busy_until: Ps,
     open_row: Option<u64>,
     busy_total: Ps,
+    partition_busy_total: u64,
     /// Row-buffer hits serviced.
     pub row_hits: u64,
     /// Row-buffer misses serviced.
@@ -31,6 +32,18 @@ impl BankState {
     /// the time the bank's array was occupied.
     pub fn busy_total(&self) -> Ps {
         self.busy_total
+    }
+
+    /// Cumulative intra-bank partitions driven by writes serviced here
+    /// (PALP-style plans; stays 0 for schemes without a partition model).
+    /// A proxy for partition-level disturb/wear pressure.
+    pub fn partition_busy_total(&self) -> u64 {
+        self.partition_busy_total
+    }
+
+    /// Record the partition occupancy of a write just issued to this bank.
+    pub fn note_partitions(&mut self, partitions: u32) {
+        self.partition_busy_total += partitions as u64;
     }
 
     /// Currently open row.
@@ -84,12 +97,14 @@ impl BankState {
     }
 
     /// Bank indices sorted least-utilized-first (cumulative busy time,
-    /// ties broken by index so the order is deterministic). The steering
-    /// policy visits free banks in this order to flatten the per-bank
-    /// utilization spread.
+    /// then cumulative partition occupancy, ties broken by index so the
+    /// order is deterministic). The steering policy visits free banks in
+    /// this order to flatten the per-bank utilization spread; the
+    /// partition key only matters for partition-parallel schemes, where
+    /// equal-busy banks are told apart by disturb pressure.
     pub fn least_utilized_order(banks: &[BankState]) -> Vec<usize> {
         let mut order: Vec<usize> = (0..banks.len()).collect();
-        order.sort_by_key(|&i| (banks[i].busy_total(), i));
+        order.sort_by_key(|&i| (banks[i].busy_total(), banks[i].partition_busy_total(), i));
         order
     }
 }
@@ -142,6 +157,10 @@ mod tests {
         banks[3].begin_write(Ps::ZERO, 0, Ps::from_ns(100));
         // bank 2 idle (0 ns) < banks 1,3 (100 ns, index tiebreak) < bank 0.
         assert_eq!(BankState::least_utilized_order(&banks), vec![2, 1, 3, 0]);
+        // Partition pressure breaks the 1-vs-3 busy tie the other way.
+        banks[1].note_partitions(4);
+        assert_eq!(banks[1].partition_busy_total(), 4);
+        assert_eq!(BankState::least_utilized_order(&banks), vec![2, 3, 1, 0]);
         assert_eq!(
             BankState::least_utilized_order(&[]),
             Vec::<usize>::new(),

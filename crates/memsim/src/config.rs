@@ -39,7 +39,7 @@ impl CacheConfig {
 /// Fluent construction of a [`CacheConfig`];
 /// [`CacheConfigBuilder::build`] validates the line-independent geometry
 /// (non-zero capacity and ways, capacity divisible into ways), so an
-/// invalid level never reaches [`crate::Cache::new`] — which re-checks
+/// invalid level never reaches [`crate::cache::Cache::new`] — which re-checks
 /// against the concrete cache-line size.
 ///
 /// ```

@@ -407,6 +407,7 @@ impl MemoryController {
                         .expect("queued writes must be writable");
                     let row = picked[0].row;
                     let completion = self.banks[bank].begin_write(now, row, outcome.service_time);
+                    self.banks[bank].note_partitions(outcome.partitions_used);
                     self.epoch += 1;
                     if tel.wants(TraceDetail::Fine) {
                         tel.record(&TelemetryEvent::BankBusy {
@@ -416,6 +417,25 @@ impl MemoryController {
                             until: completion,
                             lines: picked.len() as u32,
                         });
+                        if outcome.partitions_used > 0 {
+                            tel.record(&TelemetryEvent::PartitionWrite {
+                                at: now,
+                                bank: bank as u32,
+                                partitions: outcome.partitions_used,
+                                lines: picked.len() as u32,
+                            });
+                        }
+                        let rows = outcome.coset_rows;
+                        if rows.iter().any(|&n| n > 0) {
+                            tel.record(&TelemetryEvent::CosetChoice {
+                                at: now,
+                                bank: bank as u32,
+                                row0: rows[0],
+                                row1: rows[1],
+                                row2: rows[2],
+                                row3: rows[3],
+                            });
+                        }
                     }
                     if let Some(pack) = outcome.pack {
                         if tel.wants(TraceDetail::Coarse) {

@@ -6,7 +6,10 @@
 
 use crate::wear_leveling::StartGap;
 use pcm_schemes::{PackStats, SchemeConfig, WriteCtx, WritePlan, WriteScheme};
-use pcm_types::{flip_decode, AddrMap, LineData, PcmError, PhysAddr, PicoJoules, Ps};
+use pcm_types::{
+    coset_decode_unit, coset_row, coset_rows_available, AddrMap, LineData, PcmError, PhysAddr,
+    PicoJoules, Ps,
+};
 use std::collections::HashMap;
 
 /// One resident line (contents only; wear lives with the physical slot).
@@ -29,6 +32,13 @@ pub struct WriteOutcome {
     pub cell_sets: u32,
     /// RESET pulses delivered to cells.
     pub cell_resets: u32,
+    /// Intra-bank partitions the write drove concurrently (0 for schemes
+    /// without a partition model).
+    pub partitions_used: u32,
+    /// Coset row the stored encoding landed on, for flip-bit schemes on
+    /// lines with spare tag bits (`None` otherwise). Row 0 is plain
+    /// Flip-N-Write inversion; WIRE spreads across rows 0–3.
+    pub coset_row: Option<u32>,
 }
 
 /// Outcome of one batched write service.
@@ -38,6 +48,12 @@ pub struct BatchOutcome {
     pub service_time: Ps,
     /// Packing quality, when the scheme reports it (batched Tetris plans).
     pub pack: Option<PackStats>,
+    /// Most intra-bank partitions any write in the batch drove (0 for
+    /// schemes without a partition model).
+    pub partitions_used: u32,
+    /// How many lines of the batch landed on each coset row (all zero for
+    /// schemes without flip bits or lines without spare tag bits).
+    pub coset_rows: [u32; 4],
 }
 
 /// Aggregate memory statistics.
@@ -154,8 +170,9 @@ impl PcmMainMemory {
             None => LineData::zeroed(self.line_len()),
             Some(s) => {
                 let mut out = s.data;
-                for i in 0..out.num_units() {
-                    out.set_unit(i, flip_decode(s.data.unit(i), s.flips & (1 << i) != 0));
+                let n = out.num_units();
+                for i in 0..n {
+                    out.set_unit(i, coset_decode_unit(s.data.unit(i), s.flips, i, n));
                 }
                 out
             }
@@ -235,7 +252,19 @@ impl PcmMainMemory {
             write_units_equiv: plan.write_units_equiv,
             cell_sets: plan.cell_sets,
             cell_resets: plan.cell_resets,
+            partitions_used: plan.partitions_used,
+            coset_row: self.plan_coset_row(&plan),
         })
+    }
+
+    /// The coset row a plan's tag word selects, when the scheme stores
+    /// flip bits and the line has spare tag bits for a row field.
+    fn plan_coset_row(&self, plan: &WritePlan) -> Option<u32> {
+        if self.scheme.uses_flip_bits() && coset_rows_available(plan.stored.num_units()) {
+            Some(coset_row(plan.flips) as u32)
+        } else {
+            None
+        }
     }
 
     /// Service several line writes as one batched operation (shared bank
@@ -247,9 +276,16 @@ impl PcmMainMemory {
         writes: &[(PhysAddr, LineData)],
     ) -> Result<BatchOutcome, PcmError> {
         if writes.len() == 1 {
+            let one = self.write_line(writes[0].0, &writes[0].1)?;
+            let mut coset_rows = [0u32; 4];
+            if let Some(r) = one.coset_row {
+                coset_rows[r as usize] += 1;
+            }
             return Ok(BatchOutcome {
-                service_time: self.write_line(writes[0].0, &writes[0].1)?.service_time,
+                service_time: one.service_time,
                 pack: None,
+                partitions_used: one.partitions_used,
+                coset_rows,
             });
         }
         // Gather the old state of every line up front (ctxs borrow it).
@@ -283,8 +319,14 @@ impl PcmMainMemory {
             .collect();
         match self.scheme.plan_batched(&ctxs) {
             Some(batch) => {
+                let mut partitions_used = 0;
+                let mut coset_rows = [0u32; 4];
                 for ((plan, phys), (_, new)) in batch.plans.iter().zip(&phys_lines).zip(writes) {
                     debug_assert!(plan.check_decodes_to(new).is_ok());
+                    partitions_used = partitions_used.max(plan.partitions_used);
+                    if let Some(r) = self.plan_coset_row(plan) {
+                        coset_rows[r as usize] += 1;
+                    }
                     let changed = (plan.cell_sets + plan.cell_resets) as u64;
                     self.lines.insert(
                         *phys,
@@ -303,17 +345,28 @@ impl PcmMainMemory {
                 Ok(BatchOutcome {
                     service_time: batch.service_time,
                     pack: batch.pack,
+                    partitions_used,
+                    coset_rows,
                 })
             }
             None => {
                 // Serial fallback: sum of individual services.
                 let mut total = Ps::ZERO;
+                let mut partitions_used = 0;
+                let mut coset_rows = [0u32; 4];
                 for (addr, new) in writes {
-                    total += self.write_line(*addr, new)?.service_time;
+                    let one = self.write_line(*addr, new)?;
+                    total += one.service_time;
+                    partitions_used = partitions_used.max(one.partitions_used);
+                    if let Some(r) = one.coset_row {
+                        coset_rows[r as usize] += 1;
+                    }
                 }
                 Ok(BatchOutcome {
                     service_time: total,
                     pack: None,
+                    partitions_used,
+                    coset_rows,
                 })
             }
         }

@@ -1,0 +1,191 @@
+//! WIRE-style restricted coset coding (a generalization of [`crate::flip`]).
+//!
+//! Flip-N-Write offers each data unit exactly two encodings: the plain
+//! data or its full inversion. Restricted coset coding widens that choice
+//! to a *small codebook* of XOR masks ("coset rows"); the encoder picks,
+//! per line, the row whose per-unit encodings minimize the
+//! `num_sets`-weighted write cost, then records the row alongside the
+//! per-unit flip tags so reads can undo the mask.
+//!
+//! ## Tag layout
+//!
+//! The per-line `flips` word already carries one flip bit per data unit in
+//! its low bits (at most [`crate::MAX_UNITS_PER_LINE`] = 32 of them). The coset
+//! row index lives in the top bits, above [`COSET_ROW_SHIFT`]:
+//!
+//! ```text
+//!  31 30 29 ............................ 0
+//! [row ][        per-unit flip bits      ]
+//! ```
+//!
+//! Row 0's mask is the full inversion, so a flips word with zero row bits
+//! decodes exactly like classic Flip-N-Write ([`crate::flip_decode`]) —
+//! every pre-coset stored line remains valid. Lines with more than
+//! [`COSET_ROW_SHIFT`] data units have no spare tag bits and are
+//! restricted to row 0 (see [`coset_rows_available`]).
+
+use crate::data::DataUnit;
+
+/// Number of XOR masks in the restricted codebook.
+pub const COSET_ROWS: usize = 4;
+
+/// Bit position where the coset row index starts inside a `flips` word.
+/// Rows above 0 are only representable when the line has at most this
+/// many data units.
+pub const COSET_ROW_SHIFT: u32 = 30;
+
+/// The codebook: per-unit XOR masks, indexed by coset row.
+///
+/// Row 0 is the full inversion (classic Flip-N-Write); rows 1–3 are the
+/// half-word and alternating masks that cheaply capture common partial
+/// update shapes (pointer-heavy upper halves, counters in the lower half,
+/// striped bitmaps).
+pub const COSET_PATTERNS: [DataUnit; COSET_ROWS] = [
+    !0,
+    0xFFFF_FFFF_0000_0000,
+    0x0000_0000_FFFF_FFFF,
+    0x5555_5555_5555_5555,
+];
+
+/// Extract the coset row index (0..[`COSET_ROWS`]) from a `flips` word.
+pub const fn coset_row(flips: u32) -> usize {
+    (flips >> COSET_ROW_SHIFT) as usize
+}
+
+/// Combine per-unit flip bits with a coset row index into one tag word.
+///
+/// # Panics
+/// If `row >= COSET_ROWS` or the unit bits collide with the row field.
+pub const fn with_coset_row(unit_flips: u32, row: usize) -> u32 {
+    assert!(row < COSET_ROWS, "coset row out of range");
+    assert!(
+        unit_flips >> COSET_ROW_SHIFT == 0,
+        "unit flip bits collide with the coset row field"
+    );
+    unit_flips | (row as u32) << COSET_ROW_SHIFT
+}
+
+/// The per-unit flip bits of a tag word, with the row field stripped.
+pub const fn coset_unit_flips(flips: u32) -> u32 {
+    flips & ((1 << COSET_ROW_SHIFT) - 1)
+}
+
+/// Can lines of `num_units` data units use rows above 0?
+///
+/// The row field occupies flip bits [`COSET_ROW_SHIFT`]`..32`, so a line
+/// whose per-unit bits reach into it must stay on row 0.
+pub const fn coset_rows_available(num_units: usize) -> bool {
+    num_units <= COSET_ROW_SHIFT as usize
+}
+
+/// Decode one stored unit back to logical data under a coset row.
+///
+/// `coset_decode(s, f, 0)` ≡ [`crate::flip_decode`]`(s, f)`.
+///
+/// ```
+/// use pcm_types::coset::{coset_decode, COSET_PATTERNS};
+/// let logical = 0xDEAD_BEEF_u64;
+/// for (row, mask) in COSET_PATTERNS.iter().enumerate() {
+///     assert_eq!(coset_decode(logical ^ mask, true, row), logical);
+///     assert_eq!(coset_decode(logical, false, row), logical);
+/// }
+/// ```
+pub const fn coset_decode(stored: DataUnit, flip: bool, row: usize) -> DataUnit {
+    if flip {
+        stored ^ COSET_PATTERNS[row]
+    } else {
+        stored
+    }
+}
+
+/// Decode unit `i` of a line given its full tag word and the line's unit
+/// count. Lines too long for a row field ([`coset_rows_available`] false)
+/// treat every tag bit as a per-unit flip on row 0, which is exactly the
+/// classic Flip-N-Write layout.
+pub const fn coset_decode_unit(
+    stored: DataUnit,
+    flips: u32,
+    i: usize,
+    num_units: usize,
+) -> DataUnit {
+    if coset_rows_available(num_units) {
+        coset_decode(
+            stored,
+            coset_unit_flips(flips) & (1 << i) != 0,
+            coset_row(flips),
+        )
+    } else {
+        coset_decode(stored, flips & (1 << i) != 0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flip::flip_decode;
+    use crate::propcheck::{any_bool, any_u64};
+    use crate::{prop_assert_eq, propcheck};
+
+    #[test]
+    fn row_zero_is_classic_flip_n_write() {
+        assert_eq!(COSET_PATTERNS[0], !0u64);
+        for stored in [0u64, 5, u64::MAX, 0xF0F0] {
+            for flip in [false, true] {
+                assert_eq!(coset_decode(stored, flip, 0), flip_decode(stored, flip));
+            }
+        }
+    }
+
+    #[test]
+    fn tag_word_packs_and_unpacks() {
+        for row in 0..COSET_ROWS {
+            let tag = with_coset_row(0b1010_1101, row);
+            assert_eq!(coset_row(tag), row);
+            assert_eq!(coset_unit_flips(tag), 0b1010_1101);
+        }
+        // Legacy words (no row bits) are row 0 with identical unit bits.
+        assert_eq!(coset_row(0xFF), 0);
+        assert_eq!(coset_unit_flips(0xFF), 0xFF);
+    }
+
+    #[test]
+    fn rows_available_only_with_spare_tag_bits() {
+        assert!(coset_rows_available(8));
+        assert!(coset_rows_available(30));
+        assert!(!coset_rows_available(31));
+        assert!(!coset_rows_available(32));
+    }
+
+    #[test]
+    fn patterns_are_distinct_and_row0_total() {
+        for (a, &pa) in COSET_PATTERNS.iter().enumerate() {
+            for &pb in &COSET_PATTERNS[a + 1..] {
+                assert_ne!(pa, pb);
+            }
+        }
+        assert_eq!(COSET_PATTERNS[0].count_ones(), 64);
+    }
+
+    propcheck! {
+        /// XOR masking is an involution: decode(encode(x)) = x on every row.
+        fn decode_inverts_encode(new in any_u64(), flip in any_bool(), row in 0usize..COSET_ROWS) {
+            let stored = if flip { new ^ COSET_PATTERNS[row] } else { new };
+            prop_assert_eq!(coset_decode(stored, flip, row), new);
+        }
+
+        /// Unit-indexed decode agrees with the scalar decode.
+        fn unit_decode_matches(stored in any_u64(), unit_flips in 0u32..256, row in 0usize..COSET_ROWS, i in 0usize..8) {
+            let tag = with_coset_row(unit_flips, row);
+            let want = coset_decode(stored, unit_flips & (1 << i) != 0, row);
+            prop_assert_eq!(coset_decode_unit(stored, tag, i, 8), want);
+        }
+
+        /// On lines too long for a row field every tag bit is a plain
+        /// row-0 flip bit — including bits 30/31.
+        fn long_lines_decode_as_flip_n_write(stored in any_u64(), flips in any_u64(), i in 0usize..32) {
+            let flips = flips as u32;
+            let want = coset_decode(stored, flips & (1 << i) != 0, 0);
+            prop_assert_eq!(coset_decode_unit(stored, flips, i, 32), want);
+        }
+    }
+}

@@ -19,6 +19,9 @@
 //! * [`bits`] — SET/RESET transition counting and Hamming distances.
 //! * [`flip`] — Flip-N-Write data-inversion coding (Algorithm 1's
 //!   read-before-write comparison).
+//! * [`coset`] — WIRE-style restricted coset coding: a small XOR-mask
+//!   codebook generalizing the flip bit, with the row index packed into
+//!   the tag word's top bits.
 //! * [`demand`] — the per-data-unit write demand ([`UnitDemand`],
 //!   [`LineDemand`]) that every write scheme consumes.
 //!
@@ -44,6 +47,7 @@
 pub mod addr;
 pub mod bits;
 pub mod collections;
+pub mod coset;
 pub mod data;
 pub mod demand;
 pub mod energy;
@@ -62,6 +66,10 @@ pub mod timing;
 pub use addr::{AddrMap, DecodedAddr, PhysAddr};
 pub use bits::{hamming, hamming_unit, transitions, Transitions};
 pub use collections::{sorted_entries, sorted_keys, sorted_values};
+pub use coset::{
+    coset_decode, coset_decode_unit, coset_row, coset_rows_available, coset_unit_flips,
+    with_coset_row, COSET_PATTERNS, COSET_ROWS, COSET_ROW_SHIFT,
+};
 pub use data::{DataUnit, LineData, MAX_LINE_BYTES, MAX_UNITS_PER_LINE};
 pub use demand::{LineDemand, UnitDemand};
 pub use energy::{EnergyParams, PicoJoules};

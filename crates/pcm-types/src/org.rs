@@ -22,6 +22,9 @@ pub struct MemOrg {
     /// Data-unit width in bits — the granularity the write schemes count
     /// SET/RESET demand at (64 in the paper).
     pub data_unit_bits: u32,
+    /// Independently addressable partitions inside one bank (PALP-style
+    /// intra-bank parallelism; 1 = monolithic bank, the classic model).
+    pub partitions_per_bank: u32,
 }
 
 impl Default for MemOrg {
@@ -41,6 +44,7 @@ impl MemOrg {
             write_unit_bits_per_chip: 16,
             cache_line_bytes: 64,
             data_unit_bits: 64,
+            partitions_per_bank: 4,
         }
     }
 
@@ -75,6 +79,9 @@ impl MemOrg {
         let e = crate::PcmError::config;
         if self.ranks == 0 || self.banks_per_rank == 0 || self.chips_per_bank == 0 {
             return Err(e("ranks, banks and chips must be non-zero"));
+        }
+        if self.partitions_per_bank == 0 {
+            return Err(e("partitions per bank must be non-zero"));
         }
         if !self.write_unit_bits_per_chip.is_power_of_two() || self.write_unit_bits_per_chip > 64 {
             return Err(e("write unit bits per chip must be a power of two ≤ 64"));
@@ -115,6 +122,7 @@ mod tests {
         assert_eq!(o.write_units_per_line(), 8, "64/8 = 8 write units per line");
         assert_eq!(o.data_units_per_line(), 8, "8 × 64-bit data units");
         assert_eq!(o.total_banks(), 8);
+        assert_eq!(o.partitions_per_bank, 4, "PALP-style 4-partition banks");
         assert!(o.validate().is_ok());
     }
 
@@ -164,6 +172,12 @@ mod tests {
         .is_err());
         assert!(MemOrg {
             capacity_bytes: 100,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(MemOrg {
+            partitions_per_bank: 0,
             ..base
         }
         .validate()

@@ -37,6 +37,7 @@ impl WriteScheme for ConventionalWrite {
             cell_sets: sets,
             cell_resets: resets,
             read_before_write: false,
+            partitions_used: 0,
         }
     }
 }

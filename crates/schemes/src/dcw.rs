@@ -55,6 +55,7 @@ impl WriteScheme for DcwWrite {
             cell_sets: sets,
             cell_resets: resets,
             read_before_write: false,
+            partitions_used: 0,
         }
     }
 }

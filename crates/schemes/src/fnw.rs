@@ -47,6 +47,7 @@ impl WriteScheme for FlipNWrite {
             cell_sets: sets,
             cell_resets: resets,
             read_before_write: true,
+            partitions_used: 0,
         }
         .tap_validate(ctx, &demand)
     }

@@ -20,7 +20,10 @@
 //! Beyond the paper's comparison set, [`PreSetWrite`] implements the cited
 //! PreSET scheme (ref. \[23\]) — background full-SET sweeps that leave only
 //! fast RESETs on the critical path, trading energy and endurance for
-//! latency.
+//! latency — and two families from the follow-on literature:
+//! [`PalpWrite`] (partition-level parallelism inside one bank, DCW energy
+//! with near-parallel slot timing) and [`WireWrite`] (restricted coset
+//! coding, a Flip-N-Write sibling with a 4-row XOR codebook).
 //!
 //! The paper's contribution, Tetris Write, implements the same trait in the
 //! `tetris-write` crate.
@@ -35,17 +38,21 @@ pub mod analytic;
 pub mod conventional;
 pub mod dcw;
 pub mod fnw;
+pub mod palp;
 pub mod preset;
 pub mod three_stage;
 pub mod traits;
 pub mod two_stage;
+pub mod wire;
 
 pub use conventional::ConventionalWrite;
 pub use dcw::DcwWrite;
 pub use fnw::FlipNWrite;
+pub use palp::PalpWrite;
 pub use preset::{register_tetris_factory, ParseSchemeError, PreSetWrite, SchemeSelect};
 pub use three_stage::ThreeStageWrite;
 pub use traits::{
     BatchPlan, PackStats, SchemeConfig, SchemeConfigBuilder, WriteCtx, WritePlan, WriteScheme,
 };
 pub use two_stage::TwoStageWrite;
+pub use wire::WireWrite;

@@ -1,0 +1,335 @@
+//! PALP — partition-level parallelism inside one bank (Song et al.).
+//!
+//! The classic model treats a bank as one monolithic array: write units
+//! walk the line serially, one `Tset` slot each (DCW). Real PCM banks are
+//! built from several independently addressable *partitions*; PALP issues
+//! write units that land in distinct partitions concurrently, subject to
+//! the shared charge-pump budget, so a line write collapses from
+//! `N/M` serial slots to `⌈dirty / P⌉`-ish parallel slots.
+//!
+//! Model decisions (see DESIGN.md §13):
+//!
+//! * Accounting is DCW: differential programming, no read-before-write,
+//!   flip tags cleared. Energy therefore matches DCW bit-for-bit.
+//! * Unit `i` maps to partition `i mod P` (line bits stripe across
+//!   partitions, the layout PALP proposes).
+//! * A *slot* activates at most one unit per partition and may not exceed
+//!   the bank budget in SET-equivalents (`sets + L·resets` per unit).
+//!   Only dirty units (non-zero demand) are issued at all.
+//! * Activating `k` partitions in the same slot pays a read-disturb /
+//!   peripheral-conflict guard of `(k−1)·δ` with `δ = Tread/2` — adjacent
+//!   partitions share sense amps, so concurrent pulses need staggered
+//!   activation. Because `δ < Tset`, a PALP line write is never slower
+//!   than DCW's serial walk.
+//! * A lone unit too expensive for the whole budget stretches its slot to
+//!   `⌈cost/budget⌉` rounds (cannot happen at the Table II baseline,
+//!   where the worst unit costs exactly the 128-unit budget).
+
+use crate::traits::{SchemeConfig, WriteCtx, WritePlan, WriteScheme};
+use pcm_types::{transitions, Ps, MAX_UNITS_PER_LINE};
+
+/// One power-feasible slot of concurrent partition writes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PalpSlot {
+    /// Bitmask of line unit indices issued in this slot (each on a
+    /// distinct partition).
+    pub units: u32,
+    /// Budget rounds the slot occupies (1 unless a lone oversized unit).
+    pub rounds: u32,
+    /// Total instantaneous cost in SET-equivalents (per round).
+    pub cost: u32,
+}
+
+/// A complete partition-parallel issue schedule for one line write.
+#[derive(Clone, Copy, Debug)]
+pub struct PalpSchedule {
+    slots: [PalpSlot; MAX_UNITS_PER_LINE],
+    num_slots: usize,
+}
+
+impl PalpSchedule {
+    /// The packed slots, in issue order.
+    pub fn slots(&self) -> &[PalpSlot] {
+        &self.slots[..self.num_slots]
+    }
+
+    /// Largest number of partitions driven concurrently by any slot.
+    pub fn max_partitions(&self) -> u32 {
+        self.slots()
+            .iter()
+            .map(|s| s.units.count_ones())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Greedily pack dirty units into power-feasible partition slots.
+///
+/// `costs[i]` is unit `i`'s demand in SET-equivalents (0 = clean, never
+/// issued). Deterministic: units are considered in index order, each slot
+/// takes the first pending unit of every free partition that still fits
+/// the budget. Exposed for the budget-conservation property test.
+pub fn pack_partition_slots(costs: &[u32], partitions: u32, budget: u32) -> PalpSchedule {
+    assert!(costs.len() <= MAX_UNITS_PER_LINE, "too many units");
+    let p = partitions.max(1);
+    let budget = budget.max(1);
+    let mut pending = [false; MAX_UNITS_PER_LINE];
+    let mut left = 0usize;
+    for (i, &c) in costs.iter().enumerate() {
+        if c > 0 {
+            pending[i] = true;
+            left += 1;
+        }
+    }
+    let mut sched = PalpSchedule {
+        slots: [PalpSlot::default(); MAX_UNITS_PER_LINE],
+        num_slots: 0,
+    };
+    while left > 0 {
+        let mut slot = PalpSlot {
+            units: 0,
+            rounds: 1,
+            cost: 0,
+        };
+        // Unit index < 32, so `i % p` < 32 fits a u32 partition mask.
+        let mut used_partitions = 0u32;
+        for i in 0..costs.len() {
+            if !pending[i] {
+                continue;
+            }
+            let part = 1u32 << (i as u32 % p);
+            if used_partitions & part != 0 {
+                continue;
+            }
+            let cost = costs[i];
+            if slot.units == 0 && cost > budget {
+                // Oversized lone unit: stretch the slot over several
+                // budget rounds and issue nothing alongside it.
+                slot.units = 1 << i;
+                slot.rounds = cost.div_ceil(budget);
+                slot.cost = budget;
+                pending[i] = false;
+                left -= 1;
+                break;
+            }
+            if slot.cost + cost <= budget {
+                slot.units |= 1 << i;
+                slot.cost += cost;
+                used_partitions |= part;
+                pending[i] = false;
+                left -= 1;
+            }
+        }
+        debug_assert!(slot.units != 0, "every pass must place at least one unit");
+        sched.slots[sched.num_slots] = slot;
+        sched.num_slots += 1;
+    }
+    sched
+}
+
+/// Partition-parallel DCW (PALP).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PalpWrite;
+
+impl WriteScheme for PalpWrite {
+    fn name(&self) -> &'static str {
+        "PALP"
+    }
+
+    fn plan(&self, ctx: &WriteCtx<'_>) -> WritePlan {
+        let cfg: &SchemeConfig = ctx.cfg;
+        let num_units = ctx.new_logical.num_units();
+
+        // DCW-identical differential accounting: stale flip tags force a
+        // plain rewrite of those units plus the tag RESET.
+        let old_logical = ctx.old_logical();
+        let mut sets = 0u32;
+        let mut resets = ctx.old_flips.count_ones();
+        let mut costs = [0u32; MAX_UNITS_PER_LINE];
+        for (i, cost) in costs.iter_mut().enumerate().take(num_units) {
+            let from = if ctx.old_flips & (1 << i) != 0 {
+                ctx.old_stored.unit(i)
+            } else {
+                old_logical.unit(i)
+            };
+            let t = transitions(from, ctx.new_logical.unit(i));
+            sets += t.num_sets();
+            resets += t.num_resets();
+            let tag_reset = (ctx.old_flips & (1 << i) != 0) as u32;
+            *cost =
+                cfg.power.set_cost(t.num_sets()) + cfg.power.reset_cost(t.num_resets() + tag_reset);
+        }
+
+        let sched = pack_partition_slots(
+            &costs[..num_units],
+            cfg.org.partitions_per_bank,
+            cfg.power.budget_per_bank,
+        );
+
+        // Slot timing: `rounds · Tset` plus the `(k−1)·δ` activation
+        // stagger; a clean line still burns one comparison slot.
+        let delta = Ps(cfg.timings.t_read.as_ps() / 2);
+        let mut service = Ps(0);
+        for s in sched.slots() {
+            let k = s.units.count_ones() as u64;
+            service = service + cfg.timings.t_set * s.rounds as u64 + delta * (k - 1);
+        }
+        if sched.slots().is_empty() {
+            service = cfg.timings.t_set;
+        }
+        let equiv = service.as_ps() as f64 / cfg.timings.t_set.as_ps() as f64;
+
+        WritePlan {
+            service_time: service,
+            energy: cfg.energy.write_energy(sets as u64, resets as u64),
+            write_units_equiv: equiv,
+            stored: *ctx.new_logical,
+            flips: 0,
+            cell_sets: sets,
+            cell_resets: resets,
+            read_before_write: false,
+            partitions_used: sched.max_partitions().max(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DcwWrite;
+    use pcm_types::propcheck::{any_u64, vec_of};
+    use pcm_types::{prop_assert, prop_assert_eq, propcheck, LineData};
+
+    fn plan(old: &LineData, flips: u32, new: &LineData) -> WritePlan {
+        let cfg = SchemeConfig::paper_baseline();
+        PalpWrite.plan(&WriteCtx {
+            old_stored: old,
+            old_flips: flips,
+            new_logical: new,
+            cfg: &cfg,
+        })
+    }
+
+    #[test]
+    fn four_dirty_units_issue_in_one_slot() {
+        let old = LineData::zeroed(64);
+        let mut new = LineData::zeroed(64);
+        for i in 0..4 {
+            new.set_unit(i, 0b11); // 2 SETs each, distinct partitions 0–3
+        }
+        let p = plan(&old, 0, &new);
+        assert_eq!(p.partitions_used, 4);
+        // One slot of 4 partitions: Tset + 3·δ = 430 + 75 ns.
+        assert_eq!(p.service_time, Ps::from_ns(430) + Ps(3 * 25_000));
+        assert!(!p.read_before_write);
+        assert!(p.check_decodes_to(&new).is_ok());
+    }
+
+    #[test]
+    fn accounting_is_dcw_identical() {
+        let cfg = SchemeConfig::paper_baseline();
+        let old = LineData::from_units(&[0xF0F0; 8]);
+        let mut new = old;
+        new.set_unit(1, 0x0F0F);
+        new.set_unit(6, u64::MAX);
+        let ctx = WriteCtx {
+            old_stored: &old,
+            old_flips: 0b100,
+            new_logical: &new,
+            cfg: &cfg,
+        };
+        let palp = PalpWrite.plan(&ctx);
+        let dcw = DcwWrite.plan(&ctx);
+        assert_eq!(palp.cell_sets, dcw.cell_sets);
+        assert_eq!(palp.cell_resets, dcw.cell_resets);
+        assert_eq!(palp.energy, dcw.energy);
+        assert_eq!(palp.stored, dcw.stored);
+        assert_eq!(palp.flips, 0);
+    }
+
+    #[test]
+    fn never_slower_than_dcw() {
+        let cfg = SchemeConfig::paper_baseline();
+        let dcw_service = cfg.timings.t_set * cfg.org.write_units_per_line() as u64;
+        // Worst case for PALP: every unit dirty and expensive.
+        let old = LineData::zeroed(64);
+        let new = LineData::from_units(&[u64::MAX; 8]);
+        let p = plan(&old, 0, &new);
+        assert!(p.service_time <= dcw_service, "{:?}", p.service_time);
+        // Clean line: single comparison slot, far below DCW.
+        let clean = plan(&old, 0, &old);
+        assert_eq!(clean.service_time, cfg.timings.t_set);
+        assert!(clean.service_time < dcw_service);
+    }
+
+    #[test]
+    fn same_partition_units_serialize() {
+        // Units 0 and 4 share partition 0 (P = 4) → two slots, k = 1 each.
+        let old = LineData::zeroed(64);
+        let mut new = LineData::zeroed(64);
+        new.set_unit(0, 1);
+        new.set_unit(4, 1);
+        let p = plan(&old, 0, &new);
+        assert_eq!(p.partitions_used, 1);
+        assert_eq!(p.service_time, Ps::from_ns(2 * 430), "no stagger penalty");
+    }
+
+    #[test]
+    fn oversized_unit_stretches_rounds() {
+        let sched = pack_partition_slots(&[300, 10], 4, 128);
+        assert_eq!(sched.slots().len(), 2);
+        assert_eq!(sched.slots()[0].rounds, 3, "300/128 rounded up");
+        assert_eq!(sched.slots()[0].units, 0b01);
+        assert_eq!(sched.slots()[1].units, 0b10);
+    }
+
+    propcheck! {
+        /// The packer's invariant: every slot stays within the budget
+        /// (oversized lone units excepted, which run alone over several
+        /// rounds) and never drives one partition twice.
+        fn slots_respect_budget_and_partitions(
+            raw in vec_of(any_u64(), 8),
+            parts in 1u32..6,
+        ) {
+            let costs: Vec<u32> = raw.iter().map(|r| (r % 200) as u32).collect();
+            let budget = 128u32;
+            let sched = pack_partition_slots(&costs, parts, budget);
+            let mut seen = 0u32;
+            for s in sched.slots() {
+                let mut partitions = 0u32;
+                let mut slot_cost = 0u32;
+                for (i, &c) in costs.iter().enumerate() {
+                    if s.units & (1 << i) == 0 { continue; }
+                    let pm = 1u32 << (i as u32 % parts);
+                    prop_assert_eq!(partitions & pm, 0, "partition driven twice");
+                    partitions |= pm;
+                    slot_cost += c;
+                }
+                if s.units.count_ones() > 1 {
+                    prop_assert!(slot_cost <= budget, "slot cost {slot_cost}");
+                } else {
+                    prop_assert!(slot_cost <= budget * s.rounds, "stretched slot");
+                }
+                prop_assert_eq!(seen & s.units, 0, "unit issued twice");
+                seen |= s.units;
+            }
+            let dirty: u32 = costs.iter().enumerate()
+                .map(|(i, &c)| ((c > 0) as u32) << i).sum();
+            prop_assert_eq!(seen, dirty, "every dirty unit issued exactly once");
+        }
+
+        /// PALP service never exceeds DCW's serial walk, whatever the data.
+        fn service_bounded_by_dcw(olds in vec_of(any_u64(), 8), news in vec_of(any_u64(), 8)) {
+            let cfg = SchemeConfig::paper_baseline();
+            let old = LineData::from_units(&olds);
+            let new = LineData::from_units(&news);
+            let p = PalpWrite.plan(&WriteCtx {
+                old_stored: &old, old_flips: 0, new_logical: &new, cfg: &cfg,
+            });
+            let dcw = cfg.timings.t_set * cfg.org.write_units_per_line() as u64;
+            prop_assert!(p.service_time <= dcw);
+            prop_assert!(p.partitions_used >= 1);
+            prop_assert!(p.partitions_used <= cfg.org.partitions_per_bank);
+        }
+    }
+}

@@ -47,12 +47,16 @@ pub enum SchemeSelect {
     PreSet,
     /// The paper's contribution (constructed by the registered factory).
     Tetris,
+    /// Partition-level parallelism inside one bank (PALP, Song et al.).
+    Palp,
+    /// Restricted coset coding (WIRE, Seyedzadeh et al.).
+    Wire,
 }
 
 impl SchemeSelect {
     /// Every scheme, in the paper's presentation order — the registry
     /// surface for tests and sweeps that must cover all of them.
-    pub const ALL: [SchemeSelect; 7] = [
+    pub const ALL: [SchemeSelect; 9] = [
         SchemeSelect::Conventional,
         SchemeSelect::Dcw,
         SchemeSelect::Fnw,
@@ -60,6 +64,8 @@ impl SchemeSelect {
         SchemeSelect::ThreeStage,
         SchemeSelect::PreSet,
         SchemeSelect::Tetris,
+        SchemeSelect::Palp,
+        SchemeSelect::Wire,
     ];
 
     /// Stable lowercase tag (CLI / JSON).
@@ -72,6 +78,8 @@ impl SchemeSelect {
             SchemeSelect::ThreeStage => "3stage",
             SchemeSelect::PreSet => "preset",
             SchemeSelect::Tetris => "tetris",
+            SchemeSelect::Palp => "palp",
+            SchemeSelect::Wire => "wire",
         }
     }
 }
@@ -92,13 +100,17 @@ pub struct ParseSchemeError {
 }
 
 impl fmt::Display for ParseSchemeError {
+    /// The valid-tag list is derived from [`SchemeSelect::ALL`] so it can
+    /// never drift as the registry grows.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "unknown scheme '{}' (expected one of conventional, dcw, fnw, \
-             2stage, 3stage, preset, tetris)",
-            self.input
-        )
+        write!(f, "unknown scheme '{}' (expected one of ", self.input)?;
+        for (i, s) in SchemeSelect::ALL.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            f.write_str(s.tag())?;
+        }
+        f.write_str(")")
     }
 }
 
@@ -120,6 +132,8 @@ impl FromStr for SchemeSelect {
             "3stage" | "3sw" | "three-stage" | "three-stage-write" => Ok(SchemeSelect::ThreeStage),
             "preset" => Ok(SchemeSelect::PreSet),
             "tetris" | "tetris-write" => Ok(SchemeSelect::Tetris),
+            "palp" | "partition-parallel" => Ok(SchemeSelect::Palp),
+            "wire" | "coset" => Ok(SchemeSelect::Wire),
             _ => Err(ParseSchemeError { input: s.into() }),
         }
     }
@@ -158,6 +172,8 @@ impl SchemeConfig {
             SchemeSelect::TwoStage => Box::new(crate::TwoStageWrite),
             SchemeSelect::ThreeStage => Box::new(crate::ThreeStageWrite),
             SchemeSelect::PreSet => Box::new(PreSetWrite),
+            SchemeSelect::Palp => Box::new(crate::PalpWrite),
+            SchemeSelect::Wire => Box::new(crate::WireWrite),
             SchemeSelect::Tetris => {
                 let f = TETRIS_FACTORY.get().expect(
                     "SchemeSelect::Tetris requires tetris_write::register_scheme_factory() \
@@ -208,6 +224,7 @@ impl WriteScheme for PreSetWrite {
             cell_sets: preset_sets,
             cell_resets: resets,
             read_before_write: false,
+            partitions_used: 0,
         }
     }
 }
@@ -282,6 +299,8 @@ mod tests {
             (TwoStage, "2-Stage-Write"),
             (ThreeStage, "Three-Stage-Write"),
             (PreSet, "PreSET"),
+            (Palp, "PALP"),
+            (Wire, "WIRE"),
         ] {
             let cfg = SchemeConfig::builder().select(sel).build().unwrap();
             assert_eq!(cfg.instantiate().name(), name, "select {sel:?}");
@@ -306,18 +325,23 @@ mod tests {
             ("three-stage-write", SchemeSelect::ThreeStage),
             ("Tetris-Write", SchemeSelect::Tetris),
             ("preset", SchemeSelect::PreSet),
+            ("Partition-Parallel", SchemeSelect::Palp),
+            ("COSET", SchemeSelect::Wire),
         ] {
             assert_eq!(alias.parse::<SchemeSelect>(), Ok(want), "{alias}");
         }
         let err = "bogus".parse::<SchemeSelect>().unwrap_err();
         assert_eq!(err.input, "bogus");
-        assert!(err.to_string().contains("tetris"), "lists valid tags");
+        // The message is derived from ALL — every canonical tag appears.
+        for s in SchemeSelect::ALL {
+            assert!(err.to_string().contains(s.tag()), "lists {}", s.tag());
+        }
     }
 
     pcm_types::propcheck! {
         /// Display → FromStr is the identity over the whole registry,
         /// in any ASCII case.
-        fn display_fromstr_roundtrip(i in 0usize..7, upper in pcm_types::propcheck::any_bool()) {
+        fn display_fromstr_roundtrip(i in 0usize..9, upper in pcm_types::propcheck::any_bool()) {
             let scheme = SchemeSelect::ALL[i];
             let mut tag = scheme.to_string();
             pcm_types::prop_assert_eq!(tag.as_str(), scheme.tag());

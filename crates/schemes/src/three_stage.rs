@@ -55,6 +55,7 @@ impl WriteScheme for ThreeStageWrite {
             cell_sets: sets,
             cell_resets: resets,
             read_before_write: true,
+            partitions_used: 0,
         }
     }
 }

@@ -1,7 +1,8 @@
 //! The [`WriteScheme`] trait and the plan/context types every scheme shares.
 
 use pcm_types::{
-    flip_decode, EnergyParams, LineData, MemOrg, PcmError, PcmTimings, PicoJoules, PowerParams, Ps,
+    coset_decode_unit, EnergyParams, LineData, MemOrg, PcmError, PcmTimings, PicoJoules,
+    PowerParams, Ps,
 };
 
 /// Static configuration a scheme plans against.
@@ -127,12 +128,18 @@ pub struct WriteCtx<'a> {
 }
 
 impl<'a> WriteCtx<'a> {
-    /// The logical data currently stored (decoding flip tags).
+    /// The logical data currently stored (decoding flip tags and, for
+    /// WIRE-coded lines, the coset row packed into the tag word's top
+    /// bits — tag words without row bits decode exactly as classic
+    /// Flip-N-Write).
     pub fn old_logical(&self) -> LineData {
         let mut out = *self.old_stored;
-        for i in 0..out.num_units() {
-            let flip = self.old_flips & (1 << i) != 0;
-            out.set_unit(i, flip_decode(self.old_stored.unit(i), flip));
+        let n = out.num_units();
+        for i in 0..n {
+            out.set_unit(
+                i,
+                coset_decode_unit(self.old_stored.unit(i), self.old_flips, i, n),
+            );
         }
         out
     }
@@ -159,6 +166,9 @@ pub struct WritePlan {
     pub cell_resets: u32,
     /// Whether the scheme performed a read before writing.
     pub read_before_write: bool,
+    /// Intra-bank partitions the plan drives concurrently (0 for schemes
+    /// without a partition model; ≥ 1 for PALP-style plans).
+    pub partitions_used: u32,
 }
 
 impl WritePlan {
@@ -171,9 +181,9 @@ impl WritePlan {
                 actual: self.stored.len(),
             });
         }
-        for i in 0..logical.num_units() {
-            let flip = self.flips & (1 << i) != 0;
-            if flip_decode(self.stored.unit(i), flip) != logical.unit(i) {
+        let n = logical.num_units();
+        for i in 0..n {
+            if coset_decode_unit(self.stored.unit(i), self.flips, i, n) != logical.unit(i) {
                 return Err(PcmError::IncompleteSchedule(format!(
                     "unit {i} decodes incorrectly"
                 )));
@@ -301,6 +311,7 @@ mod tests {
             cell_sets: 0,
             cell_resets: 0,
             read_before_write: true,
+            partitions_used: 0,
         };
         assert!(plan.check_decodes_to(&new).is_ok());
         let other = LineData::zeroed(64);

@@ -73,6 +73,7 @@ impl WriteScheme for TwoStageWrite {
             cell_sets: sets,
             cell_resets: resets,
             read_before_write: false,
+            partitions_used: 0,
         }
     }
 }

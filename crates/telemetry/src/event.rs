@@ -186,6 +186,36 @@ pub enum TelemetryEvent {
         /// batch's occupied slots.
         utilization: f64,
     },
+    /// A partition-parallel write was issued: the scheme drove several
+    /// intra-bank partitions concurrently under the shared power budget
+    /// (PALP-style plans; never emitted by monolithic-bank schemes).
+    PartitionWrite {
+        /// Issue time.
+        at: Ps,
+        /// Flat bank index.
+        bank: u32,
+        /// Most partitions driven concurrently in any slot of the write.
+        partitions: u32,
+        /// Cache lines the write serviced (>1 for a batch).
+        lines: u32,
+    },
+    /// Coset-row histogram of a serviced write (batch): how many lines
+    /// landed on each row of the 4-row codebook. Flip-bit schemes other
+    /// than WIRE always report row 0 (plain inversion).
+    CosetChoice {
+        /// Issue time.
+        at: Ps,
+        /// Flat bank index.
+        bank: u32,
+        /// Lines stored with row 0 (full inversion — classic Flip-N-Write).
+        row0: u32,
+        /// Lines stored with row 1 (upper-half mask).
+        row1: u32,
+        /// Lines stored with row 2 (lower-half mask).
+        row2: u32,
+        /// Lines stored with row 3 (alternating-bit mask).
+        row3: u32,
+    },
     /// A front-end request completed service (the `pcm-serve` request
     /// loop emits one per request, giving per-tenant latency samples).
     RequestDone {
@@ -218,6 +248,8 @@ impl TelemetryEvent {
             | TelemetryEvent::BankIdle { .. }
             | TelemetryEvent::QueueDepth { .. }
             | TelemetryEvent::WriteSteer { .. }
+            | TelemetryEvent::PartitionWrite { .. }
+            | TelemetryEvent::CosetChoice { .. }
             | TelemetryEvent::RequestDone { .. } => TraceDetail::Fine,
             _ => TraceDetail::Coarse,
         }
@@ -238,6 +270,8 @@ impl TelemetryEvent {
             | TelemetryEvent::WriteSteer { at, .. }
             | TelemetryEvent::ReadWindow { at, .. }
             | TelemetryEvent::BatchPack { at, .. }
+            | TelemetryEvent::PartitionWrite { at, .. }
+            | TelemetryEvent::CosetChoice { at, .. }
             | TelemetryEvent::RequestDone { at, .. }
             | TelemetryEvent::Backpressure { at, .. } => Some(at),
         }
@@ -364,6 +398,34 @@ impl JsonCodec for TelemetryEvent {
                 ("stolen_write0s", Json::UInt(u64::from(*stolen_write0s))),
                 ("utilization", Json::Num(*utilization)),
             ]),
+            TelemetryEvent::PartitionWrite {
+                at,
+                bank,
+                partitions,
+                lines,
+            } => Json::obj(vec![
+                ("ev", Json::str("partition_write")),
+                ("at", Json::UInt(at.0)),
+                ("bank", Json::UInt(u64::from(*bank))),
+                ("partitions", Json::UInt(u64::from(*partitions))),
+                ("lines", Json::UInt(u64::from(*lines))),
+            ]),
+            TelemetryEvent::CosetChoice {
+                at,
+                bank,
+                row0,
+                row1,
+                row2,
+                row3,
+            } => Json::obj(vec![
+                ("ev", Json::str("coset_choice")),
+                ("at", Json::UInt(at.0)),
+                ("bank", Json::UInt(u64::from(*bank))),
+                ("row0", Json::UInt(u64::from(*row0))),
+                ("row1", Json::UInt(u64::from(*row1))),
+                ("row2", Json::UInt(u64::from(*row2))),
+                ("row3", Json::UInt(u64::from(*row3))),
+            ]),
             TelemetryEvent::RequestDone {
                 at,
                 tenant,
@@ -452,6 +514,20 @@ impl JsonCodec for TelemetryEvent {
                 write_units: get_f64(v, "write_units")?,
                 stolen_write0s: get_u32(v, "stolen_write0s")?,
                 utilization: get_f64(v, "utilization")?,
+            }),
+            "partition_write" => Ok(TelemetryEvent::PartitionWrite {
+                at: get_ps(v, "at")?,
+                bank: get_u32(v, "bank")?,
+                partitions: get_u32(v, "partitions")?,
+                lines: get_u32(v, "lines")?,
+            }),
+            "coset_choice" => Ok(TelemetryEvent::CosetChoice {
+                at: get_ps(v, "at")?,
+                bank: get_u32(v, "bank")?,
+                row0: get_u32(v, "row0")?,
+                row1: get_u32(v, "row1")?,
+                row2: get_u32(v, "row2")?,
+                row3: get_u32(v, "row3")?,
             }),
             "request_done" => Ok(TelemetryEvent::RequestDone {
                 at: get_ps(v, "at")?,
@@ -544,6 +620,20 @@ mod tests {
                 at: Ps(13_000),
                 until: Ps(63_000),
             },
+            TelemetryEvent::PartitionWrite {
+                at: Ps(13_500),
+                bank: 4,
+                partitions: 4,
+                lines: 1,
+            },
+            TelemetryEvent::CosetChoice {
+                at: Ps(13_600),
+                bank: 4,
+                row0: 2,
+                row1: 0,
+                row2: 1,
+                row3: 1,
+            },
             TelemetryEvent::RequestDone {
                 at: Ps(14_000),
                 tenant: 1,
@@ -585,6 +675,8 @@ mod tests {
                 | TelemetryEvent::BankIdle { .. }
                 | TelemetryEvent::QueueDepth { .. }
                 | TelemetryEvent::WriteSteer { .. }
+                | TelemetryEvent::PartitionWrite { .. }
+                | TelemetryEvent::CosetChoice { .. }
                 | TelemetryEvent::RequestDone { .. } => Fine,
                 _ => Coarse,
             };

@@ -58,6 +58,13 @@ pub struct TraceSummary {
     pub served_requests: u64,
     /// Front-end requests shed by admission control (`backpressure`).
     pub shed_requests: u64,
+    /// Partition-parallel writes observed (`partition_write` events).
+    pub partition_writes: u64,
+    /// Sum of the per-write concurrent-partition counts, for the mean
+    /// occupancy `partitions_sum / partition_writes`.
+    pub partitions_sum: u64,
+    /// Lines stored on each coset row, summed over `coset_choice` events.
+    pub coset_rows: [u64; 4],
 }
 
 /// Nearest-rank percentile of a **sorted** slice (`p` in [0, 1]).
@@ -156,6 +163,21 @@ impl TraceSummary {
                 }
                 TelemetryEvent::RequestDone { .. } => s.served_requests += 1,
                 TelemetryEvent::Backpressure { .. } => s.shed_requests += 1,
+                TelemetryEvent::PartitionWrite { partitions, .. } => {
+                    s.partition_writes += 1;
+                    s.partitions_sum += u64::from(partitions);
+                }
+                TelemetryEvent::CosetChoice {
+                    row0,
+                    row1,
+                    row2,
+                    row3,
+                    ..
+                } => {
+                    for (slot, n) in s.coset_rows.iter_mut().zip([row0, row1, row2, row3]) {
+                        *slot += u64::from(n);
+                    }
+                }
             }
         }
         if s.batches > 0 {
@@ -211,6 +233,11 @@ impl TraceSummary {
             out.read_windows += p.read_windows;
             out.served_requests += p.served_requests;
             out.shed_requests += p.shed_requests;
+            out.partition_writes += p.partition_writes;
+            out.partitions_sum += p.partitions_sum;
+            for (slot, n) in out.coset_rows.iter_mut().zip(p.coset_rows) {
+                *slot += n;
+            }
         }
         if out.batches > 0 {
             out.mean_batch_utilization = util_weight / out.batches as f64;
@@ -238,6 +265,16 @@ impl TraceSummary {
             .iter()
             .map(|evs| TraceSummary::from_events(evs))
             .collect()
+    }
+
+    /// Mean concurrent-partition occupancy over partition-parallel writes
+    /// (0 when the scheme never drove multiple partitions).
+    pub fn mean_partition_occupancy(&self) -> f64 {
+        if self.partition_writes == 0 {
+            0.0
+        } else {
+            self.partitions_sum as f64 / self.partition_writes as f64
+        }
     }
 
     /// Mean utilization across all banks.
@@ -495,6 +532,50 @@ mod tests {
         let m = TraceSummary::merged(&[s.clone(), s]);
         assert_eq!(m.served_requests, 4);
         assert_eq!(m.shed_requests, 2);
+    }
+
+    #[test]
+    fn partition_and_coset_events_aggregate() {
+        let evs = vec![
+            TelemetryEvent::PartitionWrite {
+                at: Ps(1_000),
+                bank: 0,
+                partitions: 4,
+                lines: 1,
+            },
+            TelemetryEvent::PartitionWrite {
+                at: Ps(2_000),
+                bank: 1,
+                partitions: 2,
+                lines: 1,
+            },
+            TelemetryEvent::CosetChoice {
+                at: Ps(3_000),
+                bank: 0,
+                row0: 3,
+                row1: 1,
+                row2: 0,
+                row3: 2,
+            },
+            TelemetryEvent::CosetChoice {
+                at: Ps(4_000),
+                bank: 1,
+                row0: 1,
+                row1: 0,
+                row2: 0,
+                row3: 0,
+            },
+        ];
+        let s = TraceSummary::from_events(&evs);
+        assert_eq!(s.partition_writes, 2);
+        assert_eq!(s.partitions_sum, 6);
+        assert!((s.mean_partition_occupancy() - 3.0).abs() < 1e-12);
+        assert_eq!(s.coset_rows, [4, 1, 0, 2]);
+        assert_eq!(s.span, Ps(4_000));
+        let m = TraceSummary::merged(&[s.clone(), s]);
+        assert_eq!(m.partition_writes, 4);
+        assert_eq!(m.coset_rows, [8, 2, 0, 4]);
+        assert!((m.mean_partition_occupancy() - 3.0).abs() < 1e-12);
     }
 
     #[test]
