@@ -12,6 +12,8 @@
 //!   row search); the controller calls these on every serviced write.
 //! * `canonical/telemetry/*` — per-event sink dispatch cost (the "tracing
 //!   off costs nothing" claim).
+//! * `canonical/writecache/*` — the DRAM write-cache tier's per-store
+//!   coalesce hit and background drain cycle.
 //! * `canonical/system/*` — a quick end-to-end run under the fixed and
 //!   adaptive scheduling policies (the sched-ablation surface).
 //!
@@ -108,6 +110,41 @@ pub fn canonical_suite(c: &mut Criterion, quick: bool) {
         b.iter(|| sink.record(black_box(&ev)))
     });
     g.finish();
+
+    // --- write-cache tier hot paths ------------------------------------
+    {
+        use pcm_memsim::{PolicySelect, WriteCache, WriteCacheConfig};
+        let mut g = c.benchmark_group("canonical/writecache");
+        g.sample_size(micro_samples);
+        g.bench_function("write_cache_hit", |b| {
+            // Steady-state coalescing: every write lands on a resident
+            // dirty line, the tier's best case and the controller's
+            // per-store fast path.
+            let mut wc = WriteCache::new(WriteCacheConfig::with_frames(64, PolicySelect::Lru), 64)
+                .expect("bench write-cache configuration is valid");
+            for i in 0..64u64 {
+                wc.write(i * 64);
+            }
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 1) % 64;
+                black_box(wc.write(black_box(i * 64)))
+            })
+        });
+        g.bench_function("write_cache_drain", |b| {
+            // Steady-state churn: admit one cold line, drain one victim —
+            // the background-drain cycle under a full tier.
+            let mut wc = WriteCache::new(WriteCacheConfig::with_frames(64, PolicySelect::Lru), 64)
+                .expect("bench write-cache configuration is valid");
+            let mut next = 0u64;
+            b.iter(|| {
+                next += 64;
+                wc.write(next);
+                black_box(wc.drain_one())
+            })
+        });
+        g.finish();
+    }
 
     // --- end-to-end system run, both scheduling policies ---------------
     let run_cfg = RunConfig::builder()

@@ -1,0 +1,145 @@
+//! Write-cache tier parity, driven off [`PolicySelect::ALL`] in the style
+//! of `scheme_conservation.rs`: a policy added to the registry is
+//! automatically covered, and a tier left disabled (`frames = 0`) must be
+//! bit-for-bit the pipeline the paper models — same runtime, same latency
+//! accounting, same pulse counts, same energy.
+
+use pcm_memsim::{
+    AccessKind, PolicySelect, SimResult, System, SystemConfig, TraceOp, UniformRandomContent,
+    VecTrace, WriteCacheConfig,
+};
+
+/// A write-heavy two-core trace with enough address reuse for a tier to
+/// coalesce and enough spread to force evictions.
+fn ops_per_core() -> Vec<Vec<TraceOp>> {
+    (0..2)
+        .map(|core: u64| {
+            (0..1_500)
+                .map(|i: u64| TraceOp {
+                    gap: 6,
+                    kind: if i % 3 == 0 {
+                        AccessKind::Read
+                    } else {
+                        AccessKind::Write
+                    },
+                    // 47 hot lines per core (coprime to the read stride,
+                    // so every line sees both kinds), 16 MiB apart per
+                    // core so the sets never collide.
+                    addr: core * 0x100_0000 + (i % 47) * 64,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn run_with(cfg: SystemConfig) -> SimResult {
+    let mut sys = System::build(cfg)
+        .expect("parity config is valid")
+        .with_trace(Box::new(VecTrace::new(ops_per_core())))
+        .with_content(Box::new(UniformRandomContent::new(11)));
+    sys.run()
+}
+
+/// Every deterministic field of a run, for exact cross-run comparison
+/// (`SimResult` holds histograms, so compare a full fingerprint instead
+/// of spot-checking one metric).
+fn fingerprint(r: &SimResult) -> Vec<u64> {
+    let mut f = vec![
+        r.runtime.0,
+        r.read_latency.count,
+        r.read_latency.sum_ps,
+        r.write_latency.count,
+        r.write_latency.sum_ps,
+        r.mem_reads,
+        r.mem_writes,
+        r.cell_sets + r.cell_resets,
+    ];
+    f.extend(&r.instructions);
+    f.extend(&r.cycles);
+    f
+}
+
+/// `PolicySelect::ALL` is the whole registry: every variant appears
+/// exactly once and its canonical tag round-trips through `FromStr`.
+#[test]
+fn registry_covers_every_policy_once() {
+    let mut tags: Vec<&str> = PolicySelect::ALL.iter().map(|p| p.tag()).collect();
+    tags.sort_unstable();
+    let mut deduped = tags.clone();
+    deduped.dedup();
+    assert_eq!(tags, deduped, "duplicate entry in PolicySelect::ALL");
+    assert_eq!(tags, ["2q", "clock", "lru"]);
+    for p in PolicySelect::ALL {
+        let parsed: PolicySelect = p.tag().parse().expect("canonical tag parses");
+        assert_eq!(parsed, p, "Display → FromStr round-trips for {p}");
+    }
+}
+
+/// A disabled tier (the default, and the explicit `frames = 0` spelling)
+/// is bit-for-bit the plain pipeline.
+#[test]
+fn disabled_tier_is_bit_for_bit_baseline() {
+    let baseline = run_with(SystemConfig::paper_baseline());
+    let mut explicit = SystemConfig::paper_baseline();
+    explicit.write_cache = WriteCacheConfig::disabled();
+    assert_eq!(fingerprint(&run_with(explicit)), fingerprint(&baseline));
+}
+
+/// The hierarchy refactor onto `ReplacementPolicy` must not move a single
+/// bit: a CPU-level run with the default config and one with LRU spelled
+/// out on every level are the same run (the default *is* the historical
+/// hard-coded LRU).
+#[test]
+fn hierarchy_default_lru_is_bit_for_bit_pinned() {
+    let mut default_cfg = SystemConfig::paper_baseline();
+    default_cfg.level = pcm_memsim::TraceLevel::CpuLevel;
+    let mut explicit = default_cfg;
+    explicit.l1.policy = PolicySelect::Lru;
+    explicit.l2.policy = PolicySelect::Lru;
+    explicit.l3.policy = PolicySelect::Lru;
+    let a = run_with(default_cfg);
+    let b = run_with(explicit);
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+    // The hierarchy must actually be filtering (otherwise this pins
+    // nothing): hot lines hit in cache, so PCM sees few reads.
+    assert!(
+        a.mem_reads < 1_000,
+        "hierarchy not engaged: {}",
+        a.mem_reads
+    );
+}
+
+/// Registry-driven determinism and conservation: under every policy the
+/// enabled tier replays identically, absorbs writes (PCM services fewer
+/// line writes than the baseline), and never loses one (the run still
+/// writes every distinct dirty line).
+#[test]
+fn every_policy_is_deterministic_and_conserves_writes() {
+    let baseline = run_with(SystemConfig::paper_baseline());
+    assert!(baseline.mem_writes > 0);
+    for policy in PolicySelect::ALL {
+        let mut cfg = SystemConfig::paper_baseline();
+        cfg.write_cache = WriteCacheConfig::with_frames(128, policy);
+        cfg.validate().expect("tier config is valid");
+        let a = run_with(cfg);
+        let b = run_with(cfg);
+        assert_eq!(
+            fingerprint(&a),
+            fingerprint(&b),
+            "{policy}: tier run not deterministic"
+        );
+        assert!(
+            a.mem_writes < baseline.mem_writes,
+            "{policy}: tier absorbed nothing ({} vs baseline {})",
+            a.mem_writes,
+            baseline.mem_writes
+        );
+        // 2 cores × 47 hot lines: every dirty line must reach the PCM at
+        // least once, whatever the eviction order.
+        assert!(
+            a.mem_writes >= 94,
+            "{policy}: dirty lines went missing ({} < 94)",
+            a.mem_writes
+        );
+    }
+}

@@ -8,14 +8,16 @@
 //!          fig10 | fig11 | fig12 | fig13 | fig14 | energy | ablation
 //!
 //! tetris-experiments run --scheme TAG [--workload W] [--quick] [--instructions N]
-//!                    [--ranks R] [--trace OUT.jsonl] [--trace-level coarse|fine]
-//!                    [--json FILE]
+//!                    [--ranks R] [--write-cache FRAMES] [--policy lru|clock|2q]
+//!                    [--trace OUT.jsonl] [--trace-level coarse|fine] [--json FILE]
 //! tetris-experiments run --list-schemes
 //! tetris-experiments trace WORKLOAD OUT.jsonl [--instructions N]
 //! tetris-experiments replay TRACE.jsonl SCHEME
 //! tetris-experiments report TRACE.jsonl [--csv DIR]
 //! tetris-experiments sched-ablation [--quick] [--workload W] [--instructions N]
 //!                    [--ranks R] [--trace-dir DIR] [--csv DIR] [--assert]
+//! tetris-experiments cache-sweep [--quick] [--workload W]... [--frames LIST]
+//!                    [--policy TAG]... [--instructions N] [--trace-dir DIR] [--csv DIR]
 //! tetris-experiments bench-compare BASE.json FRESH.json [--tolerance PCT] [--k N]
 //!                    [--md OUT.md] [--json OUT.json]
 //! ```
@@ -26,6 +28,11 @@
 //! `--trace` records a telemetry trace of one run (vips × Tetris, the
 //! paper's write-heaviest pairing) to a JSONL file; `report` renders such
 //! a file into per-bank utilization and queue-depth percentile tables.
+//! `run --write-cache FRAMES --policy TAG` puts the DRAM write-cache tier
+//! in front of the controller; `cache-sweep` tables the tier's hit rate,
+//! coalesce ratio and drain behaviour per (frame budget × policy ×
+//! workload) cell, recording one trace per cell (the CI `cache-sweep`
+//! job runs the quick matrix).
 //! `sched-ablation` runs the same workload under the fixed and the
 //! adaptive controller scheduling policy and prints the delta table;
 //! `--assert` exits nonzero if the adaptive policy regresses (the CI
@@ -138,6 +145,8 @@ fn cmd_run(args: &[String]) {
     let mut trace_path: Option<String> = None;
     let mut trace_level = pcm_telemetry::TraceDetail::Fine;
     let mut json_path: Option<String> = None;
+    let mut write_cache: Option<usize> = None;
+    let mut policy = pcm_memsim::PolicySelect::Lru;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -203,6 +212,21 @@ fn cmd_run(args: &[String]) {
                         .clone(),
                 );
             }
+            "--write-cache" => {
+                i += 1;
+                write_cache = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage_error("--write-cache needs a frame count")),
+                );
+            }
+            "--policy" => {
+                i += 1;
+                policy = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage_error("--policy needs lru, clock or 2q"));
+            }
             other => usage_error(&format!("unknown run flag '{other}'")),
         }
         i += 1;
@@ -227,9 +251,19 @@ fn cmd_run(args: &[String]) {
     if let Some(r) = ranks {
         builder = builder.ranks(r);
     }
-    let cfg = builder
+    let mut cfg = builder
         .build()
         .unwrap_or_else(|e| usage_error(&e.to_string()));
+    if let Some(frames) = write_cache {
+        cfg.system.write_cache = if frames == 0 {
+            pcm_memsim::WriteCacheConfig::disabled()
+        } else {
+            pcm_memsim::WriteCacheConfig::with_frames(frames, policy)
+        };
+        cfg.system
+            .validate()
+            .unwrap_or_else(|e| usage_error(&e.to_string()));
+    }
     eprintln!(
         "run: {} × {}, {} instructions/core, {} rank(s)…",
         profile.name,
@@ -237,6 +271,14 @@ fn cmd_run(args: &[String]) {
         cfg.instructions_per_core,
         cfg.system.mem.org.ranks
     );
+    if cfg.system.write_cache.enabled() {
+        eprintln!(
+            "write cache: {} frames, {} policy, drain watermark {}",
+            cfg.system.write_cache.frames,
+            cfg.system.write_cache.policy,
+            cfg.system.write_cache.drain_watermark
+        );
+    }
     let r = if let Some(out) = &trace_path {
         let (r, written) = tetris_experiments::run_one_to_file(
             profile,
@@ -275,6 +317,128 @@ fn cmd_run(args: &[String]) {
         });
         eprintln!("wrote {path}");
     }
+}
+
+/// `cache-sweep`: table the DRAM write-cache tier per (frame budget ×
+/// replacement policy × workload) cell — the CI `cache-sweep` job runs
+/// the quick 3-policy × 2-workload matrix through this.
+fn cmd_cache_sweep(args: &[String]) {
+    use pcm_memsim::PolicySelect;
+    let mut quick = false;
+    let mut instructions: Option<u64> = None;
+    let mut workloads: Vec<String> = Vec::new();
+    let mut frames: Vec<usize> = Vec::new();
+    let mut policies: Vec<PolicySelect> = Vec::new();
+    let mut trace_dir = "target/cache-sweep".to_string();
+    let mut csv_dir: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--instructions" => {
+                i += 1;
+                instructions = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage_error("--instructions needs a number")),
+                );
+            }
+            "--workload" => {
+                i += 1;
+                workloads.push(
+                    args.get(i)
+                        .unwrap_or_else(|| usage_error("--workload needs a name"))
+                        .clone(),
+                );
+            }
+            "--frames" => {
+                i += 1;
+                let list = args
+                    .get(i)
+                    .unwrap_or_else(|| usage_error("--frames needs a comma-separated list"));
+                for part in list.split(',') {
+                    frames.push(
+                        part.trim()
+                            .parse()
+                            .unwrap_or_else(|_| usage_error("--frames entries must be numbers")),
+                    );
+                }
+            }
+            "--policy" => {
+                i += 1;
+                policies.push(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage_error("--policy needs lru, clock or 2q")),
+                );
+            }
+            "--trace-dir" => {
+                i += 1;
+                trace_dir = args
+                    .get(i)
+                    .unwrap_or_else(|| usage_error("--trace-dir needs a directory"))
+                    .clone();
+            }
+            "--csv" => {
+                i += 1;
+                csv_dir = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| usage_error("--csv needs a directory"))
+                        .clone(),
+                );
+            }
+            other => usage_error(&format!("unknown cache-sweep flag '{other}'")),
+        }
+        i += 1;
+    }
+    if workloads.is_empty() {
+        workloads = vec!["vips".to_string(), "ferret".to_string()];
+    }
+    if frames.is_empty() {
+        frames = if quick { vec![64] } else { vec![64, 256, 1024] };
+    }
+    if policies.is_empty() {
+        policies = PolicySelect::ALL.to_vec();
+    }
+    let profiles: Vec<pcm_workloads::WorkloadProfile> = workloads
+        .iter()
+        .map(|w| {
+            *pcm_workloads::WorkloadProfile::by_name(w).unwrap_or_else(|| {
+                eprintln!("unknown workload {w}");
+                std::process::exit(1);
+            })
+        })
+        .collect();
+    let mut builder = RunConfig::builder();
+    if quick {
+        builder = builder.quick();
+    }
+    if let Some(n) = instructions {
+        builder = builder.instructions_per_core(n);
+    }
+    let cfg = builder
+        .build()
+        .unwrap_or_else(|e| usage_error(&e.to_string()));
+    eprintln!(
+        "cache-sweep: {} workload(s) × {} frame budget(s) × {} policy(ies), {} instructions/core…",
+        profiles.len(),
+        frames.len(),
+        policies.len(),
+        cfg.instructions_per_core
+    );
+    let cells = tetris_experiments::run_cache_sweep(
+        &profiles,
+        &frames,
+        &policies,
+        &cfg,
+        std::path::Path::new(&trace_dir),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("cache-sweep failed: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("{} cell(s), traces under {trace_dir}", cells.len());
+    emit(&tetris_experiments::cache_sweep_table(&cells), &csv_dir);
 }
 
 /// `replay TRACE.jsonl SCHEME`: run a recorded trace through the system.
@@ -660,6 +824,10 @@ fn main() {
             cmd_sched_ablation(&args);
             return;
         }
+        Some("cache-sweep") => {
+            cmd_cache_sweep(&args);
+            return;
+        }
         Some("bench-compare") => {
             cmd_bench_compare(&args);
             return;
@@ -730,12 +898,13 @@ fn main() {
                 outln!(
                     "usage: tetris-experiments [all|fig1|fig3|fig4|fig10|fig11|fig12|fig13|fig14|table1|table2|table3|energy|ablation]... [--quick] [--instructions N] [--ranks R] [--json FILE] [--csv DIR] [--trace OUT.jsonl] [--trace-level coarse|fine]"
                 );
-                outln!("       tetris-experiments run --scheme TAG [--workload W] [--quick] [--instructions N] [--ranks R] [--trace OUT.jsonl] [--trace-level coarse|fine] [--json FILE]");
+                outln!("       tetris-experiments run --scheme TAG [--workload W] [--quick] [--instructions N] [--ranks R] [--write-cache FRAMES] [--policy lru|clock|2q] [--trace OUT.jsonl] [--trace-level coarse|fine] [--json FILE]");
                 outln!("       tetris-experiments run --list-schemes");
                 outln!("       tetris-experiments trace WORKLOAD OUT.jsonl [--instructions N]");
                 outln!("       tetris-experiments replay TRACE.jsonl SCHEME");
                 outln!("       tetris-experiments report TRACE.jsonl [--csv DIR]");
                 outln!("       tetris-experiments sched-ablation [--quick] [--workload W] [--instructions N] [--ranks R] [--trace-dir DIR] [--csv DIR] [--assert]");
+                outln!("       tetris-experiments cache-sweep [--quick] [--workload W]... [--frames LIST] [--policy TAG]... [--instructions N] [--trace-dir DIR] [--csv DIR]");
                 return;
             }
             t => targets.push(t.to_string()),

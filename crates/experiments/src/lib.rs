@@ -20,6 +20,9 @@
 //!   drain watermarks vs the adaptive policy layer (watermarks + bank
 //!   steering + read windows), diffed from telemetry traces and gated
 //!   in CI.
+//! * [`cache_sweep`] — the DRAM write-cache tier study: (frame budget ×
+//!   replacement policy × workload) cells tabulating read-hit rate,
+//!   coalesce ratio, drain bursts and service times.
 //!
 //! The `tetris-experiments` binary exposes all of it on the command line.
 
@@ -28,6 +31,7 @@
 
 pub mod ablation;
 pub mod bench_compare;
+pub mod cache_sweep;
 pub mod figures;
 pub mod paper;
 pub mod pool;
@@ -37,6 +41,7 @@ pub mod sched_ablation;
 pub mod schemes;
 
 pub use bench_compare::{compare, BenchDelta, CompareReport, DeltaStatus};
+pub use cache_sweep::{cache_sweep_table, run_cache_sweep, CacheCell};
 pub use pcm_memsim::{SimResult, SystemConfig};
 pub use pcm_workloads::{WorkloadProfile, ALL_PROFILES};
 pub use report::Table;

@@ -10,6 +10,7 @@
 mod ci_parity;
 mod lossy_casts;
 mod panic_policy;
+mod policy_registry;
 mod resurrected_api;
 mod scheme_registry;
 mod telemetry_parity;
@@ -42,6 +43,7 @@ pub const RULE_IDS: &[&str] = &[
     "no-resurrected-apis",
     "ci-phase-parity",
     "scheme-registry-parity",
+    "policy-registry-parity",
     crate::allowlist::ALLOWLIST_RULE,
 ];
 
@@ -57,6 +59,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(resurrected_api::NoResurrectedApis),
         Box::new(ci_parity::CiPhaseParity),
         Box::new(scheme_registry::SchemeRegistryParity),
+        Box::new(policy_registry::PolicyRegistryParity),
     ]
 }
 

@@ -1,0 +1,271 @@
+//! `policy-registry-parity`: the `PolicySelect` registry surfaces must
+//! stay in lockstep.
+//!
+//! The replacement-policy registry in `crates/memsim/src/replacement.rs`
+//! mirrors the write-scheme registry: a policy is "registered" when the
+//! `PolicySelect::ALL` array (what cache sweeps and registry-driven
+//! propchecks cover), the `tag()` map (what CLI/JSON call it), the
+//! `instantiate()` factory (what every cache actually builds), and the
+//! `FromStr` parser (what tags parse back) all agree. As with schemes,
+//! only `tag()` and `instantiate()` are compiler-enforced exhaustive
+//! matches; `ALL` and `FromStr` are plain data that silently go stale
+//! when a variant is added — a policy missing from `ALL` never appears
+//! in a `cache-sweep` cell or an eviction propcheck, and a canonical tag
+//! that doesn't parse breaks the `Display → FromStr` round-trip that
+//! `--policy` relies on. Same checks as `scheme-registry-parity`,
+//! pointed at the policy registry.
+
+use super::{Rule, SigView};
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::workspace::Workspace;
+
+const REGISTRY_FILE: &str = "crates/memsim/src/replacement.rs";
+
+/// Extract `(variant-name, byte-offset)` pairs from `enum PolicySelect`.
+fn variants(v: &SigView<'_>) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 2 < v.len() {
+        if v.text(i) == "enum" && v.text(i + 1) == "PolicySelect" && v.text(i + 2) == "{" {
+            let mut depth = 1i32;
+            let mut j = i + 3;
+            while j < v.len() && depth > 0 {
+                match v.text(j) {
+                    "{" => depth += 1,
+                    "}" => depth -= 1,
+                    "(" => depth += 1,
+                    ")" => depth -= 1,
+                    "#" if depth == 1 && v.matches(j + 1, &["["]) => {
+                        // Skip `#[default]`-style attributes.
+                        let mut d = 0i32;
+                        j += 1;
+                        while j < v.len() {
+                            match v.text(j) {
+                                "[" => d += 1,
+                                "]" => {
+                                    d -= 1;
+                                    if d == 0 {
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                            j += 1;
+                        }
+                    }
+                    _ => {
+                        if depth == 1
+                            && v.kind(j) == TokKind::Ident
+                            && j + 1 < v.len()
+                            && matches!(v.text(j + 1), "," | "}")
+                        {
+                            out.push((v.text(j).to_string(), v.tok(j).lo));
+                        }
+                    }
+                }
+                j += 1;
+            }
+            break;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Significant-token range `(open-brace, close-brace)` of the body of the
+/// first `fn <name>` in the file.
+fn fn_body(v: &SigView<'_>, name: &str) -> Option<(usize, usize)> {
+    let mut i = 0;
+    while i + 1 < v.len() {
+        if v.text(i) == "fn" && v.text(i + 1) == name {
+            let mut j = i + 2;
+            while j < v.len() && v.text(j) != "{" {
+                j += 1;
+            }
+            let start = j;
+            let mut depth = 0i32;
+            while j < v.len() {
+                match v.text(j) {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return Some((start, j));
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            return None;
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Variant names referenced as `PolicySelect::<Name>` within `[lo, hi]`.
+fn referenced_variants(
+    v: &SigView<'_>,
+    lo: usize,
+    hi: usize,
+) -> std::collections::BTreeSet<String> {
+    let mut out = std::collections::BTreeSet::new();
+    for i in lo..hi.min(v.len()) {
+        if v.text(i) == "PolicySelect"
+            && v.matches(i + 1, &[":", ":"])
+            && i + 3 < v.len()
+            && v.kind(i + 3) == TokKind::Ident
+        {
+            out.insert(v.text(i + 3).to_string());
+        }
+    }
+    out
+}
+
+/// String literals (quotes stripped) within `[lo, hi]`.
+fn string_literals(v: &SigView<'_>, lo: usize, hi: usize) -> std::collections::BTreeSet<String> {
+    let mut out = std::collections::BTreeSet::new();
+    for i in lo..hi.min(v.len()) {
+        if v.kind(i) == TokKind::StrLit {
+            out.insert(v.text(i).trim_matches('"').to_string());
+        }
+    }
+    out
+}
+
+/// See module docs.
+pub struct PolicyRegistryParity;
+
+impl Rule for PolicyRegistryParity {
+    fn id(&self) -> &'static str {
+        "policy-registry-parity"
+    }
+
+    fn describe(&self) -> &'static str {
+        "PolicySelect's ALL array, tag(), instantiate() and FromStr must cover every variant"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let Some(file) = ws.file(REGISTRY_FILE) else {
+            // Nothing to check (e.g. linting a partial tree).
+            return Vec::new();
+        };
+        let v = SigView::new(file);
+        let variants = variants(&v);
+        if variants.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+
+        // (a) `ALL: [PolicySelect; N]` — the length literal must equal the
+        // variant count; (b) every variant must appear in the initializer.
+        let mut all_found = false;
+        for i in 0..v.len() {
+            if v.text(i) == "ALL"
+                && v.matches(i + 1, &[":", "["])
+                && v.matches(i + 3, &["PolicySelect", ";"])
+                && i + 5 < v.len()
+                && v.kind(i + 5) == TokKind::NumLit
+            {
+                all_found = true;
+                let lit = v.text(i + 5);
+                if lit.parse::<usize>() != Ok(variants.len()) {
+                    out.push(file.diag(
+                        self.id(),
+                        v.tok(i + 5).lo,
+                        lit.len(),
+                        format!(
+                            "PolicySelect::ALL declares {lit} entries but the enum has {} \
+                             variants — cache sweeps would skip the difference",
+                            variants.len()
+                        ),
+                    ));
+                }
+                // Initializer: `] = [ … ] ;` — scan its bracketed span.
+                if v.matches(i + 6, &["]", "=", "["]) {
+                    let mut j = i + 9;
+                    let mut depth = 1i32;
+                    let lo = j;
+                    while j < v.len() && depth > 0 {
+                        match v.text(j) {
+                            "[" => depth += 1,
+                            "]" => depth -= 1,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    let listed = referenced_variants(&v, lo, j);
+                    for (name, at) in &variants {
+                        if !listed.contains(name) {
+                            out.push(file.diag(
+                                self.id(),
+                                *at,
+                                name.len(),
+                                format!(
+                                    "PolicySelect::{name} is missing from PolicySelect::ALL — \
+                                     eviction propchecks and cache-sweep cells will never see it"
+                                ),
+                            ));
+                        }
+                    }
+                }
+                break;
+            }
+        }
+        if !all_found {
+            out.push(file.diag(
+                self.id(),
+                variants[0].1,
+                variants[0].0.len(),
+                "PolicySelect has no `ALL: [PolicySelect; N]` registry array".to_string(),
+            ));
+        }
+
+        // (c) every variant matched in tag(), instantiate() and from_str().
+        for fn_name in ["tag", "instantiate", "from_str"] {
+            let Some((lo, hi)) = fn_body(&v, fn_name) else {
+                continue;
+            };
+            let covered = referenced_variants(&v, lo, hi);
+            let at = v.tok(lo).lo;
+            for (name, _) in &variants {
+                if !covered.contains(name) {
+                    out.push(file.diag(
+                        self.id(),
+                        at,
+                        1,
+                        format!(
+                            "PolicySelect::{name} is not handled in `{fn_name}` — \
+                             the registry surfaces have drifted apart"
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // (d) every canonical tag parses back: tag()'s string literals
+        // must each appear as a pattern literal in from_str().
+        if let (Some((tlo, thi)), Some((flo, fhi))) = (fn_body(&v, "tag"), fn_body(&v, "from_str"))
+        {
+            let canonical = string_literals(&v, tlo, thi);
+            let parsed = string_literals(&v, flo, fhi);
+            let at = v.tok(flo).lo;
+            for tag in canonical {
+                if !parsed.contains(&tag) {
+                    out.push(file.diag(
+                        self.id(),
+                        at,
+                        1,
+                        format!(
+                            "canonical tag \"{tag}\" from PolicySelect::tag() is not accepted \
+                             by FromStr — Display → FromStr no longer round-trips"
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}

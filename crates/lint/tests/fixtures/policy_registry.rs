@@ -1,0 +1,42 @@
+// Broken registry: Fifo is in the enum but ALL declares 2 entries and
+// omits it, instantiate() never constructs it, and the canonical tag
+// "clock" does not parse back ("ck" is accepted instead).
+pub enum PolicySelect {
+    Lru,
+    #[default]
+    Clock,
+    Fifo,
+}
+
+impl PolicySelect {
+    pub const ALL: [PolicySelect; 2] = [PolicySelect::Lru, PolicySelect::Clock];
+
+    pub const fn tag(&self) -> &'static str {
+        match self {
+            PolicySelect::Lru => "lru",
+            PolicySelect::Clock => "clock",
+            PolicySelect::Fifo => "fifo",
+        }
+    }
+
+    pub fn instantiate(&self, sets: usize, assoc: usize) -> Box<dyn ReplacementPolicy> {
+        match self {
+            PolicySelect::Lru => Box::new(LruPolicy::new(sets, assoc)),
+            PolicySelect::Clock => Box::new(ClockPolicy::new(sets, assoc)),
+            PolicySelect::Fifo => Box::new(LruPolicy::new(sets, assoc)),
+        }
+    }
+}
+
+impl FromStr for PolicySelect {
+    type Err = ParsePolicyError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "lru" => Ok(PolicySelect::Lru),
+            "ck" => Ok(PolicySelect::Clock),
+            "fifo" => Ok(PolicySelect::Fifo),
+            _ => Err(ParsePolicyError { input: s.into() }),
+        }
+    }
+}

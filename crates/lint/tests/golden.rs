@@ -174,6 +174,34 @@ fn scheme_registry_accepts_complete_registry() {
 }
 
 #[test]
+fn policy_registry_fixture() {
+    let src = include_str!("fixtures/policy_registry.rs");
+    let w = ws(&[("crates/memsim/src/replacement.rs", src)], None);
+    let diags = rule("policy-registry-parity").check(&w);
+    let msgs: Vec<&str> = diags.iter().map(|d| d.msg.as_str()).collect();
+    assert_eq!(diags.len(), 3, "findings: {msgs:?}");
+    // ALL declares 2 entries for a 3-variant enum…
+    assert!(msgs.iter().any(|m| m.contains("declares 2 entries")));
+    // …and omits Fifo entirely…
+    assert!(msgs
+        .iter()
+        .any(|m| m.contains("PolicySelect::Fifo is missing from PolicySelect::ALL")));
+    // …while the canonical tag "clock" no longer parses back.
+    assert!(msgs
+        .iter()
+        .any(|m| m.contains("canonical tag \"clock\"") && m.contains("round-trips")));
+}
+
+#[test]
+fn policy_registry_accepts_complete_registry() {
+    // The real replacement.rs is a complete registry; lifted wholesale so
+    // the fixture tracks reality.
+    let src = include_str!("../../memsim/src/replacement.rs");
+    let w = ws(&[("crates/memsim/src/replacement.rs", src)], None);
+    assert_eq!(locs("policy-registry-parity", &w), vec![]);
+}
+
+#[test]
 fn render_golden() {
     let src = include_str!("fixtures/typed_units.rs");
     let w = ws(&[("crates/schemes/src/fixture.rs", src)], None);

@@ -1,9 +1,13 @@
-//! A set-associative, write-back, write-allocate cache with LRU
-//! replacement. Tag-only (contents are synthesized at the memory, see
-//! [`crate::content`]), tracking dirty bits so evictions produce
-//! write-backs.
+//! A set-associative, write-back, write-allocate cache. Tag-only
+//! (contents are synthesized at the memory, see [`crate::content`]),
+//! tracking dirty bits so evictions produce write-backs. The eviction
+//! decision is delegated to a pluggable
+//! [`ReplacementPolicy`](crate::replacement::ReplacementPolicy) selected
+//! by [`CacheConfig::policy`]; the default LRU reproduces the historical
+//! hard-coded behaviour bit for bit.
 
 use crate::config::CacheConfig;
+use crate::replacement::ReplacementPolicy;
 use pcm_types::{PcmError, PhysAddr};
 
 #[derive(Clone, Copy, Debug, Default)]
@@ -11,7 +15,6 @@ struct Line {
     valid: bool,
     dirty: bool,
     tag: u64,
-    lru: u64,
 }
 
 /// Result of one cache access.
@@ -53,7 +56,7 @@ pub struct Cache {
     sets: usize,
     assoc: usize,
     line_bytes: usize,
-    tick: u64,
+    policy: Box<dyn ReplacementPolicy>,
     stats: CacheStats,
 }
 
@@ -80,7 +83,7 @@ impl Cache {
             sets,
             assoc,
             line_bytes,
-            tick: 0,
+            policy: cfg.policy.instantiate(sets, assoc),
             stats: CacheStats::default(),
         })
     }
@@ -107,14 +110,17 @@ impl Cache {
     /// responsible for fetching from the next level) and a dirty victim, if
     /// any, is returned for write-back.
     pub fn access(&mut self, addr: PhysAddr, is_write: bool) -> CacheAccess {
-        self.tick += 1;
         let (set, tag) = self.index(addr);
         let (sets, line_bytes) = (self.sets as u64, self.line_bytes as u64);
         let ways = &mut self.lines[set * self.assoc..(set + 1) * self.assoc];
 
-        if let Some(way) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
-            way.lru = self.tick;
+        if let Some((w, way)) = ways
+            .iter_mut()
+            .enumerate()
+            .find(|(_, l)| l.valid && l.tag == tag)
+        {
             way.dirty |= is_write;
+            self.policy.touch(set, w);
             self.stats.hits += 1;
             return CacheAccess {
                 hit: true,
@@ -123,15 +129,10 @@ impl Cache {
         }
 
         self.stats.misses += 1;
-        // Victim: invalid way first, else true-LRU.
+        // Victim: invalid way first, else ask the replacement policy.
         let victim = match ways.iter().position(|l| !l.valid) {
             Some(i) => i,
-            None => ways
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, l)| l.lru)
-                .map(|(i, _)| i)
-                .unwrap_or(0),
+            None => self.policy.victim(set),
         };
         let evicted = ways[victim];
         let writeback = (evicted.valid && evicted.dirty)
@@ -143,8 +144,8 @@ impl Cache {
             valid: true,
             dirty: is_write,
             tag,
-            lru: self.tick,
         };
+        self.policy.insert(set, victim);
         CacheAccess {
             hit: false,
             writeback,
@@ -179,11 +180,14 @@ impl Cache {
 mod tests {
     use super::*;
 
+    use crate::replacement::PolicySelect;
+
     fn geom(size_bytes: u64, assoc: u32) -> CacheConfig {
         CacheConfig {
             size_bytes,
             assoc,
             latency_cycles: 1,
+            policy: PolicySelect::Lru,
         }
     }
 

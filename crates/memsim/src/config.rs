@@ -1,5 +1,6 @@
 //! System configuration (Table II of the paper).
 
+use crate::replacement::PolicySelect;
 use crate::sched::SchedConfig;
 use crate::system::TraceLevel;
 use pcm_schemes::{SchemeConfig, SchemeSelect};
@@ -20,17 +21,21 @@ pub struct CacheConfig {
     pub assoc: u32,
     /// Access latency in CPU cycles.
     pub latency_cycles: u32,
+    /// Replacement policy ([`PolicySelect::Lru`] reproduces the
+    /// historical hard-coded LRU bit for bit).
+    pub policy: PolicySelect,
 }
 
 impl CacheConfig {
     /// Start a fluent builder from the Table II L1 geometry
-    /// (32 KB, 4-way, 2-cycle).
+    /// (32 KB, 4-way, 2-cycle, LRU).
     pub fn builder() -> CacheConfigBuilder {
         CacheConfigBuilder {
             cfg: CacheConfig {
                 size_bytes: 32 << 10,
                 assoc: 4,
                 latency_cycles: 2,
+                policy: PolicySelect::Lru,
             },
         }
     }
@@ -78,6 +83,12 @@ impl CacheConfigBuilder {
         self
     }
 
+    /// Replacement policy.
+    pub fn policy(mut self, p: PolicySelect) -> Self {
+        self.cfg.policy = p;
+        self
+    }
+
     /// Validate and return the finished level geometry.
     pub fn build(self) -> Result<CacheConfig, PcmError> {
         if self.cfg.assoc == 0 {
@@ -90,6 +101,72 @@ impl CacheConfigBuilder {
             return Err(PcmError::config("cache capacity must divide into ways"));
         }
         Ok(self.cfg)
+    }
+}
+
+/// The DRAM write-cache tier in front of the PCM banks
+/// ([`crate::writecache::WriteCache`]): a fixed budget of line-sized
+/// frames that coalesce repeated writes before they reach the controller
+/// write queues. `frames = 0` (the default) disables the tier entirely —
+/// the pipeline is bit-for-bit the paper's.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WriteCacheConfig {
+    /// Frame budget (cache lines held in DRAM); 0 disables the tier.
+    pub frames: usize,
+    /// Background drain starts once this many frames are dirty.
+    pub drain_watermark: usize,
+    /// Which frame to sacrifice when the budget is exhausted.
+    pub policy: PolicySelect,
+}
+
+impl WriteCacheConfig {
+    /// The disabled tier (`frames = 0`).
+    pub fn disabled() -> Self {
+        WriteCacheConfig {
+            frames: 0,
+            drain_watermark: 0,
+            policy: PolicySelect::Lru,
+        }
+    }
+
+    /// An enabled tier with `frames` frames, the drain watermark at 3/4
+    /// of the budget, and the given policy.
+    pub fn with_frames(frames: usize, policy: PolicySelect) -> Self {
+        WriteCacheConfig {
+            frames,
+            drain_watermark: (frames * 3 / 4).max(1),
+            policy,
+        }
+    }
+
+    /// Is the tier enabled?
+    pub fn enabled(&self) -> bool {
+        self.frames > 0
+    }
+
+    /// Validate the knobs: an enabled tier needs a watermark within
+    /// `1..=frames` so the background drain can both start and finish.
+    pub fn validate(&self) -> Result<(), PcmError> {
+        if self.frames == 0 {
+            return Ok(());
+        }
+        if self.drain_watermark == 0 {
+            return Err(PcmError::config(
+                "write-cache drain watermark must be ≥ 1 when frames > 0",
+            ));
+        }
+        if self.drain_watermark > self.frames {
+            return Err(PcmError::config(
+                "write-cache drain watermark cannot exceed the frame budget",
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for WriteCacheConfig {
+    fn default() -> Self {
+        Self::disabled()
     }
 }
 
@@ -167,6 +244,9 @@ pub struct SystemConfig {
     pub l2: CacheConfig,
     /// Shared L3 (the paper's 32 MB DRAM cache).
     pub l3: CacheConfig,
+    /// DRAM write-cache tier in front of the controller write queues
+    /// (disabled by default — the paper has no such tier).
+    pub write_cache: WriteCacheConfig,
     /// Memory controller.
     pub controller: ControllerConfig,
     /// PCM device + write-scheme geometry (including which scheme
@@ -235,6 +315,36 @@ impl SystemConfigBuilder {
     /// Shared L3 geometry.
     pub fn l3(mut self, c: CacheConfig) -> Self {
         self.cfg.l3 = c;
+        self
+    }
+
+    /// Replace the whole write-cache configuration.
+    pub fn write_cache_config(mut self, c: WriteCacheConfig) -> Self {
+        self.cfg.write_cache = c;
+        self
+    }
+
+    /// Enable the DRAM write-cache tier with `frames` frames (0 keeps it
+    /// disabled); the drain watermark defaults to 3/4 of the budget.
+    pub fn write_cache(mut self, frames: usize) -> Self {
+        self.cfg.write_cache = if frames == 0 {
+            WriteCacheConfig::disabled()
+        } else {
+            WriteCacheConfig::with_frames(frames, self.cfg.write_cache.policy)
+        };
+        self
+    }
+
+    /// Write-cache replacement policy.
+    pub fn write_cache_policy(mut self, p: PolicySelect) -> Self {
+        self.cfg.write_cache.policy = p;
+        self
+    }
+
+    /// Write-cache drain watermark (frames dirty before background drain
+    /// starts).
+    pub fn drain_watermark(mut self, n: usize) -> Self {
+        self.cfg.write_cache.drain_watermark = n;
         self
     }
 
@@ -363,16 +473,19 @@ impl SystemConfigBuilder {
             size_bytes: 4 << 10,
             assoc: 2,
             latency_cycles: 2,
+            policy: PolicySelect::Lru,
         };
         self.cfg.l2 = CacheConfig {
             size_bytes: 32 << 10,
             assoc: 4,
             latency_cycles: 20,
+            policy: PolicySelect::Lru,
         };
         self.cfg.l3 = CacheConfig {
             size_bytes: 256 << 10,
             assoc: 8,
             latency_cycles: 50,
+            policy: PolicySelect::Lru,
         };
         self
     }
@@ -401,17 +514,21 @@ impl SystemConfig {
                 size_bytes: 32 << 10,
                 assoc: 4,
                 latency_cycles: 2,
+                policy: PolicySelect::Lru,
             },
             l2: CacheConfig {
                 size_bytes: 2 << 20,
                 assoc: 8,
                 latency_cycles: 20,
+                policy: PolicySelect::Lru,
             },
             l3: CacheConfig {
                 size_bytes: 32 << 20,
                 assoc: 16,
                 latency_cycles: 50,
+                policy: PolicySelect::Lru,
             },
+            write_cache: WriteCacheConfig::disabled(),
             controller: ControllerConfig::default(),
             mem: SchemeConfig::paper_baseline(),
             level: TraceLevel::MemoryLevel,
@@ -448,6 +565,7 @@ impl SystemConfig {
                 "min_watermark_gap must be below queue capacity",
             ));
         }
+        self.write_cache.validate()?;
         for c in [&self.l1, &self.l2, &self.l3] {
             let line = self.mem.org.cache_line_bytes as u64;
             if c.size_bytes % (line * c.assoc as u64) != 0 {
@@ -551,6 +669,59 @@ mod tests {
             .build()
             .is_err());
         assert!(SystemConfig::builder().cores(0).build().is_err());
+    }
+
+    #[test]
+    fn write_cache_knobs_validate() {
+        // Default: disabled, LRU, bit-for-bit the paper's pipeline.
+        let base = SystemConfig::paper_baseline();
+        assert_eq!(base.write_cache, WriteCacheConfig::disabled());
+        assert!(!base.write_cache.enabled());
+
+        let cfg = SystemConfig::builder()
+            .write_cache(64)
+            .write_cache_policy(PolicySelect::Clock)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.write_cache.frames, 64);
+        assert_eq!(cfg.write_cache.drain_watermark, 48, "3/4 of the budget");
+        assert_eq!(cfg.write_cache.policy, PolicySelect::Clock);
+
+        // Explicit watermark override, still validated.
+        let cfg = SystemConfig::builder()
+            .write_cache(16)
+            .drain_watermark(4)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.write_cache.drain_watermark, 4);
+        assert!(SystemConfig::builder()
+            .write_cache(16)
+            .drain_watermark(17)
+            .build()
+            .is_err());
+        assert!(SystemConfig::builder()
+            .write_cache(16)
+            .drain_watermark(0)
+            .build()
+            .is_err());
+        // frames = 0 ignores the other knobs entirely.
+        assert!(SystemConfig::builder().write_cache(0).build().is_ok());
+    }
+
+    #[test]
+    fn cache_config_builder_takes_a_policy() {
+        let c = CacheConfig::builder()
+            .size_bytes(512)
+            .assoc(2)
+            .policy(PolicySelect::TwoQ)
+            .build()
+            .unwrap();
+        assert_eq!(c.policy, PolicySelect::TwoQ);
+        // The default stays LRU so existing configs are unchanged.
+        assert_eq!(
+            CacheConfig::builder().build().unwrap().policy,
+            PolicySelect::Lru
+        );
     }
 
     #[test]

@@ -5,8 +5,14 @@
 //!
 //! * [`engine`] — the event queue (picosecond timestamps, deterministic
 //!   tie-breaking).
-//! * [`cache`] / [`hierarchy`] — set-associative write-back LRU caches and
+//! * [`cache`] / [`hierarchy`] — set-associative write-back caches and
 //!   the 3-level hierarchy of Table II (32 KB L1, 2 MB L2, 32 MB shared L3).
+//! * [`replacement`] — the pluggable eviction decision (LRU / Clock / 2Q)
+//!   behind both the hierarchy and the write cache, registered in the
+//!   [`PolicySelect`](replacement::PolicySelect) registry.
+//! * [`writecache`] — the hybrid DRAM write-cache tier: a fixed frame
+//!   budget coalescing dirty lines in front of the controller write
+//!   queues, drained in the background past a watermark.
 //! * [`cpu`] — trace-driven cores (2 GHz, blocking loads, fire-and-forget
 //!   stores with write-queue backpressure).
 //! * [`controller`] — the FRFCFS memory controller: separate 32-entry read
@@ -40,25 +46,29 @@ pub mod engine;
 pub mod hierarchy;
 pub mod memory;
 pub mod prelude;
+pub mod replacement;
 pub mod request;
 pub mod sched;
 pub mod shard;
 pub mod stats;
 pub mod system;
 pub mod wear_leveling;
+pub mod writecache;
 
 pub use config::{
     CacheConfig, CacheConfigBuilder, ConfigError, ControllerConfig, SystemConfig,
-    SystemConfigBuilder,
+    SystemConfigBuilder, WriteCacheConfig,
 };
 pub use content::{ExplicitContent, UniformRandomContent, WriteContent};
 pub use controller::{MemoryController, ReadEnqueue};
 pub use cpu::{Core, RequestSource, TraceOp, VecTrace};
 pub use memory::{BatchOutcome, PcmMainMemory, WriteOutcome};
 pub use pcm_schemes::{SchemeConfig, SchemeSelect, WriteCtx, WriteScheme};
+pub use replacement::{ParsePolicyError, PolicySelect, ReplacementPolicy};
 pub use request::{AccessKind, MemRequest};
 pub use sched::{SchedConfig, SchedPolicy, WindowPoll};
 pub use shard::{Rank, RankPlan, ShardedSystem};
 pub use stats::{LatencyStats, SimResult};
 pub use system::{System, TraceLevel};
 pub use wear_leveling::{GapMove, StartGap};
+pub use writecache::{WriteAdmit, WriteCache, WriteCacheStats};

@@ -20,16 +20,18 @@
 
 pub use crate::config::{
     CacheConfig, CacheConfigBuilder, ConfigError, ControllerConfig, SystemConfig,
-    SystemConfigBuilder,
+    SystemConfigBuilder, WriteCacheConfig,
 };
 pub use crate::content::{ExplicitContent, UniformRandomContent, WriteContent};
 pub use crate::cpu::{RequestSource, TraceOp, VecTrace};
 pub use crate::memory::{BatchOutcome, PcmMainMemory, WriteOutcome};
+pub use crate::replacement::{ParsePolicyError, PolicySelect, ReplacementPolicy};
 pub use crate::request::{AccessKind, MemRequest};
 pub use crate::sched::SchedConfig;
 pub use crate::shard::{Rank, RankPlan, ShardedSystem};
 pub use crate::stats::{LatencyStats, SimResult};
 pub use crate::system::{System, TraceLevel};
+pub use crate::writecache::{WriteAdmit, WriteCache, WriteCacheStats};
 
 pub use pcm_schemes::{
     ConventionalWrite, DcwWrite, FlipNWrite, PreSetWrite, SchemeConfig, SchemeConfigBuilder,

@@ -18,8 +18,9 @@ use crate::hierarchy::{CacheHierarchy, HitLevel};
 use crate::memory::PcmMainMemory;
 use crate::request::{AccessKind, MemRequest};
 use crate::stats::{LatencyStats, SimResult};
+use crate::writecache::{WriteAdmit, WriteCache, WriteCacheStats};
 use pcm_schemes::{SchemeConfig, SchemeSelect, WriteScheme};
-use pcm_telemetry::{NullSink, Telemetry, TelemetryEvent, TraceDetail};
+use pcm_telemetry::{NullSink, OpKind, Telemetry, TelemetryEvent, TraceDetail};
 use pcm_types::{PhysAddr, Ps};
 use std::collections::{HashMap, VecDeque};
 
@@ -42,6 +43,9 @@ pub struct System {
     controller: MemoryController,
     memory: PcmMainMemory,
     hierarchy: Option<CacheHierarchy>,
+    /// The DRAM write-cache tier; `None` reproduces the paper's pipeline
+    /// bit for bit (`cfg.write_cache.frames == 0`).
+    write_cache: Option<WriteCache>,
     queue: EventQueue,
     now: Ps,
     next_req_id: u64,
@@ -92,6 +96,14 @@ impl System {
             TraceLevel::MemoryLevel => None,
             TraceLevel::CpuLevel => Some(CacheHierarchy::new(&cfg)?),
         };
+        let write_cache = if cfg.write_cache.enabled() {
+            Some(WriteCache::new(
+                cfg.write_cache,
+                cfg.mem.org.cache_line_bytes,
+            )?)
+        } else {
+            None
+        };
         Ok(System {
             cores: (0..cfg.cores).map(Core::new).collect(),
             backlog: vec![VecDeque::new(); cfg.cores],
@@ -103,6 +115,7 @@ impl System {
             controller,
             memory,
             hierarchy,
+            write_cache,
             queue: EventQueue::new(),
             now: Ps::ZERO,
             next_req_id: 0,
@@ -174,6 +187,12 @@ impl System {
         self.controller.stats
     }
 
+    /// The DRAM write-cache tier's hit/coalesce/drain counters (`None`
+    /// when the tier is disabled, i.e. `write_cache.frames == 0`).
+    pub fn write_cache_stats(&self) -> Option<WriteCacheStats> {
+        self.write_cache.as_ref().map(|wc| *wc.stats())
+    }
+
     fn cycle(&self) -> Ps {
         self.cfg.cycle()
     }
@@ -233,8 +252,13 @@ impl System {
     }
 
     /// Enqueue one write; returns false (and stalls the core) on
-    /// backpressure.
+    /// backpressure. With the DRAM write-cache tier enabled the write is
+    /// absorbed there instead and dirty lines reach the controller only
+    /// through drains.
     fn try_enqueue_write(&mut self, core: usize, addr: PhysAddr) -> bool {
+        if self.write_cache.is_some() {
+            return self.write_via_cache(core, addr);
+        }
         if self.controller.write_queue_full() {
             self.cores[core].phase = CorePhase::WaitingWriteSlot { since: self.now };
             self.stalled_write.push(core);
@@ -256,6 +280,96 @@ impl System {
         true
     }
 
+    /// Hand a drained (or displaced) dirty line to the controller. The
+    /// caller guarantees queue room; cached addresses were line-aligned
+    /// inside the mapped range at admission, so decode cannot fail.
+    fn enqueue_drained_line(&mut self, core: usize, addr: PhysAddr) {
+        let req = self.make_req(core, addr, AccessKind::Write);
+        let Ok(d) = self.memory.addr_map().decode(addr) else {
+            unreachable!("cached line left the mapped address range");
+        };
+        let fb = self.memory.addr_map().flat_bank(&d);
+        self.controller
+            .enqueue_write(req, &d, fb, self.tel.as_mut());
+    }
+
+    /// Write path with the DRAM tier in front: coalesce into a cached
+    /// frame, else claim one (displacing a victim to the controller when
+    /// the budget is exhausted). The core stalls only when both the frame
+    /// table and the controller write queue are full.
+    fn write_via_cache(&mut self, core: usize, addr: PhysAddr) -> bool {
+        let ctrl_full = self.controller.write_queue_full();
+        let Some(wc) = self.write_cache.as_mut() else {
+            unreachable!("write_via_cache called without a write cache");
+        };
+        if wc.full() && ctrl_full {
+            // Admission would displace a line with nowhere to go.
+            self.cores[core].phase = CorePhase::WaitingWriteSlot { since: self.now };
+            self.stalled_write.push(core);
+            return false;
+        }
+        match wc.write(addr) {
+            WriteAdmit::Coalesced => {
+                if self.tel.wants(TraceDetail::Fine) {
+                    self.tel.record(&TelemetryEvent::WriteCacheHit {
+                        at: self.now,
+                        kind: OpKind::Write,
+                    });
+                }
+            }
+            WriteAdmit::Admitted { evicted } => {
+                if let Some(victim) = evicted {
+                    self.enqueue_drained_line(core, victim);
+                    self.sample_queue_depths();
+                    if self.controller.draining() {
+                        self.issue_and_wake();
+                    }
+                }
+                self.drain_write_cache(core);
+            }
+        }
+        true
+    }
+
+    /// Background drain: while the frame table sits above its watermark
+    /// and the controller has room, trickle policy victims into the write
+    /// queue. One burst emits one `WriteCacheDrain` event.
+    fn drain_write_cache(&mut self, core: usize) {
+        let mut lines = 0u32;
+        loop {
+            let ready = self
+                .write_cache
+                .as_ref()
+                .is_some_and(|wc| wc.over_watermark())
+                && !self.controller.write_queue_full();
+            if !ready {
+                break;
+            }
+            let Some(addr) = self.write_cache.as_mut().and_then(|wc| wc.drain_one()) else {
+                break;
+            };
+            self.enqueue_drained_line(core, addr);
+            lines += 1;
+        }
+        if lines > 0 {
+            if self.tel.wants(TraceDetail::Coarse) {
+                let depth = self
+                    .write_cache
+                    .as_ref()
+                    .map_or(0, |wc| wc.occupancy() as u32);
+                self.tel.record(&TelemetryEvent::WriteCacheDrain {
+                    at: self.now,
+                    lines,
+                    depth,
+                });
+            }
+            self.sample_queue_depths();
+            if self.controller.draining() {
+                self.issue_and_wake();
+            }
+        }
+    }
+
     /// Record the instantaneous queue depths (fine-detail traces only).
     fn sample_queue_depths(&mut self) {
         if self.tel.wants(TraceDetail::Fine) {
@@ -272,6 +386,25 @@ impl System {
     /// queue is full. On success the core is left in `WaitingRead` or
     /// scheduled to resume (forwarded).
     fn issue_mem_read(&mut self, core: usize, addr: PhysAddr) -> bool {
+        // A load whose line sits dirty in the DRAM tier is answered there
+        // at bus speed, like store-to-load forwarding from the write queue.
+        if self
+            .write_cache
+            .as_mut()
+            .is_some_and(|wc| wc.read_hit(addr))
+        {
+            if self.tel.wants(TraceDetail::Fine) {
+                self.tel.record(&TelemetryEvent::WriteCacheHit {
+                    at: self.now,
+                    kind: OpKind::Read,
+                });
+            }
+            let done = self.now + self.cfg.controller.t_bus;
+            self.read_lat.record(done - self.now);
+            self.cores[core].phase = CorePhase::Computing;
+            self.queue.push(done, Event::CoreStep { core });
+            return true;
+        }
         if self.controller.read_queue_full() {
             self.cores[core].phase = CorePhase::WaitingReadSlot { since: self.now };
             self.stalled_read.push(core);
@@ -400,6 +533,25 @@ impl System {
         }
     }
 
+    /// Pump events until the controller write queue has room — the
+    /// final-flush path, where cores are quiescent and backpressure
+    /// accounting no longer applies.
+    fn pump_for_write_slot(&mut self) {
+        while self.controller.write_queue_full() {
+            self.controller.force_drain();
+            self.issue_and_wake();
+            if let Some((t, e)) = self.queue.pop() {
+                self.now = t;
+                match e {
+                    Event::CoreStep { core } => self.step_core(core),
+                    Event::BankComplete { bank, epoch } => self.handle_bank_complete(bank, epoch),
+                }
+            } else {
+                unreachable!("full write queue with no pending events");
+            }
+        }
+    }
+
     fn handle_bank_complete(&mut self, bank: usize, epoch: u64) {
         let reqs = self.controller.complete(bank, epoch);
         // An empty vec is a stale completion of a paused write; the resumed
@@ -467,21 +619,7 @@ impl System {
                 if !dirty.is_empty() {
                     for addr in dirty {
                         // Final flush bypasses backpressure accounting.
-                        while self.controller.write_queue_full() {
-                            self.controller.force_drain();
-                            self.issue_and_wake();
-                            if let Some((t, e)) = self.queue.pop() {
-                                self.now = t;
-                                match e {
-                                    Event::CoreStep { core } => self.step_core(core),
-                                    Event::BankComplete { bank, epoch } => {
-                                        self.handle_bank_complete(bank, epoch)
-                                    }
-                                }
-                            } else {
-                                unreachable!("full write queue with no pending events");
-                            }
-                        }
+                        self.pump_for_write_slot();
                         let req = self.make_req(0, addr, AccessKind::Write);
                         let d = self
                             .memory
@@ -491,6 +629,26 @@ impl System {
                         let fb = self.memory.addr_map().flat_bank(&d);
                         self.controller
                             .enqueue_write(req, &d, fb, self.tel.as_mut());
+                    }
+                    continue;
+                }
+                // Hierarchy is clean; empty the DRAM tier next (every
+                // admitted line must drain exactly once).
+                let cached = self
+                    .write_cache
+                    .as_mut()
+                    .map_or_else(Vec::new, |wc| wc.flush());
+                if !cached.is_empty() {
+                    if self.tel.wants(TraceDetail::Coarse) {
+                        self.tel.record(&TelemetryEvent::WriteCacheDrain {
+                            at: self.now,
+                            lines: cached.len() as u32,
+                            depth: 0,
+                        });
+                    }
+                    for addr in cached {
+                        self.pump_for_write_slot();
+                        self.enqueue_drained_line(0, addr);
                     }
                     continue;
                 }
@@ -887,6 +1045,138 @@ mod tests {
         for (i, t) in truth.iter().enumerate() {
             assert_eq!(s.banks[i].busy, *t, "bank {i} busy time from trace");
         }
+    }
+
+    #[test]
+    fn write_cache_coalesces_and_conserves_writes() {
+        use crate::replacement::PolicySelect;
+        // A hot set smaller than the frame budget: every line is written
+        // many times but drains to PCM exactly once.
+        let ops: Vec<TraceOp> = (0..512)
+            .map(|i| TraceOp {
+                gap: 1,
+                kind: AccessKind::Write,
+                addr: (i % 16) * 64,
+            })
+            .collect();
+        let cfg = SystemConfig::builder()
+            .cores(1)
+            .write_cache(32)
+            .write_cache_policy(PolicySelect::Lru)
+            .build()
+            .unwrap();
+        let mut sys = System::build(cfg)
+            .unwrap()
+            .with_trace(Box::new(VecTrace::new(vec![ops])))
+            .with_content(Box::new(UniformRandomContent::new(3)));
+        let r = sys.run();
+        let stats = sys.write_cache_stats().expect("tier enabled");
+        assert_eq!(r.mem_writes, 16, "each hot line reaches PCM once");
+        assert_eq!(stats.admitted, 16);
+        assert_eq!(stats.coalesced, 512 - 16);
+        assert_eq!(stats.drained, 16, "flush empties every frame");
+        assert!(stats.coalesce_ratio() > 0.9);
+    }
+
+    #[test]
+    fn write_cache_serves_reads_from_dirty_lines() {
+        // Write a line, then read it back immediately: the DRAM tier
+        // answers without a PCM read.
+        let ops = vec![
+            TraceOp {
+                gap: 1,
+                kind: AccessKind::Write,
+                addr: 0x40,
+            },
+            TraceOp {
+                gap: 1,
+                kind: AccessKind::Read,
+                addr: 0x40,
+            },
+        ];
+        let cfg = SystemConfig::builder()
+            .cores(1)
+            .write_cache(8)
+            .build()
+            .unwrap();
+        let mut sys = System::build(cfg)
+            .unwrap()
+            .with_trace(Box::new(VecTrace::new(vec![ops])))
+            .with_content(Box::new(UniformRandomContent::new(3)));
+        let r = sys.run();
+        let stats = sys.write_cache_stats().expect("tier enabled");
+        assert_eq!(stats.read_hits, 1);
+        assert_eq!(r.mem_reads, 0, "the hit never reaches the banks");
+        assert_eq!(r.read_latency.count, 1, "the load still completes");
+    }
+
+    #[test]
+    fn write_cache_drains_past_watermark_and_under_pressure() {
+        // A write storm over a footprint much larger than the frame
+        // budget: capacity evictions and watermark drains both engage,
+        // and every write still lands in PCM.
+        let ops = mem_trace_ops(600, 1, 1, 64);
+        let mut cfg = SystemConfig::builder()
+            .cores(1)
+            .write_cache(16)
+            .drain_watermark(8)
+            .build()
+            .unwrap();
+        cfg.mem.select = SchemeSelect::Dcw;
+        let mut sys = System::build(cfg)
+            .unwrap()
+            .with_trace(Box::new(VecTrace::new(vec![ops])))
+            .with_content(Box::new(UniformRandomContent::new(3)));
+        let r = sys.run();
+        let stats = sys.write_cache_stats().expect("tier enabled");
+        assert_eq!(r.mem_writes, 600, "conservation under pressure");
+        assert_eq!(stats.admitted, 600);
+        assert_eq!(stats.drained, 600);
+        assert_eq!(stats.coalesced, 0, "unique lines never coalesce");
+    }
+
+    #[test]
+    fn disabled_write_cache_matches_baseline_bit_for_bit() {
+        // `frames = 0` must leave the pipeline untouched: same result,
+        // same trace summary, no write-cache events.
+        use pcm_telemetry::{read_events, JsonlSink, TraceSummary};
+        let run_with = |frames: usize| {
+            let path = std::env::temp_dir().join(format!(
+                "pcm_memsim_wc_{}_{frames}.jsonl",
+                std::process::id()
+            ));
+            let mut cfg = SystemConfig::paper_baseline();
+            cfg.cores = 1;
+            if frames > 0 {
+                cfg.write_cache =
+                    crate::config::WriteCacheConfig::with_frames(frames, Default::default());
+            }
+            let mut sys = System::build(cfg)
+                .unwrap()
+                .with_trace(Box::new(VecTrace::new(vec![mem_trace_ops(400, 2, 2, 64)])))
+                .with_content(Box::new(UniformRandomContent::new(3)));
+            sys.set_telemetry(Box::new(
+                JsonlSink::create(&path, TraceDetail::Fine).unwrap(),
+            ));
+            let r = sys.run();
+            let evs =
+                read_events(std::io::BufReader::new(std::fs::File::open(&path).unwrap())).unwrap();
+            std::fs::remove_file(&path).ok();
+            (r, TraceSummary::from_events(&evs))
+        };
+        let (base, base_sum) = run_with(0);
+        let (again, again_sum) = run_with(0);
+        assert_eq!(base.runtime, again.runtime);
+        assert_eq!(base.read_latency.sum_ps, again.read_latency.sum_ps);
+        assert_eq!(base.write_latency.sum_ps, again.write_latency.sum_ps);
+        assert_eq!(base.energy, again.energy);
+        assert_eq!(base_sum.write_cache_coalesces, 0);
+        assert_eq!(base_sum.write_cache_drains, 0);
+        assert_eq!(base_sum.banks.len(), again_sum.banks.len());
+        // And an enabled cache actually changes the profile.
+        let (cached, cached_sum) = run_with(64);
+        assert_eq!(cached.mem_reads, base.mem_reads);
+        assert!(cached_sum.write_cache_drains > 0);
     }
 
     #[test]

@@ -27,7 +27,7 @@
 
 use pcm_memsim::{
     AccessKind, MemRequest, MemoryController, PcmMainMemory, ReadEnqueue, SystemConfig,
-    UniformRandomContent,
+    UniformRandomContent, WriteAdmit, WriteCache, WriteCacheStats,
 };
 use pcm_telemetry::{OpKind, Telemetry, TelemetryEvent, TraceDetail};
 use pcm_types::{AddrMap, PcmError, PhysAddr, Ps};
@@ -35,6 +35,10 @@ use std::collections::BTreeSet;
 
 /// Per-rank content-seed perturbation (matches the experiments runner).
 const RANK_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Request id reserved for background write-cache drains, so their bank
+/// completions are never reported to a submitter.
+const BACKGROUND_ID: u64 = u64::MAX;
 
 /// Configuration for a [`ServeEngine`].
 #[derive(Clone, Copy, Debug)]
@@ -110,11 +114,13 @@ pub struct ServeStats {
     pub peak_read_depth: usize,
 }
 
-/// One rank's shard: controller, banks and content model.
+/// One rank's shard: controller, banks, content model and (optionally)
+/// the rank's slice of the DRAM write-cache tier.
 struct RankLane {
     ctrl: MemoryController,
     memory: PcmMainMemory,
     content: UniformRandomContent,
+    cache: Option<WriteCache>,
 }
 
 /// The request-serving engine. See the module docs for the model.
@@ -159,6 +165,14 @@ impl ServeEngine {
                 content: UniformRandomContent::new(
                     cfg.content_seed ^ (r as u64).wrapping_mul(RANK_SEED_STRIDE),
                 ),
+                cache: if cfg.system.write_cache.enabled() {
+                    Some(WriteCache::new(
+                        cfg.system.write_cache,
+                        rank_mem.org.cache_line_bytes,
+                    )?)
+                } else {
+                    None
+                },
             });
         }
         let mut tel = tel;
@@ -229,9 +243,44 @@ impl ServeEngine {
         let (read_depth, write_depth) = self.lanes[rank].ctrl.queue_depths();
         self.stats.peak_read_depth = self.stats.peak_read_depth.max(read_depth);
         self.stats.peak_write_depth = self.stats.peak_write_depth.max(write_depth);
+        // A read whose line sits dirty in the rank's DRAM tier is served
+        // there at bus speed — no queue slot, no bank occupancy.
+        if kind == AccessKind::Read
+            && self.lanes[rank]
+                .cache
+                .as_mut()
+                .is_some_and(|wc| wc.read_hit(local_addr))
+        {
+            if self.tel.wants(TraceDetail::Fine) {
+                self.tel.record(&TelemetryEvent::WriteCacheHit {
+                    at,
+                    kind: OpKind::Read,
+                });
+            }
+            let id = self.next_id;
+            self.next_id += 1;
+            self.stats.reads += 1;
+            let ready = at + self.cfg.system.controller.t_bus;
+            self.record_done(Completion {
+                id,
+                tenant,
+                kind,
+                at: ready,
+                latency: ready.saturating_sub(at),
+            });
+            return Ok(Admission::Accepted { id });
+        }
         let full = match kind {
             AccessKind::Write => {
-                write_depth >= self.shed_mark() || self.lanes[rank].ctrl.write_queue_full()
+                // With the DRAM tier in front, a write sheds only when the
+                // frame table is exhausted *and* the rank's queue is past
+                // the shed mark — the cache absorbs bursts first.
+                let queue_full =
+                    write_depth >= self.shed_mark() || self.lanes[rank].ctrl.write_queue_full();
+                match self.lanes[rank].cache.as_ref() {
+                    Some(wc) => wc.full() && queue_full,
+                    None => queue_full,
+                }
             }
             AccessKind::Read => self.lanes[rank].ctrl.read_queue_full(),
         };
@@ -277,7 +326,39 @@ impl ServeEngine {
             }
             AccessKind::Write => {
                 self.stats.writes += 1;
-                lane.ctrl.enqueue_write(req, &dl, flat, self.tel.as_mut());
+                if lane.cache.is_some() {
+                    // Absorb the write in DRAM: it completes at bus speed
+                    // and its line drains to the PCM banks later.
+                    let admit = self.lanes[rank]
+                        .cache
+                        .as_mut()
+                        .map(|wc| wc.write(local_addr));
+                    if matches!(admit, Some(WriteAdmit::Coalesced))
+                        && self.tel.wants(TraceDetail::Fine)
+                    {
+                        self.tel.record(&TelemetryEvent::WriteCacheHit {
+                            at,
+                            kind: OpKind::Write,
+                        });
+                    }
+                    if let Some(WriteAdmit::Admitted {
+                        evicted: Some(victim),
+                    }) = admit
+                    {
+                        self.enqueue_background(rank, victim)?;
+                    }
+                    self.drain_lane_cache(rank, false)?;
+                    let ready = at + self.cfg.system.controller.t_bus;
+                    self.record_done(Completion {
+                        id,
+                        tenant,
+                        kind,
+                        at: ready,
+                        latency: ready.saturating_sub(at),
+                    });
+                } else {
+                    lane.ctrl.enqueue_write(req, &dl, flat, self.tel.as_mut());
+                }
             }
         }
         if self.tel.wants(TraceDetail::Fine) {
@@ -312,14 +393,99 @@ impl ServeEngine {
         }
     }
 
-    /// Run every queued and in-flight request to completion and flush
+    /// Run every queued and in-flight request to completion — including
+    /// every line still parked in the DRAM write-cache tier — and flush
     /// telemetry.
     pub fn drain(&mut self) -> Result<(), PcmError> {
-        while self.step()? {}
+        loop {
+            let mut flushed = false;
+            for rank in 0..self.lanes.len() {
+                flushed |= self.drain_lane_cache(rank, true)?;
+            }
+            if !self.step()? && !flushed {
+                break;
+            }
+        }
         self.tel
             .flush()
             .map_err(|e| PcmError::config(format!("telemetry flush failed: {e}")))?;
         Ok(())
+    }
+
+    /// Combined write-cache counters over every rank lane (`None` when
+    /// the tier is disabled).
+    pub fn write_cache_stats(&self) -> Option<WriteCacheStats> {
+        let mut any = false;
+        let mut total = WriteCacheStats::default();
+        for lane in &self.lanes {
+            if let Some(wc) = lane.cache.as_ref() {
+                any = true;
+                let s = wc.stats();
+                total.coalesced += s.coalesced;
+                total.admitted += s.admitted;
+                total.read_hits += s.read_hits;
+                total.drained += s.drained;
+            }
+        }
+        any.then_some(total)
+    }
+
+    /// Enqueue one drained line as a background write (sentinel id: its
+    /// completion is consumed by the engine, not reported).
+    fn enqueue_background(&mut self, rank: usize, addr: PhysAddr) -> Result<(), PcmError> {
+        let dl = self.local.decode(addr)?;
+        let flat = self.local.flat_bank(&dl);
+        let req = MemRequest {
+            id: BACKGROUND_ID,
+            addr,
+            kind: AccessKind::Write,
+            core: 0,
+            arrival: self.now,
+        };
+        self.lanes[rank]
+            .ctrl
+            .enqueue_write(req, &dl, flat, self.tel.as_mut());
+        Ok(())
+    }
+
+    /// Trickle one lane's cached lines into its controller: past the
+    /// watermark during service (`to_empty = false`), or down to nothing
+    /// on final drain (`to_empty = true`). Returns whether any line moved.
+    fn drain_lane_cache(&mut self, rank: usize, to_empty: bool) -> Result<bool, PcmError> {
+        let mut lines = 0u32;
+        loop {
+            let lane = &mut self.lanes[rank];
+            let ready = lane.cache.as_ref().is_some_and(|wc| {
+                if to_empty {
+                    wc.occupancy() > 0
+                } else {
+                    wc.over_watermark()
+                }
+            }) && !lane.ctrl.write_queue_full();
+            if !ready {
+                break;
+            }
+            let Some(addr) = lane.cache.as_mut().and_then(|wc| wc.drain_one()) else {
+                break;
+            };
+            self.enqueue_background(rank, addr)?;
+            lines += 1;
+        }
+        if lines > 0 {
+            if self.tel.wants(TraceDetail::Coarse) {
+                let depth = self.lanes[rank]
+                    .cache
+                    .as_ref()
+                    .map_or(0, |wc| wc.occupancy() as u32);
+                self.tel.record(&TelemetryEvent::WriteCacheDrain {
+                    at: self.now,
+                    lines,
+                    depth,
+                });
+            }
+            self.issue(rank)?;
+        }
+        Ok(lines > 0)
     }
 
     fn shed_mark(&self) -> usize {
@@ -346,6 +512,11 @@ impl ServeEngine {
                 });
             }
             for req in reqs {
+                if req.id == BACKGROUND_ID {
+                    // A write-cache drain finishing its trip to the banks;
+                    // the submitter was answered back at admission.
+                    continue;
+                }
                 self.record_done(Completion {
                     id: req.id,
                     tenant: req.core as u32,
@@ -476,6 +647,68 @@ mod tests {
         assert_eq!(d1, d2);
         assert_eq!(c1, c2, "completion stream is bit-identical");
         assert!(s1 > 0);
+    }
+
+    #[test]
+    fn write_cache_lane_absorbs_hot_writes() {
+        let mut cfg = quick_cfg(2);
+        cfg.system = SystemConfig::builder()
+            .small_caches()
+            .ranks(2)
+            .write_cache(32)
+            .build()
+            .unwrap();
+        let mut e = ServeEngine::new(cfg, Box::new(NullSink)).unwrap();
+        let mut t = Ps::ZERO;
+        // Hammer a handful of hot lines: the DRAM tier coalesces, every
+        // request still completes, none shed.
+        for i in 0..512u64 {
+            let a = e.submit(0, AccessKind::Write, (i % 8) * 64, t).unwrap();
+            assert!(matches!(a, Admission::Accepted { .. }));
+            t += Ps::from_ns(20);
+        }
+        e.drain().unwrap();
+        assert_eq!(e.stats().served, 512);
+        assert_eq!(e.stats().shed, 0);
+        let wc = e.write_cache_stats().expect("tier enabled");
+        assert_eq!(wc.coalesced + wc.admitted, 512);
+        assert!(wc.coalesce_ratio() > 0.9, "hot lines merge in DRAM");
+        assert_eq!(wc.drained, wc.admitted, "final drain empties the tier");
+    }
+
+    #[test]
+    fn write_cache_serves_reads_and_stays_deterministic() {
+        let run = || {
+            let mut cfg = quick_cfg(1);
+            cfg.system = SystemConfig::builder()
+                .small_caches()
+                .write_cache(16)
+                .build()
+                .unwrap();
+            let mut e = ServeEngine::new(cfg, Box::new(MemorySink::default())).unwrap();
+            let mut t = Ps::ZERO;
+            for i in 0..128u64 {
+                let kind = if i % 2 == 0 {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                // Read back the line written the step before: a DRAM hit.
+                e.submit(0, kind, (i / 2) * 64, t).unwrap();
+                t += Ps::from_ns(250);
+            }
+            e.drain().unwrap();
+            (
+                e.stats().served,
+                e.write_cache_stats().unwrap(),
+                e.take_completions(),
+            )
+        };
+        let (served, wc, c1) = run();
+        assert_eq!(served, 128);
+        assert!(wc.read_hits > 0, "reads hit cached dirty lines");
+        let (_, _, c2) = run();
+        assert_eq!(c1, c2, "completion stream is bit-identical");
     }
 
     #[test]

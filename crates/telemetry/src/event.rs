@@ -238,6 +238,25 @@ pub enum TelemetryEvent {
         /// Ingress-queue depth that triggered the shed.
         depth: u32,
     },
+    /// The DRAM write-cache tier served an access from a cached dirty
+    /// line: a write coalesced into its frame (`kind = write`) or a read
+    /// was answered at DRAM speed (`kind = read`).
+    WriteCacheHit {
+        /// Access time.
+        at: Ps,
+        /// Write coalesce or read forward.
+        kind: OpKind,
+    },
+    /// The write cache drained a burst of dirty lines into the controller
+    /// write queues (watermark trigger, capacity eviction or final flush).
+    WriteCacheDrain {
+        /// When the burst completed.
+        at: Ps,
+        /// Lines handed to the controller in this burst.
+        lines: u32,
+        /// Frames still dirty after the burst.
+        depth: u32,
+    },
 }
 
 impl TelemetryEvent {
@@ -250,7 +269,8 @@ impl TelemetryEvent {
             | TelemetryEvent::WriteSteer { .. }
             | TelemetryEvent::PartitionWrite { .. }
             | TelemetryEvent::CosetChoice { .. }
-            | TelemetryEvent::RequestDone { .. } => TraceDetail::Fine,
+            | TelemetryEvent::RequestDone { .. }
+            | TelemetryEvent::WriteCacheHit { .. } => TraceDetail::Fine,
             _ => TraceDetail::Coarse,
         }
     }
@@ -273,7 +293,9 @@ impl TelemetryEvent {
             | TelemetryEvent::PartitionWrite { at, .. }
             | TelemetryEvent::CosetChoice { at, .. }
             | TelemetryEvent::RequestDone { at, .. }
-            | TelemetryEvent::Backpressure { at, .. } => Some(at),
+            | TelemetryEvent::Backpressure { at, .. }
+            | TelemetryEvent::WriteCacheHit { at, .. }
+            | TelemetryEvent::WriteCacheDrain { at, .. } => Some(at),
         }
     }
 }
@@ -444,6 +466,17 @@ impl JsonCodec for TelemetryEvent {
                 ("tenant", Json::UInt(u64::from(*tenant))),
                 ("depth", Json::UInt(u64::from(*depth))),
             ]),
+            TelemetryEvent::WriteCacheHit { at, kind } => Json::obj(vec![
+                ("ev", Json::str("write_cache_hit")),
+                ("at", Json::UInt(at.0)),
+                ("kind", Json::str(kind.tag())),
+            ]),
+            TelemetryEvent::WriteCacheDrain { at, lines, depth } => Json::obj(vec![
+                ("ev", Json::str("write_cache_drain")),
+                ("at", Json::UInt(at.0)),
+                ("lines", Json::UInt(u64::from(*lines))),
+                ("depth", Json::UInt(u64::from(*depth))),
+            ]),
         }
     }
 
@@ -542,6 +575,19 @@ impl JsonCodec for TelemetryEvent {
             "backpressure" => Ok(TelemetryEvent::Backpressure {
                 at: get_ps(v, "at")?,
                 tenant: get_u32(v, "tenant")?,
+                depth: get_u32(v, "depth")?,
+            }),
+            "write_cache_hit" => Ok(TelemetryEvent::WriteCacheHit {
+                at: get_ps(v, "at")?,
+                kind: get_str(v, "kind")
+                    .ok()
+                    .as_deref()
+                    .and_then(OpKind::from_tag)
+                    .ok_or_else(|| field_error("kind"))?,
+            }),
+            "write_cache_drain" => Ok(TelemetryEvent::WriteCacheDrain {
+                at: get_ps(v, "at")?,
+                lines: get_u32(v, "lines")?,
                 depth: get_u32(v, "depth")?,
             }),
             other => Err(JsonError {
@@ -645,6 +691,15 @@ mod tests {
                 tenant: 0,
                 depth: 64,
             },
+            TelemetryEvent::WriteCacheHit {
+                at: Ps(16_000),
+                kind: OpKind::Write,
+            },
+            TelemetryEvent::WriteCacheDrain {
+                at: Ps(17_000),
+                lines: 12,
+                depth: 48,
+            },
         ]
     }
 
@@ -677,7 +732,8 @@ mod tests {
                 | TelemetryEvent::WriteSteer { .. }
                 | TelemetryEvent::PartitionWrite { .. }
                 | TelemetryEvent::CosetChoice { .. }
-                | TelemetryEvent::RequestDone { .. } => Fine,
+                | TelemetryEvent::RequestDone { .. }
+                | TelemetryEvent::WriteCacheHit { .. } => Fine,
                 _ => Coarse,
             };
             assert_eq!(ev.detail(), want);

@@ -65,6 +65,16 @@ pub struct TraceSummary {
     pub partitions_sum: u64,
     /// Lines stored on each coset row, summed over `coset_choice` events.
     pub coset_rows: [u64; 4],
+    /// DRAM write-cache read hits (`write_cache_hit` events with a read
+    /// kind: a load served out of a cached dirty line).
+    pub write_cache_hits: u64,
+    /// DRAM write-cache coalesces (`write_cache_hit` events with a write
+    /// kind: a store merged into an already-cached dirty line).
+    pub write_cache_coalesces: u64,
+    /// Write-cache drain bursts observed (`write_cache_drain` events).
+    pub write_cache_drains: u64,
+    /// Dirty lines pushed to the controller across all drain bursts.
+    pub write_cache_drained_lines: u64,
 }
 
 /// Nearest-rank percentile of a **sorted** slice (`p` in [0, 1]).
@@ -167,6 +177,14 @@ impl TraceSummary {
                     s.partition_writes += 1;
                     s.partitions_sum += u64::from(partitions);
                 }
+                TelemetryEvent::WriteCacheHit { kind, .. } => match kind {
+                    OpKind::Read => s.write_cache_hits += 1,
+                    OpKind::Write => s.write_cache_coalesces += 1,
+                },
+                TelemetryEvent::WriteCacheDrain { lines, .. } => {
+                    s.write_cache_drains += 1;
+                    s.write_cache_drained_lines += u64::from(lines);
+                }
                 TelemetryEvent::CosetChoice {
                     row0,
                     row1,
@@ -235,6 +253,10 @@ impl TraceSummary {
             out.shed_requests += p.shed_requests;
             out.partition_writes += p.partition_writes;
             out.partitions_sum += p.partitions_sum;
+            out.write_cache_hits += p.write_cache_hits;
+            out.write_cache_coalesces += p.write_cache_coalesces;
+            out.write_cache_drains += p.write_cache_drains;
+            out.write_cache_drained_lines += p.write_cache_drained_lines;
             for (slot, n) in out.coset_rows.iter_mut().zip(p.coset_rows) {
                 *slot += n;
             }
@@ -576,6 +598,45 @@ mod tests {
         assert_eq!(m.partition_writes, 4);
         assert_eq!(m.coset_rows, [8, 2, 0, 4]);
         assert!((m.mean_partition_occupancy() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn write_cache_events_counted() {
+        let evs = vec![
+            TelemetryEvent::WriteCacheHit {
+                at: Ps(1_000),
+                kind: OpKind::Write,
+            },
+            TelemetryEvent::WriteCacheHit {
+                at: Ps(2_000),
+                kind: OpKind::Write,
+            },
+            TelemetryEvent::WriteCacheHit {
+                at: Ps(3_000),
+                kind: OpKind::Read,
+            },
+            TelemetryEvent::WriteCacheDrain {
+                at: Ps(4_000),
+                lines: 12,
+                depth: 48,
+            },
+            TelemetryEvent::WriteCacheDrain {
+                at: Ps(5_000),
+                lines: 4,
+                depth: 16,
+            },
+        ];
+        let s = TraceSummary::from_events(&evs);
+        assert_eq!(s.write_cache_coalesces, 2);
+        assert_eq!(s.write_cache_hits, 1);
+        assert_eq!(s.write_cache_drains, 2);
+        assert_eq!(s.write_cache_drained_lines, 16);
+        assert_eq!(s.span, Ps(5_000));
+        let m = TraceSummary::merged(&[s.clone(), s]);
+        assert_eq!(m.write_cache_coalesces, 4);
+        assert_eq!(m.write_cache_hits, 2);
+        assert_eq!(m.write_cache_drains, 4);
+        assert_eq!(m.write_cache_drained_lines, 32);
     }
 
     #[test]
