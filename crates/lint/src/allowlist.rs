@@ -82,6 +82,14 @@ impl Allowlist {
                 ));
                 continue;
             }
+            if !crate::rules::RULE_IDS.contains(&parts[0]) {
+                out.problems.push(problem(format!(
+                    "waiver names unknown rule `{}` — it can never match a finding; \
+                     see --list-rules for the catalog",
+                    parts[0]
+                )));
+                continue;
+            }
             if parts[3].chars().count() < MIN_JUSTIFICATION {
                 out.problems.push(problem(format!(
                     "waiver justification too short ({} chars, need ≥ {MIN_JUSTIFICATION}): \
@@ -130,7 +138,7 @@ impl Allowlist {
                     col: 1,
                     len: 1,
                     msg: format!(
-                        "stale waiver: no `{}` finding in `{}` matches `{}` — \
+                        "stale waiver for rule `{}`: no finding in `{}` matches `{}` — \
                          the violation is gone, delete this line",
                         w.rule, w.path, w.needle
                     ),

@@ -1,0 +1,261 @@
+//! The warm-scan cache (`target/lint-cache.json`).
+//!
+//! A full workspace scan lexes, parses and file-rule-checks every `.rs`
+//! file. Between two consecutive runs almost nothing changes, so the scan
+//! persists, per file, a content fingerprint plus the two artifacts that
+//! are expensive to recompute: the parsed [`FileFacts`] and the per-file
+//! rule diagnostics. A warm run re-reads sources (diagnostic snippets need
+//! the text anyway), fingerprints them, and restores facts and findings
+//! for every unchanged file — only edited files are re-lexed and
+//! re-parsed. Cross-file (graph) rules always run live: they are cheap
+//! index walks over the restored facts, and their findings depend on
+//! *other* files' contents, which a per-file cache cannot key.
+//!
+//! Invalidation policy (DESIGN.md §15):
+//!
+//! * **content** — the FNV-1a 64 fingerprint of the file's bytes must
+//!   match; any edit, however small, re-parses that file (and only it).
+//! * **schema** — [`CACHE_VERSION`] must match; bumped whenever
+//!   [`FileFacts`]' serialized shape changes.
+//! * **rule catalog** — the cache records [`RULE_IDS`]; adding, removing
+//!   or renaming a rule discards the whole cache, since cached per-file
+//!   diagnostics would silently miss the new rule.
+//!
+//! Any decode failure — truncated file, hand-edited JSON, unknown rule id
+//! in a cached diagnostic — degrades to a cold scan for the affected
+//! entry (or the whole cache), never to an error: the cache is an
+//! optimization, not a source of truth, and a warm run's *output* must be
+//! byte-identical to a cold run's (`tests/cache.rs` pins this).
+
+use crate::diag::Diagnostic;
+use crate::items::FileFacts;
+use crate::rules::RULE_IDS;
+use pcm_types::{Json, JsonCodec};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Bump when the serialized [`FileFacts`] or entry layout changes.
+pub const CACHE_VERSION: u64 = 1;
+
+/// Schema marker in the cache file.
+const SCHEMA: &str = "pcm-lint-cache";
+
+/// FNV-1a 64-bit content fingerprint. Not cryptographic — it only needs
+/// to make accidental collisions between source revisions implausible.
+pub fn fingerprint(src: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in src.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One cached file: fingerprint, parsed facts, per-file rule findings.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CacheEntry {
+    /// [`fingerprint`] of the file contents this entry was built from.
+    pub fp: u64,
+    /// Parsed facts, restored verbatim on a hit.
+    pub facts: FileFacts,
+    /// Per-file rule diagnostics (unfiltered: waivers and `--allow` are
+    /// applied after the scan, so the cache is allow-independent).
+    pub diags: Vec<Diagnostic>,
+}
+
+impl JsonCodec for CacheEntry {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("fp", Json::UInt(self.fp)),
+            ("facts", self.facts.to_json()),
+            (
+                "diags",
+                Json::Arr(self.diags.iter().map(JsonCodec::to_json).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<CacheEntry, pcm_types::JsonError> {
+        let err = || pcm_types::json::field_error("cache entry");
+        let fp = v.get("fp").and_then(Json::as_u64).ok_or_else(err)?;
+        let facts = FileFacts::from_json(v.get("facts").ok_or_else(err)?)?;
+        let diags = v
+            .get("diags")
+            .and_then(Json::as_array)
+            .ok_or_else(err)?
+            .iter()
+            .map(Diagnostic::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CacheEntry { fp, facts, diags })
+    }
+}
+
+/// The whole cache: path → entry, insertion-order-independent.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Cache {
+    entries: BTreeMap<String, CacheEntry>,
+}
+
+impl Cache {
+    /// An empty cache (every lookup misses).
+    pub fn empty() -> Cache {
+        Cache::default()
+    }
+
+    /// Number of cached files.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entry for `path`, but only when its fingerprint still matches.
+    pub fn lookup(&self, path: &str, fp: u64) -> Option<&CacheEntry> {
+        self.entries.get(path).filter(|e| e.fp == fp)
+    }
+
+    /// Record (or replace) the entry for `path`.
+    pub fn insert(&mut self, path: String, entry: CacheEntry) {
+        self.entries.insert(path, entry);
+    }
+
+    /// Load from `path`. Any failure — missing file, parse error, schema
+    /// or version or rule-catalog mismatch, undecodable entry — returns an
+    /// empty cache (a cold scan), never an error.
+    pub fn load(path: &Path) -> Cache {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return Cache::empty();
+        };
+        let Ok(v) = Json::parse(&text) else {
+            return Cache::empty();
+        };
+        if v.get("schema").and_then(Json::as_str) != Some(SCHEMA)
+            || v.get("version").and_then(Json::as_u64) != Some(CACHE_VERSION)
+        {
+            return Cache::empty();
+        }
+        let rules: Vec<&str> = match v.get("rules").and_then(Json::as_array) {
+            Some(a) => a.iter().filter_map(Json::as_str).collect(),
+            None => return Cache::empty(),
+        };
+        if rules != RULE_IDS {
+            return Cache::empty();
+        }
+        let Some(Json::Obj(files)) = v.get("files") else {
+            return Cache::empty();
+        };
+        let mut cache = Cache::empty();
+        for (p, ev) in files {
+            // One bad entry degrades that file to a cold parse; the rest
+            // of the cache stays usable.
+            if let Ok(e) = CacheEntry::from_json(ev) {
+                cache.entries.insert(p.clone(), e);
+            }
+        }
+        cache
+    }
+
+    /// Persist to `path`, creating parent directories as needed.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, self.to_json_string())
+    }
+}
+
+impl JsonCodec for Cache {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema", Json::str(SCHEMA)),
+            ("version", Json::UInt(CACHE_VERSION)),
+            (
+                "rules",
+                Json::Arr(RULE_IDS.iter().map(|r| Json::str(*r)).collect()),
+            ),
+            (
+                "files",
+                Json::Obj(
+                    self.entries
+                        .iter()
+                        .map(|(p, e)| (p.clone(), e.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Cache, pcm_types::JsonError> {
+        // Lenient decoding lives in `load`; this strict form backs tests.
+        let mut cache = Cache::empty();
+        if let Some(Json::Obj(files)) = v.get("files") {
+            for (p, ev) in files {
+                cache.entries.insert(p.clone(), CacheEntry::from_json(ev)?);
+            }
+        }
+        Ok(cache)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        assert_eq!(fingerprint(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fingerprint("fn main() {}"), fingerprint("fn main() {}"));
+        assert_ne!(fingerprint("fn main() {}"), fingerprint("fn main() { }"));
+    }
+
+    #[test]
+    fn lookup_requires_matching_fingerprint() {
+        let mut c = Cache::empty();
+        c.insert(
+            "a.rs".into(),
+            CacheEntry {
+                fp: 7,
+                facts: FileFacts::default(),
+                diags: Vec::new(),
+            },
+        );
+        assert!(c.lookup("a.rs", 7).is_some());
+        assert!(c.lookup("a.rs", 8).is_none());
+        assert!(c.lookup("b.rs", 7).is_none());
+    }
+
+    #[test]
+    fn version_and_rule_catalog_gate_the_load() {
+        let dir = std::env::temp_dir().join("pcm-lint-cache-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("cache.json");
+
+        let mut c = Cache::empty();
+        c.insert(
+            "x.rs".into(),
+            CacheEntry {
+                fp: 1,
+                facts: FileFacts::default(),
+                diags: Vec::new(),
+            },
+        );
+        c.save(&p).unwrap();
+        assert_eq!(Cache::load(&p).len(), 1);
+
+        // Tamper with the version: the whole cache is discarded.
+        let tampered = std::fs::read_to_string(&p)
+            .unwrap()
+            .replace("\"version\":1", "\"version\":999");
+        std::fs::write(&p, tampered).unwrap();
+        assert!(Cache::load(&p).is_empty());
+
+        // Garbage is a cold scan, not an error.
+        std::fs::write(&p, "not json").unwrap();
+        assert!(Cache::load(&p).is_empty());
+        std::fs::remove_file(&p).unwrap();
+        assert!(Cache::load(&p).is_empty());
+    }
+}

@@ -1,0 +1,160 @@
+//! The workspace-wide item graph.
+//!
+//! [`ItemGraph`] indexes every file's parsed [`FileFacts`](crate::items::FileFacts)
+//! into the cross-file lookups the semantic rules need: functions by name
+//! (with their unit-classified parameter slots), struct fields by name
+//! (with their declared types), enums by name, and the approximate call
+//! graph — for each function name, every function whose body calls it.
+//!
+//! Name-based resolution is deliberate: without type information, two
+//! same-named methods on different types are indistinguishable. Rules
+//! that consume the graph therefore only act when **all** same-named
+//! candidates agree on the property in question (see `units-flow`), which
+//! keeps the false-positive rate at zero in exchange for missing some
+//! true positives — the right trade for a CI gate.
+//!
+//! All indexes are `BTreeMap`s so iteration order (and therefore
+//! diagnostic order) is deterministic.
+
+use crate::items::{Item, ItemKind, Param};
+use crate::workspace::{SourceFile, Workspace};
+use std::collections::BTreeMap;
+
+/// An item together with the file that declares it.
+#[derive(Clone, Copy)]
+pub struct ItemRef<'a> {
+    /// The declaring file.
+    pub file: &'a SourceFile,
+    /// The item.
+    pub item: &'a Item,
+}
+
+/// A struct field together with its owner.
+#[derive(Clone, Copy)]
+pub struct FieldRef<'a> {
+    /// The declaring file.
+    pub file: &'a SourceFile,
+    /// The `struct` item owning the field.
+    pub owner: &'a Item,
+    /// The field slot (name, type text, byte offset).
+    pub field: &'a Param,
+}
+
+/// Cross-file indexes over every parsed item in the workspace.
+pub struct ItemGraph<'a> {
+    /// `fn` items by name (free functions and methods pooled together).
+    pub fns: BTreeMap<&'a str, Vec<ItemRef<'a>>>,
+    /// `struct` fields by field name.
+    pub fields: BTreeMap<&'a str, Vec<FieldRef<'a>>>,
+    /// `struct` items by name.
+    pub structs: BTreeMap<&'a str, Vec<ItemRef<'a>>>,
+    /// `enum` items by name.
+    pub enums: BTreeMap<&'a str, Vec<ItemRef<'a>>>,
+    /// Approximate call graph: callee name → the `fn` items whose bodies
+    /// call it.
+    pub callers: BTreeMap<&'a str, Vec<ItemRef<'a>>>,
+}
+
+impl<'a> ItemGraph<'a> {
+    /// Index every file's facts.
+    pub fn build(ws: &'a Workspace) -> ItemGraph<'a> {
+        let mut g = ItemGraph {
+            fns: BTreeMap::new(),
+            fields: BTreeMap::new(),
+            structs: BTreeMap::new(),
+            enums: BTreeMap::new(),
+            callers: BTreeMap::new(),
+        };
+        for file in &ws.files {
+            for item in &file.facts.items {
+                let r = ItemRef { file, item };
+                match item.kind {
+                    ItemKind::Fn => {
+                        g.fns.entry(&item.name).or_default().push(r);
+                        for call in &item.calls {
+                            let cs = g.callers.entry(&call.callee).or_default();
+                            // A body calling the same name twice is one
+                            // caller edge.
+                            if !cs.last().is_some_and(|l| std::ptr::eq(l.item, item)) {
+                                cs.push(r);
+                            }
+                        }
+                    }
+                    ItemKind::Struct => {
+                        g.structs.entry(&item.name).or_default().push(r);
+                        for field in &item.fields {
+                            g.fields.entry(&field.name).or_default().push(FieldRef {
+                                file,
+                                owner: item,
+                                field,
+                            });
+                        }
+                    }
+                    ItemKind::Enum => {
+                        g.enums.entry(&item.name).or_default().push(r);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        g
+    }
+
+    /// The single `enum` named `name`, when exactly one exists.
+    pub fn one_enum(&self, name: &str) -> Option<ItemRef<'a>> {
+        match self.enums.get(name).map(Vec::as_slice) {
+            Some([only]) => Some(*only),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn ws(files: &[(&str, &str)]) -> Workspace {
+        Workspace {
+            root: PathBuf::from("."),
+            files: files
+                .iter()
+                .map(|(p, s)| SourceFile::new(p, (*s).to_string()))
+                .collect(),
+            ci_yml: None,
+        }
+    }
+
+    #[test]
+    fn indexes_fns_fields_and_callers() {
+        let w = ws(&[
+            (
+                "crates/core/src/a.rs",
+                "pub struct Slot { pub width_ns: u64 }\n\
+                 pub fn convert(t_ns: u64) -> u64 { t_ns }\n",
+            ),
+            (
+                "crates/core/src/b.rs",
+                "fn caller() { convert(5); convert(6); }\n",
+            ),
+        ]);
+        let g = ItemGraph::build(&w);
+        assert_eq!(g.fns["convert"].len(), 1);
+        assert_eq!(g.fields["width_ns"][0].owner.name, "Slot");
+        // Two calls from one body collapse to one caller edge.
+        assert_eq!(g.callers["convert"].len(), 1);
+        assert_eq!(g.callers["convert"][0].item.name, "caller");
+    }
+
+    #[test]
+    fn one_enum_requires_uniqueness() {
+        let w = ws(&[
+            ("crates/core/src/a.rs", "enum E { A }\nenum F { B }\n"),
+            ("crates/core/src/b.rs", "enum F { C }\n"),
+        ]);
+        let g = ItemGraph::build(&w);
+        assert!(g.one_enum("E").is_some());
+        assert!(g.one_enum("F").is_none(), "duplicates are ambiguous");
+        assert!(g.one_enum("G").is_none());
+    }
+}

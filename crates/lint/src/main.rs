@@ -3,18 +3,19 @@
 //! ```text
 //! cargo run -p pcm-lint -- --workspace [--json] [--json-out FILE]
 //!                          [--allow <rule>]... [--root DIR] [--list-rules]
+//!                          [--no-cache] [--cache FILE] [--threads N]
 //! ```
 //!
 //! Exit codes: 0 clean, 1 findings, 2 usage/IO error.
 
 use pcm_lint::diag::to_json_report;
-use pcm_lint::{rules, run, workspace};
+use pcm_lint::{rules, run_with, workspace, RunOptions};
 use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
         "usage: pcm-lint --workspace [--json] [--json-out FILE] [--allow RULE]... \
-         [--root DIR] [--list-rules]"
+         [--root DIR] [--list-rules] [--no-cache] [--cache FILE] [--threads N]"
     );
     std::process::exit(2);
 }
@@ -27,12 +28,27 @@ fn main() {
     let mut root: Option<PathBuf> = None;
     let mut list_rules = false;
     let mut workspace_flag = false;
+    let mut use_cache = true;
+    let mut cache_path: Option<PathBuf> = None;
+    let mut threads = 0usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--workspace" => workspace_flag = true,
             "--json" => json_stdout = true,
             "--list-rules" => list_rules = true,
+            "--no-cache" => use_cache = false,
+            "--cache" => {
+                i += 1;
+                cache_path = Some(PathBuf::from(args.get(i).unwrap_or_else(|| usage())));
+            }
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .and_then(|t| t.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
             "--json-out" => {
                 i += 1;
                 json_out = Some(PathBuf::from(args.get(i).unwrap_or_else(|| usage())));
@@ -77,7 +93,13 @@ fn main() {
             eprintln!("cannot locate the workspace root (no Cargo.toml with [workspace])");
             std::process::exit(2);
         });
-    let report = run(&root, &allow).unwrap_or_else(|e| {
+    let opts = RunOptions {
+        allow,
+        use_cache,
+        cache_path,
+        threads,
+    };
+    let report = run_with(&root, &opts).unwrap_or_else(|e| {
         eprintln!("pcm-lint: {e}");
         std::process::exit(2);
     });
@@ -94,8 +116,10 @@ fn main() {
             println!("{}\n", d.render());
         }
         eprintln!(
-            "pcm-lint: {} file(s) scanned, {} finding(s), {} waived",
+            "pcm-lint: {} file(s) scanned ({} cached, {} parsed), {} finding(s), {} waived",
             report.files_scanned,
+            report.cache_hits,
+            report.cache_misses,
             report.findings.len(),
             report.waived.len()
         );

@@ -5,13 +5,14 @@
 //! `sched-ablation` and friends are how regressions are *demonstrated*.
 //! A subcommand that CI never runs rots invisibly (flag parsing drifts,
 //! output formats break) until someone needs it mid-investigation. The
-//! rule extracts the `Some("…") =>` dispatch arms from the binary's
-//! top-level match and requires each subcommand name to appear as a
-//! whitespace-delimited word in `.github/workflows/ci.yml`.
+//! rule reads the `Some("…") =>` dispatch arms the item parser records in
+//! [`crate::items::FileFacts::subcommand_arms`] and requires each
+//! subcommand name to appear as a whitespace-delimited word in
+//! `.github/workflows/ci.yml`. Working from facts (not tokens) keeps the
+//! rule valid on cache-restored files, which carry no token stream.
 
-use super::{Rule, SigView};
+use super::Rule;
 use crate::diag::Diagnostic;
-use crate::lexer::TokKind;
 use crate::workspace::Workspace;
 
 const BIN_FILE: &str = "crates/experiments/src/bin/tetris-experiments.rs";
@@ -21,23 +22,12 @@ pub fn subcommands(ws: &Workspace) -> Vec<(String, usize)> {
     let Some(file) = ws.file(BIN_FILE) else {
         return Vec::new();
     };
-    let v = SigView::new(file);
-    let mut out = Vec::new();
-    for i in 0..v.len() {
-        if v.text(i) == "Some"
-            && v.matches(i + 1, &["("])
-            && i + 2 < v.len()
-            && v.kind(i + 2) == TokKind::StrLit
-            && v.matches(i + 3, &[")", "=", ">"])
-        {
-            let lit = v.text(i + 2);
-            let name = lit.trim_matches('"').to_string();
-            if !name.is_empty() {
-                out.push((name, v.tok(i + 2).lo));
-            }
-        }
-    }
-    out
+    file.facts
+        .subcommand_arms
+        .iter()
+        .filter(|arm| !arm.text.is_empty())
+        .map(|arm| (arm.text.clone(), arm.lo))
+        .collect()
 }
 
 /// See module docs.

@@ -10,9 +10,9 @@
 //! `until`, `busy`). Use `u64` arithmetic, `Ps` helpers, or an explicit
 //! `u32::try_from` whose failure path is handled.
 
-use super::{postfix_subject, Rule, SigView};
+use super::{postfix_subject, FileRule, SigView};
 use crate::diag::Diagnostic;
-use crate::workspace::{Workspace, DETERMINISTIC_CRATES};
+use crate::workspace::{SourceFile, DETERMINISTIC_CRATES};
 
 /// Narrow targets worth flagging (`as u64`/`f64` are not lossy for Ps).
 const NARROW: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "usize"];
@@ -41,7 +41,7 @@ fn is_timey(name: &str) -> bool {
 /// See module docs.
 pub struct NoLossyCycleCasts;
 
-impl Rule for NoLossyCycleCasts {
+impl FileRule for NoLossyCycleCasts {
     fn id(&self) -> &'static str {
         "no-lossy-cycle-casts"
     }
@@ -50,14 +50,13 @@ impl Rule for NoLossyCycleCasts {
         "narrowing `as` casts on cycle/latency-typed expressions truncate silently"
     }
 
-    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+    fn check_file(&self, file: &SourceFile) -> Vec<Diagnostic> {
         let mut out = Vec::new();
-        for file in &ws.files {
-            if !DETERMINISTIC_CRATES.contains(&file.crate_name.as_str())
-                || !file.path.contains("/src/")
-            {
-                continue;
-            }
+        if !DETERMINISTIC_CRATES.contains(&file.crate_name.as_str()) || !file.path.contains("/src/")
+        {
+            return out;
+        }
+        {
             let v = SigView::new(file);
             for i in 0..v.len() {
                 if v.text(i) != "as" || i + 1 >= v.len() || !NARROW.contains(&v.text(i + 1)) {

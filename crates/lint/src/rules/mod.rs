@@ -1,20 +1,34 @@
 //! The rule catalog.
 //!
 //! Every rule has a stable ID (used in waivers and `--allow`), a one-line
-//! description, and a checker that walks the lexed workspace and emits
-//! span-accurate [`Diagnostic`]s. Rules are syntactic — they work on the
-//! token stream, not on types — so each one documents the approximation it
-//! makes and errs on the side of flagging (waivers carry the justification
-//! when the approximation is wrong).
+//! description, and a checker producing span-accurate [`Diagnostic`]s.
+//! Rules come in two layers:
+//!
+//! * **File rules** ([`FileRule`]) see one file's token stream at a time.
+//!   Their findings depend only on that file's bytes, so the scan runs
+//!   them at parse time — in parallel across files — and caches their
+//!   findings alongside the parsed facts (`target/lint-cache.json`).
+//! * **Graph rules** ([`Rule`] entries in [`graph_rules`]) see the whole
+//!   workspace through the parsed [`crate::items::FileFacts`] and the
+//!   [`crate::graph::ItemGraph`]. They run on every scan (warm or cold) —
+//!   their findings depend on *other* files, which a per-file cache
+//!   cannot key — and never touch raw tokens, so cache-restored files
+//!   (which skip lexing) are first-class inputs.
+//!
+//! All rules are syntactic — they work on tokens and recovered item
+//! structure, not on types — so each one documents the approximation it
+//! makes and errs on the side of flagging (waivers carry the
+//! justification when the approximation is wrong).
 
 mod ci_parity;
+mod dead_config;
 mod lossy_casts;
 mod panic_policy;
-mod policy_registry;
+mod registry_parity;
 mod resurrected_api;
-mod scheme_registry;
 mod telemetry_parity;
 mod typed_units;
+mod units_flow;
 mod unordered_iter;
 mod wall_clock;
 
@@ -22,7 +36,7 @@ use crate::diag::Diagnostic;
 use crate::lexer::{Tok, TokKind};
 use crate::workspace::{SourceFile, Workspace};
 
-/// A single lint rule.
+/// A whole-workspace lint rule (the catalog interface).
 pub trait Rule {
     /// Stable identifier (kebab-case; referenced by waivers and docs).
     fn id(&self) -> &'static str;
@@ -32,39 +46,86 @@ pub trait Rule {
     fn check(&self, ws: &Workspace) -> Vec<Diagnostic>;
 }
 
-/// All rule IDs, in catalog order (also the JSON decoder's whitelist).
+/// A rule whose findings depend on a single file's contents only. Runs in
+/// parallel during the scan; findings are cached per file.
+pub trait FileRule: Sync {
+    /// Stable identifier (kebab-case; referenced by waivers and docs).
+    fn id(&self) -> &'static str;
+    /// One-line description for `--list-rules`.
+    fn describe(&self) -> &'static str;
+    /// Scan one lexed file and report findings.
+    fn check_file(&self, file: &SourceFile) -> Vec<Diagnostic>;
+}
+
+/// Adapter presenting a [`FileRule`] as a whole-workspace [`Rule`].
+struct PerFile(Box<dyn FileRule>);
+
+impl Rule for PerFile {
+    fn id(&self) -> &'static str {
+        self.0.id()
+    }
+
+    fn describe(&self) -> &'static str {
+        self.0.describe()
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        ws.files.iter().flat_map(|f| self.0.check_file(f)).collect()
+    }
+}
+
+/// All rule IDs, in catalog order (also the JSON decoder's whitelist and
+/// the cache's rule-catalog stamp).
 pub const RULE_IDS: &[&str] = &[
     "no-wall-clock",
     "no-unordered-iteration",
     "typed-units",
     "no-lossy-cycle-casts",
     "panic-policy",
-    "telemetry-parity",
     "no-resurrected-apis",
     "ci-phase-parity",
-    "scheme-registry-parity",
-    "policy-registry-parity",
+    "units-flow",
+    "telemetry-emit-count-parity",
+    "registry-parity-generic",
+    "dead-config-knob",
     crate::allowlist::ALLOWLIST_RULE,
 ];
 
-/// Instantiate the full catalog, in [`RULE_IDS`] order.
-pub fn all_rules() -> Vec<Box<dyn Rule>> {
+/// The per-file layer, in catalog order.
+pub fn file_rules() -> Vec<Box<dyn FileRule>> {
     vec![
         Box::new(wall_clock::NoWallClock),
         Box::new(unordered_iter::NoUnorderedIteration),
         Box::new(typed_units::TypedUnits),
         Box::new(lossy_casts::NoLossyCycleCasts),
         Box::new(panic_policy::PanicPolicy),
-        Box::new(telemetry_parity::TelemetryParity),
         Box::new(resurrected_api::NoResurrectedApis),
-        Box::new(ci_parity::CiPhaseParity),
-        Box::new(scheme_registry::SchemeRegistryParity),
-        Box::new(policy_registry::PolicyRegistryParity),
     ]
 }
 
+/// The cross-file layer, in catalog order.
+pub fn graph_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(ci_parity::CiPhaseParity),
+        Box::new(units_flow::UnitsFlow),
+        Box::new(telemetry_parity::TelemetryEmitCountParity),
+        Box::new(registry_parity::RegistryParityGeneric),
+        Box::new(dead_config::DeadConfigKnob),
+    ]
+}
+
+/// Instantiate the full catalog, in [`RULE_IDS`] order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    let mut rules: Vec<Box<dyn Rule>> = file_rules()
+        .into_iter()
+        .map(|r| Box::new(PerFile(r)) as Box<dyn Rule>)
+        .collect();
+    rules.extend(graph_rules());
+    rules
+}
+
 /// A file's significant tokens with convenience accessors; the shared
-/// substrate every rule matches against.
+/// substrate every file rule matches against.
 pub struct SigView<'a> {
     /// The file under scan.
     pub file: &'a SourceFile,

@@ -12,15 +12,15 @@
 //! firing on unrelated methods that happen to share the name (e.g. the
 //! JSON parser's `expect(b'{')` byte-matcher).
 
-use super::{Rule, SigView};
+use super::{FileRule, SigView};
 use crate::diag::Diagnostic;
 use crate::lexer::TokKind;
-use crate::workspace::{Workspace, LIBRARY_CRATES};
+use crate::workspace::{SourceFile, LIBRARY_CRATES};
 
 /// See module docs.
 pub struct PanicPolicy;
 
-impl Rule for PanicPolicy {
+impl FileRule for PanicPolicy {
     fn id(&self) -> &'static str {
         "panic-policy"
     }
@@ -29,12 +29,12 @@ impl Rule for PanicPolicy {
         "unwrap()/expect() in library crates outside #[cfg(test)] need typed errors or a waiver"
     }
 
-    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+    fn check_file(&self, file: &SourceFile) -> Vec<Diagnostic> {
         let mut out = Vec::new();
-        for file in &ws.files {
-            if !LIBRARY_CRATES.contains(&file.crate_name.as_str()) || !file.path.contains("/src/") {
-                continue;
-            }
+        if !LIBRARY_CRATES.contains(&file.crate_name.as_str()) || !file.path.contains("/src/") {
+            return out;
+        }
+        {
             let v = SigView::new(file);
             for i in 0..v.len() {
                 if v.text(i) != "." || i + 2 >= v.len() {

@@ -1,0 +1,244 @@
+//! `registry-parity-generic`: every registry enum's surfaces enumerate the
+//! same variant set.
+//!
+//! A *registry enum* is one whose variants are meant to be swept — it
+//! carries a `const ALL: [E; N]` array, or a `tag()` / `FromStr` pair that
+//! round-trips through strings. The failure mode is always drift: a new
+//! variant lands in the enum but not in `ALL` (conservation propchecks
+//! and matrix sweeps silently skip it), or not in `tag`/`instantiate`
+//! (the match still compiles if there's a `_ =>` arm), or its canonical
+//! tag is not accepted back by `FromStr` (Display → FromStr stops
+//! round-tripping and every CLI/JSON path breaks).
+//!
+//! This one data-driven rule replaces the hand-cloned per-enum rules the
+//! catalog used to carry (`scheme-registry-parity`, `policy-registry-
+//! parity`): it discovers registry enums from the parsed item facts —
+//! any enum in a `/src/` file with a same-file `ALL` const typed
+//! `[E; N]`, or same-file `tag` + `from_str` fns referencing it — and
+//! applies the full check matrix to whatever it finds, so the *next*
+//! registry enum is covered the day it is written.
+
+use super::Rule;
+use crate::diag::Diagnostic;
+use crate::items::{Item, ItemKind};
+use crate::workspace::{SourceFile, Workspace};
+use std::collections::BTreeSet;
+
+/// Fn names that are registry surfaces when they reference the enum.
+const SURFACE_FNS: &[&str] = &["tag", "instantiate", "from_str"];
+
+/// See module docs.
+pub struct RegistryParityGeneric;
+
+/// Variant tails referenced (as `E::V` or `Self::V` inside `impl E`)
+/// within the byte span `lo..hi`.
+fn refs_in_span<'a>(
+    file: &'a SourceFile,
+    enum_name: &str,
+    self_ok: bool,
+    lo: usize,
+    hi: usize,
+) -> BTreeSet<&'a str> {
+    file.facts
+        .path_refs
+        .iter()
+        .filter(|r| r.lo >= lo && r.lo < hi)
+        .filter(|r| r.head == enum_name || (self_ok && r.head == "Self"))
+        .map(|r| r.tail.as_str())
+        .collect()
+}
+
+/// Does item `it` reference `enum_name` anywhere in its span?
+fn references(file: &SourceFile, it: &Item, enum_name: &str) -> bool {
+    it.self_ty == enum_name
+        || file
+            .facts
+            .path_refs
+            .iter()
+            .any(|r| r.lo >= it.lo && r.lo < it.hi && r.head == enum_name)
+}
+
+/// Byte offset of the `fn` name inside item `it` (caret anchor).
+fn fn_name_offset(file: &SourceFile, it: &Item) -> usize {
+    file.src[it.lo..it.hi]
+        .find("fn ")
+        .map(|i| it.lo + i + 3)
+        .unwrap_or(it.lo)
+}
+
+/// The array-length literal inside `const ALL: [E; N]` — offset and text.
+fn all_len_literal<'a>(file: &'a SourceFile, it: &Item) -> Option<(usize, &'a str)> {
+    let span = &file.src[it.lo..it.hi];
+    let semi = span.find(';')?;
+    let rest = &span[semi + 1..];
+    let pad = rest.len() - rest.trim_start().len();
+    let start = semi + 1 + pad;
+    let lit: &str = &span[start..];
+    let end = lit
+        .find(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+        .unwrap_or(lit.len());
+    (end > 0).then(|| (it.lo + start, &span[start..start + end]))
+}
+
+impl RegistryParityGeneric {
+    fn check_enum(&self, file: &SourceFile, e: &Item, out: &mut Vec<Diagnostic>) {
+        let variants = &e.fields;
+        if variants.is_empty() {
+            return;
+        }
+        // Discover the registry surfaces declared alongside the enum.
+        let all_const = file.facts.items.iter().find(|it| {
+            it.kind == ItemKind::Const && it.name == "ALL" && {
+                let parts: Vec<&str> = it.ty.split(' ').collect();
+                parts.len() >= 4 && parts[0] == "[" && parts[1] == e.name && parts[2] == ";"
+            }
+        });
+        let surfaces: Vec<&Item> = file
+            .facts
+            .items
+            .iter()
+            .filter(|it| {
+                it.kind == ItemKind::Fn
+                    && !it.in_test
+                    && SURFACE_FNS.contains(&it.name.as_str())
+                    && references(file, it, &e.name)
+            })
+            .collect();
+        let has_fn = |n: &str| surfaces.iter().any(|s| s.name == n);
+        // Only enums with sweep machinery are registries; a lone `tag()`
+        // accessor (e.g. TelemetryEvent's) is not.
+        if all_const.is_none() && !(has_fn("tag") && has_fn("from_str")) {
+            return;
+        }
+
+        match all_const {
+            Some(c) => {
+                // (a) declared length vs variant count.
+                if let Some((lo, lit)) = all_len_literal(file, c) {
+                    let n: usize = lit.replace('_', "").parse().unwrap_or(0);
+                    if n != variants.len() {
+                        out.push(file.diag(
+                            self.id(),
+                            lo,
+                            lit.len(),
+                            format!(
+                                "{}::ALL declares {lit} entries but the enum has {} \
+                                 variants — registry sweeps would skip the difference",
+                                e.name,
+                                variants.len(),
+                            ),
+                        ));
+                    }
+                }
+                // (b) every variant listed in the ALL initializer.
+                let listed = refs_in_span(file, &e.name, c.self_ty == e.name, c.lo, c.hi);
+                for v in variants {
+                    if !listed.contains(v.name.as_str()) {
+                        out.push(file.diag(
+                            self.id(),
+                            v.lo,
+                            v.name.len(),
+                            format!(
+                                "{}::{} is missing from {}::ALL — conservation propchecks \
+                                 and matrix sweeps will never see it",
+                                e.name, v.name, e.name,
+                            ),
+                        ));
+                    }
+                }
+            }
+            None => {
+                out.push(file.diag(
+                    self.id(),
+                    e.lo + file.src[e.lo..e.hi].find(&e.name).unwrap_or(0),
+                    e.name.len(),
+                    format!(
+                        "{} has no `ALL: [{}; N]` registry array — sweeps and \
+                         conservation propchecks cannot enumerate its variants",
+                        e.name, e.name,
+                    ),
+                ));
+            }
+        }
+
+        // (c) every surface fn handles every variant.
+        for f in &surfaces {
+            let handled = refs_in_span(file, &e.name, f.self_ty == e.name, f.lo, f.hi);
+            for v in variants {
+                if !handled.contains(v.name.as_str()) {
+                    out.push(file.diag(
+                        self.id(),
+                        fn_name_offset(file, f),
+                        f.name.len(),
+                        format!(
+                            "{}::{} is not handled in `{}` — the registry surfaces \
+                             have drifted apart",
+                            e.name, v.name, f.name,
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // (d) Display → FromStr round-trip: every canonical tag string in
+        // `tag()` must be accepted somewhere in `from_str`.
+        let (Some(tag_fn), Some(fs_fn)) = (
+            surfaces.iter().find(|s| s.name == "tag"),
+            surfaces.iter().find(|s| s.name == "from_str"),
+        ) else {
+            return;
+        };
+        let in_span = |lo: usize, it: &Item| lo >= it.lo && lo < it.hi;
+        let accepted: BTreeSet<&str> = file
+            .facts
+            .strings
+            .iter()
+            .filter(|s| in_span(s.lo, fs_fn))
+            .map(|s| s.text.as_str())
+            .collect();
+        let mut reported = BTreeSet::new();
+        for s in &file.facts.strings {
+            if in_span(s.lo, tag_fn)
+                && !accepted.contains(s.text.as_str())
+                && reported.insert(&s.text)
+            {
+                out.push(file.diag(
+                    self.id(),
+                    fn_name_offset(file, fs_fn),
+                    fs_fn.name.len(),
+                    format!(
+                        "canonical tag \"{}\" from {}::tag() is not accepted by FromStr \
+                         — Display → FromStr no longer round-trips",
+                        s.text, e.name,
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+impl Rule for RegistryParityGeneric {
+    fn id(&self) -> &'static str {
+        "registry-parity-generic"
+    }
+
+    fn describe(&self) -> &'static str {
+        "registry enums: ALL array, tag/instantiate/from_str surfaces, and variants stay in sync"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for file in &ws.files {
+            if !file.path.contains("/src/") {
+                continue;
+            }
+            for e in file.facts.of_kind(ItemKind::Enum) {
+                if e.in_test {
+                    continue;
+                }
+                self.check_enum(file, e, &mut out);
+            }
+        }
+        out
+    }
+}

@@ -11,9 +11,9 @@
 //! examples too, since those are exactly where copy-paste resurrection
 //! starts.
 
-use super::{Rule, SigView};
+use super::{FileRule, SigView};
 use crate::diag::Diagnostic;
-use crate::workspace::Workspace;
+use crate::workspace::SourceFile;
 
 /// Banned `Type::method` paths and what to use instead.
 const BANNED: &[(&str, &str, &str)] = &[
@@ -33,7 +33,7 @@ const BANNED: &[(&str, &str, &str)] = &[
 /// See module docs.
 pub struct NoResurrectedApis;
 
-impl Rule for NoResurrectedApis {
+impl FileRule for NoResurrectedApis {
     fn id(&self) -> &'static str {
         "no-resurrected-apis"
     }
@@ -42,12 +42,12 @@ impl Rule for NoResurrectedApis {
         "removed constructors (System::new, SystemConfig::small_test, RunConfig::quick) stay removed"
     }
 
-    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+    fn check_file(&self, file: &SourceFile) -> Vec<Diagnostic> {
         let mut out = Vec::new();
-        for file in &ws.files {
-            if file.crate_name == "lint" {
-                continue; // this file spells the banned names in its tables
-            }
+        if file.crate_name == "lint" {
+            return out; // this file spells the banned names in its tables
+        }
+        {
             let v = SigView::new(file);
             for i in 0..v.len() {
                 for (ty, method, instead) in BANNED {

@@ -1,22 +1,34 @@
-//! `telemetry-parity`: every `TelemetryEvent` variant must be handled by
-//! the `TraceSummary` aggregator.
+//! `telemetry-emit-count-parity`: the set of `TelemetryEvent` variants the
+//! workspace *constructs* and the set `TraceSummary` *counts* must be the
+//! same set.
 //!
 //! The telemetry contract (ROADMAP: "perf PRs gated on evidence") is that
-//! anything the simulator emits shows up in `report` output. A variant
-//! added to `event.rs` but absent from `summary.rs` would be recorded to
-//! JSONL and then silently dropped at aggregation — the evidence trail
-//! would have a hole exactly where the new behaviour is. Exhaustive-match
-//! compilation normally forces the pairing, but one `_ =>` arm defeats it
-//! forever; this rule is the backstop that notices the drop either way.
+//! anything the simulator emits shows up in `report` output. The old
+//! token-level rule only asked "is the variant name mentioned in
+//! summary.rs?"; with the item graph we can hold the whole triangle
+//! together:
 //!
-//! Mechanically: parse the variant names out of `enum TelemetryEvent { … }`
-//! in `crates/telemetry/src/event.rs` and require each name to appear as a
-//! token in `crates/telemetry/src/summary.rs`.
+//! 1. a variant constructed anywhere in `/src/` but absent from
+//!    `summary.rs` would be recorded to JSONL and silently dropped at
+//!    aggregation — the evidence trail has a hole exactly where the new
+//!    behaviour is;
+//! 2. a variant never constructed anywhere is dead telemetry — its
+//!    summary counter reads as "0 events" when the truth is "nothing can
+//!    emit this", which is a different (and misleading) claim;
+//! 3. a `TelemetryEvent::X` reference in `summary.rs` naming no declared
+//!    variant is a stale arm left behind by a rename.
+//!
+//! Emit sites are `TelemetryEvent::X` path references outside the
+//! declaring/aggregating files (and outside tests). Match *patterns* are
+//! indistinguishable from constructions at this syntactic level; a file
+//! that only matches on an event still counts as "emitting" it, which can
+//! hide a dead variant but never flags a live one.
 
-use super::{Rule, SigView};
+use super::Rule;
 use crate::diag::Diagnostic;
-use crate::lexer::TokKind;
+use crate::items::ItemKind;
 use crate::workspace::Workspace;
+use std::collections::{BTreeMap, BTreeSet};
 
 const EVENT_FILE: &str = "crates/telemetry/src/event.rs";
 const SUMMARY_FILE: &str = "crates/telemetry/src/summary.rs";
@@ -26,98 +38,101 @@ pub fn event_variants(ws: &Workspace) -> Vec<(String, usize)> {
     let Some(file) = ws.file(EVENT_FILE) else {
         return Vec::new();
     };
-    let v = SigView::new(file);
-    let mut out = Vec::new();
-    let mut i = 0;
-    while i + 2 < v.len() {
-        if v.text(i) == "enum" && v.text(i + 1) == "TelemetryEvent" && v.text(i + 2) == "{" {
-            // Variants are idents at brace depth 1, each followed by
-            // `{`, `(` or `,`.
-            let mut depth = 1i32;
-            let mut j = i + 3;
-            while j < v.len() && depth > 0 {
-                match v.text(j) {
-                    "{" => depth += 1,
-                    "}" => depth -= 1,
-                    "(" => depth += 1,
-                    ")" => depth -= 1,
-                    "#" if depth == 1 && v.matches(j + 1, &["["]) => {
-                        // Skip attribute tokens (doc comments are trivia
-                        // already; `#[…]` would otherwise look like idents).
-                        let mut d = 0i32;
-                        j += 1;
-                        while j < v.len() {
-                            match v.text(j) {
-                                "[" => d += 1,
-                                "]" => {
-                                    d -= 1;
-                                    if d == 0 {
-                                        break;
-                                    }
-                                }
-                                _ => {}
-                            }
-                            j += 1;
-                        }
-                    }
-                    _ => {
-                        if depth == 1
-                            && v.kind(j) == TokKind::Ident
-                            && j + 1 < v.len()
-                            && matches!(v.text(j + 1), "{" | "(" | ",")
-                        {
-                            out.push((v.text(j).to_string(), v.tok(j).lo));
-                        }
-                    }
-                }
-                j += 1;
-            }
-            break;
-        }
-        i += 1;
-    }
-    out
+    let Some(item) = file.facts.named(ItemKind::Enum, "TelemetryEvent") else {
+        return Vec::new();
+    };
+    item.fields.iter().map(|v| (v.name.clone(), v.lo)).collect()
 }
 
 /// See module docs.
-pub struct TelemetryParity;
+pub struct TelemetryEmitCountParity;
 
-impl Rule for TelemetryParity {
+impl Rule for TelemetryEmitCountParity {
     fn id(&self) -> &'static str {
-        "telemetry-parity"
+        "telemetry-emit-count-parity"
     }
 
     fn describe(&self) -> &'static str {
-        "every TelemetryEvent variant must be aggregated (or explicitly ignored) in TraceSummary"
+        "every constructed TelemetryEvent variant is counted in TraceSummary, and vice versa"
     }
 
     fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
         let variants = event_variants(ws);
-        let Some(summary) = ws.file(SUMMARY_FILE) else {
+        if variants.is_empty() {
             // Nothing to check against (e.g. linting a partial tree).
             return Vec::new();
-        };
-        let sv = SigView::new(summary);
-        let mut mentioned = std::collections::BTreeSet::new();
-        for i in 0..sv.len() {
-            if sv.kind(i) == TokKind::Ident {
-                mentioned.insert(sv.text(i).to_string());
-            }
         }
-        let Some(event_file) = ws.file(EVENT_FILE) else {
+        let variant_set: BTreeSet<&str> = variants.iter().map(|(n, _)| n.as_str()).collect();
+
+        // The aggregation side: every `TelemetryEvent::X` reference in
+        // summary.rs, with the offset of its first mention.
+        let mut summary_refs: BTreeMap<&str, usize> = BTreeMap::new();
+        let Some(summary) = ws.file(SUMMARY_FILE) else {
             return Vec::new();
         };
+        for r in &summary.facts.path_refs {
+            if r.head == "TelemetryEvent" && !r.in_test {
+                summary_refs.entry(&r.tail).or_insert(r.lo);
+            }
+        }
+
+        // The emit side: `TelemetryEvent::X` references in any other
+        // non-test `/src/` position, counted per variant.
+        let mut emits: BTreeMap<&str, usize> = BTreeMap::new();
+        for file in &ws.files {
+            if file.path == EVENT_FILE || file.path == SUMMARY_FILE || !file.path.contains("/src/")
+            {
+                continue;
+            }
+            for r in &file.facts.path_refs {
+                if r.head == "TelemetryEvent" && !r.in_test {
+                    *emits.entry(&r.tail).or_insert(0) += 1;
+                }
+            }
+        }
+
+        let event_file = ws.file(EVENT_FILE).expect("checked above");
         let mut out = Vec::new();
-        for (name, lo) in variants {
-            if !mentioned.contains(&name) {
+        for (name, lo) in &variants {
+            let emitted = emits.get(name.as_str()).copied().unwrap_or(0);
+            if emitted > 0 && !summary_refs.contains_key(name.as_str()) {
                 out.push(event_file.diag(
                     self.id(),
-                    lo,
+                    *lo,
                     name.len(),
                     format!(
-                        "TelemetryEvent::{name} has no counterpart in TraceSummary \
-                         ({SUMMARY_FILE}): events would be recorded but dropped from \
-                         `report` — add a counter or an explicit no-op arm"
+                        "TelemetryEvent::{name} is emitted at {emitted} site(s) but has no \
+                         counterpart in TraceSummary ({SUMMARY_FILE}): events would be \
+                         recorded but dropped from `report` — add a counter or an explicit \
+                         no-op arm"
+                    ),
+                ));
+            }
+            if emitted == 0 {
+                out.push(event_file.diag(
+                    self.id(),
+                    *lo,
+                    name.len(),
+                    format!(
+                        "TelemetryEvent::{name} is never constructed outside tests — dead \
+                         telemetry: its summary counter can only ever read 0. Emit it or \
+                         delete the variant (and its TraceSummary arm)"
+                    ),
+                ));
+            }
+        }
+        // Stale aggregation arms: summary names a variant that no longer
+        // exists.
+        for (name, lo) in &summary_refs {
+            if !variant_set.contains(name) {
+                out.push(summary.diag(
+                    self.id(),
+                    *lo,
+                    name.len(),
+                    format!(
+                        "TraceSummary handles TelemetryEvent::{name}, but no such variant \
+                         is declared in {EVENT_FILE} — stale arm from a rename; update or \
+                         delete it"
                     ),
                 ));
             }

@@ -10,10 +10,10 @@
 //! expected values are the point), these numbers must be spelled
 //! `cfg.timing.t_set` etc.
 
-use super::{Rule, SigView};
+use super::{FileRule, SigView};
 use crate::diag::Diagnostic;
 use crate::lexer::{num_value, TokKind};
-use crate::workspace::{Workspace, DETERMINISTIC_CRATES};
+use crate::workspace::{SourceFile, DETERMINISTIC_CRATES};
 
 /// The magic values, in both ns and ps spellings.
 const MAGIC: &[(f64, &str)] = &[
@@ -28,7 +28,7 @@ const MAGIC: &[(f64, &str)] = &[
 /// See module docs.
 pub struct TypedUnits;
 
-impl Rule for TypedUnits {
+impl FileRule for TypedUnits {
     fn id(&self) -> &'static str {
         "typed-units"
     }
@@ -37,15 +37,15 @@ impl Rule for TypedUnits {
         "raw PCM timing literals (50/53/430 ns) outside pcm-types must use PcmTimings"
     }
 
-    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+    fn check_file(&self, file: &SourceFile) -> Vec<Diagnostic> {
         let mut out = Vec::new();
-        for file in &ws.files {
-            if !DETERMINISTIC_CRATES.contains(&file.crate_name.as_str())
-                || file.crate_name == "pcm-types"
-                || !file.path.contains("/src/")
-            {
-                continue;
-            }
+        if !DETERMINISTIC_CRATES.contains(&file.crate_name.as_str())
+            || file.crate_name == "pcm-types"
+            || !file.path.contains("/src/")
+        {
+            return out;
+        }
+        {
             let v = SigView::new(file);
             for i in 0..v.len() {
                 if v.kind(i) != TokKind::NumLit || v.in_test(i) {

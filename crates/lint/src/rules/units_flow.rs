@@ -1,0 +1,232 @@
+//! `units-flow`: ns-born values must not flow into cycles-typed slots (and
+//! vice versa), across call and assignment boundaries.
+//!
+//! The paper's model lives in two clocks: wall-time nanoseconds (the Table
+//! II device timings, `PcmTimings` fields) and memory-controller cycles
+//! (the scheduler's slot arithmetic). `typed-units` pins the *literals*;
+//! this rule tracks the *flow*. A value born from a `*_ns` field or a
+//! `PcmTimings` accessor that lands in a parameter, binding, or struct
+//! field whose name/type says cycles is a unit error the type system
+//! cannot see (both sides are `u64`), and it scales every service time by
+//! the clock ratio — exactly the class of bug that shifted Fig. 9 curves
+//! without failing a single test.
+//!
+//! Mechanics, using the [`ItemGraph`]: each function body's recorded call
+//! sites, `let` bindings, and field assignments carry a [`UnitClass`] for
+//! their right-hand side (classified from converter calls like `as_ns()` /
+//! `cycles_at()` and `_ns`/`_cycles` name suffixes, last conversion wins).
+//! Sinks are classified from the declared parameter/field name and type.
+//! Name-based call resolution is ambiguous, so a call argument is only
+//! checked when **every** same-named candidate function agrees the slot is
+//! non-neutral and same-classed — zero false positives from overloading at
+//! the cost of missing some true positives. `Ps`-typed slots are neutral
+//! ground: the canonical unit is exempt by design.
+
+use super::Rule;
+use crate::diag::Diagnostic;
+use crate::graph::ItemGraph;
+use crate::items::{Item, ItemKind};
+use crate::units::{classify_name, classify_slot, UnitClass};
+use crate::workspace::{Workspace, DETERMINISTIC_CRATES};
+use std::collections::BTreeMap;
+
+/// Human name for a class (diagnostics only; `Neutral` never prints).
+fn unit(c: UnitClass) -> &'static str {
+    match c {
+        UnitClass::Ns => "nanoseconds",
+        UnitClass::Cycles => "cycles",
+        UnitClass::Neutral => "unit-neutral",
+    }
+}
+
+/// See module docs.
+pub struct UnitsFlow;
+
+impl UnitsFlow {
+    /// The agreed class of argument slot `idx` of `callee`, when every
+    /// same-named candidate aligns and agrees it is non-neutral. Returns
+    /// the class and the parameter name of one witness.
+    fn sink_slot<'a>(
+        g: &ItemGraph<'a>,
+        callee: &str,
+        n_args: usize,
+        idx: usize,
+    ) -> Option<(UnitClass, &'a str)> {
+        let candidates = g.fns.get(callee)?;
+        let mut agreed: Option<(UnitClass, &str)> = None;
+        let mut aligned = 0usize;
+        for c in candidates {
+            let params = &c.item.params;
+            // Method calls drop the receiver; free calls don't. Align on
+            // whichever arity matches.
+            let slots: &[crate::items::Param] = if params.len() == n_args {
+                params
+            } else if params.len() == n_args + 1 && params.first().is_some_and(|p| p.name == "self")
+            {
+                &params[1..]
+            } else {
+                continue; // this candidate cannot be the callee
+            };
+            let p = &slots[idx];
+            let class = classify_slot(&p.name, &p.ty);
+            if class == UnitClass::Neutral {
+                return None;
+            }
+            match agreed {
+                None => agreed = Some((class, &p.name)),
+                Some((prev, _)) if prev != class => return None,
+                Some(_) => {}
+            }
+            aligned += 1;
+        }
+        (aligned > 0).then_some(agreed).flatten()
+    }
+
+    /// The class of a struct field named `field`, when every declaration
+    /// agrees; falls back to the name suffix when no declaration is known.
+    fn sink_field(g: &ItemGraph<'_>, field: &str) -> UnitClass {
+        match g.fields.get(field) {
+            Some(decls) => {
+                let mut agreed = None;
+                for d in decls {
+                    let class = classify_slot(&d.field.name, &d.field.ty);
+                    match agreed {
+                        None => agreed = Some(class),
+                        Some(prev) if prev != class => return UnitClass::Neutral,
+                        Some(_) => {}
+                    }
+                }
+                agreed.unwrap_or(UnitClass::Neutral)
+            }
+            None => classify_name(field),
+        }
+    }
+
+    /// Check one function body against the graph.
+    fn check_fn(
+        &self,
+        g: &ItemGraph<'_>,
+        file: &crate::workspace::SourceFile,
+        item: &Item,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        // Local value classes: parameters first, `let`s shadow them.
+        let mut locals: BTreeMap<&str, UnitClass> = BTreeMap::new();
+        for p in &item.params {
+            if p.name != "self" && !p.name.is_empty() {
+                locals.insert(&p.name, classify_slot(&p.name, &p.ty));
+            }
+        }
+        for b in &item.lets {
+            let declared = classify_name(&b.name);
+            if declared != UnitClass::Neutral
+                && b.class != UnitClass::Neutral
+                && declared != b.class
+            {
+                out.push(file.diag(
+                    self.id(),
+                    b.lo,
+                    b.name.len(),
+                    format!(
+                        "`let {}` is named in {} but initialized from a {}-classified \
+                         expression — convert explicitly (PcmTimings::cycles_at / as_ns) \
+                         or rename the binding",
+                        b.name,
+                        unit(declared),
+                        unit(b.class),
+                    ),
+                ));
+            }
+            // The binding's flow class: trust the initializer when it is
+            // classified, else the declared name.
+            let class = if b.class != UnitClass::Neutral {
+                b.class
+            } else {
+                declared
+            };
+            locals.insert(&b.name, class);
+        }
+
+        for call in &item.calls {
+            for (idx, arg) in call.args.iter().enumerate() {
+                let Some((sink, pname)) = Self::sink_slot(g, &call.callee, call.args.len(), idx)
+                else {
+                    continue;
+                };
+                let src = if arg.class != UnitClass::Neutral {
+                    arg.class
+                } else if !arg.ident.is_empty() {
+                    locals
+                        .get(arg.ident.as_str())
+                        .copied()
+                        .unwrap_or(UnitClass::Neutral)
+                } else {
+                    UnitClass::Neutral
+                };
+                if src != UnitClass::Neutral && src != sink {
+                    out.push(file.diag(
+                        self.id(),
+                        arg.lo,
+                        arg.len.max(1),
+                        format!(
+                            "argument carries {} but parameter `{pname}` of `{}` expects \
+                             {} — a ns/cycles mixup crossing the call boundary scales \
+                             every derived service time; convert with PcmTimings",
+                            unit(src),
+                            call.callee,
+                            unit(sink),
+                        ),
+                    ));
+                }
+            }
+        }
+
+        for a in &item.assigns {
+            let sink = Self::sink_field(g, &a.field);
+            if sink != UnitClass::Neutral && a.class != UnitClass::Neutral && sink != a.class {
+                out.push(file.diag(
+                    self.id(),
+                    a.lo,
+                    a.len.max(1),
+                    format!(
+                        "field `{}` holds {} but is assigned a {}-classified value — \
+                         a ns/cycles mixup stored in state poisons every later read; \
+                         convert with PcmTimings",
+                        a.field,
+                        unit(sink),
+                        unit(a.class),
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+impl Rule for UnitsFlow {
+    fn id(&self) -> &'static str {
+        "units-flow"
+    }
+
+    fn describe(&self) -> &'static str {
+        "ns-born values must not flow into cycles-typed parameters/fields, or vice versa"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let g = ItemGraph::build(ws);
+        let mut out = Vec::new();
+        for file in &ws.files {
+            if !DETERMINISTIC_CRATES.contains(&file.crate_name.as_str())
+                || !file.path.contains("/src/")
+            {
+                continue;
+            }
+            for item in file.facts.of_kind(ItemKind::Fn) {
+                if item.in_test {
+                    continue;
+                }
+                self.check_fn(&g, file, item, &mut out);
+            }
+        }
+        out
+    }
+}

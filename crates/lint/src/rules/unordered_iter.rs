@@ -18,10 +18,10 @@
 //! (e.g. `let m = HashMap::new()` used without a type) is caught at its
 //! `HashMap::new()` construction site instead.
 
-use super::{Rule, SigView};
+use super::{FileRule, SigView};
 use crate::diag::Diagnostic;
 use crate::lexer::TokKind;
-use crate::workspace::{Workspace, DETERMINISTIC_CRATES};
+use crate::workspace::{SourceFile, DETERMINISTIC_CRATES};
 use std::collections::BTreeSet;
 
 /// Methods that expose iteration order.
@@ -40,7 +40,7 @@ const ITER_METHODS: &[&str] = &[
 /// See module docs.
 pub struct NoUnorderedIteration;
 
-impl Rule for NoUnorderedIteration {
+impl FileRule for NoUnorderedIteration {
     fn id(&self) -> &'static str {
         "no-unordered-iteration"
     }
@@ -49,14 +49,13 @@ impl Rule for NoUnorderedIteration {
         "HashMap/HashSet iteration in deterministic crates must use a sorted adapter"
     }
 
-    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+    fn check_file(&self, file: &SourceFile) -> Vec<Diagnostic> {
         let mut out = Vec::new();
-        for file in &ws.files {
-            if !DETERMINISTIC_CRATES.contains(&file.crate_name.as_str())
-                || !file.path.contains("/src/")
-            {
-                continue;
-            }
+        if !DETERMINISTIC_CRATES.contains(&file.crate_name.as_str()) || !file.path.contains("/src/")
+        {
+            return out;
+        }
+        {
             let v = SigView::new(file);
             // Pass A: names annotated `: HashMap<…>` / `: HashSet<…>`
             // (possibly via a `std::collections::` path).

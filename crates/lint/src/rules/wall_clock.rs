@@ -9,14 +9,14 @@
 //! display and the bench harness — which is why those two files carry
 //! justified waivers rather than exemptions baked into the rule.
 
-use super::{Rule, SigView};
+use super::{FileRule, SigView};
 use crate::diag::Diagnostic;
-use crate::workspace::Workspace;
+use crate::workspace::SourceFile;
 
 /// See module docs.
 pub struct NoWallClock;
 
-impl Rule for NoWallClock {
+impl FileRule for NoWallClock {
     fn id(&self) -> &'static str {
         "no-wall-clock"
     }
@@ -25,33 +25,31 @@ impl Rule for NoWallClock {
         "Instant/SystemTime reads are forbidden outside the runner's timing display and bench"
     }
 
-    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+    fn check_file(&self, file: &SourceFile) -> Vec<Diagnostic> {
         let mut out = Vec::new();
-        for file in &ws.files {
-            let v = SigView::new(file);
-            for i in 0..v.len() {
-                if v.kind(i) != crate::lexer::TokKind::Ident {
-                    continue;
-                }
-                let name = v.text(i);
-                if name != "Instant" && name != "SystemTime" {
-                    continue;
-                }
-                if v.in_test(i) {
-                    continue;
-                }
-                let t = v.tok(i);
-                out.push(file.diag(
-                    self.id(),
-                    t.lo,
-                    t.hi - t.lo,
-                    format!(
-                        "`{name}` reads the wall clock; simulation logic must use `Ps` event \
-                         time. If this is pure reporting, add a justified waiver to \
-                         lint-allow.txt"
-                    ),
-                ));
+        let v = SigView::new(file);
+        for i in 0..v.len() {
+            if v.kind(i) != crate::lexer::TokKind::Ident {
+                continue;
             }
+            let name = v.text(i);
+            if name != "Instant" && name != "SystemTime" {
+                continue;
+            }
+            if v.in_test(i) {
+                continue;
+            }
+            let t = v.tok(i);
+            out.push(file.diag(
+                self.id(),
+                t.lo,
+                t.hi - t.lo,
+                format!(
+                    "`{name}` reads the wall clock; simulation logic must use `Ps` event \
+                     time. If this is pure reporting, add a justified waiver to \
+                     lint-allow.txt"
+                ),
+            ));
         }
         out
     }

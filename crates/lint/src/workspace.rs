@@ -1,6 +1,7 @@
 //! Workspace discovery: find the crates, load and lex their sources, and
 //! classify each file so rules know which invariants apply where.
 
+use crate::items::{self, FileFacts};
 use crate::lexer::{self, Tok};
 use std::path::{Path, PathBuf};
 
@@ -34,37 +35,49 @@ pub struct SourceFile {
     pub crate_name: String,
     /// Full file contents.
     pub src: String,
-    /// Complete token cover of `src`.
+    /// Complete token cover of `src` — **empty for cache-restored files**,
+    /// which skip lexing entirely (their per-file diagnostics were cached
+    /// alongside [`SourceFile::facts`], so no rule needs their tokens).
     pub toks: Vec<Tok>,
     /// Byte offsets where each line starts (line 1 at `starts[0]`).
     line_starts: Vec<usize>,
-    /// Byte ranges covered by `#[cfg(test)]` / `#[test]` items.
+    /// Byte ranges covered by `#[cfg(test)]` / `#[test]` items (empty for
+    /// cache-restored files; the facts carry per-item `in_test` flags).
     pub test_regions: Vec<(usize, usize)>,
+    /// Parsed item structure and cross-file facts (see [`crate::items`]).
+    pub facts: FileFacts,
 }
 
 impl SourceFile {
-    /// Lex `src` and attach path metadata. `path` must be repo-relative.
+    /// Lex and parse `src` and attach path metadata. `path` must be
+    /// repo-relative.
     pub fn new(path: &str, src: String) -> SourceFile {
         let toks = lexer::lex(&src);
         let test_regions = lexer::test_regions(&src, &toks);
-        let mut line_starts = vec![0usize];
-        for (i, b) in src.bytes().enumerate() {
-            if b == b'\n' {
-                line_starts.push(i + 1);
-            }
-        }
-        let crate_name = path
-            .strip_prefix("crates/")
-            .and_then(|rest| rest.split('/').next())
-            .unwrap_or("")
-            .to_string();
+        let facts = items::parse(&src, &toks, &test_regions);
+        let crate_name = crate_of(path);
         SourceFile {
             path: path.to_string(),
             crate_name,
+            line_starts: line_starts(&src),
             src,
             toks,
-            line_starts,
             test_regions,
+            facts,
+        }
+    }
+
+    /// Rebuild a file from the warm cache: the source text (needed for
+    /// diagnostic snippets) plus previously parsed facts, with no lexing.
+    pub fn restored(path: &str, src: String, facts: FileFacts) -> SourceFile {
+        SourceFile {
+            path: path.to_string(),
+            crate_name: crate_of(path),
+            line_starts: line_starts(&src),
+            src,
+            toks: Vec::new(),
+            test_regions: Vec::new(),
+            facts,
         }
     }
 
@@ -129,6 +142,23 @@ impl SourceFile {
     }
 }
 
+fn crate_of(path: &str) -> String {
+    path.strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or("")
+        .to_string()
+}
+
+fn line_starts(src: &str) -> Vec<usize> {
+    let mut starts = vec![0usize];
+    for (i, b) in src.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
 /// The lexed workspace: all scanned sources plus the CI workflow text.
 pub struct Workspace {
     /// Repo root.
@@ -175,11 +205,12 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Load the whole workspace rooted at `root`: every crate's `src/`,
-/// `tests/`, `benches/` and `examples/`, the root `tests/` and `examples/`
-/// directories, and the CI workflow. Paths under `fixtures/` are skipped so
-/// the lint's own golden violations don't gate the build.
-pub fn load(root: &Path) -> std::io::Result<Workspace> {
+/// Every scannable `.rs` path under `root` as `(repo-relative, absolute)`
+/// pairs, in deterministic order: every crate's `src/`, `tests/`,
+/// `benches/` and `examples/`, plus the root `tests/` and `examples/`
+/// directories. Paths under `fixtures/` are skipped so the lint's own
+/// golden violations don't gate the build.
+pub fn source_paths(root: &Path) -> std::io::Result<Vec<(String, PathBuf)>> {
     let mut paths: Vec<PathBuf> = Vec::new();
     let crates_dir = root.join("crates");
     if crates_dir.is_dir() {
@@ -196,15 +227,25 @@ pub fn load(root: &Path) -> std::io::Result<Workspace> {
     }
     collect_rs(&root.join("tests"), &mut paths)?;
     collect_rs(&root.join("examples"), &mut paths)?;
+    Ok(paths
+        .into_iter()
+        .map(|p| {
+            let rel = p
+                .strip_prefix(root)
+                .unwrap_or(&p)
+                .to_string_lossy()
+                .replace('\\', "/");
+            (rel, p)
+        })
+        .collect())
+}
 
-    let mut files = Vec::with_capacity(paths.len());
-    for p in &paths {
-        let rel = p
-            .strip_prefix(root)
-            .unwrap_or(p)
-            .to_string_lossy()
-            .replace('\\', "/");
-        let src = std::fs::read_to_string(p)?;
+/// Load the whole workspace rooted at `root` (see [`source_paths`]) plus
+/// the CI workflow, lexing and parsing every file (no cache).
+pub fn load(root: &Path) -> std::io::Result<Workspace> {
+    let mut files = Vec::new();
+    for (rel, p) in source_paths(root)? {
+        let src = std::fs::read_to_string(&p)?;
         files.push(SourceFile::new(&rel, src));
     }
     let ci_yml = std::fs::read_to_string(root.join(".github/workflows/ci.yml")).ok();

@@ -1,0 +1,83 @@
+//! Cache-equivalence tests: a warm (fully cached) scan must be
+//! byte-identical to a cold one, and any content change must invalidate
+//! exactly the changed file. These are the guarantees that make the CI
+//! `static-analysis` job's cold-then-warm double run sound.
+
+use pcm_lint::cache::Cache;
+use pcm_lint::workspace::{find_root, source_paths};
+use pcm_lint::{run_with, scan, RunOptions};
+use std::path::Path;
+
+/// The real workspace's sources, loaded once per test.
+fn real_sources() -> (Vec<(String, String)>, Option<String>) {
+    let root = find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let sources = source_paths(&root)
+        .expect("source paths")
+        .into_iter()
+        .map(|(rel, abs)| (rel, std::fs::read_to_string(&abs).expect("readable")))
+        .collect();
+    let ci = std::fs::read_to_string(root.join(".github/workflows/ci.yml")).ok();
+    (sources, ci)
+}
+
+#[test]
+fn warm_scan_is_byte_identical_to_cold() {
+    let (sources, ci) = real_sources();
+    let cold = scan(&sources, ci.clone(), &Cache::empty(), 0);
+    assert_eq!(cold.hits, 0);
+    assert_eq!(cold.misses, sources.len());
+
+    let warm = scan(&sources, ci, &cold.cache, 0);
+    assert_eq!(warm.hits, sources.len(), "every file restored from cache");
+    assert_eq!(warm.misses, 0);
+
+    // Same findings, same order, field-for-field — not merely "same
+    // count". The cache stores exactly what the scan would recompute.
+    assert_eq!(cold.diags, warm.diags);
+}
+
+#[test]
+fn changed_file_invalidates_only_itself() {
+    let (mut sources, ci) = real_sources();
+    let cold = scan(&sources, ci.clone(), &Cache::empty(), 0);
+
+    // Touch one file: the edit defines a new fn the facts must pick up.
+    let idx = sources
+        .iter()
+        .position(|(rel, _)| rel == "crates/memsim/src/system.rs")
+        .expect("system.rs scanned");
+    sources[idx].1.push_str("\nfn cache_probe_marker_fn() {}\n");
+
+    let warm = scan(&sources, ci, &cold.cache, 0);
+    assert_eq!(warm.misses, 1, "exactly the edited file re-parses");
+    assert_eq!(warm.hits, sources.len() - 1);
+}
+
+#[test]
+fn run_with_cache_round_trips_through_disk() {
+    let root = find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let cache_path = root
+        .join("target")
+        .join(format!("lint-cache-test-{}.json", std::process::id()));
+    let opts = RunOptions {
+        allow: Vec::new(),
+        use_cache: true,
+        cache_path: Some(cache_path.clone()),
+        threads: 0,
+    };
+    let first = run_with(&root, &opts).expect("cold run");
+    assert_eq!(first.cache_hits, 0);
+    let second = run_with(&root, &opts).expect("warm run");
+    let _ = std::fs::remove_file(&cache_path);
+    assert_eq!(second.cache_misses, 0, "second run fully cached");
+    assert_eq!(second.cache_hits, first.files_scanned);
+    let render = |r: &pcm_lint::LintReport| {
+        r.findings
+            .iter()
+            .chain(&r.waived)
+            .map(|d| d.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(render(&first), render(&second), "reports byte-identical");
+}

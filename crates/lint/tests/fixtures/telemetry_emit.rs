@@ -1,0 +1,7 @@
+// Fixture emitter: constructs BankBusy, DrainStart and WritePause (the
+// summary fixture forgets WritePause), and never constructs nothing else.
+pub fn emit_all(sink: &mut Vec<TelemetryEvent>, at: u64) {
+    sink.push(TelemetryEvent::BankBusy { at, bank: 0 });
+    sink.push(TelemetryEvent::DrainStart);
+    sink.push(TelemetryEvent::WritePause { at });
+}

@@ -1,0 +1,19 @@
+// Broken units flow: ns-born values land in cycles-typed slots across a
+// call, a let binding, a struct-literal init, and a field assignment.
+pub struct Window {
+    pub width_cycles: u64,
+}
+
+pub fn schedule(deadline_cycles: u64) -> u64 {
+    deadline_cycles
+}
+
+pub fn plan(t: &PcmTimings, freq: ClockFreq) -> u64 {
+    let budget_ns = t.t_set.as_ns();
+    let fine = schedule(t.t_set.cycles_at(freq));
+    let bad_call = schedule(budget_ns);
+    let width_cycles = t.t_read.as_ns();
+    let mut w = Window { width_cycles: t.t_set.as_ns() };
+    w.width_cycles = t.t_reset.as_ns();
+    fine + bad_call + width_cycles + w.width_cycles
+}

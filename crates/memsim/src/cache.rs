@@ -2,7 +2,7 @@
 //! (contents are synthesized at the memory, see [`crate::content`]),
 //! tracking dirty bits so evictions produce write-backs. The eviction
 //! decision is delegated to a pluggable
-//! [`ReplacementPolicy`](crate::replacement::ReplacementPolicy) selected
+//! [`ReplacementPolicy`] selected
 //! by [`CacheConfig::policy`]; the default LRU reproduces the historical
 //! hard-coded behaviour bit for bit.
 

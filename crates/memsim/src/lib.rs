@@ -9,7 +9,7 @@
 //!   the 3-level hierarchy of Table II (32 KB L1, 2 MB L2, 32 MB shared L3).
 //! * [`replacement`] — the pluggable eviction decision (LRU / Clock / 2Q)
 //!   behind both the hierarchy and the write cache, registered in the
-//!   [`PolicySelect`](replacement::PolicySelect) registry.
+//!   [`PolicySelect`] registry.
 //! * [`writecache`] — the hybrid DRAM write-cache tier: a fixed frame
 //!   budget coalescing dirty lines in front of the controller write
 //!   queues, drained in the background past a watermark.

@@ -17,7 +17,7 @@
 //! re-referenced ones) — registered in the [`PolicySelect`] registry,
 //! which follows the same four-surface contract as
 //! `pcm_schemes::SchemeSelect` (`ALL`, `tag()`, `Display`/`FromStr`,
-//! `instantiate()`); the `policy-registry-parity` lint keeps the surfaces
+//! `instantiate()`); the `registry-parity-generic` lint keeps the surfaces
 //! in lockstep.
 //!
 //! [`touch`]: ReplacementPolicy::touch
